@@ -1,0 +1,39 @@
+//! Criterion macrobenchmarks: simulator throughput (simulated µops per
+//! second of host time) on representative kernels, with and without value
+//! prediction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vpsim_core::PredictorKind;
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, Simulator, VpConfig};
+use vpsim_workloads::microkernels;
+
+const INSTRUCTIONS: u64 = 20_000;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let kernels: Vec<(&str, vpsim_isa::Program)> = vec![
+        ("strided", microkernels::strided_loop(256, 1)),
+        ("pointer_chase", microkernels::pointer_chase(4096)),
+        ("tight_loop", microkernels::tight_loop()),
+    ];
+    let mut group = c.benchmark_group("simulator");
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    group.sample_size(10);
+    for (name, program) in &kernels {
+        group.bench_with_input(BenchmarkId::new("no_vp", name), program, |b, p| {
+            let sim = Simulator::new(CoreConfig::default());
+            b.iter(|| black_box(sim.run(p, INSTRUCTIONS)));
+        });
+        group.bench_with_input(BenchmarkId::new("vtage_stride", name), program, |b, p| {
+            let sim = Simulator::new(CoreConfig::default().with_vp(VpConfig::enabled(
+                PredictorKind::VtageStride,
+                RecoveryPolicy::SquashAtCommit,
+            )));
+            b.iter(|| black_box(sim.run(p, INSTRUCTIONS)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

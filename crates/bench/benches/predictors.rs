@@ -1,0 +1,55 @@
+//! Criterion microbenchmarks: predictor lookup+train throughput.
+//!
+//! These measure the Table 1 predictors on the three canonical value
+//! streams (constant, strided, chaotic) — useful for spotting performance
+//! regressions in the predictor implementations themselves (the `paper`
+//! binary is the harness for the paper's figures).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vpsim_core::{ConfidenceScheme, HistoryState, PredictCtx, PredictorKind};
+
+fn value_stream(kind: &str, k: u64) -> u64 {
+    match kind {
+        "constant" => 42,
+        "strided" => k * 8,
+        _ => k.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407),
+    }
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_train");
+    for kind in [
+        PredictorKind::Lvp,
+        PredictorKind::TwoDeltaStride,
+        PredictorKind::Fcm4,
+        PredictorKind::Vtage,
+        PredictorKind::VtageStride,
+    ] {
+        for stream in ["constant", "strided", "chaotic"] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.label(), stream),
+                &stream,
+                |b, stream| {
+                    let mut p = kind.build(ConfidenceScheme::fpc_squash(), 1);
+                    let mut hist = HistoryState::default();
+                    let mut seq = 0u64;
+                    b.iter(|| {
+                        let pc = 0x40 + (seq % 16) * 4;
+                        let v = value_stream(stream, seq / 16);
+                        let ctx = PredictCtx { seq, pc, hist, actual: Some(v) };
+                        let pred = p.predict(&ctx);
+                        p.train(seq, v);
+                        hist.push_branch(pc, seq.is_multiple_of(3));
+                        seq += 1;
+                        black_box(pred)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,71 @@
+//! Criterion microbenchmarks for the substrate crates: TAGE lookups, cache
+//! hierarchy accesses, DRAM timing, and functional execution throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use vpsim_branch::Tage;
+use vpsim_core::HistoryState;
+use vpsim_isa::Executor;
+use vpsim_mem::{MemoryConfig, MemoryHierarchy};
+use vpsim_workloads::microkernels;
+
+fn bench_tage(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tage");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("predict_train", |b| {
+        let mut tage = Tage::with_defaults(1);
+        let mut hist = HistoryState::default();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let pc = 0x40 + (seq % 64) * 4;
+            let taken = (seq / 3).is_multiple_of(2);
+            let pred = tage.predict(seq, pc, &hist);
+            tage.train(seq, taken);
+            hist.push_branch(pc, taken);
+            seq += 1;
+            black_box(pred)
+        });
+    });
+    group.finish();
+}
+
+fn bench_memory(c: &mut Criterion) {
+    let mut group = c.benchmark_group("memory");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("l1_hit", |b| {
+        let mut m = MemoryHierarchy::new(MemoryConfig::default());
+        let mut now = m.load(0x40, 0x1000, 0);
+        b.iter(|| {
+            now = m.load(0x40, 0x1000, now);
+            black_box(now)
+        });
+    });
+    group.bench_function("streaming_misses", |b| {
+        let mut m = MemoryHierarchy::new(MemoryConfig::default());
+        let mut now = 0u64;
+        let mut addr = 0x10_0000u64;
+        b.iter(|| {
+            addr += 64;
+            now = m.load(0x40, addr, now) + 1;
+            black_box(now)
+        });
+    });
+    group.finish();
+}
+
+fn bench_functional_executor(c: &mut Criterion) {
+    let mut group = c.benchmark_group("executor");
+    let program = microkernels::matmul(8);
+    group.throughput(Throughput::Elements(100_000));
+    group.sample_size(10);
+    group.bench_function("matmul_100k_uops", |b| {
+        b.iter(|| {
+            let n = Executor::new(&program).take(100_000).count();
+            black_box(n)
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tage, bench_memory, bench_functional_executor);
+criterion_main!(benches);

@@ -1,0 +1,204 @@
+//! `paper` — regenerate every table and figure of Perais & Seznec,
+//! HPCA 2014, on the vpsim substrate.
+//!
+//! ```text
+//! Usage: paper <experiment> [options]
+//!
+//! Experiments:
+//!   table1           Predictor layout summary (Table 1)
+//!   table2           Simulator configuration (Table 2)
+//!   table3           Benchmark suite (Table 3)
+//!   sec3-model       §3.1 analytic recovery-cost example
+//!   sec3-backtoback  §3.2 back-to-back fetch statistic
+//!   sec4-regfile     §4 register-file port cost model
+//!   fig3             Oracle speedup upper bound
+//!   fig4             Speedup, squash-at-commit (a: baseline counters, b: FPC)
+//!   fig5             Speedup, selective reissue (a: baseline counters, b: FPC)
+//!   fig6             VTAGE speedup/coverage, baseline vs FPC
+//!   fig7             Hybrid predictors: speedup and coverage
+//!   accuracy         §8.2 accuracy, baseline vs FPC
+//!   recovery         §8.2.4 squash-at-commit vs selective reissue (VTAGE)
+//!   ipc              Diagnostics: baseline IPC + substrate statistics
+//!   ablation-vtage   VTAGE component-count sweep (offline evaluation)
+//!   ablation-extended  PP-Str / D-FCM / gDiff-VTAGE vs the hybrid
+//!   all              Everything above (paper artifacts only)
+//!
+//! Options:
+//!   --warmup N       Warm-up instructions per run   [default 50000]
+//!   --measure N      Measured instructions per run  [default 200000]
+//!   --scale N        Workload footprint multiplier  [default 1]
+//!   --seed N         RNG seed                       [default 0x2014]
+//!   --benchmarks a,b Comma-separated subset of Table 3 names
+//!   --csv            Emit CSV instead of aligned text
+//! ```
+
+use std::process::ExitCode;
+use vpsim_bench::experiments as exp;
+use vpsim_bench::RunSettings;
+use vpsim_core::PredictorKind;
+use vpsim_stats::table::Table;
+use vpsim_uarch::RecoveryPolicy;
+use vpsim_workloads::{all_benchmarks, Benchmark};
+
+struct Options {
+    settings: RunSettings,
+    benches: Vec<Benchmark>,
+    csv: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
+    let mut settings = RunSettings::default();
+    let mut csv = false;
+    let mut names: Option<Vec<String>> = None;
+    let mut experiments = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut next_u64 = |what: &str| -> Result<u64, String> {
+            it.next()
+                .ok_or_else(|| format!("{what} requires a value"))?
+                .parse::<u64>()
+                .map_err(|e| format!("{what}: {e}"))
+        };
+        match arg.as_str() {
+            "--warmup" => settings.warmup = next_u64("--warmup")?,
+            "--measure" => settings.measure = next_u64("--measure")?,
+            "--scale" => settings.scale = next_u64("--scale")? as usize,
+            "--seed" => settings.seed = next_u64("--seed")?,
+            "--csv" => csv = true,
+            "--benchmarks" => {
+                let list = it.next().ok_or("--benchmarks requires a value")?;
+                names = Some(list.split(',').map(str::to_string).collect());
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            exp => experiments.push(exp.to_string()),
+        }
+    }
+    let benches = match names {
+        None => all_benchmarks(),
+        Some(ns) => {
+            let mut out = Vec::new();
+            for n in ns {
+                match vpsim_workloads::benchmark(&n) {
+                    Some(b) => out.push(b),
+                    None => return Err(format!("unknown benchmark {n}")),
+                }
+            }
+            out
+        }
+    };
+    Ok((experiments, Options { settings, benches, csv }))
+}
+
+fn emit(title: &str, table: &Table, csv: bool) {
+    if csv {
+        print!("{}", table.to_csv());
+    } else {
+        println!("== {title} ==");
+        println!("{table}");
+    }
+}
+
+fn run_experiment(name: &str, o: &Options) -> Result<(), String> {
+    let s = &o.settings;
+    let b = &o.benches;
+    match name {
+        "table1" => emit("Table 1: predictor layout", &exp::table1(), o.csv),
+        "table2" => emit("Table 2: simulator configuration", &exp::table2(), o.csv),
+        "table3" => emit("Table 3: benchmark suite", &exp::table3(b), o.csv),
+        "sec3-model" => emit(
+            "§3.1 analytic example (net cycles per Kinst)",
+            &exp::sec3_model(),
+            o.csv,
+        ),
+        "sec3-backtoback" => emit(
+            "§3.2 back-to-back eligible fetches",
+            &exp::sec3_backtoback(s, b),
+            o.csv,
+        ),
+        "sec4-regfile" => emit("§4 register-file port cost", &exp::sec4_regfile(), o.csv),
+        "fig3" => emit("Figure 3: oracle speedup upper bound", &exp::fig3(s, b), o.csv),
+        "fig4" => {
+            emit(
+                "Figure 4(a): squash-at-commit, baseline counters",
+                &exp::fig45(s, b, RecoveryPolicy::SquashAtCommit, false),
+                o.csv,
+            );
+            emit(
+                "Figure 4(b): squash-at-commit, FPC",
+                &exp::fig45(s, b, RecoveryPolicy::SquashAtCommit, true),
+                o.csv,
+            );
+        }
+        "fig5" => {
+            emit(
+                "Figure 5(a): selective reissue, baseline counters",
+                &exp::fig45(s, b, RecoveryPolicy::SelectiveReissue, false),
+                o.csv,
+            );
+            emit(
+                "Figure 5(b): selective reissue, FPC",
+                &exp::fig45(s, b, RecoveryPolicy::SelectiveReissue, true),
+                o.csv,
+            );
+        }
+        "fig6" => emit("Figure 6: VTAGE, baseline vs FPC", &exp::fig6(s, b), o.csv),
+        "fig7" => emit("Figure 7: hybrid predictors", &exp::fig7(s, b), o.csv),
+        "accuracy" => emit("§8.2 accuracy, baseline vs FPC", &exp::accuracy(s, b), o.csv),
+        "recovery" => emit(
+            "§8.2.4 recovery comparison (VTAGE, FPC)",
+            &exp::recovery_comparison(s, b, PredictorKind::Vtage),
+            o.csv,
+        ),
+        "ipc" => emit("Diagnostics: IPC and substrate stats", &exp::ipc_diagnostics(s, b), o.csv),
+        "ablation-vtage" => emit(
+            "Ablation: VTAGE component count (offline)",
+            &exp::ablation_vtage(s, b),
+            o.csv,
+        ),
+        "ablation-extended" => emit(
+            "Ablation: extended predictors (PP-Str, D-FCM, gDiff)",
+            &exp::ablation_extended(s, b),
+            o.csv,
+        ),
+        "locality" => emit("Value locality per benchmark (offline)", &exp::locality(s, b), o.csv),
+        "counters" => emit("§5 counter width vs FPC (VTAGE)", &exp::counters(s, b), o.csv),
+        "all" => {
+            for e in [
+                "table1", "table2", "table3", "sec3-model", "sec4-regfile",
+                "sec3-backtoback", "fig3", "fig4", "fig5", "fig6", "fig7",
+                "accuracy", "recovery",
+            ] {
+                run_experiment(e, o)?;
+            }
+        }
+        other => return Err(format!("unknown experiment {other}")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: paper <experiment> [options]; see the source header for details");
+        return ExitCode::FAILURE;
+    }
+    match parse_args(&args) {
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+        Ok((experiments, options)) => {
+            if experiments.is_empty() {
+                eprintln!("error: no experiment named");
+                return ExitCode::FAILURE;
+            }
+            for e in &experiments {
+                if let Err(msg) = run_experiment(e, &options) {
+                    eprintln!("error: {msg}");
+                    return ExitCode::FAILURE;
+                }
+            }
+            ExitCode::SUCCESS
+        }
+    }
+}

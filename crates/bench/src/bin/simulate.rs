@@ -1,0 +1,150 @@
+//! `simulate` — run one benchmark (or microkernel) under one configuration
+//! and print the full result record.
+//!
+//! ```text
+//! Usage: simulate <workload> [options]
+//!
+//! Workloads: any Table 3 name (gzip, mcf, …) or a microkernel:
+//!   k:tight, k:strided, k:chase, k:constant, k:branchdep, k:fpreduce,
+//!   k:calls, k:randbranch, k:matmul
+//!
+//! Options:
+//!   --predictor P    lvp | stride | pp-str | fcm | dfcm | vtage |
+//!                    vtage-2dstr | fcm-2dstr | gdiff | oracle  [default none]
+//!   --counters C     baseline | fpc                            [default fpc]
+//!   --recovery R     squash | reissue                          [default squash]
+//!   --warmup N / --measure N / --scale N / --seed N
+//! ```
+
+use std::process::ExitCode;
+use vpsim_bench::RunSettings;
+use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_isa::Program;
+use vpsim_uarch::{RecoveryPolicy, RunResult, Simulator, VpConfig};
+use vpsim_workloads::{benchmark, microkernels, WorkloadParams};
+
+fn workload(name: &str, params: &WorkloadParams) -> Option<Program> {
+    if let Some(b) = benchmark(name) {
+        return Some((b.build)(params));
+    }
+    Some(match name {
+        "k:tight" => microkernels::tight_loop(),
+        "k:strided" => microkernels::strided_loop(256 * params.scale, 1),
+        "k:chase" => microkernels::pointer_chase(4096 * params.scale),
+        "k:constant" => microkernels::constant_stream(),
+        "k:branchdep" => microkernels::branch_correlated_values(),
+        "k:fpreduce" => microkernels::fp_reduction(256 * params.scale),
+        "k:calls" => microkernels::call_ladder(),
+        "k:randbranch" => microkernels::random_branches(),
+        "k:matmul" => microkernels::matmul(8 * params.scale),
+        _ => return None,
+    })
+}
+
+fn print_result(r: &RunResult) {
+    let n = r.metrics.instructions;
+    println!("instructions      {n}");
+    println!("cycles            {}", r.metrics.cycles);
+    println!("IPC               {:.3}", r.metrics.ipc());
+    println!("branch MPKI       {:.2}", r.branch.mpki(n));
+    println!("direction acc.    {:.2}%", r.branch.direction_accuracy() * 100.0);
+    println!("L1I / L1D / L2 MPKI  {:.1} / {:.1} / {:.1}", r.l1i.mpki(n), r.l1d.mpki(n), r.l2.mpki(n));
+    println!("L2 prefetches     {} ({} useful)", r.l2.prefetches, r.l2.useful_prefetches);
+    println!("back-to-back      {:.1}%", r.back_to_back.fraction() * 100.0);
+    if r.vp.eligible > 0 {
+        println!("VP eligible       {}", r.vp.eligible);
+        println!("VP coverage       {:.1}%", r.vp.coverage() * 100.0);
+        if r.vp.used > 0 {
+            println!("VP accuracy       {:.3}%", r.vp.accuracy() * 100.0);
+        }
+        println!("VP mispredicted   {} ({} harmless)", r.vp.mispredicted, r.vp.harmless_mispredictions);
+        println!("VP squashes       {}", r.vp_squashes);
+        println!("reissued µops     {}", r.reissued_uops);
+    }
+    println!("order violations  {}", r.memory_order_violations);
+    let st = &r.stalls;
+    println!(
+        "fetch stalls      branch {} / redirect {} / queue {}",
+        st.fetch_branch_cycles, st.fetch_redirect_cycles, st.fetch_queue_full_cycles
+    );
+    println!(
+        "dispatch stalls   rob {} / iq {} / lq {} / sq {} / prf {}",
+        st.dispatch_rob_cycles,
+        st.dispatch_iq_cycles,
+        st.dispatch_lq_cycles,
+        st.dispatch_sq_cycles,
+        st.dispatch_prf_cycles
+    );
+    println!(
+        "commit-idle       {} of {} cycles",
+        st.commit_idle_cycles, r.metrics.cycles
+    );
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((name, rest)) = args.split_first() else {
+        eprintln!("usage: simulate <workload> [options] (see source header)");
+        return ExitCode::FAILURE;
+    };
+    let mut settings = RunSettings::default();
+    let mut predictor: Option<PredictorKind> = None;
+    let mut scheme = ConfidenceScheme::fpc_squash();
+    let mut recovery = RecoveryPolicy::SquashAtCommit;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || it.next().cloned().ok_or_else(|| format!("{arg} requires a value"));
+        let parsed: Result<(), String> = (|| {
+            match arg.as_str() {
+                "--predictor" => predictor = Some(val()?.parse().map_err(|e: String| e)?),
+                "--counters" => {
+                    scheme = match val()?.as_str() {
+                        "baseline" => ConfidenceScheme::baseline(),
+                        "fpc" => scheme.clone(),
+                        other => return Err(format!("unknown counters {other}")),
+                    }
+                }
+                "--recovery" => {
+                    recovery = match val()?.as_str() {
+                        "squash" => RecoveryPolicy::SquashAtCommit,
+                        "reissue" => RecoveryPolicy::SelectiveReissue,
+                        other => return Err(format!("unknown recovery {other}")),
+                    }
+                }
+                "--warmup" => settings.warmup = val()?.parse().map_err(|e| format!("{e}"))?,
+                "--measure" => settings.measure = val()?.parse().map_err(|e| format!("{e}"))?,
+                "--scale" => settings.scale = val()?.parse().map_err(|e| format!("{e}"))?,
+                "--seed" => settings.seed = val()?.parse().map_err(|e| format!("{e}"))?,
+                other => return Err(format!("unknown option {other}")),
+            }
+            Ok(())
+        })();
+        if let Err(e) = parsed {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    // Pick the FPC vector to match the recovery scheme (paper §5) unless
+    // the baseline counters were requested.
+    if scheme != ConfidenceScheme::baseline() {
+        scheme = match recovery {
+            RecoveryPolicy::SquashAtCommit => ConfidenceScheme::fpc_squash(),
+            RecoveryPolicy::SelectiveReissue => ConfidenceScheme::fpc_reissue(),
+        };
+    }
+    let Some(program) = workload(name, &settings.params()) else {
+        eprintln!("error: unknown workload {name}");
+        return ExitCode::FAILURE;
+    };
+    let mut config = settings.core();
+    if let Some(kind) = predictor {
+        config = config.with_vp(VpConfig { kind, scheme, recovery });
+        println!("workload {name}, predictor {}, {:?}", kind.label(), recovery);
+    } else {
+        println!("workload {name}, no value prediction");
+    }
+    let result =
+        Simulator::new(config).run_with_warmup(&program, settings.warmup, settings.measure);
+    print_result(&result);
+    ExitCode::SUCCESS
+}

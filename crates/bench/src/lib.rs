@@ -1,0 +1,11 @@
+//! Experiment runner shared by the `paper` binary and the Criterion
+//! benches: one function per table/figure of the paper, each returning a
+//! [`vpsim_stats::table::Table`] whose rows mirror what the paper reports.
+//!
+//! See `EXPERIMENTS.md` for the paper-vs-measured record and `DESIGN.md`
+//! §5 for the experiment index.
+
+pub mod experiments;
+pub mod runner;
+
+pub use runner::{RunSettings, SuiteResults};

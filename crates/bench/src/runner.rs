@@ -1,0 +1,152 @@
+//! Shared machinery for running benchmark × configuration sweeps.
+
+use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_stats::mean;
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, RunResult, Simulator, VpConfig};
+use vpsim_workloads::{Benchmark, WorkloadParams};
+
+/// Simulation sizing for a sweep.
+///
+/// Paper scale is 50 M warm-up + 50 M measured per Simpoint slice; the
+/// defaults here (50 k + 200 k) keep a full `paper all` run to minutes
+/// while preserving every qualitative trend. Use `--warmup`/`--measure`
+/// to run at larger scales.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunSettings {
+    /// Committed instructions simulated before measurement starts.
+    pub warmup: u64,
+    /// Committed instructions measured.
+    pub measure: u64,
+    /// Workload scale multiplier.
+    pub scale: usize,
+    /// Seed for workload data and predictor randomness.
+    pub seed: u64,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        RunSettings { warmup: 50_000, measure: 200_000, scale: 1, seed: 0x2014 }
+    }
+}
+
+impl RunSettings {
+    /// Workload generation parameters.
+    pub fn params(&self) -> WorkloadParams {
+        WorkloadParams { scale: self.scale, seed: self.seed }
+    }
+
+    /// The Table 2 core configuration with this sweep's seed.
+    pub fn core(&self) -> CoreConfig {
+        CoreConfig::default().with_seed(self.seed)
+    }
+
+    /// Run one benchmark under one configuration.
+    pub fn run(&self, bench: &Benchmark, config: CoreConfig) -> RunResult {
+        let program = (bench.build)(&self.params());
+        Simulator::new(config).run_with_warmup(&program, self.warmup, self.measure)
+    }
+
+    /// Run one benchmark with no value prediction (the speedup baseline).
+    pub fn run_baseline(&self, bench: &Benchmark) -> RunResult {
+        self.run(bench, self.core())
+    }
+
+    /// Run one benchmark with the given predictor/scheme/recovery.
+    pub fn run_vp(
+        &self,
+        bench: &Benchmark,
+        kind: PredictorKind,
+        scheme: ConfidenceScheme,
+        recovery: RecoveryPolicy,
+    ) -> RunResult {
+        let vp = VpConfig { kind, scheme, recovery };
+        self.run(bench, self.core().with_vp(vp))
+    }
+}
+
+/// Per-benchmark results of one configuration across the suite.
+#[derive(Debug, Clone)]
+pub struct SuiteResults {
+    /// `(benchmark name, result)` pairs in Table 3 order.
+    pub rows: Vec<(&'static str, RunResult)>,
+}
+
+impl SuiteResults {
+    /// Speedups over the matching baseline rows.
+    pub fn speedups(&self, baselines: &SuiteResults) -> Vec<f64> {
+        self.rows
+            .iter()
+            .zip(&baselines.rows)
+            .map(|((na, a), (nb, b))| {
+                assert_eq!(na, nb, "row order mismatch");
+                vpsim_stats::speedup(&b.metrics, &a.metrics)
+            })
+            .collect()
+    }
+
+    /// Geometric-mean speedup over the baseline.
+    pub fn gmean_speedup(&self, baselines: &SuiteResults) -> f64 {
+        mean::geometric(&self.speedups(baselines)).unwrap_or(1.0)
+    }
+}
+
+/// Run every benchmark in `benches` under `make_config`.
+pub fn sweep(
+    settings: &RunSettings,
+    benches: &[Benchmark],
+    mut make_config: impl FnMut() -> CoreConfig,
+) -> SuiteResults {
+    let rows = benches
+        .iter()
+        .map(|b| {
+            let r = settings.run(b, make_config());
+            (b.name, r)
+        })
+        .collect();
+    SuiteResults { rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_workloads::benchmark;
+
+    fn tiny() -> RunSettings {
+        RunSettings { warmup: 2_000, measure: 10_000, scale: 1, seed: 7 }
+    }
+
+    #[test]
+    fn baseline_and_vp_runs_complete() {
+        let s = tiny();
+        let b = benchmark("gzip").unwrap();
+        let base = s.run_baseline(&b);
+        assert_eq!(base.metrics.instructions, 10_000);
+        let vp = s.run_vp(
+            &b,
+            PredictorKind::Vtage,
+            ConfidenceScheme::fpc_squash(),
+            RecoveryPolicy::SquashAtCommit,
+        );
+        assert_eq!(vp.metrics.instructions, 10_000);
+        assert!(vp.vp.eligible > 0);
+    }
+
+    #[test]
+    fn suite_speedups_align_rows() {
+        let s = tiny();
+        let benches: Vec<_> =
+            ["gzip", "h264ref"].iter().map(|n| benchmark(n).unwrap()).collect();
+        let base = sweep(&s, &benches, || s.core());
+        let vp = sweep(&s, &benches, || {
+            s.core().with_vp(VpConfig::enabled(
+                PredictorKind::VtageStride,
+                RecoveryPolicy::SquashAtCommit,
+            ))
+        });
+        let speedups = vp.speedups(&base);
+        assert_eq!(speedups.len(), 2);
+        assert!(speedups.iter().all(|&x| x > 0.5 && x < 3.0), "{speedups:?}");
+        let g = vp.gmean_speedup(&base);
+        assert!(g > 0.5 && g < 3.0);
+    }
+}

@@ -1,0 +1,161 @@
+//! Branch Target Buffer: a 2-way set-associative target cache
+//! (paper Table 2: "2-way 4K-entry BTB").
+//!
+//! In this trace-driven model, direct targets are available from the
+//! instruction immediate at decode, so the BTB's performance-critical role
+//! is **indirect** target prediction (`JumpInd`); returns go through the
+//! [`crate::Ras`] instead.
+
+/// A 2-way set-associative branch target buffer with LRU replacement.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_branch::Btb;
+/// let mut btb = Btb::with_defaults();
+/// assert_eq!(btb.lookup(0x40), None);
+/// btb.update(0x40, 0x1000);
+/// assert_eq!(btb.lookup(0x40), Some(0x1000));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Btb {
+    sets: Vec<[Way; 2]>,
+    index_bits: u32,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Way {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    lru: bool, // true = this way is the least recently used
+}
+
+impl Btb {
+    /// The paper's configuration: 4K entries, 2-way (2048 sets).
+    pub fn with_defaults() -> Self {
+        Btb::new(4096)
+    }
+
+    /// Create with `entries` total entries (2-way; must be an even power
+    /// of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or is less than 2.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two() && entries >= 2);
+        let sets = entries / 2;
+        Btb { sets: vec![[Way::default(); 2]; sets], index_bits: sets.trailing_zeros() }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        ((pc >> 2) & ((1 << self.index_bits) - 1)) as usize
+    }
+
+    fn tag(&self, pc: u64) -> u64 {
+        pc >> (2 + self.index_bits)
+    }
+
+    /// Predicted target for the control µop at `pc`, if present.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        let index = self.index(pc);
+        let tag = self.tag(pc);
+        let set = &mut self.sets[index];
+        for w in 0..2 {
+            if set[w].valid && set[w].tag == tag {
+                set[w].lru = false;
+                set[1 - w].lru = true;
+                return Some(set[w].target);
+            }
+        }
+        None
+    }
+
+    /// Install or refresh the target for `pc` (called at branch resolution).
+    pub fn update(&mut self, pc: u64, target: u64) {
+        let index = self.index(pc);
+        let tag = self.tag(pc);
+        let set = &mut self.sets[index];
+        // Hit: refresh target and recency.
+        for w in 0..2 {
+            if set[w].valid && set[w].tag == tag {
+                set[w].target = target;
+                set[w].lru = false;
+                set[1 - w].lru = true;
+                return;
+            }
+        }
+        // Miss: fill an invalid way, else the LRU way.
+        let victim = (0..2).find(|&w| !set[w].valid).unwrap_or_else(|| {
+            if set[0].lru {
+                0
+            } else {
+                1
+            }
+        });
+        set[victim] = Way { valid: true, tag, target, lru: false };
+        set[1 - victim].lru = true;
+    }
+
+    /// Total entries.
+    pub fn len(&self) -> usize {
+        self.sets.len() * 2
+    }
+
+    /// `true` if the BTB has no entries (never for a constructed BTB).
+    pub fn is_empty(&self) -> bool {
+        self.sets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn miss_then_hit() {
+        let mut btb = Btb::with_defaults();
+        assert_eq!(btb.lookup(0x40), None);
+        btb.update(0x40, 0x999);
+        assert_eq!(btb.lookup(0x40), Some(0x999));
+    }
+
+    #[test]
+    fn update_refreshes_target() {
+        let mut btb = Btb::with_defaults();
+        btb.update(0x40, 0x1);
+        btb.update(0x40, 0x2);
+        assert_eq!(btb.lookup(0x40), Some(0x2));
+    }
+
+    #[test]
+    fn two_way_associativity_holds_two_conflicting_pcs() {
+        let mut btb = Btb::new(4); // 2 sets
+        let stride = 2 * 4; // pcs mapping to the same set
+        btb.update(0, 0xA);
+        btb.update(stride, 0xB);
+        assert_eq!(btb.lookup(0), Some(0xA));
+        assert_eq!(btb.lookup(stride), Some(0xB));
+    }
+
+    #[test]
+    fn lru_way_is_evicted_on_conflict() {
+        let mut btb = Btb::new(4); // 2 sets, 2 ways
+        let stride = 2 * 4;
+        btb.update(0, 0xA);
+        btb.update(stride, 0xB);
+        // Touch pc 0 so `stride` becomes LRU.
+        assert_eq!(btb.lookup(0), Some(0xA));
+        btb.update(2 * stride, 0xC);
+        assert_eq!(btb.lookup(0), Some(0xA), "MRU entry survives");
+        assert_eq!(btb.lookup(stride), None, "LRU entry evicted");
+        assert_eq!(btb.lookup(2 * stride), Some(0xC));
+    }
+
+    #[test]
+    fn len_reports_total_entries() {
+        assert_eq!(Btb::with_defaults().len(), 4096);
+        assert!(!Btb::with_defaults().is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Return Address Stack (paper Table 2: 32 entries).
+//!
+//! The RAS is updated speculatively at fetch (push on call, pop on return)
+//! and repaired on squashes by restoring the stack-pointer checkpoint taken
+//! when the squashing instruction was fetched. As in real hardware, entries
+//! overwritten after the checkpoint are *not* restored — a deep
+//! call/return sequence on the wrong path can still corrupt the stack,
+//! which is the standard, accepted imprecision of sp-checkpoint repair.
+
+/// A fixed-size circular return address stack with sp checkpointing.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_branch::Ras;
+/// let mut ras = Ras::with_defaults();
+/// ras.push(0x104);
+/// ras.push(0x208);
+/// assert_eq!(ras.pop(), Some(0x208));
+/// assert_eq!(ras.pop(), Some(0x104));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ras {
+    stack: Vec<u64>,
+    /// Index of the next free slot (top of stack is `sp - 1`).
+    sp: usize,
+    /// Number of live entries (≤ capacity); avoids popping garbage.
+    depth: usize,
+}
+
+/// A checkpoint of the RAS control state ([`Ras::checkpoint`] /
+/// [`Ras::restore`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RasCheckpoint {
+    sp: usize,
+    depth: usize,
+}
+
+impl Ras {
+    /// The paper's configuration: 32 entries.
+    pub fn with_defaults() -> Self {
+        Ras::new(32)
+    }
+
+    /// Create with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Ras { stack: vec![0; capacity], sp: 0, depth: 0 }
+    }
+
+    /// Push a return address (call at fetch). Overwrites the oldest entry
+    /// when full (circular).
+    pub fn push(&mut self, return_address: u64) {
+        let cap = self.stack.len();
+        self.stack[self.sp] = return_address;
+        self.sp = (self.sp + 1) % cap;
+        self.depth = (self.depth + 1).min(cap);
+    }
+
+    /// Pop the predicted return address (return at fetch); `None` when the
+    /// stack is empty.
+    pub fn pop(&mut self) -> Option<u64> {
+        if self.depth == 0 {
+            return None;
+        }
+        let cap = self.stack.len();
+        self.sp = (self.sp + cap - 1) % cap;
+        self.depth -= 1;
+        Some(self.stack[self.sp])
+    }
+
+    /// Snapshot the control state for squash repair.
+    pub fn checkpoint(&self) -> RasCheckpoint {
+        RasCheckpoint { sp: self.sp, depth: self.depth }
+    }
+
+    /// Restore a checkpoint taken earlier. Stack *contents* overwritten
+    /// since the checkpoint are not recovered (see module docs).
+    pub fn restore(&mut self, cp: RasCheckpoint) {
+        self.sp = cp.sp % self.stack.len();
+        self.depth = cp.depth.min(self.stack.len());
+    }
+
+    /// Current number of live entries.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Capacity in entries.
+    pub fn capacity(&self) -> usize {
+        self.stack.len()
+    }
+}
+
+impl Default for Ras {
+    fn default() -> Self {
+        Ras::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_pop_lifo_order() {
+        let mut ras = Ras::new(4);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3);
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), Some(1));
+        assert_eq!(ras.pop(), None);
+    }
+
+    #[test]
+    fn overflow_wraps_and_keeps_youngest() {
+        let mut ras = Ras::new(2);
+        ras.push(1);
+        ras.push(2);
+        ras.push(3); // overwrites 1
+        assert_eq!(ras.pop(), Some(3));
+        assert_eq!(ras.pop(), Some(2));
+        assert_eq!(ras.pop(), None, "oldest entry was lost to wrap-around");
+    }
+
+    #[test]
+    fn checkpoint_restore_repairs_wrong_path_pops() {
+        let mut ras = Ras::new(8);
+        ras.push(0xA);
+        ras.push(0xB);
+        let cp = ras.checkpoint();
+        // Wrong path pops both entries.
+        assert_eq!(ras.pop(), Some(0xB));
+        assert_eq!(ras.pop(), Some(0xA));
+        ras.restore(cp);
+        // Contents below sp were never overwritten, so repair is exact here.
+        assert_eq!(ras.pop(), Some(0xB));
+        assert_eq!(ras.pop(), Some(0xA));
+    }
+
+    #[test]
+    fn checkpoint_restore_after_wrong_path_pushes() {
+        let mut ras = Ras::new(8);
+        ras.push(0xA);
+        let cp = ras.checkpoint();
+        ras.push(0xBAD);
+        ras.restore(cp);
+        assert_eq!(ras.pop(), Some(0xA), "sp repair discards wrong-path push");
+    }
+
+    #[test]
+    fn depth_tracks_live_entries() {
+        let mut ras = Ras::new(4);
+        assert_eq!(ras.depth(), 0);
+        ras.push(1);
+        ras.push(2);
+        assert_eq!(ras.depth(), 2);
+        ras.pop();
+        assert_eq!(ras.depth(), 1);
+        assert_eq!(ras.capacity(), 4);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = Ras::new(0);
+    }
+}

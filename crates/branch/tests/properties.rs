@@ -1,0 +1,122 @@
+//! Property-based tests for the branch-prediction substrate.
+
+use proptest::prelude::*;
+use vpsim_branch::{Btb, Ras, Tage};
+use vpsim_core::HistoryState;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// TAGE tolerates any interleaving of predicts, trains and squashes
+    /// that respects the in-order protocol.
+    #[test]
+    fn tage_protocol_safety(
+        ops in prop::collection::vec((0u8..3, 0u64..16, any::<bool>()), 1..300),
+    ) {
+        let mut tage = Tage::with_defaults(7);
+        let mut hist = HistoryState::default();
+        let mut seq = 0u64;
+        let mut inflight: Vec<(u64, bool)> = Vec::new();
+        for (op, pc_sel, taken) in ops {
+            match op {
+                0 => {
+                    let pc = 0x100 + pc_sel * 4;
+                    let _ = tage.predict(seq, pc, &hist);
+                    inflight.push((seq, taken));
+                    hist.push_branch(pc, taken);
+                    seq += 1;
+                }
+                1 => {
+                    if !inflight.is_empty() {
+                        let (s, t) = inflight.remove(0);
+                        tage.train(s, t);
+                    }
+                }
+                _ => {
+                    if let Some(&(oldest, _)) = inflight.first() {
+                        let boundary = oldest + pc_sel % 3;
+                        inflight.retain(|&(s, _)| s <= boundary);
+                        tage.squash_after(boundary);
+                        seq = boundary + 1;
+                    }
+                }
+            }
+        }
+        for (s, t) in inflight {
+            tage.train(s, t);
+        }
+    }
+
+    /// A perfectly biased branch is predicted almost perfectly after a
+    /// short warm-up, whatever the PC.
+    #[test]
+    fn tage_learns_any_biased_branch(pc in (0u64..1 << 20).prop_map(|x| x * 4), taken in any::<bool>()) {
+        let mut tage = Tage::with_defaults(1);
+        let mut hist = HistoryState::default();
+        let mut correct = 0;
+        for seq in 0..200u64 {
+            if tage.predict(seq, pc, &hist) == taken && seq >= 16 {
+                correct += 1;
+            }
+            tage.train(seq, taken);
+            hist.push_branch(pc, taken);
+        }
+        prop_assert!(correct >= 180, "{correct}/184 after warm-up");
+    }
+
+    /// BTB lookups return the most recent update for a PC, regardless of
+    /// intervening traffic to other sets.
+    #[test]
+    fn btb_returns_latest_target(
+        pc in (0u64..1 << 16).prop_map(|x| x * 4),
+        targets in prop::collection::vec(0u64..1 << 30, 1..10),
+        noise in prop::collection::vec((0u64..1 << 16, 0u64..1 << 30), 0..30),
+    ) {
+        let mut btb = Btb::with_defaults();
+        for &(np, nt) in &noise {
+            btb.update(np * 4, nt);
+        }
+        let last = *targets.last().unwrap();
+        for &t in &targets {
+            btb.update(pc, t);
+        }
+        prop_assert_eq!(btb.lookup(pc), Some(last));
+    }
+
+    /// RAS push/pop is LIFO for sequences within capacity.
+    #[test]
+    fn ras_is_lifo_within_capacity(addrs in prop::collection::vec(any::<u64>(), 1..32)) {
+        let mut ras = Ras::with_defaults();
+        for &a in &addrs {
+            ras.push(a);
+        }
+        for &a in addrs.iter().rev() {
+            prop_assert_eq!(ras.pop(), Some(a));
+        }
+        prop_assert_eq!(ras.pop(), None);
+    }
+
+    /// Checkpoint/restore round-trips the control state exactly when no
+    /// wrap-around occurred.
+    #[test]
+    fn ras_checkpoint_round_trip(
+        depth in 1usize..16,
+        wrong_path in prop::collection::vec(any::<bool>(), 0..10),
+    ) {
+        let mut ras = Ras::with_defaults();
+        for k in 0..depth {
+            ras.push(k as u64 * 8);
+        }
+        let cp = ras.checkpoint();
+        let before = ras.depth();
+        for (i, push) in wrong_path.iter().enumerate() {
+            if *push {
+                ras.push(0xBAD0 + i as u64);
+            } else {
+                let _ = ras.pop();
+            }
+        }
+        ras.restore(cp);
+        prop_assert_eq!(ras.depth(), before);
+    }
+}

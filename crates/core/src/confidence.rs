@@ -1,0 +1,338 @@
+//! Confidence estimation: saturating counters and Forward Probabilistic
+//! Counters (FPC), the paper's first contribution (§5).
+//!
+//! A value prediction is only injected into the pipeline when the entry's
+//! confidence counter is *saturated*; counters are **reset on every
+//! misprediction**. The baseline scheme is a plain 3-bit counter incremented
+//! by one per correct prediction (accuracy ≈ 0.94–0.99, not enough to avoid
+//! slowdowns under squash-at-commit). FPC keeps the 3-bit counter but makes
+//! each forward transition fire only with a configured probability drawn
+//! from an LFSR, mimicking a much wider counter: with the paper's vectors a
+//! 3-bit FPC behaves like a 7-bit counter (squash-at-commit flavour) or a
+//! 6-bit counter (selective-reissue flavour) at a fraction of the storage.
+
+/// A 64-bit Galois LFSR used as the pseudo-random source for FPC
+/// transitions, exactly as the paper suggests ("the used pseudo-random
+/// generator is a simple Linear Feedback Shift Register").
+///
+/// Deterministic: the same seed yields the same sequence, which keeps whole
+/// simulations reproducible.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_core::confidence::Lfsr;
+/// let mut a = Lfsr::new(42);
+/// let mut b = Lfsr::new(42);
+/// assert_eq!(a.next_value(), b.next_value());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Lfsr {
+    state: u64,
+}
+
+impl Lfsr {
+    /// Create from a seed; a zero seed is mapped to a fixed nonzero state
+    /// (an all-zero LFSR would be stuck).
+    ///
+    /// The register is clocked 64 times at construction so that small seeds
+    /// (whose low bits would otherwise start at zero) are fully mixed before
+    /// the first [`Lfsr::chance`] draw.
+    pub fn new(seed: u64) -> Self {
+        let mut l = Lfsr { state: if seed == 0 { 0x9E37_79B9_7F4A_7C15 } else { seed } };
+        for _ in 0..64 {
+            l.next_value();
+        }
+        l
+    }
+
+    /// Advance and return the new state.
+    ///
+    /// Taps correspond to the maximal-length polynomial
+    /// x⁶⁴ + x⁶³ + x⁶¹ + x⁶⁰ + 1.
+    pub fn next_value(&mut self) -> u64 {
+        let lsb = self.state & 1;
+        self.state >>= 1;
+        if lsb == 1 {
+            self.state ^= 0xD800_0000_0000_0000;
+        }
+        self.state
+    }
+
+    /// `true` with probability `1 / 2^log2_denom`.
+    ///
+    /// `log2_denom == 0` always returns `true`.
+    pub fn chance(&mut self, log2_denom: u8) -> bool {
+        debug_assert!(log2_denom < 64);
+        if log2_denom == 0 {
+            return true;
+        }
+        let mask = (1u64 << log2_denom) - 1;
+        // Consecutive Galois states are 1-bit shifts of each other and a
+        // sparse seed keeps whole halves of the register at zero for dozens
+        // of steps, so the raw state is a poor equidistributed source.
+        // Run the state through a bijective finalizer (splitmix64's) before
+        // drawing; hardware would instead tap scattered register positions.
+        let mut z = self.next_value();
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        z & mask == 0
+    }
+}
+
+impl Default for Lfsr {
+    fn default() -> Self {
+        Lfsr::new(0xC0FF_EE00_5EED_1234)
+    }
+}
+
+/// Confidence-counter update policy shared by all predictors.
+///
+/// Counters themselves are plain `u8` values stored inside predictor
+/// entries; the scheme decides the saturation threshold and how a counter
+/// moves on a correct prediction. On an incorrect prediction every scheme
+/// resets the counter to zero (the paper's update automaton).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ConfidenceScheme {
+    /// A plain `bits`-wide saturating counter incremented by 1 per correct
+    /// prediction. `Full { bits: 3 }` is the paper's baseline.
+    Full {
+        /// Counter width in bits (saturates at `2^bits - 1`).
+        bits: u8,
+    },
+    /// Forward Probabilistic Counter: 3-bit counter whose transition from
+    /// value `c` to `c+1` fires with probability `1 / 2^log2_probs[c]`.
+    Fpc {
+        /// Log₂ of the denominator for each of the 7 forward transitions.
+        log2_probs: [u8; 7],
+    },
+}
+
+impl ConfidenceScheme {
+    /// The paper's baseline: 3-bit full counter.
+    pub fn baseline() -> Self {
+        ConfidenceScheme::Full { bits: 3 }
+    }
+
+    /// A `bits`-wide full counter (the paper also notes that simply using
+    /// 6/7-bit counters reaches FPC-level accuracy at higher storage cost).
+    pub fn full(bits: u8) -> Self {
+        assert!((1..=8).contains(&bits), "counter width {bits} out of range");
+        ConfidenceScheme::Full { bits }
+    }
+
+    /// FPC vector for **pipeline squashing at commit**:
+    /// v = {1, 1/16, 1/16, 1/16, 1/16, 1/32, 1/32}, mimicking a 7-bit
+    /// counter.
+    pub fn fpc_squash() -> Self {
+        ConfidenceScheme::Fpc { log2_probs: [0, 4, 4, 4, 4, 5, 5] }
+    }
+
+    /// FPC vector for **selective reissue**:
+    /// v = {1, 1/8, 1/8, 1/8, 1/8, 1/16, 1/16}, mimicking a 6-bit counter.
+    pub fn fpc_reissue() -> Self {
+        ConfidenceScheme::Fpc { log2_probs: [0, 3, 3, 3, 3, 4, 4] }
+    }
+
+    /// A custom FPC vector (for the probability-sweep ablation).
+    pub fn fpc(log2_probs: [u8; 7]) -> Self {
+        ConfidenceScheme::Fpc { log2_probs }
+    }
+
+    /// Saturation threshold: predictions are used only at this value.
+    pub fn max(&self) -> u8 {
+        match self {
+            ConfidenceScheme::Full { bits } => ((1u16 << bits) - 1) as u8,
+            ConfidenceScheme::Fpc { .. } => 7,
+        }
+    }
+
+    /// `true` if a counter at `value` allows the prediction to be used.
+    pub fn is_saturated(&self, value: u8) -> bool {
+        value >= self.max()
+    }
+
+    /// Counter value after a correct prediction.
+    pub fn on_correct(&self, value: u8, lfsr: &mut Lfsr) -> u8 {
+        match self {
+            ConfidenceScheme::Full { .. } => value.saturating_add(1).min(self.max()),
+            ConfidenceScheme::Fpc { log2_probs } => {
+                if value >= 7 {
+                    7
+                } else if lfsr.chance(log2_probs[value as usize]) {
+                    value + 1
+                } else {
+                    value
+                }
+            }
+        }
+    }
+
+    /// Counter value after an incorrect prediction (always reset).
+    pub fn on_incorrect(&self, _value: u8) -> u8 {
+        0
+    }
+
+    /// Expected number of consecutive correct predictions needed to go from
+    /// 0 to saturation (used by tests and the FPC-sweep ablation to compare
+    /// against an equivalent full counter).
+    pub fn expected_steps_to_saturation(&self) -> f64 {
+        match self {
+            ConfidenceScheme::Full { bits } => ((1u32 << bits) - 1) as f64,
+            ConfidenceScheme::Fpc { log2_probs } => {
+                log2_probs.iter().map(|&p| (1u64 << p) as f64).sum()
+            }
+        }
+    }
+
+    /// Storage bits per confidence counter.
+    pub fn bits_per_counter(&self) -> usize {
+        match self {
+            ConfidenceScheme::Full { bits } => *bits as usize,
+            ConfidenceScheme::Fpc { .. } => 3,
+        }
+    }
+}
+
+impl Default for ConfidenceScheme {
+    fn default() -> Self {
+        ConfidenceScheme::baseline()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfsr_is_deterministic_and_nontrivial() {
+        let mut a = Lfsr::new(7);
+        let mut b = Lfsr::new(7);
+        let seq_a: Vec<u64> = (0..32).map(|_| a.next_value()).collect();
+        let seq_b: Vec<u64> = (0..32).map(|_| b.next_value()).collect();
+        assert_eq!(seq_a, seq_b);
+        // Not constant.
+        assert!(seq_a.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn lfsr_zero_seed_is_remapped() {
+        let mut z = Lfsr::new(0);
+        assert_ne!(z.next_value(), 0);
+    }
+
+    #[test]
+    fn lfsr_has_long_period() {
+        let mut l = Lfsr::new(1);
+        let first = l.next_value();
+        // The state must not return to the initial value within 1M steps.
+        for _ in 0..1_000_000 {
+            if l.next_value() == first {
+                panic!("LFSR period too short");
+            }
+        }
+    }
+
+    #[test]
+    fn chance_zero_log2_is_always_true() {
+        let mut l = Lfsr::new(3);
+        for _ in 0..100 {
+            assert!(l.chance(0));
+        }
+    }
+
+    #[test]
+    fn chance_probability_is_approximately_correct() {
+        let mut l = Lfsr::new(123);
+        let n = 100_000;
+        let hits = (0..n).filter(|_| l.chance(4)).count();
+        let expected = n / 16;
+        // Allow 20 % slack around 1/16.
+        assert!(
+            hits > expected * 8 / 10 && hits < expected * 12 / 10,
+            "got {hits}, expected ≈{expected}"
+        );
+    }
+
+    #[test]
+    fn full_counter_saturates_and_resets() {
+        let s = ConfidenceScheme::baseline();
+        let mut l = Lfsr::default();
+        let mut c = 0u8;
+        for _ in 0..7 {
+            assert!(!s.is_saturated(c));
+            c = s.on_correct(c, &mut l);
+        }
+        assert_eq!(c, 7);
+        assert!(s.is_saturated(c));
+        c = s.on_correct(c, &mut l);
+        assert_eq!(c, 7, "saturating");
+        assert_eq!(s.on_incorrect(c), 0);
+    }
+
+    #[test]
+    fn paper_fpc_vectors_mimic_wide_counters() {
+        // Squash vector ≈ 7-bit counter (127 steps): 1+4·16+2·32 = 129.
+        assert_eq!(ConfidenceScheme::fpc_squash().expected_steps_to_saturation(), 129.0);
+        // Reissue vector ≈ 6-bit counter (63 steps): 1+4·8+2·16 = 65.
+        assert_eq!(ConfidenceScheme::fpc_reissue().expected_steps_to_saturation(), 65.0);
+        assert_eq!(ConfidenceScheme::full(7).expected_steps_to_saturation(), 127.0);
+        assert_eq!(ConfidenceScheme::full(6).expected_steps_to_saturation(), 63.0);
+    }
+
+    #[test]
+    fn fpc_first_transition_is_certain() {
+        let s = ConfidenceScheme::fpc_squash();
+        let mut l = Lfsr::new(99);
+        for _ in 0..50 {
+            assert_eq!(s.on_correct(0, &mut l), 1);
+        }
+    }
+
+    #[test]
+    fn fpc_saturation_threshold_is_seven() {
+        let s = ConfidenceScheme::fpc_squash();
+        assert_eq!(s.max(), 7);
+        assert!(s.is_saturated(7));
+        assert!(!s.is_saturated(6));
+        let mut l = Lfsr::new(5);
+        assert_eq!(s.on_correct(7, &mut l), 7);
+    }
+
+    #[test]
+    fn fpc_empirical_saturation_cost_matches_expectation() {
+        let s = ConfidenceScheme::fpc_squash();
+        let mut l = Lfsr::new(2024);
+        let trials = 2_000;
+        let mut total_steps = 0u64;
+        for _ in 0..trials {
+            let mut c = 0u8;
+            let mut steps = 0u64;
+            while !s.is_saturated(c) {
+                c = s.on_correct(c, &mut l);
+                steps += 1;
+            }
+            total_steps += steps;
+        }
+        let mean = total_steps as f64 / trials as f64;
+        let expected = s.expected_steps_to_saturation();
+        assert!(
+            (mean - expected).abs() / expected < 0.15,
+            "mean {mean} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn counter_storage_width() {
+        assert_eq!(ConfidenceScheme::baseline().bits_per_counter(), 3);
+        assert_eq!(ConfidenceScheme::fpc_squash().bits_per_counter(), 3);
+        assert_eq!(ConfidenceScheme::full(7).bits_per_counter(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_counter_rejected() {
+        let _ = ConfidenceScheme::full(0);
+    }
+}

@@ -1,0 +1,169 @@
+//! Global branch history and path history.
+//!
+//! VTAGE is "the first hardware value predictor to leverage a long global
+//! branch history and the path history" (§1). Both histories are maintained
+//! speculatively by the pipeline front-end and checkpointed/restored on
+//! squashes, so the state is a small `Copy` struct: [`HistoryState`].
+
+/// Speculative control-flow history carried by the front-end.
+///
+/// * `ghist` — global direction history: one bit per conditional branch,
+///   most recent in bit 0 (up to 128 bits, comfortably above VTAGE's maximum
+///   64-bit history length).
+/// * `path` — path history: 3 low PC bits of every control-flow µop,
+///   most recent in the low bits.
+///
+/// The struct is `Copy` so ROB entries can checkpoint it for squash
+/// recovery at negligible cost.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_core::history::HistoryState;
+/// let mut h = HistoryState::default();
+/// h.push_branch(0x40, true);
+/// h.push_branch(0x80, false);
+/// assert_eq!(h.ghist & 0b11, 0b10); // most recent outcome in bit 0
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct HistoryState {
+    /// Global direction history, youngest outcome in bit 0.
+    pub ghist: u128,
+    /// Path history (3 bits of each control µop's PC), youngest in bits 0–2.
+    pub path: u64,
+}
+
+impl HistoryState {
+    /// Record a conditional branch outcome (updates both histories).
+    pub fn push_branch(&mut self, pc: u64, taken: bool) {
+        self.ghist = (self.ghist << 1) | taken as u128;
+        self.push_path(pc);
+    }
+
+    /// Record an unconditional control-flow µop (jump/call/return): only the
+    /// path history observes it.
+    pub fn push_path(&mut self, pc: u64) {
+        self.path = (self.path << 3) | ((pc >> 2) & 0b111);
+    }
+}
+
+/// Fold the low `len` bits of `hist` into `out_bits` bits by XOR-ing
+/// consecutive `out_bits`-wide chunks (the classic TAGE folded-history
+/// function, computed directly rather than incrementally — same result,
+/// no checkpoint state).
+///
+/// `out_bits` must be in `1..=63`. A `len` of 0 folds to 0.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_core::history::fold;
+/// // 8 bits folded into 4: high nibble XOR low nibble.
+/// assert_eq!(fold(0b1010_0110, 8, 4), 0b1100);
+/// ```
+pub fn fold(hist: u128, len: u32, out_bits: u32) -> u64 {
+    debug_assert!((1..64).contains(&out_bits));
+    if len == 0 {
+        return 0;
+    }
+    let kept = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+    let mask = (1u128 << out_bits) - 1;
+    let mut acc = 0u128;
+    let mut rest = kept;
+    let mut remaining = len;
+    while remaining > 0 {
+        acc ^= rest & mask;
+        rest >>= out_bits;
+        remaining = remaining.saturating_sub(out_bits);
+    }
+    (acc & mask) as u64
+}
+
+/// Fold a 64-bit value onto itself to 16 bits (the paper's o4-FCM history
+/// compression: "we fold (XOR) each 64-bit history value upon itself to
+/// obtain a 16-bit index").
+pub fn fold_value16(value: u64) -> u16 {
+    let v = value ^ (value >> 16) ^ (value >> 32) ^ (value >> 48);
+    v as u16
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn branch_updates_shift_in_at_bit_zero() {
+        let mut h = HistoryState::default();
+        h.push_branch(0, true);
+        h.push_branch(0, true);
+        h.push_branch(0, false);
+        assert_eq!(h.ghist & 0b111, 0b110);
+    }
+
+    #[test]
+    fn path_takes_three_pc_bits() {
+        let mut h = HistoryState::default();
+        h.push_path(0b10100); // pc >> 2 = 0b101
+        assert_eq!(h.path & 0b111, 0b101);
+        h.push_path(0b01100); // pc >> 2 = 0b011
+        assert_eq!(h.path & 0b111111, 0b101_011);
+    }
+
+    #[test]
+    fn unconditional_control_does_not_touch_ghist() {
+        let mut h = HistoryState::default();
+        h.push_branch(0, true);
+        let g = h.ghist;
+        h.push_path(0x40);
+        assert_eq!(h.ghist, g);
+    }
+
+    #[test]
+    fn fold_zero_len_is_zero() {
+        assert_eq!(fold(u128::MAX, 0, 10), 0);
+    }
+
+    #[test]
+    fn fold_shorter_than_output_is_identity() {
+        assert_eq!(fold(0b101, 3, 10), 0b101);
+    }
+
+    #[test]
+    fn fold_is_xor_of_chunks() {
+        // 12 bits folded to 4: chunks 0xA, 0x6, 0x3 → 0xA^0x6^0x3 = 0xF.
+        assert_eq!(fold(0x3_6A, 12, 4), 0xF);
+    }
+
+    #[test]
+    fn fold_masks_history_beyond_len() {
+        // Bits above `len` must not influence the fold.
+        let a = fold(0b1111_0000_1010, 8, 4);
+        let b = fold(0b0000_0000_1010, 8, 4);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fold_full_width_history() {
+        // Must not overflow or panic for len = 128.
+        let f = fold(u128::MAX, 128, 13);
+        assert!(f < (1 << 13));
+    }
+
+    #[test]
+    fn fold_value16_xors_quarters() {
+        assert_eq!(fold_value16(0), 0);
+        assert_eq!(fold_value16(0x0001_0002_0004_0008), 0x000F);
+        // Sensitive to high bits.
+        assert_ne!(fold_value16(0x8000_0000_0000_0000), fold_value16(0));
+    }
+
+    #[test]
+    fn different_histories_fold_differently_often() {
+        // Sanity: folding should not be constant over varied inputs.
+        let mut outputs = std::collections::HashSet::new();
+        for i in 0..64u128 {
+            outputs.insert(fold(i * 0x9E37_79B9, 32, 10));
+        }
+        assert!(outputs.len() > 16);
+    }
+}

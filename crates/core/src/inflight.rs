@@ -1,0 +1,329 @@
+//! In-flight prediction bookkeeping shared by all predictors.
+//!
+//! Hardware value predictors carry per-prediction metadata (indices, tags,
+//! provider component) in the instruction's payload from fetch to commit.
+//! [`Inflight`] models exactly that: a seq-ordered queue pushed at predict
+//! time, popped in order at train (commit) time, and truncated from the back
+//! on squashes.
+//!
+//! [`SpecWindow`] models the *speculative last-occurrence tracking* that
+//! stride- and FCM-style predictors require (§3.2 of the paper: "one has to
+//! track the last (possibly speculative) occurrence of each instruction") —
+//! precisely the complexity VTAGE avoids.
+
+use std::collections::{HashMap, VecDeque};
+
+/// Seq-ordered in-flight metadata queue.
+///
+/// Invariants (checked with assertions):
+/// * pushes occur with strictly increasing `seq`;
+/// * pops occur in push order with matching `seq`;
+/// * `squash_after(s)` drops every record with `seq > s`.
+#[derive(Debug, Clone, Default)]
+pub struct Inflight<T> {
+    queue: VecDeque<(u64, T)>,
+}
+
+impl<T> Inflight<T> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Inflight { queue: VecDeque::new() }
+    }
+
+    /// Record metadata for the prediction of dynamic instruction `seq`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `seq` is not strictly greater than the newest record —
+    /// predictions must be made in fetch order.
+    pub fn push(&mut self, seq: u64, value: T) {
+        if let Some(&(back, _)) = self.queue.back() {
+            assert!(seq > back, "out-of-order predict: {seq} after {back}");
+        }
+        self.queue.push_back((seq, value));
+    }
+
+    /// Pop the record for `seq`, which must be the oldest one (commits are
+    /// in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the queue is empty or the front record is not `seq` —
+    /// this catches pipeline/predictor protocol violations early.
+    pub fn pop(&mut self, seq: u64) -> T {
+        let (front, value) = self
+            .queue
+            .pop_front()
+            .unwrap_or_else(|| panic!("train({seq}) with no in-flight prediction"));
+        assert_eq!(front, seq, "train({seq}) but oldest in-flight is {front}");
+        value
+    }
+
+    /// Drop all records younger than `seq` (exclusive) — called on squash.
+    pub fn squash_after(&mut self, seq: u64) {
+        while matches!(self.queue.back(), Some(&(s, _)) if s > seq) {
+            self.queue.pop_back();
+        }
+    }
+
+    /// Number of in-flight records.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// `true` if nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// Per-PC speculative value window.
+///
+/// Tracks, for each static instruction, the values *predicted* for its
+/// not-yet-committed dynamic occurrences, youngest last. `latest` returns
+/// the youngest — the "speculative last occurrence" a stride predictor adds
+/// its stride to; `recent` returns up to `n` youngest for FCM-style
+/// speculative value histories.
+///
+/// Entries retire when the corresponding instruction commits and are
+/// discarded wholesale on squash.
+#[derive(Debug, Clone, Default)]
+pub struct SpecWindow {
+    by_pc: HashMap<u64, VecDeque<(u64, u64)>>,
+    log: VecDeque<(u64, u64)>, // (seq, pc) in push order
+}
+
+impl SpecWindow {
+    /// An empty window.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the speculative value for occurrence `seq` of instruction `pc`.
+    pub fn push(&mut self, seq: u64, pc: u64, value: u64) {
+        if let Some(&(back, _)) = self.log.back() {
+            assert!(seq > back, "out-of-order speculative push");
+        }
+        self.by_pc.entry(pc).or_default().push_back((seq, value));
+        self.log.push_back((seq, pc));
+    }
+
+    /// Replace the speculative value already recorded for `seq` at `pc`
+    /// (used by hybrids to substitute the arbitrated prediction for a
+    /// component's own — the paper feeds VTAGE's confident prediction to the
+    /// stride component as its next last value).
+    ///
+    /// Does nothing if no record exists for that `(seq, pc)`.
+    pub fn replace(&mut self, seq: u64, pc: u64, value: u64) {
+        if let Some(q) = self.by_pc.get_mut(&pc) {
+            if let Some(slot) = q.iter_mut().rev().find(|(s, _)| *s == seq) {
+                slot.1 = value;
+            }
+        }
+    }
+
+    /// The youngest speculative value for `pc`, if any occurrence is in
+    /// flight.
+    pub fn latest(&self, pc: u64) -> Option<u64> {
+        self.by_pc.get(&pc).and_then(|q| q.back()).map(|&(_, v)| v)
+    }
+
+    /// Execute-time chain repair: set the value recorded for `(seq, pc)`
+    /// **and every younger in-flight record of `pc`** to `value`. Younger
+    /// records were chained off the now-known-wrong value, so they are
+    /// stale too; re-anchoring them at the computed result bounds the
+    /// misprediction cascade a tight loop suffers after one wrong
+    /// prediction (the paper's §7.2.1 discussion). Does nothing if no
+    /// record exists for `(seq, pc)`.
+    pub fn correct_from(&mut self, seq: u64, pc: u64, value: u64) {
+        self.correct_chain(seq, pc, value, 0);
+    }
+
+    /// Execute-time chain repair for *stride* chains: the record for
+    /// `(seq, pc)` becomes `base`, and each younger in-flight record of
+    /// `pc` becomes `base + k·step` (k-th younger) — exactly what the
+    /// chained adder produces when re-seeded with the computed result.
+    /// Does nothing if no record exists for `(seq, pc)`.
+    pub fn correct_chain(&mut self, seq: u64, pc: u64, base: u64, step: u64) {
+        if let Some(q) = self.by_pc.get_mut(&pc) {
+            if let Some(start) = q.iter().position(|&(s, _)| s == seq) {
+                let mut v = base;
+                for slot in q.iter_mut().skip(start) {
+                    slot.1 = v;
+                    v = v.wrapping_add(step);
+                }
+            }
+        }
+    }
+
+    /// Up to `n` youngest speculative values for `pc`, **youngest first**.
+    pub fn recent(&self, pc: u64, n: usize) -> Vec<u64> {
+        match self.by_pc.get(&pc) {
+            Some(q) => q.iter().rev().take(n).map(|&(_, v)| v).collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Retire every record with `seq <= upto` (their instructions have
+    /// committed; the committed values now live in predictor tables).
+    pub fn retire_upto(&mut self, upto: u64) {
+        while matches!(self.log.front(), Some(&(s, _)) if s <= upto) {
+            let (seq, pc) = self.log.pop_front().expect("front checked");
+            let q = self.by_pc.get_mut(&pc).expect("log/by_pc in sync");
+            let (front_seq, _) = q.pop_front().expect("log/by_pc in sync");
+            debug_assert_eq!(front_seq, seq);
+            if q.is_empty() {
+                self.by_pc.remove(&pc);
+            }
+        }
+    }
+
+    /// Drop every record with `seq > seq` — called on squash.
+    pub fn squash_after(&mut self, seq: u64) {
+        while matches!(self.log.back(), Some(&(s, _)) if s > seq) {
+            let (s, pc) = self.log.pop_back().expect("back checked");
+            let q = self.by_pc.get_mut(&pc).expect("log/by_pc in sync");
+            let (back_seq, _) = q.pop_back().expect("log/by_pc in sync");
+            debug_assert_eq!(back_seq, s);
+            if q.is_empty() {
+                self.by_pc.remove(&pc);
+            }
+        }
+    }
+
+    /// Number of in-flight records.
+    pub fn len(&self) -> usize {
+        self.log.len()
+    }
+
+    /// `true` if no speculative values are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.log.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inflight_push_pop_in_order() {
+        let mut q = Inflight::new();
+        q.push(1, "a");
+        q.push(2, "b");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop(1), "a");
+        assert_eq!(q.pop(2), "b");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out-of-order predict")]
+    fn inflight_rejects_out_of_order_push() {
+        let mut q = Inflight::new();
+        q.push(5, ());
+        q.push(5, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "oldest in-flight")]
+    fn inflight_rejects_skipped_pop() {
+        let mut q = Inflight::new();
+        q.push(1, ());
+        q.push(2, ());
+        q.pop(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "no in-flight")]
+    fn inflight_rejects_pop_when_empty() {
+        let mut q: Inflight<()> = Inflight::new();
+        q.pop(0);
+    }
+
+    #[test]
+    fn inflight_squash_drops_young_suffix() {
+        let mut q = Inflight::new();
+        for s in 0..10 {
+            q.push(s, s);
+        }
+        q.squash_after(4);
+        assert_eq!(q.len(), 5);
+        assert_eq!(q.pop(0), 0);
+        // New pushes after squash resume from any seq > 4.
+        let mut q2 = Inflight::new();
+        q2.push(10, ());
+        q2.squash_after(3);
+        assert!(q2.is_empty());
+        q2.push(4, ());
+        assert_eq!(q2.len(), 1);
+    }
+
+    #[test]
+    fn spec_window_latest_and_recent() {
+        let mut w = SpecWindow::new();
+        w.push(1, 0x10, 100);
+        w.push(2, 0x20, 555);
+        w.push(3, 0x10, 101);
+        w.push(4, 0x10, 102);
+        assert_eq!(w.latest(0x10), Some(102));
+        assert_eq!(w.latest(0x20), Some(555));
+        assert_eq!(w.latest(0x30), None);
+        assert_eq!(w.recent(0x10, 2), vec![102, 101]);
+        assert_eq!(w.recent(0x10, 10), vec![102, 101, 100]);
+        assert_eq!(w.recent(0x30, 4), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn spec_window_retire_removes_old_records() {
+        let mut w = SpecWindow::new();
+        w.push(1, 0x10, 100);
+        w.push(2, 0x10, 101);
+        w.push(3, 0x20, 7);
+        w.retire_upto(2);
+        assert_eq!(w.len(), 1);
+        assert_eq!(w.latest(0x10), None);
+        assert_eq!(w.latest(0x20), Some(7));
+    }
+
+    #[test]
+    fn spec_window_squash_removes_young_records() {
+        let mut w = SpecWindow::new();
+        w.push(1, 0x10, 100);
+        w.push(2, 0x10, 101);
+        w.push(3, 0x20, 7);
+        w.squash_after(1);
+        assert_eq!(w.latest(0x10), Some(100));
+        assert_eq!(w.latest(0x20), None);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn spec_window_replace_updates_specific_record() {
+        let mut w = SpecWindow::new();
+        w.push(1, 0x10, 100);
+        w.push(2, 0x10, 101);
+        w.replace(2, 0x10, 999);
+        assert_eq!(w.latest(0x10), Some(999));
+        w.replace(1, 0x10, 888);
+        assert_eq!(w.recent(0x10, 2), vec![999, 888]);
+        // Replacing a nonexistent record is a no-op.
+        w.replace(5, 0x10, 1);
+        w.replace(1, 0x99, 1);
+        assert_eq!(w.len(), 2);
+    }
+
+    #[test]
+    fn spec_window_retire_then_squash_round_trip() {
+        let mut w = SpecWindow::new();
+        for s in 0..20 {
+            w.push(s, (s % 4) * 8, s * 10);
+        }
+        w.retire_upto(9);
+        w.squash_after(14);
+        assert_eq!(w.len(), 5); // seqs 10..=14
+        assert!(w.latest(0).is_some() || w.latest(8).is_some());
+        w.retire_upto(u64::MAX);
+        assert!(w.is_empty());
+    }
+}

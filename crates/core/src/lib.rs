@@ -1,0 +1,335 @@
+//! Value predictors and confidence estimation — the contribution of
+//! *Perais & Seznec, "Practical Data Value Speculation for Future High-end
+//! Processors", HPCA 2014*.
+//!
+//! The crate provides:
+//!
+//! * **Confidence estimation** ([`confidence`]): baseline saturating
+//!   counters and **Forward Probabilistic Counters (FPC)** — 3-bit counters
+//!   with probabilistic forward transitions that push prediction accuracy
+//!   above 99.5 % at a modest coverage cost (paper §5).
+//! * **Predictors** (one module each): [`Lvp`] (last value), [`Stride`] and
+//!   [`TwoDeltaStride`] (computational), [`PerPathStride`], [`Fcm`]
+//!   (order-n local value history), [`DFcm`] (differential FCM), and
+//!   **[`Vtage`]** — the paper's new predictor indexed by global branch +
+//!   path history (derived from ITTAGE), which can predict back-to-back
+//!   occurrences of an instruction because its lookup does not depend on
+//!   previous values of the same instruction (§6).
+//! * **Hybrids** ([`Hybrid`]): the paper's VTAGE + 2D-Stride combination
+//!   with speculative-value cross-feeding (§7.1.2), and an FCM + 2D-Stride
+//!   baseline hybrid.
+//! * An [`Oracle`] predictor for the Figure 3 speedup upper bound.
+//! * [`storage`]: Table 1 storage accounting.
+//!
+//! # The predictor protocol
+//!
+//! Predictors interact with the pipeline through three in-order calls:
+//!
+//! 1. [`Predictor::predict`] at fetch, once per VP-eligible µop (strictly
+//!    increasing `seq`). The predictor records whatever per-prediction
+//!    metadata it needs (hardware carries this in the instruction payload).
+//! 2. [`Predictor::train`] at commit, once per eligible µop, in the same
+//!    order, with the architectural result.
+//! 3. [`Predictor::squash_after`] whenever the pipeline squashes: all
+//!    in-flight state younger than `seq` is discarded. Squashed µops are
+//!    never trained; refetched ones are re-predicted under new `seq`s.
+//!
+//! # Examples
+//!
+//! A stride predictor learning the sequence 10, 20, 30, …:
+//!
+//! ```
+//! use vpsim_core::{Predictor, PredictCtx, TwoDeltaStride, ConfidenceScheme};
+//!
+//! let mut p = TwoDeltaStride::with_defaults(ConfidenceScheme::baseline(), 1);
+//! let mut value = 0u64;
+//! let mut last_pred = None;
+//! for seq in 0..32 {
+//!     value += 10;
+//!     let ctx = PredictCtx { seq, pc: 0x40, hist: Default::default(), actual: Some(value) };
+//!     last_pred = p.predict(&ctx).confident_value();
+//!     p.train(seq, value);
+//! }
+//! assert_eq!(last_pred, Some(320));
+//! ```
+
+pub mod confidence;
+pub mod fcm;
+pub mod gdiff;
+pub mod history;
+pub mod hybrid;
+pub mod inflight;
+pub mod locality;
+pub mod lvp;
+pub mod oracle;
+pub mod sag;
+pub mod storage;
+pub mod stride;
+pub mod vtage;
+
+pub use confidence::{ConfidenceScheme, Lfsr};
+pub use fcm::{DFcm, Fcm};
+pub use gdiff::GDiff;
+pub use history::HistoryState;
+pub use hybrid::Hybrid;
+pub use lvp::Lvp;
+pub use oracle::Oracle;
+pub use sag::SagLvp;
+pub use storage::Storage;
+pub use stride::{PerPathStride, Stride, TwoDeltaStride};
+pub use vtage::{Vtage, VtageConfig};
+
+/// Context available to the predictor at prediction (fetch) time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PredictCtx {
+    /// Dynamic sequence number of the µop (strictly increasing at fetch).
+    pub seq: u64,
+    /// Byte PC of the µop.
+    pub pc: u64,
+    /// Speculative global branch + path history at fetch.
+    pub hist: HistoryState,
+    /// The architectural result the µop will produce. **Only the
+    /// [`Oracle`] predictor may read this** — it exists so the Figure 3
+    /// upper bound can share the [`Predictor`] interface. Real predictors
+    /// ignore it.
+    pub actual: Option<u64>,
+}
+
+/// The outcome of a predictor lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Prediction {
+    /// The predicted value, if the predictor had any basis to predict
+    /// (table hit). `None` means no prediction exists at all.
+    pub value: Option<u64>,
+    /// `true` if the confidence counter is saturated — only then does the
+    /// pipeline inject the value.
+    pub confident: bool,
+}
+
+impl Prediction {
+    /// No prediction.
+    pub fn none() -> Self {
+        Prediction::default()
+    }
+
+    /// A prediction with the given confidence.
+    pub fn of(value: u64, confident: bool) -> Self {
+        Prediction { value: Some(value), confident }
+    }
+
+    /// The value, if and only if the prediction is confident enough to use.
+    pub fn confident_value(&self) -> Option<u64> {
+        if self.confident {
+            self.value
+        } else {
+            None
+        }
+    }
+}
+
+/// A hardware value predictor (see the crate docs for the protocol).
+///
+/// The trait is object-safe: the simulator holds `Box<dyn Predictor>`.
+pub trait Predictor {
+    /// Short human-readable name (used in experiment tables).
+    fn name(&self) -> &'static str;
+
+    /// Look up a prediction for the µop described by `ctx` and record the
+    /// in-flight metadata needed to train at commit.
+    ///
+    /// Must be called in strictly increasing `ctx.seq` order; every call
+    /// must eventually be matched by [`Predictor::train`] with the same
+    /// `seq` or discarded by [`Predictor::squash_after`].
+    fn predict(&mut self, ctx: &PredictCtx) -> Prediction;
+
+    /// Train with the architectural result of the µop `seq` (commit order).
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `seq` does not match the oldest in-flight
+    /// prediction — that indicates a pipeline protocol bug.
+    fn train(&mut self, seq: u64, actual: u64);
+
+    /// Execute-time notification: the µop `seq` at `pc` produced `actual`,
+    /// which differed from the prediction. Predictors that track
+    /// speculative value history (stride, FCM, gDiff) repair the recorded
+    /// speculative value so *later fetches* stop chaining on the wrong one
+    /// — without this, a single misprediction under selective reissue
+    /// poisons a tight loop's chain until a squash happens to clear it
+    /// (the paper's §7.2.1 cascade, which its footnote 1 attributes to
+    /// "a value predicted using wrong speculative value history").
+    /// Predictions already made for in-flight younger occurrences are
+    /// *not* revised — hardware cannot re-predict without refetching, so
+    /// the bounded cascade the paper describes still occurs.
+    ///
+    /// The default implementation does nothing (correct for VTAGE, LVP and
+    /// the oracle, whose lookups do not consume speculative values).
+    fn resolve(&mut self, _seq: u64, _pc: u64, _actual: u64) {}
+
+    /// Discard all speculative predictor state for µops younger than `seq`.
+    fn squash_after(&mut self, seq: u64);
+
+    /// Storage breakdown for the Table 1 reproduction.
+    fn storage(&self) -> Storage;
+}
+
+/// Predictor configurations evaluated in the paper (plus the extensions this
+/// repository adds). Used by the simulator CLI and the benchmark harness to
+/// instantiate predictors by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PredictorKind {
+    /// Last Value Predictor, 8K entries (paper Table 1).
+    Lvp,
+    /// 2-delta stride predictor, 8K entries.
+    TwoDeltaStride,
+    /// Per-path stride predictor (paper footnote 4; performance on par with
+    /// 2D-Stride).
+    PerPathStride,
+    /// Order-4 Finite Context Method, 8K+8K entries.
+    Fcm4,
+    /// Differential FCM (Goeman et al.), an extension baseline.
+    DFcm4,
+    /// VTAGE, 8K base + 6×1K tagged components.
+    Vtage,
+    /// Hybrid VTAGE + 2D-Stride (the paper's headline combination).
+    VtageStride,
+    /// Hybrid o4-FCM + 2D-Stride.
+    FcmStride,
+    /// gDiff-style global-difference predictor stacked on VTAGE (an
+    /// extension; Zhou et al.'s gDiff can be added "on top of any other
+    /// predictor").
+    GDiffVtage,
+    /// LVP with SAg outcome-history confidence (Burtscher & Zorn) — the
+    /// §5 alternative the paper rejects for its serial double lookup.
+    SagLvp,
+    /// Perfect predictor (Figure 3 upper bound).
+    Oracle,
+}
+
+impl PredictorKind {
+    /// All kinds evaluated in the paper's main figures.
+    pub const PAPER_SET: [PredictorKind; 4] = [
+        PredictorKind::Lvp,
+        PredictorKind::TwoDeltaStride,
+        PredictorKind::Fcm4,
+        PredictorKind::Vtage,
+    ];
+
+    /// Instantiate the predictor with the paper's Table 1 sizing.
+    ///
+    /// `scheme` selects the confidence flavour; `seed` feeds the FPC LFSR
+    /// and any allocation randomness, keeping runs reproducible.
+    pub fn build(self, scheme: ConfidenceScheme, seed: u64) -> Box<dyn Predictor> {
+        match self {
+            PredictorKind::Lvp => Box::new(Lvp::with_defaults(scheme, seed)),
+            PredictorKind::TwoDeltaStride => Box::new(TwoDeltaStride::with_defaults(scheme, seed)),
+            PredictorKind::PerPathStride => Box::new(PerPathStride::with_defaults(scheme, seed)),
+            PredictorKind::Fcm4 => Box::new(Fcm::with_defaults(scheme, seed)),
+            PredictorKind::DFcm4 => Box::new(DFcm::with_defaults(scheme, seed)),
+            PredictorKind::Vtage => Box::new(Vtage::with_defaults(scheme, seed)),
+            PredictorKind::VtageStride => Box::new(Hybrid::vtage_stride(scheme, seed)),
+            PredictorKind::FcmStride => Box::new(Hybrid::fcm_stride(scheme, seed)),
+            PredictorKind::GDiffVtage => Box::new(GDiff::over_vtage(scheme, seed)),
+            PredictorKind::SagLvp => Box::new(SagLvp::with_defaults(seed)),
+            PredictorKind::Oracle => Box::new(Oracle::new()),
+        }
+    }
+
+    /// Display name used in tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            PredictorKind::Lvp => "LVP",
+            PredictorKind::TwoDeltaStride => "2D-Str",
+            PredictorKind::PerPathStride => "PP-Str",
+            PredictorKind::Fcm4 => "o4-FCM",
+            PredictorKind::DFcm4 => "o4-D-FCM",
+            PredictorKind::Vtage => "VTAGE",
+            PredictorKind::VtageStride => "VTAGE-2DStr",
+            PredictorKind::FcmStride => "o4-FCM-2DStr",
+            PredictorKind::GDiffVtage => "gDiff-VTAGE",
+            PredictorKind::SagLvp => "SAg-LVP",
+            PredictorKind::Oracle => "Oracle",
+        }
+    }
+}
+
+impl std::fmt::Display for PredictorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for PredictorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lvp" => Ok(PredictorKind::Lvp),
+            "2dstride" | "2d-str" | "2d-stride" | "stride" => Ok(PredictorKind::TwoDeltaStride),
+            "ppstride" | "pp-str" => Ok(PredictorKind::PerPathStride),
+            "fcm" | "o4-fcm" | "fcm4" => Ok(PredictorKind::Fcm4),
+            "dfcm" | "d-fcm" | "o4-d-fcm" => Ok(PredictorKind::DFcm4),
+            "vtage" => Ok(PredictorKind::Vtage),
+            "vtage-2dstr" | "vtage-stride" | "vtagestride" => Ok(PredictorKind::VtageStride),
+            "fcm-2dstr" | "o4-fcm-2dstr" | "fcm-stride" | "fcmstride" => Ok(PredictorKind::FcmStride),
+            "gdiff" | "gdiff-vtage" => Ok(PredictorKind::GDiffVtage),
+            "sag" | "sag-lvp" | "saglvp" => Ok(PredictorKind::SagLvp),
+            "oracle" => Ok(PredictorKind::Oracle),
+            other => Err(format!("unknown predictor kind: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prediction_confident_value_gates_on_confidence() {
+        assert_eq!(Prediction::of(5, true).confident_value(), Some(5));
+        assert_eq!(Prediction::of(5, false).confident_value(), None);
+        assert_eq!(Prediction::none().confident_value(), None);
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for kind in [
+            PredictorKind::Lvp,
+            PredictorKind::TwoDeltaStride,
+            PredictorKind::PerPathStride,
+            PredictorKind::Fcm4,
+            PredictorKind::DFcm4,
+            PredictorKind::Vtage,
+            PredictorKind::VtageStride,
+            PredictorKind::FcmStride,
+            PredictorKind::GDiffVtage,
+            PredictorKind::SagLvp,
+            PredictorKind::Oracle,
+        ] {
+            let label = kind.label().to_ascii_lowercase();
+            let parsed: PredictorKind = label.parse().unwrap();
+            assert_eq!(parsed, kind, "label {label}");
+        }
+        assert!("nonsense".parse::<PredictorKind>().is_err());
+    }
+
+    #[test]
+    fn build_constructs_every_kind() {
+        for kind in [
+            PredictorKind::Lvp,
+            PredictorKind::TwoDeltaStride,
+            PredictorKind::PerPathStride,
+            PredictorKind::Fcm4,
+            PredictorKind::DFcm4,
+            PredictorKind::Vtage,
+            PredictorKind::VtageStride,
+            PredictorKind::FcmStride,
+            PredictorKind::GDiffVtage,
+            PredictorKind::SagLvp,
+            PredictorKind::Oracle,
+        ] {
+            let p = kind.build(ConfidenceScheme::fpc_squash(), 1);
+            assert!(!p.name().is_empty());
+        }
+    }
+}

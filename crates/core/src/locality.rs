@@ -1,0 +1,261 @@
+//! Value-locality analysis: classify the value stream of each static
+//! instruction the way the value-prediction literature does (Lipasti's
+//! value locality; Sazeides & Smith's computational vs context-based
+//! taxonomy, which the paper's §2 builds on).
+//!
+//! The classifier looks at the sequence of results a static µop produces:
+//!
+//! * **Constant** — one value dominates (last-value predictable);
+//! * **Strided** — successive deltas are mostly a single nonzero stride
+//!   (computational predictors);
+//! * **Patterned** — a short repeating period covers the stream
+//!   (context-based predictors: FCM, VTAGE);
+//! * **Chaotic** — none of the above (only an oracle helps).
+//!
+//! `vpsim-bench`'s `locality` experiment tabulates the dynamic-weighted
+//! class mix per benchmark — the workload-side explanation of *which*
+//! predictor wins *where* in Figures 4–7.
+
+use std::collections::HashMap;
+
+/// Classification of one static instruction's value stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueClass {
+    /// One value dominates the stream.
+    Constant,
+    /// One nonzero stride dominates successive deltas.
+    Strided,
+    /// A short repeating period (≤ [`LocalityAnalyzer::MAX_PERIOD`]) covers
+    /// most of the stream.
+    Patterned,
+    /// None of the above.
+    Chaotic,
+}
+
+/// Dynamic-weighted class mix over a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LocalityReport {
+    /// Dynamic occurrences classified Constant.
+    pub constant: u64,
+    /// Dynamic occurrences classified Strided.
+    pub strided: u64,
+    /// Dynamic occurrences classified Patterned.
+    pub patterned: u64,
+    /// Dynamic occurrences classified Chaotic.
+    pub chaotic: u64,
+    /// Occurrences of µops seen too few times to classify.
+    pub unclassified: u64,
+}
+
+impl LocalityReport {
+    /// Total classified + unclassified occurrences.
+    pub fn total(&self) -> u64 {
+        self.constant + self.strided + self.patterned + self.chaotic + self.unclassified
+    }
+
+    /// Fraction of classified occurrences in `class`.
+    pub fn fraction(&self, class: ValueClass) -> f64 {
+        let classified = self.total() - self.unclassified;
+        if classified == 0 {
+            return 0.0;
+        }
+        let n = match class {
+            ValueClass::Constant => self.constant,
+            ValueClass::Strided => self.strided,
+            ValueClass::Patterned => self.patterned,
+            ValueClass::Chaotic => self.chaotic,
+        };
+        n as f64 / classified as f64
+    }
+}
+
+/// Classify a single value stream.
+///
+/// Thresholds: a class must explain ≥ `threshold` of the stream's
+/// transitions to win; precedence is Constant > Strided > Patterned.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_core::locality::{classify_stream, ValueClass};
+/// assert_eq!(classify_stream(&[7; 32], 0.75), ValueClass::Constant);
+/// let strided: Vec<u64> = (0..32).map(|k| 100 + 3 * k).collect();
+/// assert_eq!(classify_stream(&strided, 0.75), ValueClass::Strided);
+/// let pattern: Vec<u64> = (0..32).map(|k| [5, 9, 2][k % 3]).collect();
+/// assert_eq!(classify_stream(&pattern, 0.75), ValueClass::Patterned);
+/// ```
+pub fn classify_stream(values: &[u64], threshold: f64) -> ValueClass {
+    if values.len() < 4 {
+        return ValueClass::Chaotic;
+    }
+    let transitions = (values.len() - 1) as f64;
+    // Constant: delta == 0 dominance.
+    let zeros = values.windows(2).filter(|w| w[0] == w[1]).count() as f64;
+    if zeros / transitions >= threshold {
+        return ValueClass::Constant;
+    }
+    // Strided: modal nonzero delta dominance.
+    let mut deltas: HashMap<u64, u32> = HashMap::new();
+    for w in values.windows(2) {
+        *deltas.entry(w[1].wrapping_sub(w[0])).or_insert(0) += 1;
+    }
+    if let Some((&delta, &count)) = deltas.iter().max_by_key(|(_, &c)| c) {
+        if delta != 0 && count as f64 / transitions >= threshold {
+            return ValueClass::Strided;
+        }
+    }
+    // Patterned: best short period covering most positions.
+    for period in 2..=LocalityAnalyzer::MAX_PERIOD {
+        if values.len() < 2 * period {
+            break;
+        }
+        let matches = (period..values.len()).filter(|&i| values[i] == values[i - period]).count();
+        if matches as f64 / (values.len() - period) as f64 >= threshold {
+            return ValueClass::Patterned;
+        }
+    }
+    ValueClass::Chaotic
+}
+
+/// Streaming per-PC collector for locality analysis.
+///
+/// Feed `(pc, value)` pairs in program order with [`LocalityAnalyzer::observe`];
+/// [`LocalityAnalyzer::report`] classifies each static µop from a bounded
+/// sample of its values and weights by dynamic occurrence count.
+#[derive(Debug, Clone, Default)]
+pub struct LocalityAnalyzer {
+    streams: HashMap<u64, (u64, Vec<u64>)>, // pc -> (dyn count, sampled values)
+}
+
+impl LocalityAnalyzer {
+    /// Maximum repeating period recognized as Patterned.
+    pub const MAX_PERIOD: usize = 16;
+    /// Per-PC value sample bound (memory cap).
+    pub const SAMPLE: usize = 256;
+    /// Minimum occurrences before a µop is classified.
+    pub const MIN_OCCURRENCES: u64 = 8;
+
+    /// New, empty analyzer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one dynamic result.
+    pub fn observe(&mut self, pc: u64, value: u64) {
+        let (count, sample) = self.streams.entry(pc).or_insert_with(|| (0, Vec::new()));
+        *count += 1;
+        if sample.len() < Self::SAMPLE {
+            sample.push(value);
+        }
+    }
+
+    /// Classify all streams (threshold 0.75) and weight by dynamic counts.
+    pub fn report(&self) -> LocalityReport {
+        let mut r = LocalityReport::default();
+        for (count, sample) in self.streams.values() {
+            if *count < Self::MIN_OCCURRENCES {
+                r.unclassified += count;
+                continue;
+            }
+            match classify_stream(sample, 0.75) {
+                ValueClass::Constant => r.constant += count,
+                ValueClass::Strided => r.strided += count,
+                ValueClass::Patterned => r.patterned += count,
+                ValueClass::Chaotic => r.chaotic += count,
+            }
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_stream_classified() {
+        assert_eq!(classify_stream(&[42; 20], 0.75), ValueClass::Constant);
+    }
+
+    #[test]
+    fn near_constant_with_one_glitch_still_constant() {
+        let mut v = vec![7u64; 30];
+        v[15] = 9;
+        assert_eq!(classify_stream(&v, 0.75), ValueClass::Constant);
+    }
+
+    #[test]
+    fn strided_stream_classified() {
+        let v: Vec<u64> = (0..20).map(|k| 5 + 8 * k).collect();
+        assert_eq!(classify_stream(&v, 0.75), ValueClass::Strided);
+    }
+
+    #[test]
+    fn descending_stride_classified() {
+        let v: Vec<u64> = (0..20).map(|k| 10_000 - 8 * k).collect();
+        assert_eq!(classify_stream(&v, 0.75), ValueClass::Strided);
+    }
+
+    #[test]
+    fn short_period_classified_as_patterned() {
+        let v: Vec<u64> = (0..40).map(|k| [3u64, 14, 15, 92][k % 4]).collect();
+        assert_eq!(classify_stream(&v, 0.75), ValueClass::Patterned);
+    }
+
+    #[test]
+    fn lcg_stream_is_chaotic() {
+        let mut x = 1u64;
+        let v: Vec<u64> = (0..64)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                x
+            })
+            .collect();
+        assert_eq!(classify_stream(&v, 0.75), ValueClass::Chaotic);
+    }
+
+    #[test]
+    fn too_short_streams_are_chaotic() {
+        assert_eq!(classify_stream(&[1, 1, 1], 0.75), ValueClass::Chaotic);
+    }
+
+    #[test]
+    fn analyzer_weights_by_dynamic_count() {
+        let mut a = LocalityAnalyzer::new();
+        for _k in 0..100u64 {
+            a.observe(0x10, 5); // constant ×100
+        }
+        let mut x = 7u64;
+        for _ in 0..50 {
+            x = x.wrapping_mul(25214903917).wrapping_add(11);
+            a.observe(0x20, x); // chaotic ×50
+        }
+        let r = a.report();
+        assert_eq!(r.constant, 100);
+        assert_eq!(r.chaotic, 50);
+        assert!((r.fraction(ValueClass::Constant) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.total(), 150);
+    }
+
+    #[test]
+    fn rare_pcs_are_unclassified() {
+        let mut a = LocalityAnalyzer::new();
+        for k in 0..5u64 {
+            a.observe(0x30, k);
+        }
+        let r = a.report();
+        assert_eq!(r.unclassified, 5);
+        assert_eq!(r.fraction(ValueClass::Chaotic), 0.0);
+    }
+
+    #[test]
+    fn sample_is_bounded() {
+        let mut a = LocalityAnalyzer::new();
+        for k in 0..10_000u64 {
+            a.observe(0x40, k);
+        }
+        let (count, sample) = &a.streams[&0x40];
+        assert_eq!(*count, 10_000);
+        assert_eq!(sample.len(), LocalityAnalyzer::SAMPLE);
+    }
+}

@@ -1,0 +1,153 @@
+//! Storage accounting for predictor configurations (paper Table 1).
+//!
+//! The paper reports predictor sizes in KB with KB = 1000 bytes (its LVP
+//! line: 8192 entries × (51-bit tag + 64-bit value + 3-bit counter) =
+//! 966 656 bits = 120.8 KB). [`Storage::total_kb`] uses the same convention
+//! so the Table 1 reproduction matches digit for digit.
+
+use std::fmt;
+
+/// One table of a predictor (e.g. VTAGE's base component, or a tagged
+/// component).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct StorageComponent {
+    /// Human-readable component name.
+    pub name: String,
+    /// Number of entries.
+    pub entries: usize,
+    /// Total bits per entry (tag + payload + counters).
+    pub bits_per_entry: usize,
+}
+
+impl StorageComponent {
+    /// Create a component record.
+    pub fn new(name: impl Into<String>, entries: usize, bits_per_entry: usize) -> Self {
+        StorageComponent { name: name.into(), entries, bits_per_entry }
+    }
+
+    /// Total bits of this component.
+    pub fn bits(&self) -> usize {
+        self.entries * self.bits_per_entry
+    }
+}
+
+/// A predictor's total storage breakdown.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_core::storage::{Storage, StorageComponent};
+/// // The paper's LVP: 8192 entries of 51-bit tag + 64-bit value + 3-bit conf.
+/// let s = Storage::from_components(vec![StorageComponent::new("LVP", 8192, 51 + 64 + 3)]);
+/// assert!((s.total_kb() - 120.8).abs() < 0.05);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Storage {
+    components: Vec<StorageComponent>,
+}
+
+impl Storage {
+    /// Build from a list of components.
+    pub fn from_components(components: Vec<StorageComponent>) -> Self {
+        Storage { components }
+    }
+
+    /// The component breakdown.
+    pub fn components(&self) -> &[StorageComponent] {
+        &self.components
+    }
+
+    /// Merge another storage report into this one (hybrids).
+    pub fn merge(mut self, other: Storage) -> Storage {
+        self.components.extend(other.components);
+        self
+    }
+
+    /// Total bits.
+    pub fn total_bits(&self) -> usize {
+        self.components.iter().map(StorageComponent::bits).sum()
+    }
+
+    /// Total size in KB, with KB = 1000 bytes (the paper's convention).
+    pub fn total_kb(&self) -> f64 {
+        self.total_bits() as f64 / 8.0 / 1000.0
+    }
+}
+
+impl fmt::Display for Storage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for c in &self.components {
+            writeln!(f, "{}: {} x {} bits = {:.1} KB", c.name, c.entries, c.bits_per_entry, c.bits() as f64 / 8000.0)?;
+        }
+        write!(f, "total: {:.1} KB", self.total_kb())
+    }
+}
+
+/// Full tag width for a table of `entries` entries indexed by a 64-bit PC:
+/// the paper's "Full (51)" for 8K-entry tables (64 − 13 = 51).
+pub fn full_tag_bits(entries: usize) -> usize {
+    64 - (entries.next_power_of_two().trailing_zeros() as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_tag_matches_paper() {
+        assert_eq!(full_tag_bits(8192), 51);
+        assert_eq!(full_tag_bits(1024), 54);
+    }
+
+    #[test]
+    fn lvp_size_matches_table1() {
+        let s = Storage::from_components(vec![StorageComponent::new("LVP", 8192, 51 + 64 + 3)]);
+        assert!((s.total_kb() - 120.8).abs() < 0.05, "got {}", s.total_kb());
+    }
+
+    #[test]
+    fn two_delta_stride_size_matches_table1() {
+        // tag 51 + last value 64 + stride1 64 + stride2 64 + conf 3 = 246 bits.
+        let s = Storage::from_components(vec![StorageComponent::new("2D-Stride", 8192, 246)]);
+        assert!((s.total_kb() - 251.9).abs() < 0.05, "got {}", s.total_kb());
+    }
+
+    #[test]
+    fn fcm_sizes_match_table1() {
+        // VHT: tag 51 + conf 3 + 4×16-bit folded history = 118 bits → 120.8 KB.
+        let vht = Storage::from_components(vec![StorageComponent::new("VHT", 8192, 118)]);
+        assert!((vht.total_kb() - 120.8).abs() < 0.05);
+        // VPT: value 64 + 2-bit hysteresis = 66 bits → 67.6 KB.
+        let vpt = Storage::from_components(vec![StorageComponent::new("VPT", 8192, 66)]);
+        assert!((vpt.total_kb() - 67.6).abs() < 0.05);
+    }
+
+    #[test]
+    fn vtage_sizes_match_table1() {
+        // Base: value 64 + conf 3 = 67 bits → 68.6 KB.
+        let base = Storage::from_components(vec![StorageComponent::new("base", 8192, 67)]);
+        assert!((base.total_kb() - 68.6).abs() < 0.05);
+        // Tagged: 6×1024 entries, tag (12+rank) + u 1 + value 64 + conf 3.
+        let comps: Vec<StorageComponent> = (1..=6)
+            .map(|rank| StorageComponent::new(format!("VT{rank}"), 1024, 12 + rank + 1 + 64 + 3))
+            .collect();
+        let tagged = Storage::from_components(comps);
+        assert!((tagged.total_kb() - 64.1).abs() < 0.05, "got {}", tagged.total_kb());
+    }
+
+    #[test]
+    fn merge_sums_components() {
+        let a = Storage::from_components(vec![StorageComponent::new("a", 10, 8)]);
+        let b = Storage::from_components(vec![StorageComponent::new("b", 20, 8)]);
+        let m = a.merge(b);
+        assert_eq!(m.total_bits(), 240);
+        assert_eq!(m.components().len(), 2);
+    }
+
+    #[test]
+    fn display_mentions_total() {
+        let s = Storage::from_components(vec![StorageComponent::new("t", 1000, 8)]);
+        let out = s.to_string();
+        assert!(out.contains("total: 1.0 KB"), "{out}");
+    }
+}

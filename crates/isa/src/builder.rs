@@ -1,0 +1,396 @@
+//! Assembler-like program construction with labels.
+
+use crate::inst::{Inst, Opcode};
+use crate::program::{Program, ProgramError, INST_BYTES};
+use crate::reg::Reg;
+
+/// A forward-referencable code label.
+///
+/// Created with [`ProgramBuilder::label`] (unbound) or
+/// [`ProgramBuilder::bind_label`] (bound at the current position); bound to a
+/// position with [`ProgramBuilder::bind`]. Branch emitters take a `Label`,
+/// and [`ProgramBuilder::build`] resolves every reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+/// Immediate operand: either a literal or a label reference to patch later.
+#[derive(Debug, Clone, Copy)]
+enum Imm {
+    Lit(i64),
+    Ref(Label),
+}
+
+/// Builder for [`Program`]s with an assembler-like API.
+///
+/// Emitter methods append one µop and return its static index; control-flow
+/// emitters accept [`Label`]s which may be bound before or after use.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_isa::{ProgramBuilder, Reg};
+///
+/// let mut b = ProgramBuilder::new();
+/// let r1 = Reg::int(1);
+/// b.load_imm(r1, 3);
+/// let skip = b.label();
+/// b.beq(r1, r1, skip); // always taken
+/// b.load_imm(r1, 99);  // skipped
+/// b.bind(skip);
+/// b.halt();
+/// let p = b.build()?;
+/// assert_eq!(p.len(), 4);
+/// # Ok::<(), vpsim_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<(Inst, Imm)>,
+    labels: Vec<Option<usize>>,
+    mem: Vec<(u64, u64)>,
+}
+
+impl ProgramBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create a fresh, unbound label.
+    pub fn label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Bind `label` to the position of the next emitted instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the label is already bound (each label marks one place).
+    pub fn bind(&mut self, label: Label) {
+        let slot = &mut self.labels[label.0];
+        assert!(slot.is_none(), "label bound twice");
+        *slot = Some(self.insts.len());
+    }
+
+    /// Create a label bound at the current position (common loop-top idiom).
+    pub fn bind_label(&mut self) -> Label {
+        let l = self.label();
+        self.bind(l);
+        l
+    }
+
+    /// Current number of emitted µops (the index of the next one).
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if no µops have been emitted yet.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Add an initial-memory word.
+    pub fn data(&mut self, addr: u64, value: u64) {
+        self.mem.push((addr, value));
+    }
+
+    /// Add consecutive initial-memory words starting at `addr`.
+    pub fn data_block(&mut self, addr: u64, values: &[u64]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.mem.push((addr + 8 * i as u64, v));
+        }
+    }
+
+    fn emit(&mut self, inst: Inst) -> usize {
+        self.insts.push((inst, Imm::Lit(inst.imm)));
+        self.insts.len() - 1
+    }
+
+    fn emit_ref(&mut self, inst: Inst, label: Label) -> usize {
+        self.insts.push((inst, Imm::Ref(label)));
+        self.insts.len() - 1
+    }
+
+    /// Resolve all labels and validate, producing a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::UnboundLabel`] if a referenced label was never
+    /// bound, or any validation error from [`Program::from_parts`].
+    pub fn build(self) -> Result<Program, ProgramError> {
+        let labels = self.labels;
+        let insts: Result<Vec<Inst>, ProgramError> = self
+            .insts
+            .into_iter()
+            .map(|(mut inst, imm)| {
+                match imm {
+                    Imm::Lit(v) => inst.imm = v,
+                    Imm::Ref(Label(id)) => {
+                        let pos = labels[id].ok_or(ProgramError::UnboundLabel { label: id })?;
+                        inst.imm = (pos as u64 * INST_BYTES) as i64;
+                    }
+                }
+                Ok(inst)
+            })
+            .collect();
+        Program::from_parts(insts?, self.mem)
+    }
+}
+
+macro_rules! rrr_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, dst: Reg, src1: Reg, src2: Reg) -> usize {
+                    self.emit(Inst::rrr(Opcode::$op, dst, src1, src2))
+                }
+            )+
+        }
+    };
+}
+
+rrr_ops! {
+    /// `dst = src1 + src2`
+    add => Add,
+    /// `dst = src1 - src2`
+    sub => Sub,
+    /// `dst = src1 & src2`
+    and => And,
+    /// `dst = src1 | src2`
+    or => Or,
+    /// `dst = src1 ^ src2`
+    xor => Xor,
+    /// `dst = src1 << (src2 & 63)`
+    shl => Shl,
+    /// `dst = src1 >> (src2 & 63)`
+    shr => Shr,
+    /// `dst = (src1 as i64) < (src2 as i64)`
+    setlt => SetLt,
+    /// `dst = src1 * src2`
+    mul => Mul,
+    /// `dst = src1 / src2` (unsigned; `/0` yields `u64::MAX`)
+    div => Div,
+    /// `dst = src1 % src2` (unsigned; `%0` yields `src1`)
+    rem => Rem,
+    /// `dst = src1 +. src2` (f64)
+    fadd => FAdd,
+    /// `dst = src1 -. src2` (f64)
+    fsub => FSub,
+    /// `dst = src1 *. src2` (f64)
+    fmul => FMul,
+    /// `dst = src1 /. src2` (f64)
+    fdiv => FDiv,
+}
+
+macro_rules! rri_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, dst: Reg, src1: Reg, imm: i64) -> usize {
+                    self.emit(Inst::rri(Opcode::$op, dst, src1, imm))
+                }
+            )+
+        }
+    };
+}
+
+rri_ops! {
+    /// `dst = src1 + imm`
+    addi => AddI,
+    /// `dst = src1 & imm`
+    andi => AndI,
+    /// `dst = src1 | imm`
+    ori => OrI,
+    /// `dst = src1 ^ imm`
+    xori => XorI,
+    /// `dst = src1 << (imm & 63)`
+    shli => ShlI,
+    /// `dst = src1 >> (imm & 63)`
+    shri => ShrI,
+    /// `dst = (src1 as i64) < imm`
+    setlti => SetLtI,
+    /// `dst = mem[src1 + imm]`
+    load => Load,
+}
+
+macro_rules! branch_ops {
+    ($($(#[$doc:meta])* $name:ident => $op:ident),+ $(,)?) => {
+        impl ProgramBuilder {
+            $(
+                $(#[$doc])*
+                pub fn $name(&mut self, src1: Reg, src2: Reg, target: Label) -> usize {
+                    self.emit_ref(Inst::rr_i(Opcode::$op, src1, src2, 0), target)
+                }
+            )+
+        }
+    };
+}
+
+branch_ops! {
+    /// Branch to `target` if `src1 == src2`
+    beq => Beq,
+    /// Branch to `target` if `src1 != src2`
+    bne => Bne,
+    /// Branch to `target` if `(src1 as i64) < (src2 as i64)`
+    blt => Blt,
+    /// Branch to `target` if `(src1 as i64) >= (src2 as i64)`
+    bge => Bge,
+}
+
+impl ProgramBuilder {
+    /// `dst = imm`
+    pub fn load_imm(&mut self, dst: Reg, imm: i64) -> usize {
+        self.emit(Inst::ri(Opcode::LoadImm, dst, imm))
+    }
+
+    /// `dst =` byte PC of `target` — materialize a code address, e.g. to
+    /// drive a [`ProgramBuilder::jump_ind`] through a computed jump table.
+    pub fn load_label_addr(&mut self, dst: Reg, target: Label) -> usize {
+        self.emit_ref(Inst::ri(Opcode::LoadImm, dst, 0), target)
+    }
+
+    /// `dst = src1`
+    pub fn mov(&mut self, dst: Reg, src1: Reg) -> usize {
+        self.emit(Inst::rri(Opcode::Mov, dst, src1, 0))
+    }
+
+    /// `dst = f64::from(src1 as i64)`
+    pub fn icvtf(&mut self, dst: Reg, src1: Reg) -> usize {
+        self.emit(Inst::rri(Opcode::ICvtF, dst, src1, 0))
+    }
+
+    /// `dst = (src1 as f64) as i64`
+    pub fn fcvti(&mut self, dst: Reg, src1: Reg) -> usize {
+        self.emit(Inst::rri(Opcode::FCvtI, dst, src1, 0))
+    }
+
+    /// `mem[base + offset] = value`
+    pub fn store(&mut self, base: Reg, value: Reg, offset: i64) -> usize {
+        self.emit(Inst { op: Opcode::Store, dst: None, src1: Some(base), src2: Some(value), imm: offset })
+    }
+
+    /// Unconditional jump to `target`.
+    pub fn jump(&mut self, target: Label) -> usize {
+        self.emit_ref(Inst::bare(Opcode::Jump, 0), target)
+    }
+
+    /// Indirect jump to the byte PC held in `addr_reg`.
+    pub fn jump_ind(&mut self, addr_reg: Reg) -> usize {
+        self.emit(Inst { op: Opcode::JumpInd, dst: None, src1: Some(addr_reg), src2: None, imm: 0 })
+    }
+
+    /// Direct call to `target`; the return address is written to `link`.
+    pub fn call(&mut self, link: Reg, target: Label) -> usize {
+        self.emit_ref(Inst { op: Opcode::Call, dst: Some(link), src1: None, src2: None, imm: 0 }, target)
+    }
+
+    /// Return to the byte PC held in `link`.
+    pub fn ret(&mut self, link: Reg) -> usize {
+        self.emit(Inst { op: Opcode::Ret, dst: None, src1: Some(link), src2: None, imm: 0 })
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> usize {
+        self.emit(Inst::bare(Opcode::Nop, 0))
+    }
+
+    /// Stop the program.
+    pub fn halt(&mut self) -> usize {
+        self.emit(Inst::bare(Opcode::Halt, 0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::Executor;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        let r1 = Reg::int(1);
+        let fwd = b.label();
+        b.load_imm(r1, 1);
+        b.jump(fwd); // forward reference
+        b.load_imm(r1, 2); // skipped
+        b.bind(fwd);
+        b.halt();
+        let p = b.build().unwrap();
+        // Jump at index 1 targets instruction 3 (byte PC 12).
+        assert_eq!(p.insts()[1].imm, 12);
+    }
+
+    #[test]
+    fn unbound_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        let dangling = b.label();
+        b.jump(dangling);
+        b.halt();
+        assert!(matches!(b.build(), Err(ProgramError::UnboundLabel { label: 0 })));
+    }
+
+    #[test]
+    #[should_panic(expected = "label bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new();
+        let l = b.label();
+        b.bind(l);
+        b.bind(l);
+    }
+
+    #[test]
+    fn data_block_lays_out_consecutive_words() {
+        let mut b = ProgramBuilder::new();
+        b.data_block(0x100, &[10, 20, 30]);
+        b.halt();
+        let p = b.build().unwrap();
+        assert_eq!(p.initial_mem(), &[(0x100, 10), (0x108, 20), (0x110, 30)]);
+    }
+
+    #[test]
+    fn emitters_return_instruction_indices() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::int(0);
+        assert_eq!(b.load_imm(r, 0), 0);
+        assert_eq!(b.addi(r, r, 1), 1);
+        assert_eq!(b.nop(), 2);
+        assert_eq!(b.len(), 3);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn built_program_executes_loop() {
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg::int(1), Reg::int(2));
+        b.load_imm(i, 0);
+        b.load_imm(n, 5);
+        let top = b.bind_label();
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let count = e.by_ref().count();
+        assert_eq!(e.reg(i), 5);
+        // 2 setup + 5 iterations * 2 + halt
+        assert_eq!(count, 2 + 10 + 1);
+    }
+
+    #[test]
+    fn call_and_ret_round_trip() {
+        let mut b = ProgramBuilder::new();
+        let (lr, x) = (Reg::int(31), Reg::int(1));
+        let func = b.label();
+        b.call(lr, func);
+        b.halt();
+        b.bind(func);
+        b.load_imm(x, 77);
+        b.ret(lr);
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.by_ref().for_each(drop);
+        assert_eq!(e.reg(x), 77);
+    }
+}

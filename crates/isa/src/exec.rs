@@ -1,0 +1,434 @@
+//! Architectural (functional) execution producing dynamic instruction traces.
+
+use crate::inst::{Inst, Opcode};
+use crate::memory::SparseMemory;
+use crate::program::Program;
+use crate::reg::{Reg, NUM_ARCH_REGS};
+
+/// One dynamic instruction, as observed by the cycle-level core.
+///
+/// The functional executor computes everything the timing model needs up
+/// front: the architectural result (the value a value predictor must guess),
+/// effective addresses, and the branch outcome. The out-of-order core in
+/// `vpsim-uarch` replays this stream and charges time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DynInst {
+    /// Global dynamic sequence number, starting at 0.
+    pub seq: u64,
+    /// Byte PC of the instruction.
+    pub pc: u64,
+    /// Static instruction index in the program.
+    pub index: u32,
+    /// The static µop.
+    pub inst: Inst,
+    /// Value written to `inst.dst`, if any — the target of value prediction.
+    pub result: Option<u64>,
+    /// Effective address, for loads and stores.
+    pub mem_addr: Option<u64>,
+    /// Value stored, for stores (enables store-to-load forwarding).
+    pub store_value: Option<u64>,
+    /// Whether a control µop left the fall-through path.
+    pub taken: bool,
+    /// Architectural next PC.
+    pub next_pc: u64,
+}
+
+impl DynInst {
+    /// `true` if this µop is eligible for value prediction (writes a
+    /// register). Matches the paper's §7.2 policy: every µop producing a
+    /// register is predicted; branches are not predicted but their input
+    /// values are (they flow in via producing µops).
+    pub fn vp_eligible(&self) -> bool {
+        self.inst.has_dst()
+    }
+}
+
+/// Architectural executor for a [`Program`].
+///
+/// Implements `Iterator<Item = DynInst>`: each call to `next` executes one
+/// µop and returns its dynamic record. Iteration ends after [`Opcode::Halt`]
+/// executes (the `Halt` µop itself is yielded) or when the PC falls past the
+/// end of the program.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_isa::{Executor, ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::int(1), 7);
+/// b.halt();
+/// let p = b.build()?;
+/// let trace: Vec<_> = Executor::new(&p).collect();
+/// assert_eq!(trace.len(), 2);
+/// assert_eq!(trace[0].result, Some(7));
+/// # Ok::<(), vpsim_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Executor<'a> {
+    program: &'a Program,
+    regs: [u64; NUM_ARCH_REGS],
+    mem: SparseMemory,
+    pc: u64,
+    seq: u64,
+    halted: bool,
+}
+
+impl<'a> Executor<'a> {
+    /// Start execution at PC 0 with the program's initial memory image.
+    pub fn new(program: &'a Program) -> Self {
+        Executor {
+            program,
+            regs: [0; NUM_ARCH_REGS],
+            mem: program.initial_mem().iter().copied().collect(),
+            pc: 0,
+            seq: 0,
+            halted: false,
+        }
+    }
+
+    /// Current value of an architectural register.
+    pub fn reg(&self, r: Reg) -> u64 {
+        self.regs[r.index()]
+    }
+
+    /// Overwrite an architectural register (useful in tests).
+    pub fn set_reg(&mut self, r: Reg, value: u64) {
+        self.regs[r.index()] = value;
+    }
+
+    /// The current memory state.
+    pub fn memory(&self) -> &SparseMemory {
+        &self.mem
+    }
+
+    /// `true` once `Halt` has executed or the PC fell off the program.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Dynamic instructions executed so far.
+    pub fn executed(&self) -> u64 {
+        self.seq
+    }
+
+    fn src(&self, r: Option<Reg>) -> u64 {
+        r.map(|r| self.regs[r.index()]).unwrap_or(0)
+    }
+}
+
+impl Iterator for Executor<'_> {
+    type Item = DynInst;
+
+    fn next(&mut self) -> Option<DynInst> {
+        if self.halted {
+            return None;
+        }
+        let index = match self.program.index_of_pc(self.pc) {
+            Some(i) => i,
+            None => {
+                self.halted = true;
+                return None;
+            }
+        };
+        let inst = self.program.insts()[index];
+        let pc = self.pc;
+        let a = self.src(inst.src1);
+        let b = self.src(inst.src2);
+        let imm = inst.imm;
+        let fall_through = pc + 4;
+
+        let mut result = None;
+        let mut mem_addr = None;
+        let mut store_value = None;
+        let mut taken = false;
+        let mut next_pc = fall_through;
+
+        use Opcode::*;
+        match inst.op {
+            Add => result = Some(a.wrapping_add(b)),
+            Sub => result = Some(a.wrapping_sub(b)),
+            And => result = Some(a & b),
+            Or => result = Some(a | b),
+            Xor => result = Some(a ^ b),
+            Shl => result = Some(a.wrapping_shl((b & 63) as u32)),
+            Shr => result = Some(a.wrapping_shr((b & 63) as u32)),
+            SetLt => result = Some(((a as i64) < (b as i64)) as u64),
+            AddI => result = Some(a.wrapping_add(imm as u64)),
+            AndI => result = Some(a & imm as u64),
+            OrI => result = Some(a | imm as u64),
+            XorI => result = Some(a ^ imm as u64),
+            ShlI => result = Some(a.wrapping_shl((imm & 63) as u32)),
+            ShrI => result = Some(a.wrapping_shr((imm & 63) as u32)),
+            SetLtI => result = Some(((a as i64) < imm) as u64),
+            LoadImm => result = Some(imm as u64),
+            Mov => result = Some(a),
+            Mul => result = Some(a.wrapping_mul(b)),
+            Div => result = Some(a.checked_div(b).unwrap_or(u64::MAX)),
+            Rem => result = Some(a.checked_rem(b).unwrap_or(a)),
+            FAdd => result = Some(fop(a, b, |x, y| x + y)),
+            FSub => result = Some(fop(a, b, |x, y| x - y)),
+            FMul => result = Some(fop(a, b, |x, y| x * y)),
+            FDiv => result = Some(fop(a, b, |x, y| x / y)),
+            ICvtF => result = Some((a as i64 as f64).to_bits()),
+            FCvtI => result = Some(f64::from_bits(a) as i64 as u64),
+            Load => {
+                let addr = a.wrapping_add(imm as u64) & !7;
+                mem_addr = Some(addr);
+                result = Some(self.mem.read(addr));
+            }
+            Store => {
+                let addr = a.wrapping_add(imm as u64) & !7;
+                mem_addr = Some(addr);
+                store_value = Some(b);
+                self.mem.write(addr, b);
+            }
+            Beq | Bne | Blt | Bge => {
+                let cond = match inst.op {
+                    Beq => a == b,
+                    Bne => a != b,
+                    Blt => (a as i64) < (b as i64),
+                    _ => (a as i64) >= (b as i64),
+                };
+                taken = cond;
+                if cond {
+                    next_pc = imm as u64;
+                }
+            }
+            Jump => {
+                taken = true;
+                next_pc = imm as u64;
+            }
+            JumpInd => {
+                taken = true;
+                next_pc = a;
+            }
+            Call => {
+                taken = true;
+                result = Some(fall_through);
+                next_pc = imm as u64;
+            }
+            Ret => {
+                taken = true;
+                next_pc = a;
+            }
+            Nop => {}
+            Halt => {
+                self.halted = true;
+            }
+        }
+
+        if let (Some(dst), Some(v)) = (inst.dst, result) {
+            self.regs[dst.index()] = v;
+        }
+        self.pc = next_pc;
+        let seq = self.seq;
+        self.seq += 1;
+
+        Some(DynInst {
+            seq,
+            pc,
+            index: index as u32,
+            inst,
+            result,
+            mem_addr,
+            store_value,
+            taken,
+            next_pc,
+        })
+    }
+}
+
+fn fop(a: u64, b: u64, f: impl Fn(f64, f64) -> f64) -> u64 {
+    f(f64::from_bits(a), f64::from_bits(b)).to_bits()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn run(b: ProgramBuilder) -> (Vec<DynInst>, SparseMemory, [u64; NUM_ARCH_REGS]) {
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        let trace: Vec<_> = e.by_ref().collect();
+        (trace, e.mem.clone(), e.regs)
+    }
+
+    #[test]
+    fn integer_alu_semantics() {
+        let mut b = ProgramBuilder::new();
+        let (r1, r2, r3) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        b.load_imm(r1, 10);
+        b.load_imm(r2, 3);
+        b.add(r3, r1, r2); // 13
+        b.sub(r3, r3, r2); // 10
+        b.mul(r3, r3, r2); // 30
+        b.div(r3, r3, r2); // 10
+        b.rem(r3, r3, r2); // 1
+        b.halt();
+        let (_, _, regs) = run(b);
+        assert_eq!(regs[3], 1);
+    }
+
+    #[test]
+    fn division_by_zero_is_all_ones() {
+        let mut b = ProgramBuilder::new();
+        let (r1, r2, r3, r4) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4));
+        b.load_imm(r1, 5);
+        b.load_imm(r2, 0);
+        b.div(r3, r1, r2);
+        b.rem(r4, r1, r2);
+        b.halt();
+        let (_, _, regs) = run(b);
+        assert_eq!(regs[3], u64::MAX);
+        assert_eq!(regs[4], 5);
+    }
+
+    #[test]
+    fn shifts_mask_their_amount() {
+        let mut b = ProgramBuilder::new();
+        let (r1, r2) = (Reg::int(1), Reg::int(2));
+        b.load_imm(r1, 1);
+        b.shli(r2, r1, 65); // 65 & 63 == 1
+        b.halt();
+        let (_, _, regs) = run(b);
+        assert_eq!(regs[2], 2);
+    }
+
+    #[test]
+    fn float_semantics_round_trip_through_bits() {
+        let mut b = ProgramBuilder::new();
+        let (r1, f1, f2, f3) = (Reg::int(1), Reg::float(1), Reg::float(2), Reg::float(3));
+        b.load_imm(r1, 3);
+        b.icvtf(f1, r1); // 3.0
+        b.fadd(f2, f1, f1); // 6.0
+        b.fmul(f3, f2, f1); // 18.0
+        b.fdiv(f3, f3, f2); // 3.0
+        b.fsub(f3, f3, f1); // 0.0
+        b.fcvti(r1, f2); // 6
+        b.halt();
+        let (_, _, regs) = run(b);
+        assert_eq!(f64::from_bits(regs[Reg::float(3).index()]), 0.0);
+        assert_eq!(regs[1], 6);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip_and_record_addresses() {
+        let mut b = ProgramBuilder::new();
+        let (base, v, out) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        b.load_imm(base, 0x1000);
+        b.load_imm(v, 99);
+        b.store(base, v, 16);
+        b.load(out, base, 16);
+        b.halt();
+        let (trace, mem, regs) = run(b);
+        assert_eq!(regs[3], 99);
+        assert_eq!(mem.read(0x1010), 99);
+        let store = &trace[2];
+        assert_eq!(store.mem_addr, Some(0x1010));
+        assert_eq!(store.store_value, Some(99));
+        let load = &trace[3];
+        assert_eq!(load.mem_addr, Some(0x1010));
+        assert_eq!(load.result, Some(99));
+    }
+
+    #[test]
+    fn unaligned_effective_addresses_are_aligned_down() {
+        let mut b = ProgramBuilder::new();
+        let (base, v, out) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        b.load_imm(base, 0x1003);
+        b.load_imm(v, 5);
+        b.store(base, v, 0); // 0x1003 & !7 == 0x1000
+        b.load(out, base, 4); // 0x1007 & !7 == 0x1000
+        b.halt();
+        let (_, _, regs) = run(b);
+        assert_eq!(regs[3], 5);
+    }
+
+    #[test]
+    fn branch_records_taken_and_next_pc() {
+        let mut b = ProgramBuilder::new();
+        let (r1, r2) = (Reg::int(1), Reg::int(2));
+        b.load_imm(r1, 1);
+        b.load_imm(r2, 2);
+        let t = b.label();
+        b.blt(r1, r2, t); // taken
+        b.nop(); // skipped
+        b.bind(t);
+        b.bge(r1, r2, t); // not taken
+        b.halt();
+        let (trace, _, _) = run(b);
+        let taken_branch = &trace[2];
+        assert!(taken_branch.taken);
+        assert_eq!(taken_branch.next_pc, 16);
+        let not_taken = &trace[3];
+        assert!(!not_taken.taken);
+        assert_eq!(not_taken.next_pc, not_taken.pc + 4);
+    }
+
+    #[test]
+    fn call_produces_link_value() {
+        let mut b = ProgramBuilder::new();
+        let lr = Reg::int(31);
+        let f = b.label();
+        b.call(lr, f);
+        b.halt();
+        b.bind(f);
+        b.ret(lr);
+        let (trace, _, _) = run(b);
+        assert_eq!(trace[0].result, Some(4));
+        assert!(trace[0].vp_eligible());
+        assert!(!trace[1].vp_eligible() || trace[1].inst.op != Opcode::Ret);
+    }
+
+    #[test]
+    fn falling_off_the_end_halts() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.nop();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.by_ref().count(), 2);
+        assert!(e.is_halted());
+        assert_eq!(e.next(), None);
+    }
+
+    #[test]
+    fn seq_numbers_are_dense_from_zero() {
+        let mut b = ProgramBuilder::new();
+        let r = Reg::int(1);
+        b.load_imm(r, 0);
+        for _ in 0..5 {
+            b.addi(r, r, 1);
+        }
+        b.halt();
+        let (trace, _, _) = run(b);
+        for (i, d) in trace.iter().enumerate() {
+            assert_eq!(d.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn executor_counts_executed_instructions() {
+        let mut b = ProgramBuilder::new();
+        b.nop();
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        assert_eq!(e.executed(), 0);
+        e.by_ref().for_each(drop);
+        assert_eq!(e.executed(), 2);
+    }
+
+    #[test]
+    fn initial_memory_is_visible() {
+        let mut b = ProgramBuilder::new();
+        let (base, out) = (Reg::int(1), Reg::int(2));
+        b.data(0x2000, 1234);
+        b.load_imm(base, 0x2000);
+        b.load(out, base, 0);
+        b.halt();
+        let (_, _, regs) = run(b);
+        assert_eq!(regs[2], 1234);
+    }
+}

@@ -1,0 +1,317 @@
+//! The µop format: opcodes, operands and classification helpers.
+
+use crate::reg::Reg;
+use std::fmt;
+
+/// Micro-op opcodes.
+///
+/// Integer ALU ops execute in 1 cycle on the paper's configuration,
+/// integer multiply in 3, integer divide in 25 (non-pipelined), FP add-class
+/// ops in 3, FP multiply in 5 and FP divide in 10 (non-pipelined); the
+/// latencies themselves live in `vpsim-uarch`'s configuration — this enum
+/// only fixes semantics and the [`FuClass`] mapping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opcode {
+    // --- integer ALU, register-register ---
+    /// `dst = src1 + src2`
+    Add,
+    /// `dst = src1 - src2`
+    Sub,
+    /// `dst = src1 & src2`
+    And,
+    /// `dst = src1 | src2`
+    Or,
+    /// `dst = src1 ^ src2`
+    Xor,
+    /// `dst = src1 << (src2 & 63)`
+    Shl,
+    /// `dst = src1 >> (src2 & 63)` (logical)
+    Shr,
+    /// `dst = (src1 as i64) < (src2 as i64)`
+    SetLt,
+    // --- integer ALU, register-immediate ---
+    /// `dst = src1 + imm`
+    AddI,
+    /// `dst = src1 & imm`
+    AndI,
+    /// `dst = src1 | imm`
+    OrI,
+    /// `dst = src1 ^ imm`
+    XorI,
+    /// `dst = src1 << (imm & 63)`
+    ShlI,
+    /// `dst = src1 >> (imm & 63)` (logical)
+    ShrI,
+    /// `dst = (src1 as i64) < imm`
+    SetLtI,
+    /// `dst = imm`
+    LoadImm,
+    /// `dst = src1`
+    Mov,
+    // --- integer multiply/divide ---
+    /// `dst = src1 * src2` (wrapping)
+    Mul,
+    /// `dst = src1 / src2` (unsigned; division by zero yields `u64::MAX`)
+    Div,
+    /// `dst = src1 % src2` (unsigned; modulo zero yields `src1`)
+    Rem,
+    // --- floating point (operands are f64 bit patterns) ---
+    /// `dst = src1 +. src2`
+    FAdd,
+    /// `dst = src1 -. src2`
+    FSub,
+    /// `dst = src1 *. src2`
+    FMul,
+    /// `dst = src1 /. src2`
+    FDiv,
+    /// `dst = f64::from(src1 as i64)` — int→float conversion
+    ICvtF,
+    /// `dst = (src1 as f64) as i64` — float→int conversion (saturating)
+    FCvtI,
+    // --- memory ---
+    /// `dst = mem[src1 + imm]` (64-bit)
+    Load,
+    /// `mem[src1 + imm] = src2` (64-bit)
+    Store,
+    // --- control flow (branch targets are byte PCs in `imm`) ---
+    /// Branch to `imm` if `src1 == src2`
+    Beq,
+    /// Branch to `imm` if `src1 != src2`
+    Bne,
+    /// Branch to `imm` if `(src1 as i64) < (src2 as i64)`
+    Blt,
+    /// Branch to `imm` if `(src1 as i64) >= (src2 as i64)`
+    Bge,
+    /// Unconditional direct jump to `imm`
+    Jump,
+    /// Unconditional indirect jump to the address in `src1`
+    JumpInd,
+    /// Direct call: `dst = return address`, jump to `imm`
+    Call,
+    /// Return: jump to the address in `src1`
+    Ret,
+    /// No operation
+    Nop,
+    /// Stop the program
+    Halt,
+}
+
+/// Functional-unit class a µop executes on (paper Table 2: 8 ALU, 4 MulDiv,
+/// 8 FP, 4 FPMulDiv, 4 Ld/Str ports).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Simple integer ALU (also executes branches and jumps).
+    IntAlu,
+    /// Integer multiplier/divider.
+    IntMulDiv,
+    /// FP adder class.
+    FpAlu,
+    /// FP multiplier/divider.
+    FpMulDiv,
+    /// Load port.
+    Load,
+    /// Store port.
+    Store,
+}
+
+impl Opcode {
+    /// The functional unit class this opcode executes on.
+    pub fn fu_class(self) -> FuClass {
+        use Opcode::*;
+        match self {
+            Mul | Div | Rem => FuClass::IntMulDiv,
+            FAdd | FSub | ICvtF | FCvtI => FuClass::FpAlu,
+            FMul | FDiv => FuClass::FpMulDiv,
+            Load => FuClass::Load,
+            Store => FuClass::Store,
+            _ => FuClass::IntAlu,
+        }
+    }
+
+    /// `true` for conditional branches.
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge)
+    }
+
+    /// `true` for any control-flow µop (conditional or not).
+    pub fn is_control(self) -> bool {
+        self.is_cond_branch()
+            || matches!(
+                self,
+                Opcode::Jump | Opcode::JumpInd | Opcode::Call | Opcode::Ret
+            )
+    }
+
+    /// `true` for indirect control flow (target comes from a register).
+    pub fn is_indirect(self) -> bool {
+        matches!(self, Opcode::JumpInd | Opcode::Ret)
+    }
+}
+
+/// A single µop.
+///
+/// All fields are public: `Inst` is a plain, passive data carrier produced
+/// by [`crate::ProgramBuilder`] and consumed by the executor and pipeline.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_isa::{Inst, Opcode, Reg};
+/// let add = Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
+/// assert!(add.has_dst());
+/// assert_eq!(add.sources(), vec![Reg::int(2), Reg::int(3)]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// Operation.
+    pub op: Opcode,
+    /// Destination register, if the µop produces a value.
+    pub dst: Option<Reg>,
+    /// First source register.
+    pub src1: Option<Reg>,
+    /// Second source register.
+    pub src2: Option<Reg>,
+    /// Immediate operand / branch target (byte PC) / memory displacement.
+    pub imm: i64,
+}
+
+impl Inst {
+    /// A µop with destination and two register sources.
+    pub fn rrr(op: Opcode, dst: Reg, src1: Reg, src2: Reg) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: Some(src2), imm: 0 }
+    }
+
+    /// A µop with destination, one register source and an immediate.
+    pub fn rri(op: Opcode, dst: Reg, src1: Reg, imm: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: Some(src1), src2: None, imm }
+    }
+
+    /// A µop with destination and immediate only (e.g. [`Opcode::LoadImm`]).
+    pub fn ri(op: Opcode, dst: Reg, imm: i64) -> Self {
+        Inst { op, dst: Some(dst), src1: None, src2: None, imm }
+    }
+
+    /// A µop with two register sources and an immediate, no destination
+    /// (conditional branches, stores).
+    pub fn rr_i(op: Opcode, src1: Reg, src2: Reg, imm: i64) -> Self {
+        Inst { op, dst: None, src1: Some(src1), src2: Some(src2), imm }
+    }
+
+    /// A µop with no operands (e.g. [`Opcode::Nop`], [`Opcode::Halt`],
+    /// [`Opcode::Jump`] with an immediate target).
+    pub fn bare(op: Opcode, imm: i64) -> Self {
+        Inst { op, dst: None, src1: None, src2: None, imm }
+    }
+
+    /// `true` if the µop writes an architectural register — the paper's
+    /// eligibility criterion for value prediction ("producing a register
+    /// explicitly used by subsequent µops"; we approximate "used" as
+    /// "produced", which only adds never-harmful predictions).
+    pub fn has_dst(&self) -> bool {
+        self.dst.is_some()
+    }
+
+    /// Source registers in operand order.
+    pub fn sources(&self) -> Vec<Reg> {
+        self.src1.into_iter().chain(self.src2).collect()
+    }
+
+    /// `true` for loads and stores.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.op, Opcode::Load | Opcode::Store)
+    }
+
+    /// Functional-unit class (delegates to [`Opcode::fu_class`]).
+    pub fn fu_class(&self) -> FuClass {
+        self.op.fu_class()
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.op)?;
+        if let Some(d) = self.dst {
+            write!(f, " {d}")?;
+        }
+        if let Some(s) = self.src1 {
+            write!(f, " {s}")?;
+        }
+        if let Some(s) = self.src2 {
+            write!(f, " {s}")?;
+        }
+        if self.imm != 0 || matches!(self.op, Opcode::LoadImm | Opcode::Jump | Opcode::Call) {
+            write!(f, " #{}", self.imm)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn fu_class_mapping() {
+        assert_eq!(Opcode::Add.fu_class(), FuClass::IntAlu);
+        assert_eq!(Opcode::Mul.fu_class(), FuClass::IntMulDiv);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::IntMulDiv);
+        assert_eq!(Opcode::FAdd.fu_class(), FuClass::FpAlu);
+        assert_eq!(Opcode::FMul.fu_class(), FuClass::FpMulDiv);
+        assert_eq!(Opcode::FDiv.fu_class(), FuClass::FpMulDiv);
+        assert_eq!(Opcode::Load.fu_class(), FuClass::Load);
+        assert_eq!(Opcode::Store.fu_class(), FuClass::Store);
+        assert_eq!(Opcode::Beq.fu_class(), FuClass::IntAlu);
+    }
+
+    #[test]
+    fn control_classification() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(Opcode::Bge.is_cond_branch());
+        assert!(!Opcode::Jump.is_cond_branch());
+        assert!(Opcode::Jump.is_control());
+        assert!(Opcode::Ret.is_control());
+        assert!(Opcode::Ret.is_indirect());
+        assert!(Opcode::JumpInd.is_indirect());
+        assert!(!Opcode::Call.is_indirect());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn constructors_set_operands() {
+        let (a, b, c) = (Reg::int(1), Reg::int(2), Reg::int(3));
+        let i = Inst::rrr(Opcode::Add, a, b, c);
+        assert_eq!(i.dst, Some(a));
+        assert_eq!(i.sources(), vec![b, c]);
+
+        let i = Inst::rri(Opcode::AddI, a, b, 7);
+        assert_eq!(i.imm, 7);
+        assert_eq!(i.sources(), vec![b]);
+
+        let i = Inst::ri(Opcode::LoadImm, a, -1);
+        assert!(i.sources().is_empty());
+        assert!(i.has_dst());
+
+        let i = Inst::rr_i(Opcode::Beq, a, b, 64);
+        assert!(!i.has_dst());
+
+        let i = Inst::bare(Opcode::Halt, 0);
+        assert!(!i.has_dst());
+        assert!(i.sources().is_empty());
+    }
+
+    #[test]
+    fn mem_classification() {
+        let a = Reg::int(1);
+        assert!(Inst::rri(Opcode::Load, a, a, 0).is_mem());
+        assert!(Inst::rr_i(Opcode::Store, a, a, 0).is_mem());
+        assert!(!Inst::rrr(Opcode::Add, a, a, a).is_mem());
+    }
+
+    #[test]
+    fn display_is_nonempty_and_mentions_registers() {
+        let i = Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
+        let s = i.to_string();
+        assert!(s.contains("Add") && s.contains("r1") && s.contains("r2") && s.contains("r3"));
+    }
+}

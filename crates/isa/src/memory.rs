@@ -1,0 +1,120 @@
+//! Word-granular sparse memory.
+
+use std::collections::HashMap;
+
+/// Sparse 64-bit-word memory.
+///
+/// All loads and stores in the µop ISA are 64-bit and are aligned down to an
+/// 8-byte boundary by the executor, so memory is stored as a map from word
+/// index to value. Unwritten locations read as zero, which keeps workload
+/// setup cheap (no explicit zero-fill).
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_isa::SparseMemory;
+/// let mut m = SparseMemory::new();
+/// m.write(0x1000, 42);
+/// assert_eq!(m.read(0x1000), 42);
+/// assert_eq!(m.read(0x1003), 42); // same word, unaligned address
+/// assert_eq!(m.read(0x2000), 0);  // untouched memory reads zero
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SparseMemory {
+    words: HashMap<u64, u64>,
+}
+
+impl SparseMemory {
+    /// An empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read the 64-bit word containing `addr`.
+    pub fn read(&self, addr: u64) -> u64 {
+        self.words.get(&(addr >> 3)).copied().unwrap_or(0)
+    }
+
+    /// Write the 64-bit word containing `addr`. Writing zero removes the
+    /// backing entry so the map only holds nonzero state.
+    pub fn write(&mut self, addr: u64, value: u64) {
+        if value == 0 {
+            self.words.remove(&(addr >> 3));
+        } else {
+            self.words.insert(addr >> 3, value);
+        }
+    }
+
+    /// Number of nonzero words currently stored.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+impl FromIterator<(u64, u64)> for SparseMemory {
+    /// Build a memory image from `(address, value)` pairs.
+    fn from_iter<I: IntoIterator<Item = (u64, u64)>>(iter: I) -> Self {
+        let mut m = SparseMemory::new();
+        for (addr, value) in iter {
+            m.write(addr, value);
+        }
+        m
+    }
+}
+
+impl Extend<(u64, u64)> for SparseMemory {
+    fn extend<I: IntoIterator<Item = (u64, u64)>>(&mut self, iter: I) {
+        for (addr, value) in iter {
+            self.write(addr, value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut m = SparseMemory::new();
+        m.write(64, 0xdead_beef);
+        assert_eq!(m.read(64), 0xdead_beef);
+    }
+
+    #[test]
+    fn unaligned_addresses_alias_the_same_word() {
+        let mut m = SparseMemory::new();
+        m.write(0x10, 7);
+        for off in 0..8 {
+            assert_eq!(m.read(0x10 + off), 7);
+        }
+        assert_eq!(m.read(0x18), 0);
+    }
+
+    #[test]
+    fn writing_zero_reclaims_storage() {
+        let mut m = SparseMemory::new();
+        m.write(8, 5);
+        assert_eq!(m.footprint_words(), 1);
+        m.write(8, 0);
+        assert_eq!(m.footprint_words(), 0);
+        assert_eq!(m.read(8), 0);
+    }
+
+    #[test]
+    fn from_iterator_builds_image() {
+        let m: SparseMemory = [(0u64, 1u64), (8, 2), (16, 3)].into_iter().collect();
+        assert_eq!(m.read(0), 1);
+        assert_eq!(m.read(8), 2);
+        assert_eq!(m.read(16), 3);
+        assert_eq!(m.footprint_words(), 3);
+    }
+
+    #[test]
+    fn extend_overwrites_existing_words() {
+        let mut m: SparseMemory = [(0u64, 1u64)].into_iter().collect();
+        m.extend([(0u64, 9u64), (8, 4)]);
+        assert_eq!(m.read(0), 9);
+        assert_eq!(m.read(8), 4);
+    }
+}

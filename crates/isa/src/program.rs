@@ -1,0 +1,297 @@
+//! Validated static programs.
+
+use crate::inst::{Inst, Opcode};
+use std::fmt;
+
+/// Byte size of one µop; PCs advance by this amount.
+pub(crate) const INST_BYTES: u64 = 4;
+
+/// A validated static program: the µop sequence plus an initial memory image.
+///
+/// Construct with [`crate::ProgramBuilder`] (or [`Program::from_parts`]);
+/// validation has already run, so every branch target points at a real
+/// instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    insts: Vec<Inst>,
+    initial_mem: Vec<(u64, u64)>,
+}
+
+impl Program {
+    /// Build from raw parts, validating control-flow targets and operand
+    /// shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError`] if the program is empty, a direct branch
+    /// target is misaligned or out of range, or a µop is missing a required
+    /// operand.
+    pub fn from_parts(insts: Vec<Inst>, initial_mem: Vec<(u64, u64)>) -> Result<Self, ProgramError> {
+        let p = Program { insts, initial_mem };
+        p.validate()?;
+        Ok(p)
+    }
+
+    /// The static µop sequence.
+    pub fn insts(&self) -> &[Inst] {
+        &self.insts
+    }
+
+    /// Initial memory image as `(address, value)` pairs.
+    pub fn initial_mem(&self) -> &[(u64, u64)] {
+        &self.initial_mem
+    }
+
+    /// Number of static µops.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// `true` if the program has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    /// Byte PC of the instruction at `index`.
+    pub fn pc_of(&self, index: usize) -> u64 {
+        index as u64 * INST_BYTES
+    }
+
+    /// Instruction index for a byte PC, or `None` if out of range or
+    /// misaligned.
+    pub fn index_of_pc(&self, pc: u64) -> Option<usize> {
+        if !pc.is_multiple_of(INST_BYTES) {
+            return None;
+        }
+        let idx = (pc / INST_BYTES) as usize;
+        (idx < self.insts.len()).then_some(idx)
+    }
+
+    /// The instruction at byte PC `pc`, if any.
+    pub fn fetch(&self, pc: u64) -> Option<&Inst> {
+        self.index_of_pc(pc).map(|i| &self.insts[i])
+    }
+
+    /// Render the program as assembler-like text, one µop per line with its
+    /// byte PC — a debugging aid for generated workloads.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_isa::{ProgramBuilder, Reg};
+    /// let mut b = ProgramBuilder::new();
+    /// b.load_imm(Reg::int(1), 7);
+    /// b.halt();
+    /// let text = b.build().unwrap().disassemble();
+    /// assert!(text.contains("0x0000: LoadImm r1 #7"));
+    /// assert!(text.contains("0x0004: Halt"));
+    /// ```
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (i, inst) in self.insts.iter().enumerate() {
+            let _ = writeln!(out, "{:#06x}: {inst}", self.pc_of(i));
+        }
+        out
+    }
+
+    fn validate(&self) -> Result<(), ProgramError> {
+        if self.insts.is_empty() {
+            return Err(ProgramError::Empty);
+        }
+        let limit = self.insts.len() as u64 * INST_BYTES;
+        for (index, inst) in self.insts.iter().enumerate() {
+            // Direct control flow must land on a real instruction.
+            let direct_target = match inst.op {
+                Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Jump | Opcode::Call => {
+                    Some(inst.imm)
+                }
+                _ => None,
+            };
+            if let Some(t) = direct_target {
+                if t < 0 || t as u64 >= limit || !(t as u64).is_multiple_of(INST_BYTES) {
+                    return Err(ProgramError::BadBranchTarget { index, target: t });
+                }
+            }
+            // Operand-shape checks.
+            let (need1, need2) = required_sources(inst.op);
+            if (need1 && inst.src1.is_none()) || (need2 && inst.src2.is_none()) {
+                return Err(ProgramError::MissingOperand { index });
+            }
+            if produces_value(inst.op) && inst.dst.is_none() {
+                return Err(ProgramError::MissingOperand { index });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// `(needs_src1, needs_src2)` for each opcode.
+fn required_sources(op: Opcode) -> (bool, bool) {
+    use Opcode::*;
+    match op {
+        Add | Sub | And | Or | Xor | Shl | Shr | SetLt | Mul | Div | Rem | FAdd | FSub | FMul
+        | FDiv | Beq | Bne | Blt | Bge | Store => (true, true),
+        AddI | AndI | OrI | XorI | ShlI | ShrI | SetLtI | Mov | ICvtF | FCvtI | Load | JumpInd
+        | Ret => (true, false),
+        LoadImm | Jump | Call | Nop | Halt => (false, false),
+    }
+}
+
+/// `true` if the opcode must have a destination register.
+fn produces_value(op: Opcode) -> bool {
+    use Opcode::*;
+    !matches!(op, Store | Beq | Bne | Blt | Bge | Jump | JumpInd | Ret | Nop | Halt)
+    // Call produces the link register.
+}
+
+/// Errors returned by [`Program::from_parts`] (and therefore by
+/// [`crate::ProgramBuilder::build`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgramError {
+    /// The program contains no instructions.
+    Empty,
+    /// A direct branch/jump/call target is out of range or misaligned.
+    BadBranchTarget {
+        /// Index of the offending instruction.
+        index: usize,
+        /// The invalid byte-PC target.
+        target: i64,
+    },
+    /// A µop is missing a register operand its opcode requires.
+    MissingOperand {
+        /// Index of the offending instruction.
+        index: usize,
+    },
+    /// A label was referenced but never bound (builder-level error).
+    UnboundLabel {
+        /// The label id.
+        label: usize,
+    },
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::Empty => write!(f, "program is empty"),
+            ProgramError::BadBranchTarget { index, target } => {
+                write!(f, "instruction {index} has invalid branch target {target}")
+            }
+            ProgramError::MissingOperand { index } => {
+                write!(f, "instruction {index} is missing a required operand")
+            }
+            ProgramError::UnboundLabel { label } => {
+                write!(f, "label {label} was referenced but never bound")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    fn halt_program() -> Vec<Inst> {
+        vec![Inst::bare(Opcode::Halt, 0)]
+    }
+
+    #[test]
+    fn empty_program_is_rejected() {
+        assert_eq!(Program::from_parts(vec![], vec![]), Err(ProgramError::Empty));
+    }
+
+    #[test]
+    fn valid_program_round_trips() {
+        let p = Program::from_parts(halt_program(), vec![(8, 1)]).unwrap();
+        assert_eq!(p.len(), 1);
+        assert!(!p.is_empty());
+        assert_eq!(p.initial_mem(), &[(8, 1)]);
+        assert_eq!(p.pc_of(0), 0);
+        assert_eq!(p.index_of_pc(0), Some(0));
+        assert_eq!(p.index_of_pc(4), None);
+        assert_eq!(p.index_of_pc(2), None);
+        assert!(p.fetch(0).is_some());
+    }
+
+    #[test]
+    fn out_of_range_branch_target_is_rejected() {
+        let insts = vec![
+            Inst::rr_i(Opcode::Beq, Reg::int(0), Reg::int(0), 400),
+            Inst::bare(Opcode::Halt, 0),
+        ];
+        assert!(matches!(
+            Program::from_parts(insts, vec![]),
+            Err(ProgramError::BadBranchTarget { index: 0, target: 400 })
+        ));
+    }
+
+    #[test]
+    fn misaligned_branch_target_is_rejected() {
+        let insts = vec![
+            Inst::rr_i(Opcode::Beq, Reg::int(0), Reg::int(0), 2),
+            Inst::bare(Opcode::Halt, 0),
+        ];
+        assert!(matches!(
+            Program::from_parts(insts, vec![]),
+            Err(ProgramError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn negative_branch_target_is_rejected() {
+        let insts = vec![
+            Inst::rr_i(Opcode::Beq, Reg::int(0), Reg::int(0), -4),
+            Inst::bare(Opcode::Halt, 0),
+        ];
+        assert!(matches!(
+            Program::from_parts(insts, vec![]),
+            Err(ProgramError::BadBranchTarget { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_source_operand_is_rejected() {
+        let bad = Inst { op: Opcode::Add, dst: Some(Reg::int(1)), src1: Some(Reg::int(2)), src2: None, imm: 0 };
+        assert!(matches!(
+            Program::from_parts(vec![bad], vec![]),
+            Err(ProgramError::MissingOperand { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn missing_destination_is_rejected() {
+        let bad = Inst { op: Opcode::Add, dst: None, src1: Some(Reg::int(2)), src2: Some(Reg::int(3)), imm: 0 };
+        assert!(matches!(
+            Program::from_parts(vec![bad], vec![]),
+            Err(ProgramError::MissingOperand { index: 0 })
+        ));
+    }
+
+    #[test]
+    fn disassemble_lists_every_instruction_with_pc() {
+        let insts = vec![
+            Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3)),
+            Inst::bare(Opcode::Halt, 0),
+        ];
+        let p = Program::from_parts(insts, vec![]).unwrap();
+        let text = p.disassemble();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("0x0000: Add r1 r2 r3"), "{text}");
+        assert!(text.contains("0x0004: Halt"), "{text}");
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        for e in [
+            ProgramError::Empty,
+            ProgramError::BadBranchTarget { index: 1, target: 3 },
+            ProgramError::MissingOperand { index: 2 },
+            ProgramError::UnboundLabel { label: 0 },
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

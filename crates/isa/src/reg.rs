@@ -1,0 +1,133 @@
+//! Architectural registers.
+
+use std::fmt;
+
+/// Number of architectural registers: 32 integer + 32 floating-point.
+pub const NUM_ARCH_REGS: usize = 64;
+
+/// Register class: integer or floating point.
+///
+/// The out-of-order core keeps separate physical register files per class
+/// (256 INT / 256 FP in the paper's Table 2 configuration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RegClass {
+    /// Integer register (`r0`–`r31`).
+    Int,
+    /// Floating-point register (`f0`–`f31`).
+    Float,
+}
+
+/// An architectural register.
+///
+/// Indices `0..32` are the integer registers, `32..64` the floating-point
+/// registers. Use [`Reg::int`] / [`Reg::float`] rather than raw indices.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_isa::{Reg, RegClass};
+/// let r5 = Reg::int(5);
+/// assert_eq!(r5.class(), RegClass::Int);
+/// assert_eq!(r5.to_string(), "r5");
+/// let f2 = Reg::float(2);
+/// assert_eq!(f2.class(), RegClass::Float);
+/// assert_eq!(f2.index(), 34);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// The `n`-th integer register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn int(n: u8) -> Self {
+        assert!(n < 32, "integer register index out of range (0..32)");
+        Reg(n)
+    }
+
+    /// The `n`-th floating-point register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n >= 32`.
+    pub const fn float(n: u8) -> Self {
+        assert!(n < 32, "float register index out of range (0..32)");
+        Reg(32 + n)
+    }
+
+    /// Construct from a flat index in `0..NUM_ARCH_REGS`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= NUM_ARCH_REGS`.
+    pub fn from_index(index: usize) -> Self {
+        assert!(index < NUM_ARCH_REGS, "register index {index} out of range");
+        Reg(index as u8)
+    }
+
+    /// Flat index in `0..NUM_ARCH_REGS` (usable as an array index).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The register's class.
+    pub fn class(self) -> RegClass {
+        if self.0 < 32 {
+            RegClass::Int
+        } else {
+            RegClass::Float
+        }
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class() {
+            RegClass::Int => write!(f, "r{}", self.0),
+            RegClass::Float => write!(f, "f{}", self.0 - 32),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_and_float_ranges_do_not_overlap() {
+        for n in 0..32 {
+            assert_eq!(Reg::int(n).class(), RegClass::Int);
+            assert_eq!(Reg::float(n).class(), RegClass::Float);
+            assert_ne!(Reg::int(n).index(), Reg::float(n).index());
+        }
+    }
+
+    #[test]
+    fn from_index_round_trips() {
+        for i in 0..NUM_ARCH_REGS {
+            assert_eq!(Reg::from_index(i).index(), i);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn int_index_out_of_range_panics() {
+        let _ = Reg::int(32);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_index_out_of_range_panics() {
+        let _ = Reg::from_index(NUM_ARCH_REGS);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Reg::int(0).to_string(), "r0");
+        assert_eq!(Reg::int(31).to_string(), "r31");
+        assert_eq!(Reg::float(0).to_string(), "f0");
+        assert_eq!(Reg::float(31).to_string(), "f31");
+    }
+}

@@ -1,0 +1,275 @@
+//! A set-associative, write-allocate cache with LRU replacement.
+
+/// Cache geometry and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity.
+    pub ways: usize,
+    /// Line size in bytes.
+    pub line_bytes: usize,
+    /// Hit latency in cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Paper Table 2 L1I: 4-way 32 KB, 64 B lines. The 2-cycle hit latency
+    /// is part of the 15-cycle front-end depth.
+    pub fn l1i() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 64, latency: 2 }
+    }
+
+    /// Paper Table 2 L1D: 4-way 32 KB, 2 cycles, 64 B lines.
+    pub fn l1d() -> Self {
+        CacheConfig { size_bytes: 32 * 1024, ways: 4, line_bytes: 64, latency: 2 }
+    }
+
+    /// Paper Table 2 unified L2: 16-way 2 MB, 12 cycles, 64 B lines.
+    pub fn l2() -> Self {
+        CacheConfig { size_bytes: 2 * 1024 * 1024, ways: 16, line_bytes: 64, latency: 12 }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two() && self.line_bytes >= 8);
+        assert!(self.ways >= 1);
+        assert!(self.sets().is_power_of_two() && self.sets() >= 1, "sets must be a power of two");
+        assert_eq!(self.size_bytes, self.sets() * self.ways * self.line_bytes);
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    valid: bool,
+    tag: u64,
+    dirty: bool,
+    /// LRU stamp: higher = more recently used.
+    stamp: u64,
+    /// Filled by the prefetcher and not yet demand-hit.
+    prefetched: bool,
+}
+
+/// Result of a [`Cache::access`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AccessResult {
+    /// Line was present.
+    pub hit: bool,
+    /// The hit consumed a line brought in by the prefetcher (first touch).
+    pub prefetch_hit: bool,
+}
+
+/// The cache structure (state only; timing lives in
+/// [`crate::MemoryHierarchy`]).
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig::l1d());
+/// assert!(!c.access(0x1000, false).hit);
+/// c.fill(0x1000, false);
+/// assert!(c.access(0x1000, false).hit);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    tick: u64,
+}
+
+impl Cache {
+    /// Create a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two sets/lines).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        Cache { sets: vec![vec![Line::default(); config.ways]; config.sets()], config, tick: 0 }
+    }
+
+    /// The geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn set_and_tag(&self, addr: u64) -> (usize, u64) {
+        let line = addr / self.config.line_bytes as u64;
+        let set = (line as usize) & (self.config.sets() - 1);
+        let tag = line >> self.config.sets().trailing_zeros();
+        (set, tag)
+    }
+
+    /// Demand access. Updates LRU and the dirty bit on hit; misses change
+    /// no state (the fill happens separately via [`Cache::fill`] when the
+    /// data returns).
+    pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        for line in &mut self.sets[set] {
+            if line.valid && line.tag == tag {
+                line.stamp = self.tick;
+                line.dirty |= is_write;
+                let was_prefetch = line.prefetched;
+                line.prefetched = false;
+                return AccessResult { hit: true, prefetch_hit: was_prefetch };
+            }
+        }
+        AccessResult { hit: false, prefetch_hit: false }
+    }
+
+    /// Check for presence without disturbing LRU or prefetch state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let (set, tag) = self.set_and_tag(addr);
+        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Install the line containing `addr`, evicting LRU if needed.
+    /// `prefetch` marks prefetcher-initiated fills for usefulness stats.
+    /// Returns the evicted dirty line's address, if any (for writeback
+    /// accounting).
+    pub fn fill(&mut self, addr: u64, prefetch: bool) -> Option<u64> {
+        self.tick += 1;
+        let (set, tag) = self.set_and_tag(addr);
+        let ways = &mut self.sets[set];
+        // Already present (e.g. a demand fill raced a prefetch): refresh.
+        if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.stamp = self.tick;
+            return None;
+        }
+        let victim = match ways.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let (i, _) = ways
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, l)| l.stamp)
+                    .expect("ways nonempty");
+                i
+            }
+        };
+        let evicted = if ways[victim].valid && ways[victim].dirty {
+            let sets_bits = self.config.sets().trailing_zeros();
+            let line_no = (ways[victim].tag << sets_bits) | set as u64;
+            Some(line_no * self.config.line_bytes as u64)
+        } else {
+            None
+        };
+        ways[victim] =
+            Line { valid: true, tag, dirty: false, stamp: self.tick, prefetched: prefetch };
+        evicted
+    }
+
+    /// Line-aligned address of `addr`.
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr & !(self.config.line_bytes as u64 - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 2 sets × 2 ways × 64 B = 256 B.
+        Cache::new(CacheConfig { size_bytes: 256, ways: 2, line_bytes: 64, latency: 1 })
+    }
+
+    #[test]
+    fn geometry_helpers() {
+        let c = CacheConfig::l1d();
+        assert_eq!(c.sets(), 128);
+        assert_eq!(CacheConfig::l2().sets(), 2048);
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0x1000, false).hit);
+        c.fill(0x1000, false);
+        assert!(c.access(0x1000, false).hit);
+        assert!(c.access(0x103F, false).hit, "same line");
+        assert!(!c.access(0x1040, false).hit, "next line");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c = tiny();
+        // Three lines mapping to set 0 (line addresses stride 128 = 2 sets × 64).
+        c.fill(0, false);
+        c.fill(128, false);
+        c.access(0, false); // 0 is MRU, 128 is LRU
+        c.fill(256, false); // evicts 128
+        assert!(c.probe(0));
+        assert!(!c.probe(128));
+        assert!(c.probe(256));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback_address() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.access(0, true); // dirty
+        c.fill(128, false);
+        let evicted = c.fill(256, false); // evicts line 0 (LRU, dirty)
+        assert_eq!(evicted, Some(0));
+    }
+
+    #[test]
+    fn clean_eviction_reports_none() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(128, false);
+        assert_eq!(c.fill(256, false), None);
+    }
+
+    #[test]
+    fn prefetch_hit_reported_once() {
+        let mut c = tiny();
+        c.fill(0x40, true);
+        let first = c.access(0x40, false);
+        assert!(first.hit && first.prefetch_hit);
+        let second = c.access(0x40, false);
+        assert!(second.hit && !second.prefetch_hit);
+    }
+
+    #[test]
+    fn probe_does_not_disturb_lru() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(128, false);
+        // Probing 0 must not make it MRU.
+        assert!(c.probe(0));
+        c.fill(256, false); // LRU is 0 (fill order), so 0 is evicted
+        assert!(!c.probe(0));
+        assert!(c.probe(128));
+    }
+
+    #[test]
+    fn double_fill_is_idempotent() {
+        let mut c = tiny();
+        c.fill(0, false);
+        c.fill(0, false);
+        assert!(c.probe(0));
+        // Both other fills still fit: no spurious eviction happened.
+        c.fill(128, false);
+        assert!(c.probe(0) && c.probe(128));
+    }
+
+    #[test]
+    fn line_addr_masks_offset() {
+        let c = tiny();
+        assert_eq!(c.line_addr(0x107F), 0x1040);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 100, ways: 3, line_bytes: 64, latency: 1 });
+    }
+}

@@ -1,0 +1,202 @@
+//! DDR3-1600 (11-11-11) main-memory timing model (paper Table 2).
+//!
+//! Single channel, 2 ranks × 8 banks, 8 KB row buffers, 64 B data bus.
+//! With a 4 GHz core and an 800 MHz DRAM command clock, one DRAM cycle is
+//! 5 CPU cycles, so CL = tRCD = tRP = 11 DRAM cycles = 55 CPU cycles and a
+//! burst transfer is ~20 CPU cycles. The resulting latencies reproduce the
+//! paper's numbers: **75 CPU cycles** for a row-buffer hit (CL + burst),
+//! 130 for a closed row (tRCD + CL + burst) and **185** for a row conflict
+//! (tRP + tRCD + CL + burst). Refresh (tREFI 7.8 µs) is not modeled; its
+//! steady-state impact is ≈1 % of bandwidth (documented in `DESIGN.md`).
+
+/// DDR3 timing parameters, in CPU cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// CAS latency (CL) in CPU cycles.
+    pub cl: u64,
+    /// RAS-to-CAS delay (tRCD) in CPU cycles.
+    pub trcd: u64,
+    /// Row precharge (tRP) in CPU cycles.
+    pub trp: u64,
+    /// Data burst transfer time in CPU cycles.
+    pub burst: u64,
+    /// Number of ranks.
+    pub ranks: usize,
+    /// Banks per rank.
+    pub banks_per_rank: usize,
+    /// Row buffer size in bytes.
+    pub row_bytes: u64,
+}
+
+impl Default for DramConfig {
+    /// DDR3-1600 11-11-11 at a 4 GHz core: 1 DRAM cycle = 5 CPU cycles.
+    fn default() -> Self {
+        DramConfig {
+            cl: 55,
+            trcd: 55,
+            trp: 55,
+            burst: 20,
+            ranks: 2,
+            banks_per_rank: 8,
+            row_bytes: 8 * 1024,
+        }
+    }
+}
+
+impl DramConfig {
+    /// Minimum (row-hit) latency: CL + burst = 75 CPU cycles.
+    pub fn min_latency(&self) -> u64 {
+        self.cl + self.burst
+    }
+
+    /// Maximum (row-conflict) latency before queueing: tRP + tRCD + CL +
+    /// burst = 185 CPU cycles.
+    pub fn max_latency(&self) -> u64 {
+        self.trp + self.trcd + self.cl + self.burst
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    busy_until: u64,
+}
+
+/// Bank-and-row-aware DRAM timing model.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_mem::{Dram, DramConfig};
+/// let mut d = Dram::new(DramConfig::default());
+/// let first = d.access(0x10_0000, 0); // closed bank: tRCD + CL + burst
+/// assert_eq!(first, 130);
+/// let second = d.access(0x10_0040, first); // same row: CL + burst
+/// assert_eq!(second - first, 75);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dram {
+    config: DramConfig,
+    banks: Vec<Bank>,
+}
+
+impl Dram {
+    /// Create with the given timing parameters.
+    pub fn new(config: DramConfig) -> Self {
+        let n = config.ranks * config.banks_per_rank;
+        Dram { config, banks: vec![Bank::default(); n] }
+    }
+
+    /// The timing parameters.
+    pub fn config(&self) -> &DramConfig {
+        &self.config
+    }
+
+    fn map(&self, addr: u64) -> (usize, u64) {
+        // Row-interleaved bank mapping: consecutive rows rotate banks so
+        // streaming accesses keep their row-buffer locality but spread load.
+        let row_global = addr / self.config.row_bytes;
+        let bank = (row_global as usize) % self.banks.len();
+        let row = row_global / self.banks.len() as u64;
+        (bank, row)
+    }
+
+    /// Issue a read for `addr` at CPU cycle `now`; returns the cycle the
+    /// critical word is delivered. Requests to a busy bank queue behind it.
+    pub fn access(&mut self, addr: u64, now: u64) -> u64 {
+        let (bank_idx, row) = self.map(addr);
+        let bank = &mut self.banks[bank_idx];
+        let start = now.max(bank.busy_until);
+        let c = &self.config;
+        let latency = match bank.open_row {
+            Some(open) if open == row => c.cl + c.burst,
+            Some(_) => c.trp + c.trcd + c.cl + c.burst,
+            None => c.trcd + c.cl + c.burst,
+        };
+        let done = start + latency;
+        bank.open_row = Some(row);
+        // The bank is occupied until slightly before data completes (the
+        // burst overlaps the next command's lead-in).
+        bank.busy_until = done.saturating_sub(c.burst / 2);
+        done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_latency_bounds() {
+        let c = DramConfig::default();
+        assert_eq!(c.min_latency(), 75);
+        assert_eq!(c.max_latency(), 185);
+    }
+
+    #[test]
+    fn closed_open_conflict_sequence() {
+        let mut d = Dram::new(DramConfig::default());
+        // Closed bank.
+        let t1 = d.access(0, 0);
+        assert_eq!(t1, 130);
+        // Row hit in the same row.
+        let t2 = d.access(64, 200);
+        assert_eq!(t2 - 200, 75);
+        // Conflict: same bank, different row. With 16 banks and
+        // row-interleaving, the same bank repeats every 16 rows.
+        let conflict_addr = 16 * 8 * 1024;
+        let t3 = d.access(conflict_addr, 400);
+        assert_eq!(t3 - 400, 185);
+    }
+
+    #[test]
+    fn busy_bank_queues_requests() {
+        let mut d = Dram::new(DramConfig::default());
+        let t1 = d.access(0, 0);
+        // Back-to-back same-row request at cycle 0 must wait for the bank.
+        let t2 = d.access(64, 0);
+        assert!(t2 > t1 - 20, "second access queues behind the first");
+    }
+
+    #[test]
+    fn different_banks_proceed_in_parallel() {
+        let mut d = Dram::new(DramConfig::default());
+        let t1 = d.access(0, 0);
+        // Next row maps to the next bank: no queueing.
+        let t2 = d.access(8 * 1024, 0);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn unloaded_latencies_stay_within_paper_bounds() {
+        let mut d = Dram::new(DramConfig::default());
+        let mut now = 0;
+        let mut x = 123456789u64;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let addr = x % (1 << 30);
+            let done = d.access(addr, now);
+            let latency = done - now;
+            assert!((75..=185).contains(&latency), "latency {latency}");
+            // Issue slower than worst-case service: banks never queue.
+            now = done + 200;
+        }
+    }
+
+    #[test]
+    fn saturated_banks_queue_but_remain_bounded_per_request() {
+        // Arrivals far above service rate: queueing delay grows, but each
+        // individual service time stays within min..max once started.
+        let mut d = Dram::new(DramConfig::default());
+        let mut now = 0;
+        let mut last_done = 0u64;
+        for k in 0..200u64 {
+            let addr = (k * 8 * 1024) % (1 << 26); // rotate banks
+            let done = d.access(addr, now);
+            assert!(done >= now + 75);
+            last_done = last_done.max(done);
+            now += 7;
+        }
+        assert!(last_done > 200 * 7, "saturation must back pressure");
+    }
+}

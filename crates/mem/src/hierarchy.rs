@@ -1,0 +1,325 @@
+//! The composed memory hierarchy: L1I + L1D + unified L2 + DRAM, with
+//! MSHR-based miss merging and an L2 stride prefetcher (paper Table 2).
+//!
+//! Timing model: the hierarchy is queried with a CPU cycle `now` and
+//! returns the cycle at which the data is available. Cache state (LRU,
+//! fills) is updated eagerly at request time while the returned timing
+//! respects the miss latency — in-flight lines are tracked in the MSHR
+//! files, so requests to a line still in flight complete when the original
+//! fill does, never earlier. `now` must be non-decreasing across calls
+//! (the cycle-driven core guarantees this).
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::mshr::MshrFile;
+use crate::prefetch::StridePrefetcher;
+use std::collections::HashSet;
+use vpsim_stats::CacheStats;
+
+/// Full hierarchy configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryConfig {
+    /// L1 instruction cache geometry.
+    pub l1i: CacheConfig,
+    /// L1 data cache geometry.
+    pub l1d: CacheConfig,
+    /// Unified L2 geometry.
+    pub l2: CacheConfig,
+    /// L1D MSHR count (Table 2: 64).
+    pub l1d_mshrs: usize,
+    /// L2 MSHR count (Table 2: 64).
+    pub l2_mshrs: usize,
+    /// DRAM timing.
+    pub dram: DramConfig,
+    /// Enable the L2 stride prefetcher (degree 8, distance 1).
+    pub prefetch: bool,
+}
+
+impl Default for MemoryConfig {
+    fn default() -> Self {
+        MemoryConfig {
+            l1i: CacheConfig::l1i(),
+            l1d: CacheConfig::l1d(),
+            l2: CacheConfig::l2(),
+            l1d_mshrs: 64,
+            l2_mshrs: 64,
+            dram: DramConfig::default(),
+            prefetch: true,
+        }
+    }
+}
+
+/// The memory hierarchy (see module docs).
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_mem::{MemoryHierarchy, MemoryConfig};
+/// let mut m = MemoryHierarchy::new(MemoryConfig::default());
+/// let cold = m.load(0x40, 0x10_0000, 0);
+/// assert!(cold >= 130, "cold load goes to DRAM, got {cold}");
+/// let warm = m.load(0x40, 0x10_0000, cold + 1);
+/// assert_eq!(warm - (cold + 1), 2, "warm load hits L1D");
+/// ```
+#[derive(Debug, Clone)]
+pub struct MemoryHierarchy {
+    l1i: Cache,
+    l1d: Cache,
+    l2: Cache,
+    l1d_mshr: MshrFile,
+    l2_mshr: MshrFile,
+    prefetcher: Option<StridePrefetcher>,
+    /// L2 lines whose in-flight miss was initiated by the prefetcher; a
+    /// demand merging into one counts the prefetch as useful (late but
+    /// latency-reducing).
+    inflight_prefetch: HashSet<u64>,
+    dram: Dram,
+    /// L1I statistics.
+    pub l1i_stats: CacheStats,
+    /// L1D statistics.
+    pub l1d_stats: CacheStats,
+    /// L2 statistics (prefetch counters live here).
+    pub l2_stats: CacheStats,
+}
+
+impl MemoryHierarchy {
+    /// Build the hierarchy.
+    pub fn new(config: MemoryConfig) -> Self {
+        MemoryHierarchy {
+            l1i: Cache::new(config.l1i),
+            l1d: Cache::new(config.l1d),
+            l2: Cache::new(config.l2),
+            l1d_mshr: MshrFile::new(config.l1d_mshrs),
+            l2_mshr: MshrFile::new(config.l2_mshrs),
+            prefetcher: config.prefetch.then(StridePrefetcher::with_defaults),
+            inflight_prefetch: HashSet::new(),
+            dram: Dram::new(config.dram),
+            l1i_stats: CacheStats::default(),
+            l1d_stats: CacheStats::default(),
+            l2_stats: CacheStats::default(),
+        }
+    }
+
+    /// Instruction fetch of the line containing `pc` at cycle `now`;
+    /// returns the cycle the line is available.
+    pub fn fetch_inst(&mut self, pc: u64, now: u64) -> u64 {
+        self.l1i_stats.accesses += 1;
+        if self.l1i.access(pc, false).hit {
+            return now + self.l1i.config().latency;
+        }
+        self.l1i_stats.misses += 1;
+        let line = self.l2.line_addr(pc);
+        let ready = self.l2_request(pc, line, now);
+        self.l1i.fill(line, false);
+        ready
+    }
+
+    /// Data load issued by instruction `pc` to `addr` at cycle `now`.
+    pub fn load(&mut self, pc: u64, addr: u64, now: u64) -> u64 {
+        self.data_access(pc, addr, now, false)
+    }
+
+    /// Data store issued by instruction `pc` to `addr` at cycle `now`
+    /// (write-allocate; returns the fill-complete cycle, which the store
+    /// buffer hides from the pipeline).
+    pub fn store(&mut self, pc: u64, addr: u64, now: u64) -> u64 {
+        self.data_access(pc, addr, now, true)
+    }
+
+    fn data_access(&mut self, pc: u64, addr: u64, now: u64, is_write: bool) -> u64 {
+        self.l1d_mshr.expire(now);
+        self.l1d_stats.accesses += 1;
+        let line = self.l1d.line_addr(addr);
+        // A line still in flight completes with the original miss.
+        if let Some(ready) = self.l1d_mshr.lookup(line) {
+            self.l1d_stats.misses += 1;
+            return ready;
+        }
+        if self.l1d.access(addr, is_write).hit {
+            return now + self.l1d.config().latency;
+        }
+        self.l1d_stats.misses += 1;
+        let mut ready = self.l2_request(pc, line, now);
+        if !self.l1d_mshr.has_free() {
+            // All MSHRs busy: the miss waits for the earliest completion.
+            let freed = self.l1d_mshr.earliest_completion().expect("full file is nonempty");
+            self.l1d_mshr.expire(freed);
+            ready = ready.max(freed);
+        }
+        self.l1d_mshr.allocate(line, ready);
+        self.l1d.fill(line, false);
+        if is_write {
+            self.l1d.access(addr, true); // mark dirty after allocate
+        }
+        ready
+    }
+
+    /// L2-level request for `line` (from either L1) at cycle `now`.
+    fn l2_request(&mut self, pc: u64, line: u64, now: u64) -> u64 {
+        self.l2_mshr.expire(now);
+        self.l2_stats.accesses += 1;
+        let l2_lat = self.l2.config().latency;
+        let ready = if let Some(r) = self.l2_mshr.lookup(line) {
+            self.l2_stats.misses += 1;
+            if self.inflight_prefetch.remove(&line) {
+                self.l2_stats.useful_prefetches += 1;
+            }
+            r
+        } else {
+            let res = self.l2.access(line, false);
+            if res.hit {
+                if res.prefetch_hit {
+                    self.l2_stats.useful_prefetches += 1;
+                    self.inflight_prefetch.remove(&line);
+                }
+                now + l2_lat
+            } else {
+                self.l2_stats.misses += 1;
+                let mut r = self.dram.access(line, now + l2_lat);
+                if !self.l2_mshr.has_free() {
+                    let freed = self.l2_mshr.earliest_completion().expect("nonempty");
+                    self.l2_mshr.expire(freed);
+                    r = r.max(freed);
+                }
+                self.l2_mshr.allocate(line, r);
+                self.l2.fill(line, false);
+                r
+            }
+        };
+        // Train the prefetcher on the demand L2 access stream.
+        if let Some(pf) = self.prefetcher.as_mut() {
+            let targets = pf.train(pc, line);
+            for t in targets {
+                self.issue_prefetch(t, now);
+            }
+        }
+        ready
+    }
+
+    fn issue_prefetch(&mut self, addr: u64, now: u64) {
+        let line = self.l2.line_addr(addr);
+        if self.l2.probe(line) || self.l2_mshr.lookup(line).is_some() {
+            return;
+        }
+        // Prefetches are dropped when no MSHR is free (no demand blocking).
+        if !self.l2_mshr.has_free() {
+            return;
+        }
+        self.l2_stats.prefetches += 1;
+        let done = self.dram.access(line, now + self.l2.config().latency);
+        self.l2_mshr.allocate(line, done);
+        self.inflight_prefetch.insert(line);
+        self.l2.fill(line, true);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hierarchy() -> MemoryHierarchy {
+        MemoryHierarchy::new(MemoryConfig::default())
+    }
+
+    #[test]
+    fn cold_load_pays_dram_latency() {
+        let mut m = hierarchy();
+        let ready = m.load(0x40, 0x100000, 0);
+        assert!(ready >= 12 + 75, "got {ready}");
+        assert_eq!(m.l1d_stats.misses, 1);
+        assert_eq!(m.l2_stats.misses, 1);
+    }
+
+    #[test]
+    fn l1_hit_costs_two_cycles() {
+        let mut m = hierarchy();
+        let fill = m.load(0x40, 0x100000, 0);
+        let hit = m.load(0x40, 0x100000, fill);
+        assert_eq!(hit - fill, 2);
+        assert_eq!(m.l1d_stats.misses, 1);
+    }
+
+    #[test]
+    fn l2_hit_costs_twelve_cycles() {
+        let mut m = hierarchy();
+        let fill = m.load(0x40, 0x100000, 0);
+        // Evict from L1D by filling 5 conflicting lines (4-way, 128 sets →
+        // stride 128 × 64 B = 8 KB).
+        let mut t = fill + 1;
+        for k in 1..=5u64 {
+            t = m.load(0x40, 0x100000 + k * 8192, t) + 1;
+        }
+        let l2_hit = m.load(0x40, 0x100000, t);
+        assert_eq!(l2_hit - t, 12, "L2 hit after L1 eviction");
+    }
+
+    #[test]
+    fn inflight_misses_merge_in_mshr() {
+        let mut m = hierarchy();
+        let first = m.load(0x40, 0x200000, 0);
+        // Second access to the same line while the miss is outstanding.
+        let second = m.load(0x44, 0x200008, 1);
+        assert_eq!(second, first, "merged miss completes with the original");
+        assert_eq!(m.l2_stats.misses, 1, "only one L2 miss");
+    }
+
+    #[test]
+    fn streaming_accesses_trigger_useful_prefetches() {
+        let mut m = hierarchy();
+        let mut now = 0;
+        // Stream over 40 consecutive lines from one load PC.
+        let mut full_latency_misses = 0;
+        for k in 0..40u64 {
+            let ready = m.load(0x40, 0x400000 + k * 64, now);
+            // ≥130 cycles means the access paid the whole closed-row DRAM
+            // path itself; merged-into-prefetch accesses come back sooner.
+            if ready - now >= 130 {
+                full_latency_misses += 1;
+            }
+            now = ready + 1;
+        }
+        assert!(m.l2_stats.prefetches > 10, "prefetches {}", m.l2_stats.prefetches);
+        assert!(m.l2_stats.useful_prefetches > 5, "useful {}", m.l2_stats.useful_prefetches);
+        // The tail of the stream must ride on prefetches, not raw DRAM.
+        assert!(full_latency_misses < 10, "full-latency misses {full_latency_misses}");
+    }
+
+    #[test]
+    fn prefetching_can_be_disabled() {
+        let mut m = MemoryHierarchy::new(MemoryConfig { prefetch: false, ..Default::default() });
+        let mut now = 0;
+        for k in 0..20u64 {
+            now = m.load(0x40, 0x400000 + k * 64, now) + 1;
+        }
+        assert_eq!(m.l2_stats.prefetches, 0);
+    }
+
+    #[test]
+    fn instruction_fetches_fill_l1i() {
+        let mut m = hierarchy();
+        let cold = m.fetch_inst(0x1000, 0);
+        assert!(cold > 12);
+        assert_eq!(m.l1i_stats.misses, 1);
+        let warm = m.fetch_inst(0x1000, cold);
+        assert_eq!(warm - cold, 2);
+        assert_eq!(m.l1i_stats.misses, 1);
+    }
+
+    #[test]
+    fn stores_allocate_and_mark_dirty() {
+        let mut m = hierarchy();
+        let s = m.store(0x40, 0x300000, 0);
+        assert!(s >= 75);
+        let hit = m.load(0x44, 0x300000, s + 1);
+        assert_eq!(hit - (s + 1), 2, "store-allocated line hits");
+    }
+
+    #[test]
+    fn l1d_and_l1i_do_not_interfere() {
+        let mut m = hierarchy();
+        let d = m.load(0x40, 0x500000, 0);
+        let i = m.fetch_inst(0x500000, d + 1);
+        // The L2 line was filled by the data miss: the I-fetch hits L2.
+        assert_eq!(i - (d + 1), 12);
+    }
+}

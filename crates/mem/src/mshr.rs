@@ -1,0 +1,134 @@
+//! Miss Status Holding Registers: outstanding-miss tracking with merge.
+//!
+//! Paper Table 2 gives both L1D and L2 64 MSHRs. Requests to a line that is
+//! already outstanding merge into the existing entry (they complete when
+//! the first fill returns); when all MSHRs are busy a new miss must wait
+//! for the earliest completion.
+
+use std::collections::HashMap;
+
+/// A finite file of miss status holding registers.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_mem::MshrFile;
+/// let mut mshr = MshrFile::new(2);
+/// // A new miss at cycle 10 completing at cycle 100:
+/// assert_eq!(mshr.lookup(0x40), None);
+/// mshr.allocate(0x40, 100);
+/// // A second access to the same line merges:
+/// assert_eq!(mshr.lookup(0x40), Some(100));
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    outstanding: HashMap<u64, u64>, // line addr -> fill cycle
+}
+
+impl MshrFile {
+    /// Create a file with `capacity` registers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        MshrFile { capacity, outstanding: HashMap::with_capacity(capacity) }
+    }
+
+    /// Drop entries whose fill has completed by `now`.
+    pub fn expire(&mut self, now: u64) {
+        self.outstanding.retain(|_, &mut ready| ready > now);
+    }
+
+    /// Fill cycle of an outstanding miss on `line_addr`, if any (merge).
+    pub fn lookup(&self, line_addr: u64) -> Option<u64> {
+        self.outstanding.get(&line_addr).copied()
+    }
+
+    /// `true` if a new miss can allocate right now.
+    pub fn has_free(&self) -> bool {
+        self.outstanding.len() < self.capacity
+    }
+
+    /// The earliest completion among outstanding misses (when a full file
+    /// frees up), or `None` if empty.
+    pub fn earliest_completion(&self) -> Option<u64> {
+        self.outstanding.values().copied().min()
+    }
+
+    /// Record a new outstanding miss completing at `fill_cycle`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is full or the line is already outstanding —
+    /// callers must check [`MshrFile::has_free`] / [`MshrFile::lookup`].
+    pub fn allocate(&mut self, line_addr: u64, fill_cycle: u64) {
+        assert!(self.has_free(), "MSHR file full");
+        let prev = self.outstanding.insert(line_addr, fill_cycle);
+        assert!(prev.is_none(), "line already outstanding");
+    }
+
+    /// Number of outstanding misses.
+    pub fn len(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// `true` if no misses are outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.outstanding.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_lookup_expire_cycle() {
+        let mut m = MshrFile::new(4);
+        m.allocate(0x40, 50);
+        assert_eq!(m.lookup(0x40), Some(50));
+        m.expire(49);
+        assert_eq!(m.lookup(0x40), Some(50), "not yet complete");
+        m.expire(50);
+        assert_eq!(m.lookup(0x40), None, "completed at 50");
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0, 10);
+        m.allocate(64, 20);
+        assert!(!m.has_free());
+        assert_eq!(m.earliest_completion(), Some(10));
+        m.expire(10);
+        assert!(m.has_free());
+        m.allocate(128, 30);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "MSHR file full")]
+    fn over_allocation_panics() {
+        let mut m = MshrFile::new(1);
+        m.allocate(0, 10);
+        m.allocate(64, 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "already outstanding")]
+    fn double_allocation_panics() {
+        let mut m = MshrFile::new(2);
+        m.allocate(0, 10);
+        m.allocate(0, 20);
+    }
+
+    #[test]
+    fn empty_file_reports_no_completion() {
+        let m = MshrFile::new(2);
+        assert!(m.is_empty());
+        assert_eq!(m.earliest_completion(), None);
+    }
+}

@@ -1,0 +1,159 @@
+//! L2 stride prefetcher (paper Table 2: "Stride prefetcher, degree 8,
+//! distance 1").
+//!
+//! A per-PC reference-prediction table detects constant address strides in
+//! the L2 access stream; once a stride is confirmed twice, each training
+//! access emits up to `degree` prefetch addresses starting `distance`
+//! strides ahead.
+
+/// Per-PC stride detector driving L2 prefetches.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_mem::StridePrefetcher;
+/// let mut p = StridePrefetcher::with_defaults();
+/// assert!(p.train(0x40, 0x1000).is_empty());
+/// assert!(p.train(0x40, 0x1040).is_empty()); // first stride observed
+/// let prefetches = p.train(0x40, 0x1080);    // stride confirmed
+/// assert_eq!(prefetches.len(), 8);
+/// assert_eq!(prefetches[0], 0x10C0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StridePrefetcher {
+    table: Vec<Entry>,
+    index_bits: u32,
+    degree: usize,
+    distance: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    valid: bool,
+    tag: u32,
+    last_addr: u64,
+    stride: i64,
+    confirmed: u8, // 0..=2
+}
+
+impl StridePrefetcher {
+    /// The paper's configuration: degree 8, distance 1, 256-entry table.
+    pub fn with_defaults() -> Self {
+        StridePrefetcher::new(256, 8, 1)
+    }
+
+    /// Create with a `entries`-entry table issuing `degree` prefetches
+    /// `distance` strides ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two or `degree` is zero.
+    pub fn new(entries: usize, degree: usize, distance: u64) -> Self {
+        assert!(entries.is_power_of_two() && degree > 0);
+        StridePrefetcher {
+            table: vec![Entry::default(); entries],
+            index_bits: entries.trailing_zeros(),
+            degree,
+            distance,
+        }
+    }
+
+    /// Observe a demand access from instruction `pc` to `addr`; returns the
+    /// prefetch addresses to issue (empty until a stride is confirmed).
+    pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+        let index = ((pc >> 2) & ((1 << self.index_bits) - 1)) as usize;
+        let tag = (pc >> (2 + self.index_bits)) as u32;
+        let e = &mut self.table[index];
+        if !e.valid || e.tag != tag {
+            *e = Entry { valid: true, tag, last_addr: addr, stride: 0, confirmed: 0 };
+            return Vec::new();
+        }
+        let stride = addr.wrapping_sub(e.last_addr) as i64;
+        if stride == 0 {
+            return Vec::new(); // same line re-touch: nothing to learn
+        }
+        if stride == e.stride {
+            e.confirmed = (e.confirmed + 1).min(2);
+        } else {
+            e.stride = stride;
+            e.confirmed = 1;
+        }
+        e.last_addr = addr;
+        if e.confirmed < 2 {
+            return Vec::new();
+        }
+        (0..self.degree as u64)
+            .map(|k| addr.wrapping_add((e.stride * (self.distance + k) as i64) as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confirms_stride_after_two_repeats() {
+        let mut p = StridePrefetcher::with_defaults();
+        assert!(p.train(0x10, 1000).is_empty());
+        assert!(p.train(0x10, 1100).is_empty());
+        let pf = p.train(0x10, 1200);
+        assert_eq!(pf.len(), 8);
+        assert_eq!(pf[0], 1300);
+        assert_eq!(pf[7], 2000);
+    }
+
+    #[test]
+    fn negative_strides_prefetch_downward() {
+        let mut p = StridePrefetcher::with_defaults();
+        p.train(0x10, 2000);
+        p.train(0x10, 1900);
+        let pf = p.train(0x10, 1800);
+        assert_eq!(pf[0], 1700);
+    }
+
+    #[test]
+    fn stride_change_requires_reconfirmation() {
+        let mut p = StridePrefetcher::with_defaults();
+        p.train(0x10, 0);
+        p.train(0x10, 64);
+        assert!(!p.train(0x10, 128).is_empty());
+        // Stride changes: must re-confirm before prefetching again.
+        assert!(p.train(0x10, 1000).is_empty());
+        assert!(p.train(0x10, 2000).is_empty());
+        assert!(!p.train(0x10, 3000).is_empty());
+    }
+
+    #[test]
+    fn distinct_pcs_track_distinct_streams() {
+        let mut p = StridePrefetcher::with_defaults();
+        for k in 0..3u64 {
+            p.train(0x10, k * 64);
+            p.train(0x20, 100_000 - k * 128);
+        }
+        let a = p.train(0x10, 3 * 64);
+        let b = p.train(0x20, 100_000 - 3 * 128);
+        assert_eq!(a[0], 4 * 64);
+        assert_eq!(b[0], 100_000 - 4 * 128);
+    }
+
+    #[test]
+    fn zero_stride_is_ignored() {
+        let mut p = StridePrefetcher::with_defaults();
+        for _ in 0..5 {
+            assert!(p.train(0x10, 0x1000).is_empty());
+        }
+    }
+
+    #[test]
+    fn pc_conflict_reallocates() {
+        let mut p = StridePrefetcher::new(2, 4, 1);
+        p.train(0x0, 0);
+        p.train(0x0, 64);
+        // Conflicting pc (same index, different tag) steals the entry.
+        let conflicting = 2 * 4 * 4;
+        assert!(p.train(conflicting, 0).is_empty());
+        // Original pc must start over.
+        assert!(p.train(0x0, 128).is_empty());
+    }
+}

@@ -1,0 +1,335 @@
+//! Statistics collection and presentation for the vpsim simulator.
+//!
+//! This crate is deliberately dependency-free: every number the benchmark
+//! harness prints flows through the types defined here, so keeping it small
+//! and well-tested makes the experiment tables trustworthy.
+//!
+//! The main entry points are:
+//!
+//! * [`RunMetrics`] — cycles/instructions of a simulation run, with
+//!   [`RunMetrics::ipc`] and [`speedup`] helpers.
+//! * [`VpStats`] — value-prediction coverage/accuracy bookkeeping exactly as
+//!   defined in the paper (§8.2.2).
+//! * [`BranchStats`], [`CacheStats`] — substrate statistics.
+//! * [`mean`] — arithmetic/geometric/harmonic means used for the "a-mean"
+//!   and "g-mean" rows of the figures.
+//! * [`table::Table`] — ASCII and CSV rendering of result tables.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpsim_stats::{RunMetrics, speedup};
+//!
+//! let base = RunMetrics { cycles: 2_000, instructions: 1_000 };
+//! let vp = RunMetrics { cycles: 1_600, instructions: 1_000 };
+//! assert!((speedup(&base, &vp) - 1.25).abs() < 1e-12);
+//! ```
+
+pub mod mean;
+pub mod table;
+
+/// Cycles and retired-instruction counts of one simulation run.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_stats::RunMetrics;
+/// let m = RunMetrics { cycles: 500, instructions: 1_000 };
+/// assert_eq!(m.ipc(), 2.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct RunMetrics {
+    /// Total cycles elapsed between the first fetch and the last commit.
+    pub cycles: u64,
+    /// Instructions retired (committed) during the measured region.
+    pub instructions: u64,
+}
+
+impl RunMetrics {
+    /// Instructions per cycle. Returns `0.0` for an empty run.
+    pub fn ipc(&self) -> f64 {
+        ratio(self.instructions, self.cycles)
+    }
+
+    /// Cycles per instruction. Returns `0.0` for an empty run.
+    pub fn cpi(&self) -> f64 {
+        ratio(self.cycles, self.instructions)
+    }
+}
+
+/// Speedup of `new` over `base`: `IPC(new) / IPC(base)` for runs retiring the
+/// same instruction count, computed as a cycle ratio to avoid rounding.
+///
+/// Returns `1.0` when either run is degenerate (zero cycles).
+pub fn speedup(base: &RunMetrics, new: &RunMetrics) -> f64 {
+    if base.cycles == 0 || new.cycles == 0 || base.instructions == 0 || new.instructions == 0 {
+        return 1.0;
+    }
+    // speedup = (inst_new/cyc_new) / (inst_base/cyc_base)
+    (new.instructions as f64 * base.cycles as f64) / (new.cycles as f64 * base.instructions as f64)
+}
+
+/// Value-prediction bookkeeping, following the paper's definitions:
+///
+/// * **eligible** — µops producing a register and therefore candidates for VP;
+/// * **used** — predictions actually injected into the pipeline (confidence
+///   saturated at prediction time);
+/// * **coverage** = used / eligible;
+/// * **accuracy** = correct-used / used.
+///
+/// `hits`/`correct_unused` additionally track table hits whose confidence was
+/// too low to be used, which the paper's §8.2.2 discussion of the
+/// accuracy-vs-coverage trade-off relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct VpStats {
+    /// µops eligible for value prediction (produce a readable register).
+    pub eligible: u64,
+    /// Lookups that hit a predictor entry (confident or not).
+    pub hits: u64,
+    /// Predictions used by the pipeline (confidence saturated).
+    pub used: u64,
+    /// Used predictions whose value matched the architectural result.
+    pub correct_used: u64,
+    /// Used predictions whose value did not match (recovery triggered unless
+    /// no consumer had issued).
+    pub mispredicted: u64,
+    /// Unused (low-confidence) predictions that would have been correct.
+    pub correct_unused: u64,
+    /// Mispredictions for which no dependent µop had issued, so recovery was
+    /// skipped (the prediction is silently replaced by the computed result).
+    pub harmless_mispredictions: u64,
+}
+
+impl VpStats {
+    /// Fraction of eligible µops whose prediction was used.
+    pub fn coverage(&self) -> f64 {
+        ratio(self.used, self.eligible)
+    }
+
+    /// Fraction of used predictions that were correct.
+    pub fn accuracy(&self) -> f64 {
+        ratio(self.correct_used, self.used)
+    }
+
+    /// Mispredictions per kilo-instruction for a run of `instructions`.
+    pub fn mispredictions_per_kinst(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.mispredicted as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Merge another accumulator into this one.
+    pub fn merge(&mut self, other: &VpStats) {
+        self.eligible += other.eligible;
+        self.hits += other.hits;
+        self.used += other.used;
+        self.correct_used += other.correct_used;
+        self.mispredicted += other.mispredicted;
+        self.correct_unused += other.correct_unused;
+        self.harmless_mispredictions += other.harmless_mispredictions;
+    }
+}
+
+/// Conditional-branch direction and target prediction statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BranchStats {
+    /// Conditional branches executed.
+    pub conditional: u64,
+    /// Conditional direction mispredictions.
+    pub direction_mispredictions: u64,
+    /// Indirect/return target mispredictions (BTB/RAS misses included).
+    pub target_mispredictions: u64,
+    /// Unconditional control transfers (jumps, calls, returns).
+    pub unconditional: u64,
+}
+
+impl BranchStats {
+    /// All control-flow mispredictions.
+    pub fn total_mispredictions(&self) -> u64 {
+        self.direction_mispredictions + self.target_mispredictions
+    }
+
+    /// Mispredictions per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.total_mispredictions() as f64 * 1000.0 / instructions as f64
+        }
+    }
+
+    /// Direction prediction accuracy over conditional branches.
+    pub fn direction_accuracy(&self) -> f64 {
+        if self.conditional == 0 {
+            1.0
+        } else {
+            1.0 - self.direction_mispredictions as f64 / self.conditional as f64
+        }
+    }
+}
+
+/// Per-cache access/miss counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CacheStats {
+    /// Demand accesses (reads + writes), excluding prefetches.
+    pub accesses: u64,
+    /// Demand misses.
+    pub misses: u64,
+    /// Prefetches issued by this cache's prefetcher.
+    pub prefetches: u64,
+    /// Prefetched lines that were later hit by a demand access.
+    pub useful_prefetches: u64,
+}
+
+impl CacheStats {
+    /// Demand hit rate; `1.0` when there were no accesses.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses == 0 {
+            1.0
+        } else {
+            1.0 - self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Misses per kilo-instruction.
+    pub fn mpki(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            0.0
+        } else {
+            self.misses as f64 * 1000.0 / instructions as f64
+        }
+    }
+}
+
+/// The §3.2 statistic: how many VP-eligible µops were fetched in the cycle
+/// immediately following the fetch of their previous dynamic occurrence.
+///
+/// The paper reports up to 15.3 % and a 3.4 % arithmetic mean over its
+/// benchmark subset (8-wide fetch); the statistic motivates VTAGE's
+/// insensitivity to back-to-back prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct BackToBackStats {
+    /// VP-eligible µops observed at fetch.
+    pub eligible: u64,
+    /// Eligible µops whose previous occurrence was fetched one cycle earlier.
+    pub back_to_back: u64,
+}
+
+impl BackToBackStats {
+    /// Fraction of eligible µops fetched back-to-back.
+    pub fn fraction(&self) -> f64 {
+        ratio(self.back_to_back, self.eligible)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_and_cpi() {
+        let m = RunMetrics { cycles: 400, instructions: 1000 };
+        assert!((m.ipc() - 2.5).abs() < 1e-12);
+        assert!((m.cpi() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ipc_of_empty_run_is_zero() {
+        assert_eq!(RunMetrics::default().ipc(), 0.0);
+        assert_eq!(RunMetrics::default().cpi(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_cycle_ratio_for_equal_instruction_counts() {
+        let base = RunMetrics { cycles: 2000, instructions: 1000 };
+        let new = RunMetrics { cycles: 1000, instructions: 1000 };
+        assert!((speedup(&base, &new) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_accounts_for_different_instruction_counts() {
+        let base = RunMetrics { cycles: 2000, instructions: 1000 };
+        let new = RunMetrics { cycles: 2000, instructions: 2000 };
+        assert!((speedup(&base, &new) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_of_degenerate_runs_is_one() {
+        let ok = RunMetrics { cycles: 10, instructions: 10 };
+        assert_eq!(speedup(&RunMetrics::default(), &ok), 1.0);
+        assert_eq!(speedup(&ok, &RunMetrics::default()), 1.0);
+    }
+
+    #[test]
+    fn vp_coverage_and_accuracy() {
+        let s = VpStats {
+            eligible: 1000,
+            hits: 700,
+            used: 400,
+            correct_used: 399,
+            mispredicted: 1,
+            correct_unused: 100,
+            harmless_mispredictions: 0,
+        };
+        assert!((s.coverage() - 0.4).abs() < 1e-12);
+        assert!((s.accuracy() - 0.9975).abs() < 1e-12);
+        assert!((s.mispredictions_per_kinst(10_000) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vp_stats_merge_adds_fields() {
+        let mut a = VpStats { eligible: 1, hits: 2, used: 3, correct_used: 4, mispredicted: 5, correct_unused: 6, harmless_mispredictions: 7 };
+        let b = a;
+        a.merge(&b);
+        assert_eq!(a.eligible, 2);
+        assert_eq!(a.hits, 4);
+        assert_eq!(a.used, 6);
+        assert_eq!(a.correct_used, 8);
+        assert_eq!(a.mispredicted, 10);
+        assert_eq!(a.correct_unused, 12);
+        assert_eq!(a.harmless_mispredictions, 14);
+    }
+
+    #[test]
+    fn branch_stats_mpki_and_accuracy() {
+        let b = BranchStats {
+            conditional: 1000,
+            direction_mispredictions: 20,
+            target_mispredictions: 5,
+            unconditional: 100,
+        };
+        assert_eq!(b.total_mispredictions(), 25);
+        assert!((b.mpki(100_000) - 0.25).abs() < 1e-12);
+        assert!((b.direction_accuracy() - 0.98).abs() < 1e-12);
+    }
+
+    #[test]
+    fn branch_accuracy_with_no_branches_is_one() {
+        assert_eq!(BranchStats::default().direction_accuracy(), 1.0);
+    }
+
+    #[test]
+    fn cache_hit_rate() {
+        let c = CacheStats { accesses: 100, misses: 10, prefetches: 0, useful_prefetches: 0 };
+        assert!((c.hit_rate() - 0.9).abs() < 1e-12);
+        assert!((c.mpki(1000) - 10.0).abs() < 1e-12);
+        assert_eq!(CacheStats::default().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn back_to_back_fraction() {
+        let s = BackToBackStats { eligible: 200, back_to_back: 30 };
+        assert!((s.fraction() - 0.15).abs() < 1e-12);
+        assert_eq!(BackToBackStats::default().fraction(), 0.0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Arithmetic, geometric and harmonic means.
+//!
+//! The paper summarizes per-benchmark speedups with means ("3.4 % a-mean" in
+//! §3.2; the figures implicitly use geometric means for speedups). These
+//! helpers all return `None` for empty input so callers cannot silently
+//! print a bogus summary row.
+
+/// Arithmetic mean. Returns `None` for an empty slice.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vpsim_stats::mean::arithmetic(&[1.0, 2.0, 3.0]), Some(2.0));
+/// assert_eq!(vpsim_stats::mean::arithmetic(&[]), None);
+/// ```
+pub fn arithmetic(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        None
+    } else {
+        Some(values.iter().sum::<f64>() / values.len() as f64)
+    }
+}
+
+/// Geometric mean, computed in log-space for numerical stability.
+///
+/// Returns `None` for an empty slice or if any value is non-positive
+/// (a speedup can never legitimately be ≤ 0).
+///
+/// # Examples
+///
+/// ```
+/// let g = vpsim_stats::mean::geometric(&[1.0, 4.0]).unwrap();
+/// assert!((g - 2.0).abs() < 1e-12);
+/// assert_eq!(vpsim_stats::mean::geometric(&[1.0, -1.0]), None);
+/// ```
+pub fn geometric(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.ln()).sum();
+    Some((log_sum / values.len() as f64).exp())
+}
+
+/// Harmonic mean (the right mean for rates such as IPC at equal work).
+///
+/// Returns `None` for an empty slice or if any value is non-positive.
+///
+/// # Examples
+///
+/// ```
+/// let h = vpsim_stats::mean::harmonic(&[1.0, 3.0]).unwrap();
+/// assert!((h - 1.5).abs() < 1e-12);
+/// ```
+pub fn harmonic(values: &[f64]) -> Option<f64> {
+    if values.is_empty() || values.iter().any(|&v| v <= 0.0) {
+        return None;
+    }
+    let inv_sum: f64 = values.iter().map(|v| 1.0 / v).sum();
+    Some(values.len() as f64 / inv_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_basic() {
+        assert_eq!(arithmetic(&[2.0, 4.0]), Some(3.0));
+        assert_eq!(arithmetic(&[]), None);
+    }
+
+    #[test]
+    fn geometric_basic() {
+        let g = geometric(&[2.0, 8.0]).unwrap();
+        assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_rejects_nonpositive() {
+        assert_eq!(geometric(&[1.0, 0.0]), None);
+        assert_eq!(geometric(&[]), None);
+    }
+
+    #[test]
+    fn harmonic_basic() {
+        let h = harmonic(&[2.0, 2.0]).unwrap();
+        assert!((h - 2.0).abs() < 1e-12);
+        assert_eq!(harmonic(&[]), None);
+        assert_eq!(harmonic(&[0.0]), None);
+    }
+
+    #[test]
+    fn means_are_ordered_harmonic_le_geometric_le_arithmetic() {
+        let vals = [1.0, 2.0, 3.0, 10.0];
+        let a = arithmetic(&vals).unwrap();
+        let g = geometric(&vals).unwrap();
+        let h = harmonic(&vals).unwrap();
+        assert!(h <= g && g <= a);
+    }
+
+    #[test]
+    fn means_of_constant_slice_equal_the_constant() {
+        let vals = [3.5; 7];
+        assert!((arithmetic(&vals).unwrap() - 3.5).abs() < 1e-12);
+        assert!((geometric(&vals).unwrap() - 3.5).abs() < 1e-12);
+        assert!((harmonic(&vals).unwrap() - 3.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! ASCII and CSV table rendering for experiment output.
+//!
+//! Every table/figure reproduction in `vpsim-bench` is printed through
+//! [`Table`], so the output format is uniform and machine-readable
+//! (`--csv` in the harness switches to [`Table::to_csv`]).
+
+use std::fmt;
+
+/// A simple column-aligned table.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_stats::table::Table;
+///
+/// let mut t = Table::new(vec!["bench".into(), "speedup".into()]);
+/// t.row(vec!["gzip".into(), "1.04".into()]);
+/// t.row(vec!["h264ref".into(), "1.39".into()]);
+/// let ascii = t.to_ascii();
+/// assert!(ascii.contains("gzip"));
+/// assert!(t.to_csv().starts_with("bench,speedup"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create a table with the given column headers.
+    pub fn new(headers: Vec<String>) -> Self {
+        Table { headers, rows: Vec::new() }
+    }
+
+    /// Append a row. Rows shorter than the header are padded with empty
+    /// cells; longer rows extend the width of the table.
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The header cells.
+    pub fn headers(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    fn width(&self) -> usize {
+        self.rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Render as a column-aligned ASCII table with a header separator.
+    pub fn to_ascii(&self) -> String {
+        let ncols = self.width();
+        let mut widths = vec![0usize; ncols];
+        let all_rows = std::iter::once(&self.headers).chain(self.rows.iter());
+        for row in all_rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        render_row(&mut out, &self.headers, &widths);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(&mut out, row, &widths);
+        }
+        out
+    }
+
+    /// Render as CSV (RFC-4180-style quoting for cells containing commas,
+    /// quotes or newlines).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        csv_row(&mut out, &self.headers);
+        for row in &self.rows {
+            csv_row(&mut out, row);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_ascii())
+    }
+}
+
+fn render_row(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, width) in widths.iter().enumerate() {
+        let cell = cells.get(i).map(String::as_str).unwrap_or("");
+        let pad = width - cell.chars().count().min(*width);
+        if i > 0 {
+            out.push_str("  ");
+        }
+        // Right-align numeric-looking cells, left-align text.
+        if looks_numeric(cell) {
+            out.push_str(&" ".repeat(pad));
+            out.push_str(cell);
+        } else {
+            out.push_str(cell);
+            out.push_str(&" ".repeat(pad));
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+fn looks_numeric(cell: &str) -> bool {
+    !cell.is_empty()
+        && cell
+            .chars()
+            .all(|c| c.is_ascii_digit() || matches!(c, '.' | '-' | '+' | '%' | 'x' | 'e'))
+        && cell.chars().any(|c| c.is_ascii_digit())
+}
+
+fn csv_row(out: &mut String, cells: &[String]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if cell.contains([',', '"', '\n']) {
+            out.push('"');
+            out.push_str(&cell.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(cell);
+        }
+    }
+    out.push('\n');
+}
+
+/// Format a float with `digits` decimal places (convenience for table cells).
+pub fn fmt_f(value: f64, digits: usize) -> String {
+    format!("{value:.digits$}")
+}
+
+/// Format a fraction as a percentage with `digits` decimals, e.g. `0.0345` →
+/// `"3.45%"`.
+pub fn fmt_pct(fraction: f64, digits: usize) -> String {
+    format!("{:.digits$}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut t = Table::new(vec!["name".into(), "value".into()]);
+        t.row(vec!["alpha".into(), "1.25".into()]);
+        t.row(vec!["beta".into(), "10.50".into()]);
+        t
+    }
+
+    #[test]
+    fn ascii_contains_all_cells_and_separator() {
+        let s = sample().to_ascii();
+        for needle in ["name", "value", "alpha", "beta", "1.25", "10.50", "---"] {
+            assert!(s.contains(needle), "missing {needle} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn ascii_aligns_columns() {
+        let s = sample().to_ascii();
+        let lines: Vec<&str> = s.lines().collect();
+        // "alpha" and "beta " should start at column 0; numbers right-aligned.
+        assert!(lines[2].starts_with("alpha"));
+        assert!(lines[3].starts_with("beta"));
+        assert!(lines[2].ends_with("1.25"));
+        assert!(lines[3].ends_with("10.50"));
+    }
+
+    #[test]
+    fn csv_round_trips_simple_cells() {
+        let csv = sample().to_csv();
+        assert_eq!(csv, "name,value\nalpha,1.25\nbeta,10.50\n");
+    }
+
+    #[test]
+    fn csv_quotes_special_cells() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["x,y".into()]);
+        t.row(vec!["say \"hi\"".into()]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["only".into()]);
+        let s = t.to_ascii();
+        assert!(s.contains("only"));
+        assert_eq!(t.width(), 3);
+    }
+
+    #[test]
+    fn long_rows_extend_width() {
+        let mut t = Table::new(vec!["a".into()]);
+        t.row(vec!["1".into(), "2".into()]);
+        assert_eq!(t.width(), 2);
+        assert!(t.to_ascii().contains('2'));
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_f(1.23456, 2), "1.23");
+        assert_eq!(fmt_pct(0.0345, 1), "3.5%");
+    }
+
+    #[test]
+    fn display_matches_ascii() {
+        let t = sample();
+        assert_eq!(format!("{t}"), t.to_ascii());
+    }
+
+    #[test]
+    fn empty_table_renders_header_only() {
+        let t = Table::new(vec!["x".into()]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let s = t.to_ascii();
+        assert!(s.starts_with('x'));
+    }
+}

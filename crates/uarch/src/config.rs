@@ -1,0 +1,232 @@
+//! Core configuration (paper Table 2).
+
+use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_mem::MemoryConfig;
+
+/// Value-misprediction recovery policy (paper §3.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RecoveryPolicy {
+    /// Flush everything younger than the mispredicted µop when it commits.
+    /// Cheap hardware, high per-event penalty (~40–50 cycles); the paper's
+    /// practical proposal, viable once FPC pushes accuracy above 99.5 %.
+    SquashAtCommit,
+    /// Idealistic 0-cycle selective reissue: at execute time, every µop
+    /// that transitively consumed the wrong value re-enters the scheduler
+    /// immediately. Value-speculatively issued µops hold their IQ entries
+    /// until they become non-speculative (§7.2.1).
+    SelectiveReissue,
+}
+
+/// Value-prediction configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VpConfig {
+    /// Which predictor to instantiate (paper Table 1 sizing).
+    pub kind: PredictorKind,
+    /// Confidence flavour (baseline 3-bit vs FPC).
+    pub scheme: ConfidenceScheme,
+    /// Recovery mechanism.
+    pub recovery: RecoveryPolicy,
+}
+
+impl VpConfig {
+    /// A predictor with the recovery-matched FPC vector from §5.
+    pub fn enabled(kind: PredictorKind, recovery: RecoveryPolicy) -> Self {
+        let scheme = match recovery {
+            RecoveryPolicy::SquashAtCommit => ConfidenceScheme::fpc_squash(),
+            RecoveryPolicy::SelectiveReissue => ConfidenceScheme::fpc_reissue(),
+        };
+        VpConfig { kind, scheme, recovery }
+    }
+
+    /// A predictor with the baseline 3-bit confidence counters.
+    pub fn baseline_counters(kind: PredictorKind, recovery: RecoveryPolicy) -> Self {
+        VpConfig { kind, scheme: ConfidenceScheme::baseline(), recovery }
+    }
+}
+
+/// Functional-unit pool sizes and latencies (Table 2: "8ALU(1c),
+/// 4MulDiv(3c/25c*), 8FP(3c), 4FPMulDiv(5c/10c*), 4Ld/Str; * = not
+/// pipelined").
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuConfig {
+    /// Simple integer ALUs (also execute control µops).
+    pub alu_units: usize,
+    /// ALU latency.
+    pub alu_latency: u64,
+    /// Integer multiply/divide units.
+    pub muldiv_units: usize,
+    /// Integer multiply latency (pipelined).
+    pub mul_latency: u64,
+    /// Integer divide latency (not pipelined).
+    pub div_latency: u64,
+    /// FP add-class units.
+    pub fp_units: usize,
+    /// FP add latency.
+    pub fp_latency: u64,
+    /// FP multiply/divide units.
+    pub fpmuldiv_units: usize,
+    /// FP multiply latency (pipelined).
+    pub fpmul_latency: u64,
+    /// FP divide latency (not pipelined).
+    pub fpdiv_latency: u64,
+    /// Load ports.
+    pub load_ports: usize,
+    /// Store ports.
+    pub store_ports: usize,
+}
+
+impl Default for FuConfig {
+    fn default() -> Self {
+        FuConfig {
+            alu_units: 8,
+            alu_latency: 1,
+            muldiv_units: 4,
+            mul_latency: 3,
+            div_latency: 25,
+            fp_units: 8,
+            fp_latency: 3,
+            fpmuldiv_units: 4,
+            fpmul_latency: 5,
+            fpdiv_latency: 10,
+            load_ports: 4,
+            store_ports: 4,
+        }
+    }
+}
+
+/// Full core configuration (defaults = paper Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoreConfig {
+    /// Fetch/decode/rename width in µops.
+    pub fetch_width: usize,
+    /// Maximum taken branches fetched per cycle.
+    pub taken_branches_per_cycle: usize,
+    /// Front-end depth in cycles (fetch → dispatch; "slow front-end, 15
+    /// cycles").
+    pub frontend_depth: u64,
+    /// Issue width.
+    pub issue_width: usize,
+    /// Retire width.
+    pub retire_width: usize,
+    /// Reorder buffer entries.
+    pub rob_entries: usize,
+    /// Issue queue entries.
+    pub iq_entries: usize,
+    /// Load queue entries.
+    pub lq_entries: usize,
+    /// Store queue entries.
+    pub sq_entries: usize,
+    /// Integer physical registers.
+    pub int_prf: usize,
+    /// Floating-point physical registers.
+    pub fp_prf: usize,
+    /// Store-set SSIT entries (Table 2: 1K-SSID/LFST).
+    pub store_set_entries: usize,
+    /// Functional units.
+    pub fu: FuConfig,
+    /// Memory hierarchy.
+    pub mem: MemoryConfig,
+    /// Value prediction, if enabled.
+    pub vp: Option<VpConfig>,
+    /// Seed for all randomized structures (FPC LFSRs, TAGE allocation).
+    pub seed: u64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig {
+            fetch_width: 8,
+            taken_branches_per_cycle: 2,
+            frontend_depth: 15,
+            issue_width: 8,
+            retire_width: 8,
+            rob_entries: 256,
+            iq_entries: 128,
+            lq_entries: 48,
+            sq_entries: 48,
+            int_prf: 256,
+            fp_prf: 256,
+            store_set_entries: 1024,
+            fu: FuConfig::default(),
+            mem: MemoryConfig::default(),
+            vp: None,
+            seed: 0xC0DE_2014,
+        }
+    }
+}
+
+impl CoreConfig {
+    /// Builder-style: enable value prediction.
+    pub fn with_vp(mut self, vp: VpConfig) -> Self {
+        self.vp = Some(vp);
+        self
+    }
+
+    /// Builder-style: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validate invariants.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any width or structure size is zero.
+    pub fn validate(&self) {
+        assert!(self.fetch_width > 0 && self.issue_width > 0 && self.retire_width > 0);
+        assert!(self.rob_entries > 0 && self.iq_entries > 0);
+        assert!(self.lq_entries > 0 && self.sq_entries > 0);
+        assert!(self.int_prf >= 64 && self.fp_prf >= 64, "PRF must cover architectural state");
+        assert!(self.store_set_entries.is_power_of_two());
+        assert!(self.frontend_depth >= 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_table2() {
+        let c = CoreConfig::default();
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.rob_entries, 256);
+        assert_eq!(c.iq_entries, 128);
+        assert_eq!(c.lq_entries, 48);
+        assert_eq!(c.sq_entries, 48);
+        assert_eq!(c.int_prf, 256);
+        assert_eq!(c.fp_prf, 256);
+        assert_eq!(c.frontend_depth, 15);
+        assert_eq!(c.fu.alu_units, 8);
+        assert_eq!(c.fu.div_latency, 25);
+        assert!(c.vp.is_none());
+        c.validate();
+    }
+
+    #[test]
+    fn vp_config_picks_matching_fpc_vector() {
+        let squash = VpConfig::enabled(PredictorKind::Vtage, RecoveryPolicy::SquashAtCommit);
+        assert_eq!(squash.scheme, ConfidenceScheme::fpc_squash());
+        let reissue = VpConfig::enabled(PredictorKind::Vtage, RecoveryPolicy::SelectiveReissue);
+        assert_eq!(reissue.scheme, ConfidenceScheme::fpc_reissue());
+        let base = VpConfig::baseline_counters(PredictorKind::Lvp, RecoveryPolicy::SquashAtCommit);
+        assert_eq!(base.scheme, ConfidenceScheme::baseline());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = CoreConfig::default()
+            .with_seed(7)
+            .with_vp(VpConfig::enabled(PredictorKind::Vtage, RecoveryPolicy::SquashAtCommit));
+        assert_eq!(c.seed, 7);
+        assert!(c.vp.is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rob_is_rejected() {
+        let c = CoreConfig { rob_entries: 0, ..CoreConfig::default() };
+        c.validate();
+    }
+}

@@ -1,0 +1,136 @@
+//! The paper's §3.1 analytic recovery-cost model ("A Simple Synthetic
+//! Example").
+//!
+//! `T_recov = P_value × N_misp`: with an average benefit per correct,
+//! *used* prediction and an average misprediction penalty per recovery
+//! scheme, the net gain in cycles per kilo-instruction is
+//!
+//! ```text
+//! gain = eligible_per_kinst × coverage × accuracy × benefit × used_fraction
+//!      − eligible_per_kinst × coverage × (1 − accuracy) × penalty
+//! ```
+//!
+//! The paper instantiates it with 1000 eligible µops/Kinst, benefit 0.3
+//! cycles, 50 % of predictions used before execution, and penalties 5
+//! (selective reissue), 20 (squash at execute) and 40 (squash at commit):
+//! 40 % coverage at 95 % accuracy gives ≈ +64 / −86 / −286 cycles per
+//! Kinst, while 30 % coverage at 99.75 % accuracy gives ≈ +88 / +83 / +76 —
+//! the argument for trading coverage for accuracy (FPC).
+
+/// Parameters of the §3.1 analytic model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PenaltyModel {
+    /// Average benefit of one correct prediction, in cycles (0.3 in the
+    /// paper, "taking into account the number of unused predictions").
+    pub benefit_per_correct: f64,
+    /// Fraction of predictions consumed before the producer executes —
+    /// only those require recovery on a misprediction (50 % in the paper).
+    pub used_fraction: f64,
+    /// Value-prediction-eligible µops per kilo-instruction (the paper's
+    /// example treats every µop as predicted: 1000).
+    pub eligible_per_kinst: f64,
+}
+
+impl Default for PenaltyModel {
+    fn default() -> Self {
+        PenaltyModel { benefit_per_correct: 0.3, used_fraction: 0.5, eligible_per_kinst: 1000.0 }
+    }
+}
+
+/// Average misprediction penalties (cycles) for the three §3.1.1 schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryPenalties {
+    /// Selective reissue (realistic estimate 5–7; the example uses 5).
+    pub selective_reissue: f64,
+    /// Pipeline squash at execute time (20–30; the example uses 20).
+    pub squash_at_execute: f64,
+    /// Pipeline squash at commit time (40–50; the example uses 40).
+    pub squash_at_commit: f64,
+}
+
+impl Default for RecoveryPenalties {
+    fn default() -> Self {
+        RecoveryPenalties { selective_reissue: 5.0, squash_at_execute: 20.0, squash_at_commit: 40.0 }
+    }
+}
+
+impl PenaltyModel {
+    /// Net gain in cycles per kilo-instruction for a predictor with the
+    /// given `coverage` and `accuracy` under an average misprediction
+    /// `penalty`.
+    ///
+    /// The 0.3-cycle benefit already discounts unused predictions (the
+    /// paper's wording); the `used_fraction` instead discounts the *loss*:
+    /// a misprediction whose value no issued µop consumed needs no
+    /// recovery (§3.1.1, §7.2.1).
+    pub fn net_gain(&self, coverage: f64, accuracy: f64, penalty: f64) -> f64 {
+        let predicted = self.eligible_per_kinst * coverage;
+        let gain = predicted * accuracy * self.benefit_per_correct;
+        let loss = predicted * (1.0 - accuracy) * penalty * self.used_fraction;
+        gain - loss
+    }
+
+    /// The paper's two scenarios for all three schemes, in the order
+    /// (selective reissue, squash at execute, squash at commit).
+    pub fn scenario(&self, coverage: f64, accuracy: f64, p: &RecoveryPenalties) -> [f64; 3] {
+        [
+            self.net_gain(coverage, accuracy, p.selective_reissue),
+            self.net_gain(coverage, accuracy, p.squash_at_execute),
+            self.net_gain(coverage, accuracy, p.squash_at_commit),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's first scenario: 40 % coverage, 95 % accuracy → +64 for
+    /// selective reissue, −86 for squash-at-execute, −286 for
+    /// squash-at-commit (cycles per Kinst).
+    #[test]
+    fn scenario_low_accuracy_matches_paper() {
+        let m = PenaltyModel::default();
+        let [sr, sqe, sqc] = m.scenario(0.40, 0.95, &RecoveryPenalties::default());
+        assert!((sr - 64.0).abs() < 3.0, "selective reissue {sr}");
+        assert!((sqe - (-86.0)).abs() < 3.0, "squash@execute {sqe}");
+        assert!((sqc - (-286.0)).abs() < 3.0, "squash@commit {sqc}");
+    }
+
+    /// The paper's second scenario: 30 % coverage, 99.75 % accuracy →
+    /// ≈ +88 / +83 / +76.
+    #[test]
+    fn scenario_high_accuracy_matches_paper() {
+        let m = PenaltyModel::default();
+        let [sr, sqe, sqc] = m.scenario(0.30, 0.9975, &RecoveryPenalties::default());
+        assert!((sr - 88.0).abs() < 3.0, "selective reissue {sr}");
+        assert!((sqe - 83.0).abs() < 3.0, "squash@execute {sqe}");
+        assert!((sqc - 76.0).abs() < 3.0, "squash@commit {sqc}");
+    }
+
+    #[test]
+    fn high_accuracy_flattens_scheme_differences() {
+        // The core claim of the paper: with accuracy high enough, the
+        // recovery mechanism barely matters.
+        let m = PenaltyModel::default();
+        let p = RecoveryPenalties::default();
+        let low = m.scenario(0.40, 0.95, &p);
+        let high = m.scenario(0.30, 0.9975, &p);
+        let spread_low = low[0] - low[2];
+        let spread_high = high[0] - high[2];
+        assert!(spread_high < spread_low / 10.0);
+    }
+
+    #[test]
+    fn perfect_accuracy_gain_is_pure_benefit() {
+        let m = PenaltyModel::default();
+        let g = m.net_gain(1.0, 1.0, 40.0);
+        assert!((g - 300.0).abs() < 1e-9); // 1000 × 0.3
+    }
+
+    #[test]
+    fn zero_coverage_is_neutral() {
+        let m = PenaltyModel::default();
+        assert_eq!(m.net_gain(0.0, 0.5, 40.0), 0.0);
+    }
+}

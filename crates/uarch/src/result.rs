@@ -1,0 +1,120 @@
+//! Simulation run results.
+
+use vpsim_stats::{BackToBackStats, BranchStats, CacheStats, RunMetrics, VpStats};
+
+/// Per-cause cycle attribution for the front half of the machine.
+///
+/// Fetch causes are mutually exclusive per cycle; dispatch causes record
+/// the *first* structural resource that blocked an otherwise-ready µop in
+/// a cycle. Cycles where everything flowed appear in no bucket.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StallBreakdown {
+    /// Fetch idle waiting for an unresolved (mispredicted) branch.
+    pub fetch_branch_cycles: u64,
+    /// Fetch idle on a redirect/refill (I-cache miss fill or post-squash
+    /// resume).
+    pub fetch_redirect_cycles: u64,
+    /// Fetch idle because the fetch queue was full (back-pressure).
+    pub fetch_queue_full_cycles: u64,
+    /// Dispatch blocked by a full ROB.
+    pub dispatch_rob_cycles: u64,
+    /// Dispatch blocked by a full issue queue.
+    pub dispatch_iq_cycles: u64,
+    /// Dispatch blocked by a full load queue.
+    pub dispatch_lq_cycles: u64,
+    /// Dispatch blocked by a full store queue.
+    pub dispatch_sq_cycles: u64,
+    /// Dispatch blocked by physical-register exhaustion.
+    pub dispatch_prf_cycles: u64,
+    /// Cycles in which no µop committed.
+    pub commit_idle_cycles: u64,
+}
+
+impl StallBreakdown {
+    /// Total attributed fetch-stall cycles.
+    pub fn fetch_total(&self) -> u64 {
+        self.fetch_branch_cycles + self.fetch_redirect_cycles + self.fetch_queue_full_cycles
+    }
+
+    /// Total attributed dispatch-stall cycles.
+    pub fn dispatch_total(&self) -> u64 {
+        self.dispatch_rob_cycles
+            + self.dispatch_iq_cycles
+            + self.dispatch_lq_cycles
+            + self.dispatch_sq_cycles
+            + self.dispatch_prf_cycles
+    }
+
+    pub(crate) fn diff(&self, before: &StallBreakdown) -> StallBreakdown {
+        StallBreakdown {
+            fetch_branch_cycles: self.fetch_branch_cycles - before.fetch_branch_cycles,
+            fetch_redirect_cycles: self.fetch_redirect_cycles - before.fetch_redirect_cycles,
+            fetch_queue_full_cycles: self.fetch_queue_full_cycles - before.fetch_queue_full_cycles,
+            dispatch_rob_cycles: self.dispatch_rob_cycles - before.dispatch_rob_cycles,
+            dispatch_iq_cycles: self.dispatch_iq_cycles - before.dispatch_iq_cycles,
+            dispatch_lq_cycles: self.dispatch_lq_cycles - before.dispatch_lq_cycles,
+            dispatch_sq_cycles: self.dispatch_sq_cycles - before.dispatch_sq_cycles,
+            dispatch_prf_cycles: self.dispatch_prf_cycles - before.dispatch_prf_cycles,
+            commit_idle_cycles: self.commit_idle_cycles - before.commit_idle_cycles,
+        }
+    }
+}
+
+/// Everything a simulation run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunResult {
+    /// Cycles and committed instructions over the measured region.
+    pub metrics: RunMetrics,
+    /// Value prediction statistics (coverage, accuracy, …).
+    pub vp: VpStats,
+    /// Branch prediction statistics.
+    pub branch: BranchStats,
+    /// L1 instruction cache statistics.
+    pub l1i: CacheStats,
+    /// L1 data cache statistics.
+    pub l1d: CacheStats,
+    /// Unified L2 statistics.
+    pub l2: CacheStats,
+    /// §3.2 back-to-back fetch statistics for VP-eligible µops.
+    pub back_to_back: BackToBackStats,
+    /// Pipeline squashes triggered by value mispredictions at commit.
+    pub vp_squashes: u64,
+    /// µops re-executed by the selective reissue mechanism.
+    pub reissued_uops: u64,
+    /// Memory-order violations (store-set training events).
+    pub memory_order_violations: u64,
+    /// Cycle attribution for fetch/dispatch/commit stalls.
+    pub stalls: StallBreakdown,
+}
+
+pub(crate) fn diff_cache(after: &CacheStats, before: &CacheStats) -> CacheStats {
+    CacheStats {
+        accesses: after.accesses - before.accesses,
+        misses: after.misses - before.misses,
+        prefetches: after.prefetches - before.prefetches,
+        useful_prefetches: after.useful_prefetches - before.useful_prefetches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diff_cache_subtracts_fieldwise() {
+        let before = CacheStats { accesses: 10, misses: 2, prefetches: 1, useful_prefetches: 0 };
+        let after = CacheStats { accesses: 30, misses: 7, prefetches: 5, useful_prefetches: 3 };
+        let d = diff_cache(&after, &before);
+        assert_eq!(d.accesses, 20);
+        assert_eq!(d.misses, 5);
+        assert_eq!(d.prefetches, 4);
+        assert_eq!(d.useful_prefetches, 3);
+    }
+
+    #[test]
+    fn default_result_is_zeroed() {
+        let r = RunResult::default();
+        assert_eq!(r.metrics.instructions, 0);
+        assert_eq!(r.vp_squashes, 0);
+    }
+}

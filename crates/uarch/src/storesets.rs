@@ -1,0 +1,164 @@
+//! Store-set memory dependence prediction (Chrysos & Emer, ISCA 1998) —
+//! paper Table 2: "1K-SSID/LFST Store Sets".
+//!
+//! Loads and stores that have violated memory ordering in the past are
+//! placed in the same *store set*; a load dispatching with a store set
+//! waits for the last fetched store of that set (tracked in the LFST)
+//! before issuing. Independent memory instructions issue out of order.
+
+/// Store-set predictor: SSIT (PC → store set id) + LFST (set id → last
+/// in-flight store sequence number).
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_uarch::StoreSets;
+/// let mut ss = StoreSets::new(1024);
+/// // Until a violation is observed, loads are predicted independent.
+/// assert_eq!(ss.load_dependence(0x40), None);
+/// ss.record_violation(0x40, 0x80);
+/// ss.store_dispatched(0x80, 7);
+/// assert_eq!(ss.load_dependence(0x40), Some(7));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StoreSets {
+    ssit: Vec<Option<u16>>,
+    lfst: Vec<Option<u64>>,
+    index_bits: u32,
+    next_ssid: u16,
+}
+
+impl StoreSets {
+    /// Create with `entries` SSIT entries (power of two) and as many
+    /// LFST slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a power of two.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries.is_power_of_two());
+        StoreSets {
+            ssit: vec![None; entries],
+            lfst: vec![None; entries],
+            index_bits: entries.trailing_zeros(),
+            next_ssid: 0,
+        }
+    }
+
+    fn index(&self, pc: u64) -> usize {
+        (((pc >> 2) ^ (pc >> 13)) & ((1 << self.index_bits) - 1)) as usize
+    }
+
+    /// The in-flight store a load at `pc` must wait for, if any.
+    pub fn load_dependence(&self, pc: u64) -> Option<u64> {
+        let ssid = self.ssit[self.index(pc)]?;
+        self.lfst[ssid as usize]
+    }
+
+    /// Record that store `seq` at `pc` was dispatched (it becomes the last
+    /// fetched store of its set). Stores without a set are untracked.
+    pub fn store_dispatched(&mut self, pc: u64, seq: u64) {
+        if let Some(ssid) = self.ssit[self.index(pc)] {
+            self.lfst[ssid as usize] = Some(seq);
+        }
+    }
+
+    /// Clear the LFST entry when store `seq` executes (younger loads no
+    /// longer need to wait).
+    pub fn store_executed(&mut self, seq: u64) {
+        for slot in self.lfst.iter_mut() {
+            if *slot == Some(seq) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// Remove LFST entries for squashed stores (`seq > boundary`).
+    pub fn squash_after(&mut self, boundary: u64) {
+        for slot in self.lfst.iter_mut() {
+            if matches!(*slot, Some(s) if s > boundary) {
+                *slot = None;
+            }
+        }
+    }
+
+    /// A memory-order violation between `load_pc` and `store_pc`: merge
+    /// both into one store set (Chrysos & Emer's merge rule, simplified to
+    /// "adopt the smaller existing SSID").
+    pub fn record_violation(&mut self, load_pc: u64, store_pc: u64) {
+        let li = self.index(load_pc);
+        let si = self.index(store_pc);
+        let ssid = match (self.ssit[li], self.ssit[si]) {
+            (Some(a), Some(b)) => a.min(b),
+            (Some(a), None) | (None, Some(a)) => a,
+            (None, None) => {
+                let id = self.next_ssid;
+                self.next_ssid = (self.next_ssid + 1) % self.lfst.len() as u16;
+                id
+            }
+        };
+        self.ssit[li] = Some(ssid);
+        self.ssit[si] = Some(ssid);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn untrained_loads_are_independent() {
+        let ss = StoreSets::new(64);
+        assert_eq!(ss.load_dependence(0x1234), None);
+    }
+
+    #[test]
+    fn violation_links_load_to_store() {
+        let mut ss = StoreSets::new(64);
+        ss.record_violation(0x10, 0x20);
+        ss.store_dispatched(0x20, 42);
+        assert_eq!(ss.load_dependence(0x10), Some(42));
+        ss.store_executed(42);
+        assert_eq!(ss.load_dependence(0x10), None);
+    }
+
+    #[test]
+    fn unrelated_store_does_not_block() {
+        let mut ss = StoreSets::new(64);
+        ss.record_violation(0x10, 0x20);
+        ss.store_dispatched(0x999, 1); // no set: untracked
+        assert_eq!(ss.load_dependence(0x10), None);
+    }
+
+    #[test]
+    fn merge_adopts_common_ssid() {
+        let mut ss = StoreSets::new(64);
+        ss.record_violation(0x10, 0x20);
+        ss.record_violation(0x30, 0x40);
+        // Now link the two sets via a shared violation.
+        ss.record_violation(0x10, 0x40);
+        ss.store_dispatched(0x40, 9);
+        assert_eq!(ss.load_dependence(0x10), Some(9));
+    }
+
+    #[test]
+    fn squash_clears_young_stores() {
+        let mut ss = StoreSets::new(64);
+        ss.record_violation(0x10, 0x20);
+        ss.store_dispatched(0x20, 100);
+        ss.squash_after(50);
+        assert_eq!(ss.load_dependence(0x10), None);
+        ss.store_dispatched(0x20, 40);
+        ss.squash_after(50);
+        assert_eq!(ss.load_dependence(0x10), Some(40), "older store survives");
+    }
+
+    #[test]
+    fn newer_store_in_set_supersedes_older() {
+        let mut ss = StoreSets::new(64);
+        ss.record_violation(0x10, 0x20);
+        ss.store_dispatched(0x20, 1);
+        ss.store_dispatched(0x20, 2);
+        assert_eq!(ss.load_dependence(0x10), Some(2));
+    }
+}

@@ -1,0 +1,305 @@
+//! Shared code-generation building blocks for the benchmark analogues.
+//!
+//! Register convention used by the generators: `r28`–`r31` are reserved
+//! scratch registers for these helpers; generators own `r1`–`r27` and the
+//! FP registers.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vpsim_isa::{ProgramBuilder, Reg};
+
+/// Scratch registers reserved for pattern helpers.
+pub const SCRATCH0: Reg = Reg::int(28);
+/// Second helper scratch register.
+pub const SCRATCH1: Reg = Reg::int(29);
+
+/// LCG multiplier (Knuth's MMIX).
+pub const LCG_MUL: i64 = 6364136223846793005;
+/// LCG increment.
+pub const LCG_INC: i64 = 1442695040888963407;
+
+/// Bump allocator for non-overlapping data regions.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    next: u64,
+}
+
+impl Layout {
+    /// Start allocating at 1 MB (clear of the code address range).
+    pub fn new() -> Self {
+        Layout { next: 0x10_0000 }
+    }
+
+    /// Reserve a region of `words` 8-byte words, 4 KB-aligned; returns its
+    /// base address.
+    pub fn array(&mut self, words: usize) -> u64 {
+        let base = self.next;
+        let bytes = (words as u64) * 8;
+        self.next = (base + bytes + 0xFFF) & !0xFFF;
+        base
+    }
+}
+
+impl Default for Layout {
+    fn default() -> Self {
+        Layout::new()
+    }
+}
+
+/// Deterministic RNG for data initialization.
+pub fn rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
+/// Emit `x = x * LCG_MUL + LCG_INC` (pseudo-random value evolution; the
+/// classic source of *unpredictable* values and branch directions).
+pub fn lcg_step(b: &mut ProgramBuilder, x: Reg) {
+    b.load_imm(SCRATCH0, LCG_MUL);
+    b.mul(x, x, SCRATCH0);
+    b.load_imm(SCRATCH0, LCG_INC);
+    b.add(x, x, SCRATCH0);
+}
+
+/// Emit an unpredictable conditional branch driven by bit `bit` of `x`,
+/// skipping over `then_body` when the bit is zero.
+pub fn random_branch(b: &mut ProgramBuilder, x: Reg, bit: u8, then_body: impl FnOnce(&mut ProgramBuilder)) {
+    let skip = b.label();
+    b.shri(SCRATCH0, x, bit as i64);
+    b.andi(SCRATCH0, SCRATCH0, 1);
+    let zero = Reg::int(0);
+    b.beq(SCRATCH0, zero, skip);
+    then_body(b);
+    b.bind(skip);
+}
+
+/// Initialize an array of `words` words at `base` with LCG-random values.
+pub fn init_random_array(b: &mut ProgramBuilder, base: u64, words: usize, rng: &mut StdRng) {
+    let values: Vec<u64> = (0..words).map(|_| rng.gen()).collect();
+    b.data_block(base, &values);
+}
+
+/// Initialize a pointer-chase permutation: `table[k]` holds the address of
+/// entry `(k + step) % words`, with `gcd(step, words) == 1` guaranteeing a
+/// single cycle covering the whole table.
+pub fn init_chase_table(b: &mut ProgramBuilder, base: u64, words: usize, step: usize) {
+    assert!(gcd(step as u64, words as u64) == 1, "step must generate a full cycle");
+    let values: Vec<u64> = (0..words).map(|k| base + (((k + step) % words) as u64) * 8).collect();
+    b.data_block(base, &values);
+}
+
+/// Initialize a *shuffled* pointer-chase permutation (single cycle, random
+/// order — defeats the stride prefetcher, unlike [`init_chase_table`]).
+pub fn init_shuffled_chase(b: &mut ProgramBuilder, base: u64, words: usize, rng: &mut StdRng) {
+    // Sattolo's algorithm: a uniformly random single-cycle permutation.
+    let mut perm: Vec<usize> = (0..words).collect();
+    for i in (1..words).rev() {
+        let j = rng.gen_range(0..i);
+        perm.swap(i, j);
+    }
+    let mut values = vec![0u64; words];
+    for k in 0..words {
+        values[k] = base + (perm[k] as u64) * 8;
+    }
+    b.data_block(base, &values);
+}
+
+/// Emit a counted loop: `body(b)` runs `iters` times using `counter` and
+/// `limit` (both clobbered). The loop's closing branch is highly
+/// predictable — the common loop idiom.
+pub fn counted_loop(
+    b: &mut ProgramBuilder,
+    counter: Reg,
+    limit: Reg,
+    iters: i64,
+    body: impl FnOnce(&mut ProgramBuilder),
+) {
+    b.load_imm(counter, 0);
+    b.load_imm(limit, iters);
+    let top = b.bind_label();
+    body(b);
+    b.addi(counter, counter, 1);
+    b.blt(counter, limit, top);
+}
+
+/// Emit an *endless* outer loop around `body` (the simulator stops at its
+/// instruction budget; a final `halt` is emitted for completeness after an
+/// effectively unreachable bound).
+pub fn endless_outer(b: &mut ProgramBuilder, body: impl FnOnce(&mut ProgramBuilder)) {
+    let counter = Reg::int(27);
+    let limit = SCRATCH1;
+    b.load_imm(counter, 0);
+    b.load_imm(limit, i64::MAX);
+    let top = b.bind_label();
+    body(b);
+    b.addi(counter, counter, 1);
+    b.blt(counter, limit, top);
+    b.halt();
+}
+
+/// Emit a computed switch over `nblocks` equally sized blocks selected by
+/// `idx` (clobbered), exercising indirect-branch prediction. Each block is
+/// produced by `block(b, i)` and must not jump out; blocks are padded to a
+/// uniform size and joined after the switch.
+pub fn computed_switch(
+    b: &mut ProgramBuilder,
+    idx: Reg,
+    nblocks: usize,
+    block_insts: usize,
+    mut block: impl FnMut(&mut ProgramBuilder, usize),
+) {
+    let join = b.label();
+    let first = b.label();
+    // target = &first + idx * block_insts * 4
+    b.load_label_addr(SCRATCH0, first);
+    b.load_imm(SCRATCH1, (block_insts * 4) as i64);
+    b.mul(idx, idx, SCRATCH1);
+    b.add(SCRATCH0, SCRATCH0, idx);
+    b.jump_ind(SCRATCH0);
+    b.bind(first);
+    for i in 0..nblocks {
+        let start = b.len();
+        block(b, i);
+        let used = b.len() - start;
+        assert!(used < block_insts, "block {i} too large: {used} + jump > {block_insts}");
+        for _ in 0..(block_insts - used - 1) {
+            b.nop();
+        }
+        b.jump(join);
+    }
+    b.bind(join);
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_isa::Executor;
+
+    #[test]
+    fn layout_regions_do_not_overlap() {
+        let mut l = Layout::new();
+        let a = l.array(100);
+        let b = l.array(100);
+        assert!(b >= a + 800);
+        assert_eq!(b % 0x1000, 0, "4 KB aligned");
+    }
+
+    #[test]
+    fn lcg_step_produces_changing_values() {
+        let mut b = ProgramBuilder::new();
+        let x = Reg::int(1);
+        b.load_imm(x, 42);
+        lcg_step(&mut b, x);
+        lcg_step(&mut b, x);
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.by_ref().for_each(drop);
+        assert_ne!(e.reg(x), 42);
+    }
+
+    #[test]
+    fn chase_table_forms_single_cycle() {
+        let mut b = ProgramBuilder::new();
+        let base = 0x10000;
+        init_chase_table(&mut b, base, 8, 3);
+        b.halt();
+        let p = b.build().unwrap();
+        let e = Executor::new(&p);
+        // Follow the chain and verify we return to base after exactly 8 hops.
+        let mem = e.memory().clone();
+        let mut addr = base;
+        for hop in 1..=8 {
+            addr = mem.read(addr);
+            if hop < 8 {
+                assert_ne!(addr, base, "cycle too short at hop {hop}");
+            }
+        }
+        assert_eq!(addr, base);
+    }
+
+    #[test]
+    fn shuffled_chase_forms_single_cycle() {
+        let mut b = ProgramBuilder::new();
+        let base = 0x10000;
+        let mut r = rng(7, 0);
+        init_shuffled_chase(&mut b, base, 64, &mut r);
+        b.halt();
+        let p = b.build().unwrap();
+        let mem = Executor::new(&p).memory().clone();
+        let mut addr = base;
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..64 {
+            assert!(seen.insert(addr), "revisited {addr:#x} early");
+            addr = mem.read(addr);
+        }
+        assert_eq!(addr, base, "must close the cycle after 64 hops");
+    }
+
+    #[test]
+    #[should_panic(expected = "full cycle")]
+    fn chase_table_rejects_short_cycles() {
+        let mut b = ProgramBuilder::new();
+        init_chase_table(&mut b, 0, 8, 2); // gcd(2,8) != 1
+    }
+
+    #[test]
+    fn computed_switch_reaches_each_block() {
+        let mut b = ProgramBuilder::new();
+        let (idx, out) = (Reg::int(1), Reg::int(2));
+        for target in 0..4i64 {
+            b.load_imm(idx, target);
+            computed_switch(&mut b, idx, 4, 4, |b, i| {
+                b.load_imm(out, 100 + i as i64);
+            });
+            b.store(Reg::int(0), out, 0x8000 + target * 8);
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.by_ref().for_each(drop);
+        for t in 0..4u64 {
+            assert_eq!(e.memory().read(0x8000 + t * 8), 100 + t);
+        }
+    }
+
+    #[test]
+    fn counted_loop_iterates_exactly() {
+        let mut b = ProgramBuilder::new();
+        let acc = Reg::int(3);
+        counted_loop(&mut b, Reg::int(1), Reg::int(2), 10, |b| {
+            b.addi(acc, acc, 2);
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.by_ref().for_each(drop);
+        assert_eq!(e.reg(acc), 20);
+    }
+
+    #[test]
+    fn random_branch_takes_both_paths() {
+        let mut b = ProgramBuilder::new();
+        let (x, hits) = (Reg::int(1), Reg::int(2));
+        b.load_imm(x, 0x5EED);
+        counted_loop(&mut b, Reg::int(3), Reg::int(4), 64, |b| {
+            lcg_step(b, x);
+            random_branch(b, x, 33, |b| {
+                b.addi(hits, hits, 1);
+            });
+        });
+        b.halt();
+        let p = b.build().unwrap();
+        let mut e = Executor::new(&p);
+        e.by_ref().for_each(drop);
+        let h = e.reg(hits);
+        assert!(h > 10 && h < 54, "hits {h} should be near half of 64");
+    }
+}

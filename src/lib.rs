@@ -1,0 +1,52 @@
+//! # vpsim — Practical Data Value Speculation for Future High-End Processors
+//!
+//! A from-scratch Rust reproduction of **Perais & Seznec, HPCA 2014**:
+//! the VTAGE value predictor, Forward Probabilistic Counters (FPC) for
+//! confidence estimation, and commit-time prediction validation — together
+//! with the entire simulation substrate the paper's evaluation depends on
+//! (an 8-wide out-of-order core, TAGE branch prediction, a cache/DRAM
+//! hierarchy and SPEC-analogue workloads).
+//!
+//! This crate is a facade that re-exports the workspace members:
+//!
+//! * [`core`] (`vpsim-core`) — the value predictors and confidence schemes
+//!   (the paper's contribution): LVP, 2-delta stride, per-path stride,
+//!   order-4 FCM, D-FCM, VTAGE, hybrids, gDiff, and the FPC scheme.
+//! * [`isa`] (`vpsim-isa`) — the µop ISA, program builder and functional
+//!   executor that produce dynamic instruction traces.
+//! * [`branch`] (`vpsim-branch`) — TAGE direction predictor, BTB, RAS.
+//! * [`mem`] (`vpsim-mem`) — L1I/L1D/L2 caches, MSHRs, stride prefetcher,
+//!   DDR3-1600 timing model.
+//! * [`uarch`] (`vpsim-uarch`) — the cycle-level out-of-order core with
+//!   value-prediction integration and both recovery schemes.
+//! * [`workloads`] (`vpsim-workloads`) — 19 synthetic SPEC CPU2000/2006
+//!   benchmark analogues plus microkernels.
+//! * [`stats`] (`vpsim-stats`) — counters, metrics and table formatting.
+//!
+//! ## Quickstart
+//!
+//! ```rust
+//! use vpsim::uarch::{CoreConfig, Simulator, VpConfig, RecoveryPolicy};
+//! use vpsim::core::PredictorKind;
+//! use vpsim::workloads::microkernels;
+//!
+//! // Build a small strided-loop program and trace it.
+//! let program = microkernels::strided_loop(64, 8);
+//!
+//! // Simulate without value prediction…
+//! let base = Simulator::new(CoreConfig::default()).run(&program, 100_000);
+//!
+//! // …and with a VTAGE value predictor validated at commit.
+//! let vp = VpConfig::enabled(PredictorKind::Vtage, RecoveryPolicy::SquashAtCommit);
+//! let with_vp = Simulator::new(CoreConfig::default().with_vp(vp)).run(&program, 100_000);
+//!
+//! assert!(with_vp.metrics.ipc() >= base.metrics.ipc() * 0.95);
+//! ```
+
+pub use vpsim_branch as branch;
+pub use vpsim_core as core;
+pub use vpsim_isa as isa;
+pub use vpsim_mem as mem;
+pub use vpsim_stats as stats;
+pub use vpsim_uarch as uarch;
+pub use vpsim_workloads as workloads;

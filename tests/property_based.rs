@@ -1,0 +1,202 @@
+//! Property-based tests (proptest) on the predictor protocol, history
+//! folding, storage arithmetic and the ISA round trips.
+
+use proptest::prelude::*;
+use vpsim::core::history::{fold, fold_value16};
+use vpsim::core::{
+    ConfidenceScheme, GDiff, HistoryState, Lvp, PredictCtx, Prediction, Predictor,
+    PredictorKind, TwoDeltaStride, Vtage,
+};
+use vpsim::isa::{Executor, ProgramBuilder, Reg};
+
+/// Drive an arbitrary predict/train/squash schedule against a predictor
+/// and check protocol invariants hold (no panics, sane predictions).
+fn run_schedule(p: &mut dyn Predictor, ops: &[(u8, u64, u64)]) {
+    let mut seq = 0u64;
+    let mut inflight: Vec<u64> = Vec::new(); // seqs predicted, not yet trained
+    let mut hist = HistoryState::default();
+    for &(op, pc_sel, value) in ops {
+        match op % 3 {
+            // predict
+            0 => {
+                let pc = 0x40 + (pc_sel % 8) * 4;
+                let ctx = PredictCtx { seq, pc, hist, actual: Some(value) };
+                let pred: Prediction = p.predict(&ctx);
+                if pred.confident {
+                    assert!(pred.value.is_some(), "confident prediction must carry a value");
+                }
+                inflight.push(seq);
+                seq += 1;
+                hist.push_branch(pc, value & 1 == 1);
+            }
+            // train oldest
+            1 => {
+                if !inflight.is_empty() {
+                    let s = inflight.remove(0);
+                    p.train(s, value);
+                }
+            }
+            // squash a suffix
+            _ => {
+                if let Some(&oldest) = inflight.first() {
+                    let boundary = oldest + (pc_sel % 4);
+                    inflight.retain(|&s| s <= boundary);
+                    p.squash_after(boundary);
+                    seq = boundary + 1;
+                }
+            }
+        }
+    }
+    // Drain.
+    for s in inflight {
+        p.train(s, 0);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn predictor_protocol_tolerates_arbitrary_schedules(
+        ops in prop::collection::vec((0u8..3, 0u64..8, 0u64..1000), 1..200),
+        kind_sel in 0usize..4,
+    ) {
+        let kind = [
+            PredictorKind::Lvp,
+            PredictorKind::TwoDeltaStride,
+            PredictorKind::Fcm4,
+            PredictorKind::Vtage,
+        ][kind_sel];
+        let mut p = kind.build(ConfidenceScheme::fpc_squash(), 99);
+        run_schedule(p.as_mut(), &ops);
+    }
+
+    #[test]
+    fn hybrid_and_gdiff_tolerate_arbitrary_schedules(
+        ops in prop::collection::vec((0u8..3, 0u64..8, 0u64..1000), 1..150),
+    ) {
+        let mut h = PredictorKind::VtageStride.build(ConfidenceScheme::baseline(), 3);
+        run_schedule(h.as_mut(), &ops);
+        let mut g = GDiff::over_vtage(ConfidenceScheme::baseline(), 3);
+        run_schedule(&mut g, &ops);
+    }
+
+    #[test]
+    fn fold_output_fits_width(hist in any::<u128>(), len in 0u32..=128, bits in 1u32..=40) {
+        let f = fold(hist, len, bits);
+        prop_assert!(f < (1u64 << bits));
+    }
+
+    #[test]
+    fn fold_ignores_bits_beyond_len(hist in any::<u128>(), len in 1u32..=100, bits in 1u32..=30) {
+        let masked = hist & ((1u128 << len) - 1);
+        prop_assert_eq!(fold(hist, len, bits), fold(masked, len, bits));
+    }
+
+    #[test]
+    fn fold_value16_is_stable_and_total(v in any::<u64>()) {
+        prop_assert_eq!(fold_value16(v), fold_value16(v));
+    }
+
+    #[test]
+    fn confidence_counters_never_exceed_max(
+        outcomes in prop::collection::vec(any::<bool>(), 1..500),
+        seed in any::<u64>(),
+    ) {
+        let scheme = ConfidenceScheme::fpc_squash();
+        let mut lfsr = vpsim::core::Lfsr::new(seed);
+        let mut c = 0u8;
+        for ok in outcomes {
+            c = if ok { scheme.on_correct(c, &mut lfsr) } else { scheme.on_incorrect(c) };
+            prop_assert!(c <= scheme.max());
+        }
+    }
+
+    #[test]
+    fn lvp_only_predicts_trained_values(values in prop::collection::vec(0u64..50, 10..100)) {
+        // Whatever LVP confidently predicts must be a value it has seen.
+        let mut p = Lvp::with_defaults(ConfidenceScheme::baseline(), 1);
+        let mut seen = std::collections::HashSet::new();
+        for (k, &v) in values.iter().enumerate() {
+            let ctx = PredictCtx { seq: k as u64, pc: 0x40, ..Default::default() };
+            if let Some(guess) = p.predict(&ctx).confident_value() {
+                prop_assert!(seen.contains(&guess), "predicted unseen value {guess}");
+            }
+            p.train(k as u64, v);
+            seen.insert(v);
+        }
+    }
+
+    #[test]
+    fn stride_predictions_follow_arithmetic_closure(
+        start in 0u64..1000,
+        stride in prop::sample::select(vec![1u64, 2, 3, 8, 64, u64::MAX /* -1 */]),
+    ) {
+        // On a pure arithmetic sequence every confident prediction is exact.
+        let mut p = TwoDeltaStride::with_defaults(ConfidenceScheme::baseline(), 1);
+        let mut v = start;
+        for k in 0..64u64 {
+            let ctx = PredictCtx { seq: k, pc: 0x10, ..Default::default() };
+            if let Some(guess) = p.predict(&ctx).confident_value() {
+                prop_assert_eq!(guess, v, "at occurrence {}", k);
+            }
+            p.train(k, v);
+            v = v.wrapping_add(stride);
+        }
+    }
+
+    #[test]
+    fn vtage_storage_scales_with_geometry(base_pow in 6u32..12, comp_pow in 4u32..9) {
+        let cfg = vpsim::core::VtageConfig {
+            base_entries: 1 << base_pow,
+            component_entries: 1 << comp_pow,
+            history_lengths: vec![2, 4, 8],
+            base_tag_bits: 10,
+        };
+        let v = Vtage::new(cfg, ConfidenceScheme::baseline(), 1);
+        let bits = v.storage().total_bits();
+        let expected_base = (1usize << base_pow) * 67;
+        prop_assert!(bits > expected_base);
+    }
+
+    #[test]
+    fn executor_programs_with_random_alu_ops_terminate(
+        ops in prop::collection::vec((0u8..8, 1u8..8, 1u8..8, 1u8..8, -100i64..100), 1..60),
+    ) {
+        // Straight-line ALU programs always halt with exactly len+1 µops.
+        let mut b = ProgramBuilder::new();
+        for &(op, d, s1, s2, imm) in &ops {
+            let (d, s1, s2) = (Reg::int(d), Reg::int(s1), Reg::int(s2));
+            match op {
+                0 => { b.add(d, s1, s2); }
+                1 => { b.sub(d, s1, s2); }
+                2 => { b.mul(d, s1, s2); }
+                3 => { b.div(d, s1, s2); }
+                4 => { b.xor(d, s1, s2); }
+                5 => { b.addi(d, s1, imm); }
+                6 => { b.shli(d, s1, (imm & 63).abs()); }
+                _ => { b.load_imm(d, imm); }
+            }
+        }
+        b.halt();
+        let p = b.build().unwrap();
+        let n = Executor::new(&p).count();
+        prop_assert_eq!(n, ops.len() + 1);
+    }
+
+    #[test]
+    fn sparse_memory_read_write_laws(
+        writes in prop::collection::vec((0u64..1_000_000, any::<u64>()), 1..100),
+    ) {
+        use vpsim::isa::SparseMemory;
+        let mut m = SparseMemory::new();
+        let mut model = std::collections::HashMap::new();
+        for &(addr, val) in &writes {
+            m.write(addr, val);
+            model.insert(addr >> 3, val);
+        }
+        for (&word, &val) in &model {
+            prop_assert_eq!(m.read(word << 3), val);
+        }
+    }
+}
