@@ -1,0 +1,244 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the subset of criterion its benches use: `Criterion`,
+//! `benchmark_group` / `bench_function` / `bench_with_input`,
+//! `BenchmarkId`, `Throughput`, `Bencher::iter`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! Instead of criterion's full statistical machinery this shim does a
+//! short warm-up, then times batches until a wall-clock budget is spent
+//! and reports the median ns/iter (plus derived throughput) to stdout.
+//! Budget is configurable via `CRITERION_SHIM_MS` (milliseconds per
+//! benchmark, default 300). The numbers are honest medians but carry no
+//! confidence intervals; for regression tracking compare like with like.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Per-benchmark wall-clock measurement budget.
+fn budget() -> Duration {
+    let ms = std::env::var("CRITERION_SHIM_MS").ok().and_then(|s| s.parse().ok()).unwrap_or(300u64);
+    Duration::from_millis(ms)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Two-part benchmark identifier (`function/parameter`).
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build `function/parameter`.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        BenchmarkId { id: format!("{function}/{parameter}") }
+    }
+
+    /// Build from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration, one per batch
+}
+
+impl Bencher {
+    /// Time `f`, collecting batched samples until the budget is spent.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch costs ≳1% of the budget, so the Instant overhead vanishes.
+        let budget = budget();
+        let mut batch = 1u64;
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            let dt = t.elapsed();
+            if dt >= budget / 100 || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let start = Instant::now();
+        while start.elapsed() < budget {
+            let t = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            self.samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+    }
+}
+
+/// A group of related benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Set the per-iteration throughput used for derived rates.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes by wall-clock budget.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<D: Display, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<D: Display, I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: D,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id), &mut b.samples, self.throughput);
+        self
+    }
+
+    /// End the group (stdout formatting only).
+    pub fn finish(self) {
+        println!();
+    }
+}
+
+fn report(name: &str, samples: &mut [f64], throughput: Option<Throughput>) {
+    if samples.is_empty() {
+        println!("{name:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let rate = |per_iter: u64| per_iter as f64 / (median * 1e-9);
+    match throughput {
+        Some(Throughput::Elements(n)) => {
+            println!("{name:<48} {median:>14.1} ns/iter  {:>14.0} elem/s", rate(n));
+        }
+        Some(Throughput::Bytes(n)) => {
+            println!("{name:<48} {median:>14.1} ns/iter  {:>14.0} B/s", rate(n));
+        }
+        None => println!("{name:<48} {median:>14.1} ns/iter"),
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _criterion: self, name: name.into(), throughput: None }
+    }
+
+    /// Run a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: Vec::new() };
+        f(&mut b);
+        report(name, &mut b.samples, None);
+        self
+    }
+
+    /// Accepted for API compatibility (criterion's final report hook).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Re-export of `std::hint::black_box` for criterion-API compatibility.
+pub use std::hint::black_box;
+
+/// Define a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Define the bench-harness `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // The libtest-compatible harness is invoked with flags like
+            // `--bench`; a `--list` probe must print nothing and exit 0.
+            if std::env::args().any(|a| a == "--list") {
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        std::env::set_var("CRITERION_SHIM_MS", "5");
+        let mut b = Bencher { samples: Vec::new() };
+        let mut x = 0u64;
+        b.iter(|| {
+            x = x.wrapping_add(1);
+            x
+        });
+        assert!(!b.samples.is_empty());
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_SHIM_MS", "2");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(10)).sample_size(10);
+        g.bench_function("f", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("p", 3), &3u64, |b, &v| b.iter(|| v * 2));
+        g.finish();
+    }
+}

@@ -27,25 +27,21 @@ fn bench_predictors(c: &mut Criterion) {
         PredictorKind::VtageStride,
     ] {
         for stream in ["constant", "strided", "chaotic"] {
-            group.bench_with_input(
-                BenchmarkId::new(kind.label(), stream),
-                &stream,
-                |b, stream| {
-                    let mut p = kind.build(ConfidenceScheme::fpc_squash(), 1);
-                    let mut hist = HistoryState::default();
-                    let mut seq = 0u64;
-                    b.iter(|| {
-                        let pc = 0x40 + (seq % 16) * 4;
-                        let v = value_stream(stream, seq / 16);
-                        let ctx = PredictCtx { seq, pc, hist, actual: Some(v) };
-                        let pred = p.predict(&ctx);
-                        p.train(seq, v);
-                        hist.push_branch(pc, seq.is_multiple_of(3));
-                        seq += 1;
-                        black_box(pred)
-                    });
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(kind.label(), stream), &stream, |b, stream| {
+                let mut p = kind.build(ConfidenceScheme::fpc_squash(), 1);
+                let mut hist = HistoryState::default();
+                let mut seq = 0u64;
+                b.iter(|| {
+                    let pc = 0x40 + (seq % 16) * 4;
+                    let v = value_stream(stream, seq / 16);
+                    let ctx = PredictCtx { seq, pc, hist, actual: Some(v) };
+                    let pred = p.predict(&ctx);
+                    p.train(seq, v);
+                    hist.push_branch(pc, seq.is_multiple_of(3));
+                    seq += 1;
+                    black_box(pred)
+                });
+            });
         }
     }
     group.finish();

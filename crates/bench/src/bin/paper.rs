@@ -105,16 +105,12 @@ fn run_experiment(name: &str, o: &Options) -> Result<(), String> {
         "table1" => emit("Table 1: predictor layout", &exp::table1(), o.csv),
         "table2" => emit("Table 2: simulator configuration", &exp::table2(), o.csv),
         "table3" => emit("Table 3: benchmark suite", &exp::table3(b), o.csv),
-        "sec3-model" => emit(
-            "§3.1 analytic example (net cycles per Kinst)",
-            &exp::sec3_model(),
-            o.csv,
-        ),
-        "sec3-backtoback" => emit(
-            "§3.2 back-to-back eligible fetches",
-            &exp::sec3_backtoback(s, b),
-            o.csv,
-        ),
+        "sec3-model" => {
+            emit("§3.1 analytic example (net cycles per Kinst)", &exp::sec3_model(), o.csv)
+        }
+        "sec3-backtoback" => {
+            emit("§3.2 back-to-back eligible fetches", &exp::sec3_backtoback(s, b), o.csv)
+        }
         "sec4-regfile" => emit("§4 register-file port cost", &exp::sec4_regfile(), o.csv),
         "fig3" => emit("Figure 3: oracle speedup upper bound", &exp::fig3(s, b), o.csv),
         "fig4" => {
@@ -150,11 +146,9 @@ fn run_experiment(name: &str, o: &Options) -> Result<(), String> {
             o.csv,
         ),
         "ipc" => emit("Diagnostics: IPC and substrate stats", &exp::ipc_diagnostics(s, b), o.csv),
-        "ablation-vtage" => emit(
-            "Ablation: VTAGE component count (offline)",
-            &exp::ablation_vtage(s, b),
-            o.csv,
-        ),
+        "ablation-vtage" => {
+            emit("Ablation: VTAGE component count (offline)", &exp::ablation_vtage(s, b), o.csv)
+        }
         "ablation-extended" => emit(
             "Ablation: extended predictors (PP-Str, D-FCM, gDiff)",
             &exp::ablation_extended(s, b),
@@ -164,9 +158,19 @@ fn run_experiment(name: &str, o: &Options) -> Result<(), String> {
         "counters" => emit("§5 counter width vs FPC (VTAGE)", &exp::counters(s, b), o.csv),
         "all" => {
             for e in [
-                "table1", "table2", "table3", "sec3-model", "sec4-regfile",
-                "sec3-backtoback", "fig3", "fig4", "fig5", "fig6", "fig7",
-                "accuracy", "recovery",
+                "table1",
+                "table2",
+                "table3",
+                "sec3-model",
+                "sec4-regfile",
+                "sec3-backtoback",
+                "fig3",
+                "fig4",
+                "fig5",
+                "fig6",
+                "fig7",
+                "accuracy",
+                "recovery",
             ] {
                 run_experiment(e, o)?;
             }

@@ -48,7 +48,12 @@ fn print_result(r: &RunResult) {
     println!("IPC               {:.3}", r.metrics.ipc());
     println!("branch MPKI       {:.2}", r.branch.mpki(n));
     println!("direction acc.    {:.2}%", r.branch.direction_accuracy() * 100.0);
-    println!("L1I / L1D / L2 MPKI  {:.1} / {:.1} / {:.1}", r.l1i.mpki(n), r.l1d.mpki(n), r.l2.mpki(n));
+    println!(
+        "L1I / L1D / L2 MPKI  {:.1} / {:.1} / {:.1}",
+        r.l1i.mpki(n),
+        r.l1d.mpki(n),
+        r.l2.mpki(n)
+    );
     println!("L2 prefetches     {} ({} useful)", r.l2.prefetches, r.l2.useful_prefetches);
     println!("back-to-back      {:.1}%", r.back_to_back.fraction() * 100.0);
     if r.vp.eligible > 0 {
@@ -57,7 +62,10 @@ fn print_result(r: &RunResult) {
         if r.vp.used > 0 {
             println!("VP accuracy       {:.3}%", r.vp.accuracy() * 100.0);
         }
-        println!("VP mispredicted   {} ({} harmless)", r.vp.mispredicted, r.vp.harmless_mispredictions);
+        println!(
+            "VP mispredicted   {} ({} harmless)",
+            r.vp.mispredicted, r.vp.harmless_mispredictions
+        );
         println!("VP squashes       {}", r.vp_squashes);
         println!("reissued µops     {}", r.reissued_uops);
     }
@@ -75,10 +83,7 @@ fn print_result(r: &RunResult) {
         st.dispatch_sq_cycles,
         st.dispatch_prf_cycles
     );
-    println!(
-        "commit-idle       {} of {} cycles",
-        st.commit_idle_cycles, r.metrics.cycles
-    );
+    println!("commit-idle       {} of {} cycles", st.commit_idle_cycles, r.metrics.cycles);
 }
 
 fn main() -> ExitCode {

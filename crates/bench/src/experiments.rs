@@ -20,12 +20,8 @@ pub const SINGLE_SCHEMES: [PredictorKind; 4] = PredictorKind::PAPER_SET;
 
 /// Table 1: predictor layout summary (entries, tag width, size in KB).
 pub fn table1() -> Table {
-    let mut t = Table::new(vec![
-        "Predictor".into(),
-        "#Entries".into(),
-        "Tag".into(),
-        "Size (KB)".into(),
-    ]);
+    let mut t =
+        Table::new(vec!["Predictor".into(), "#Entries".into(), "Tag".into(), "Size (KB)".into()]);
     let scheme = ConfidenceScheme::baseline();
     for kind in [
         PredictorKind::Lvp,
@@ -124,7 +120,8 @@ pub fn sec3_model() -> Table {
 /// §4: register file port-cost model.
 pub fn sec4_regfile() -> Table {
     let c = vp_port_cost(8);
-    let mut t = Table::new(vec!["Configuration".into(), "Area (W² units)".into(), "Overhead".into()]);
+    let mut t =
+        Table::new(vec!["Configuration".into(), "Area (W² units)".into(), "Overhead".into()]);
     t.row(vec!["R=2W baseline (12W²)".into(), fmt_f(c.baseline / 64.0, 1), "-".into()]);
     t.row(vec![
         "+W write ports, naive (24W²)".into(),
@@ -176,12 +173,7 @@ pub fn fig3(s: &RunSettings, benches: &[Benchmark]) -> Table {
 /// Shared engine for Figures 4 and 5: speedups of the four single-scheme
 /// predictors under a given recovery policy, with baseline 3-bit counters
 /// ("(a)") or FPC ("(b)").
-pub fn fig45(
-    s: &RunSettings,
-    benches: &[Benchmark],
-    recovery: RecoveryPolicy,
-    fpc: bool,
-) -> Table {
+pub fn fig45(s: &RunSettings, benches: &[Benchmark], recovery: RecoveryPolicy, fpc: bool) -> Table {
     let scheme = match (fpc, recovery) {
         (false, _) => ConfidenceScheme::baseline(),
         (true, RecoveryPolicy::SquashAtCommit) => ConfidenceScheme::fpc_squash(),
@@ -346,11 +338,7 @@ pub fn accuracy(s: &RunSettings, benches: &[Benchmark]) -> Table {
 /// Compare squash-at-commit against idealistic selective reissue under FPC
 /// for one predictor — the §8.2.4 "recovery mechanism has little impact"
 /// claim, distilled.
-pub fn recovery_comparison(
-    s: &RunSettings,
-    benches: &[Benchmark],
-    kind: PredictorKind,
-) -> Table {
+pub fn recovery_comparison(s: &RunSettings, benches: &[Benchmark], kind: PredictorKind) -> Table {
     let base = sweep(s, benches, || s.core());
     let squash = sweep(s, benches, || {
         s.core().with_vp(VpConfig {
@@ -548,12 +536,8 @@ pub fn counters(s: &RunSettings, benches: &[Benchmark]) -> Table {
         });
         let speedups = res.speedups(&base);
         let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
-        let accs: Vec<f64> = res
-            .rows
-            .iter()
-            .filter(|(_, r)| r.vp.used > 0)
-            .map(|(_, r)| r.vp.accuracy())
-            .collect();
+        let accs: Vec<f64> =
+            res.rows.iter().filter(|(_, r)| r.vp.used > 0).map(|(_, r)| r.vp.accuracy()).collect();
         t.row(vec![
             label.into(),
             fmt_f(mean::geometric(&speedups).unwrap_or(1.0), 3),

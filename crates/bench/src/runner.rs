@@ -134,8 +134,7 @@ mod tests {
     #[test]
     fn suite_speedups_align_rows() {
         let s = tiny();
-        let benches: Vec<_> =
-            ["gzip", "h264ref"].iter().map(|n| benchmark(n).unwrap()).collect();
+        let benches: Vec<_> = ["gzip", "h264ref"].iter().map(|n| benchmark(n).unwrap()).collect();
         let base = sweep(&s, &benches, || s.core());
         let vp = sweep(&s, &benches, || {
             s.core().with_vp(VpConfig::enabled(

@@ -87,13 +87,8 @@ impl Btb {
             }
         }
         // Miss: fill an invalid way, else the LRU way.
-        let victim = (0..2).find(|&w| !set[w].valid).unwrap_or_else(|| {
-            if set[0].lru {
-                0
-            } else {
-                1
-            }
-        });
+        let victim =
+            (0..2).find(|&w| !set[w].valid).unwrap_or_else(|| if set[0].lru { 0 } else { 1 });
         set[victim] = Way { valid: true, tag, target, lru: false };
         set[1 - victim].lru = true;
     }

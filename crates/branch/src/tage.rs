@@ -184,7 +184,8 @@ impl Tage {
         let (pred, used_alt) = if provider == 0 {
             (bim_pred, false)
         } else {
-            let e = &self.components[provider as usize - 1][indices[provider as usize - 1] as usize];
+            let e =
+                &self.components[provider as usize - 1][indices[provider as usize - 1] as usize];
             // USE_ALT_ON_NA: a newly allocated entry (weak counter, not yet
             // useful) defers to the alternate prediction.
             let newly_allocated = e.u == 0 && (e.ctr == 0 || e.ctr == -1);
@@ -441,11 +442,7 @@ mod tests {
     #[test]
     fn storage_bits_are_positive_and_scale_with_entries() {
         let small = Tage::new(
-            TageConfig {
-                bimodal_entries: 1024,
-                component_entries: 128,
-                ..TageConfig::default()
-            },
+            TageConfig { bimodal_entries: 1024, component_entries: 128, ..TageConfig::default() },
             1,
         );
         let big = Tage::with_defaults(1);
@@ -456,7 +453,11 @@ mod tests {
     #[should_panic]
     fn invalid_history_lengths_panic() {
         let _ = Tage::new(
-            TageConfig { history_lengths: vec![4, 4], tag_bits: vec![8, 8], ..TageConfig::default() },
+            TageConfig {
+                history_lengths: vec![4, 4],
+                tag_bits: vec![8, 8],
+                ..TageConfig::default()
+            },
             1,
         );
     }

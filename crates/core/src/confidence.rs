@@ -317,10 +317,7 @@ mod tests {
         }
         let mean = total_steps as f64 / trials as f64;
         let expected = s.expected_steps_to_saturation();
-        assert!(
-            (mean - expected).abs() / expected < 0.15,
-            "mean {mean} vs expected {expected}"
-        );
+        assert!((mean - expected).abs() / expected < 0.15, "mean {mean} vs expected {expected}");
     }
 
     #[test]

@@ -131,11 +131,7 @@ impl FcmCore {
         let spec = self.spec_hist.recent(pc, ORDER);
         let mut hist = [0u16; ORDER];
         for i in 0..ORDER {
-            hist[i] = if i < spec.len() {
-                spec[i] as u16
-            } else {
-                committed[i - spec.len()]
-            };
+            hist[i] = if i < spec.len() { spec[i] as u16 } else { committed[i - spec.len()] };
         }
         hist
     }
@@ -405,15 +401,13 @@ mod tests {
     fn dfcm_learns_strided_sequence_with_one_vpt_entry_per_delta() {
         let mut p = DFcm::with_defaults(ConfidenceScheme::baseline(), 1);
         // Pure stride: differences constant → captured by difference history.
-        let mut seq = 0;
         let mut confident = 0;
         for k in 0..60u64 {
-            if let Some(v) = p.predict(&ctx(seq, 0x40)).confident_value() {
+            if let Some(v) = p.predict(&ctx(k, 0x40)).confident_value() {
                 assert_eq!(v, k * 16);
                 confident += 1;
             }
-            p.train(seq, k * 16);
-            seq += 1;
+            p.train(k, k * 16);
         }
         assert!(confident > 30, "D-FCM must lock onto the stride, got {confident}");
     }
@@ -423,19 +417,17 @@ mod tests {
         // Values: +1, +9, +1, +9, … — stride predictors fail, D-FCM succeeds.
         let mut p = DFcm::with_defaults(ConfidenceScheme::baseline(), 1);
         let mut v = 0u64;
-        let mut seq = 0;
         let mut correct = 0;
         let mut total = 0;
-        for k in 0..120 {
+        for k in 0..120u64 {
             v += if k % 2 == 0 { 1 } else { 9 };
-            if let Some(pred) = p.predict(&ctx(seq, 0x40)).confident_value() {
+            if let Some(pred) = p.predict(&ctx(k, 0x40)).confident_value() {
                 total += 1;
                 if pred == v {
                     correct += 1;
                 }
             }
-            p.train(seq, v);
-            seq += 1;
+            p.train(k, v);
         }
         assert!(total > 40, "expected confidence on alternating deltas, got {total}");
         assert!(correct as f64 / total as f64 > 0.9, "{correct}/{total}");

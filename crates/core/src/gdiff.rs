@@ -224,9 +224,9 @@ impl Predictor for GDiff {
                 e.conf = self.scheme.on_incorrect(e.conf);
                 // Re-select: find a distance whose delta repeated.
                 let mut new_choice = None;
-                for d in 0..GVH_DEPTH {
-                    if let Some(v) = gvh_before[d] {
-                        let nd = actual.wrapping_sub(v);
+                for (d, slot) in gvh_before.iter().enumerate() {
+                    if let Some(v) = slot {
+                        let nd = actual.wrapping_sub(*v);
                         if nd == e.diffs[d] {
                             new_choice = Some((d as u8, nd));
                             break;
@@ -239,9 +239,9 @@ impl Predictor for GDiff {
                 }
             }
             // Record the fresh deltas for the next re-selection.
-            for d in 0..GVH_DEPTH {
-                if let Some(v) = gvh_before[d] {
-                    e.diffs[d] = actual.wrapping_sub(v);
+            for (d, slot) in gvh_before.iter().enumerate() {
+                if let Some(v) = slot {
+                    e.diffs[d] = actual.wrapping_sub(*v);
                 }
             }
         } else {

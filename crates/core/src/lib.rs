@@ -271,7 +271,9 @@ impl std::str::FromStr for PredictorKind {
             "dfcm" | "d-fcm" | "o4-d-fcm" => Ok(PredictorKind::DFcm4),
             "vtage" => Ok(PredictorKind::Vtage),
             "vtage-2dstr" | "vtage-stride" | "vtagestride" => Ok(PredictorKind::VtageStride),
-            "fcm-2dstr" | "o4-fcm-2dstr" | "fcm-stride" | "fcmstride" => Ok(PredictorKind::FcmStride),
+            "fcm-2dstr" | "o4-fcm-2dstr" | "fcm-stride" | "fcmstride" => {
+                Ok(PredictorKind::FcmStride)
+            }
             "gdiff" | "gdiff-vtage" => Ok(PredictorKind::GDiffVtage),
             "sag" | "sag-lvp" | "saglvp" => Ok(PredictorKind::SagLvp),
             "oracle" => Ok(PredictorKind::Oracle),

@@ -77,7 +77,14 @@ impl Storage {
 impl fmt::Display for Storage {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for c in &self.components {
-            writeln!(f, "{}: {} x {} bits = {:.1} KB", c.name, c.entries, c.bits_per_entry, c.bits() as f64 / 8000.0)?;
+            writeln!(
+                f,
+                "{}: {} x {} bits = {:.1} KB",
+                c.name,
+                c.entries,
+                c.bits_per_entry,
+                c.bits() as f64 / 8000.0
+            )?;
         }
         write!(f, "total: {:.1} KB", self.total_kb())
     }

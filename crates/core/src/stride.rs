@@ -101,7 +101,9 @@ impl StrideCore {
         let base = pc >> 2;
         let sel = match self.select {
             Select::PcOnly => base,
-            Select::PerPath { history_bits } => base ^ fold(hist.ghist, history_bits, self.index_bits),
+            Select::PerPath { history_bits } => {
+                base ^ fold(hist.ghist, history_bits, self.index_bits)
+            }
         };
         (sel & ((1 << self.index_bits) - 1)) as u32
     }
@@ -322,7 +324,14 @@ mod tests {
         PredictCtx { seq, pc, ..Default::default() }
     }
 
-    fn train_arith<P: Predictor>(p: &mut P, pc: u64, start: u64, step: u64, times: u64, seq0: u64) -> u64 {
+    fn train_arith<P: Predictor>(
+        p: &mut P,
+        pc: u64,
+        start: u64,
+        step: u64,
+        times: u64,
+        seq0: u64,
+    ) -> u64 {
         let mut seq = seq0;
         for k in 0..times {
             p.predict(&ctx(seq, pc));
@@ -407,8 +416,10 @@ mod tests {
         let seq = train_arith(&mut p, 0x40, 0, 4, 12, 0);
         let _ = p.predict(&ctx(seq, 0x40)); // 48
         let _ = p.predict(&ctx(seq + 1, 0x40)); // 52 (speculative on 48)
-        p.squash_after(seq); // the second occurrence is squashed
-        // Refetched occurrence must again chain on 48, not 52.
+
+        // The second occurrence is squashed; the refetched occurrence must
+        // again chain on 48, not 52.
+        p.squash_after(seq);
         let pred = p.predict(&ctx(seq + 1, 0x40));
         assert_eq!(pred.value, Some(52));
         p.train(seq, 48);
@@ -471,6 +482,7 @@ mod tests {
         let mut p = TwoDeltaStride::with_defaults(ConfidenceScheme::baseline(), 1);
         let seq = train_arith(&mut p, 0x40, 0, 4, 12, 0);
         let _ = p.predict(&ctx(seq, 0x40)); // speculative 48
+
         // A hybrid arbiter decides the real prediction is 100.
         p.feed(seq, 0x40, 100);
         let pred = p.predict(&ctx(seq + 1, 0x40));

@@ -68,7 +68,10 @@ impl VtageConfig {
 
     fn validate(&self) {
         assert!(self.base_entries.is_power_of_two(), "base entries must be a power of two");
-        assert!(self.component_entries.is_power_of_two(), "component entries must be a power of two");
+        assert!(
+            self.component_entries.is_power_of_two(),
+            "component entries must be a power of two"
+        );
         assert!(
             !self.history_lengths.is_empty() && self.history_lengths.len() <= MAX_COMPONENTS,
             "1..={MAX_COMPONENTS} tagged components required"
@@ -228,13 +231,12 @@ impl Predictor for Vtage {
             let e = &self.base[base_index as usize];
             (e.value, e.conf)
         } else {
-            let e = &self.components[provider as usize - 1][indices[provider as usize - 1] as usize];
+            let e =
+                &self.components[provider as usize - 1][indices[provider as usize - 1] as usize];
             (e.value, e.conf)
         };
-        self.inflight.push(
-            ctx.seq,
-            Record { base_index, indices, tags, provider, predicted: value },
-        );
+        self.inflight
+            .push(ctx.seq, Record { base_index, indices, tags, provider, predicted: value });
         Prediction::of(value, self.scheme.is_saturated(conf))
     }
 
@@ -309,11 +311,8 @@ impl Predictor for Vtage {
 
     fn storage(&self) -> Storage {
         let conf_bits = self.scheme.bits_per_counter();
-        let mut comps = vec![StorageComponent::new(
-            "VTAGE base",
-            self.config.base_entries,
-            64 + conf_bits,
-        )];
+        let mut comps =
+            vec![StorageComponent::new("VTAGE base", self.config.base_entries, 64 + conf_bits)];
         for rank in 1..=self.config.num_components() {
             let tag_bits = self.config.base_tag_bits as usize + rank;
             comps.push(StorageComponent::new(
@@ -387,16 +386,14 @@ mod tests {
         let mut p = Vtage::with_defaults(ConfidenceScheme::baseline(), 1);
         let values = [10u64, 20, 30, 40];
         let mut h = HistoryState::default();
-        let mut seq = 0;
         let mut confident_correct = 0;
-        for round in 0..200 {
-            let pos = round % 4;
-            let pred = p.predict(&ctx(seq, 0x40, h)).confident_value();
+        for round in 0..200u64 {
+            let pos = (round % 4) as usize;
+            let pred = p.predict(&ctx(round, 0x40, h)).confident_value();
             if pred == Some(values[pos]) {
                 confident_correct += 1;
             }
-            p.train(seq, values[pos]);
-            seq += 1;
+            p.train(round, values[pos]);
             // The loop's closing branch: taken except at pattern end.
             h.push_branch(0x60, pos != 3);
         }
@@ -515,8 +512,7 @@ mod tests {
         let p = Vtage::with_defaults(ConfidenceScheme::baseline(), 1);
         let s = p.storage();
         let base_kb: f64 = s.components()[0].bits() as f64 / 8000.0;
-        let tagged_kb: f64 =
-            s.components()[1..].iter().map(|c| c.bits() as f64 / 8000.0).sum();
+        let tagged_kb: f64 = s.components()[1..].iter().map(|c| c.bits() as f64 / 8000.0).sum();
         assert!((base_kb - 68.6).abs() < 0.05, "base {base_kb}");
         assert!((tagged_kb - 64.1).abs() < 0.05, "tagged {tagged_kb}");
     }
@@ -539,10 +535,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "strictly increasing")]
     fn non_increasing_history_lengths_panic() {
-        let cfg = VtageConfig {
-            history_lengths: vec![2, 2],
-            ..VtageConfig::default()
-        };
+        let cfg = VtageConfig { history_lengths: vec![2, 2], ..VtageConfig::default() };
         let _ = Vtage::new(cfg, ConfidenceScheme::baseline(), 1);
     }
 

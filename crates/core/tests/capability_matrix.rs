@@ -75,10 +75,7 @@ fn only_computational_predictors_capture_strides() {
 #[test]
 fn context_predictors_capture_short_patterns() {
     assert!(steady_coverage(PredictorKind::Fcm4, N, period4) > 0.9, "FCM's home turf");
-    assert!(
-        steady_coverage(PredictorKind::Lvp, N, period4) < 0.05,
-        "LVP sees a changing value"
-    );
+    assert!(steady_coverage(PredictorKind::Lvp, N, period4) < 0.05, "LVP sees a changing value");
     assert!(
         steady_coverage(PredictorKind::TwoDeltaStride, N, period4) < 0.05,
         "no constant stride exists"

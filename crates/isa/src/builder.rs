@@ -268,7 +268,13 @@ impl ProgramBuilder {
 
     /// `mem[base + offset] = value`
     pub fn store(&mut self, base: Reg, value: Reg, offset: i64) -> usize {
-        self.emit(Inst { op: Opcode::Store, dst: None, src1: Some(base), src2: Some(value), imm: offset })
+        self.emit(Inst {
+            op: Opcode::Store,
+            dst: None,
+            src1: Some(base),
+            src2: Some(value),
+            imm: offset,
+        })
     }
 
     /// Unconditional jump to `target`.
@@ -283,7 +289,10 @@ impl ProgramBuilder {
 
     /// Direct call to `target`; the return address is written to `link`.
     pub fn call(&mut self, link: Reg, target: Label) -> usize {
-        self.emit_ref(Inst { op: Opcode::Call, dst: Some(link), src1: None, src2: None, imm: 0 }, target)
+        self.emit_ref(
+            Inst { op: Opcode::Call, dst: Some(link), src1: None, src2: None, imm: 0 },
+            target,
+        )
     }
 
     /// Return to the byte PC held in `link`.

@@ -136,10 +136,7 @@ impl Opcode {
     /// `true` for any control-flow µop (conditional or not).
     pub fn is_control(self) -> bool {
         self.is_cond_branch()
-            || matches!(
-                self,
-                Opcode::Jump | Opcode::JumpInd | Opcode::Call | Opcode::Ret
-            )
+            || matches!(self, Opcode::Jump | Opcode::JumpInd | Opcode::Call | Opcode::Ret)
     }
 
     /// `true` for indirect control flow (target comes from a register).

@@ -26,7 +26,10 @@ impl Program {
     /// Returns [`ProgramError`] if the program is empty, a direct branch
     /// target is misaligned or out of range, or a µop is missing a required
     /// operand.
-    pub fn from_parts(insts: Vec<Inst>, initial_mem: Vec<(u64, u64)>) -> Result<Self, ProgramError> {
+    pub fn from_parts(
+        insts: Vec<Inst>,
+        initial_mem: Vec<(u64, u64)>,
+    ) -> Result<Self, ProgramError> {
         let p = Program { insts, initial_mem };
         p.validate()?;
         Ok(p)
@@ -103,9 +106,12 @@ impl Program {
         for (index, inst) in self.insts.iter().enumerate() {
             // Direct control flow must land on a real instruction.
             let direct_target = match inst.op {
-                Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Jump | Opcode::Call => {
-                    Some(inst.imm)
-                }
+                Opcode::Beq
+                | Opcode::Bne
+                | Opcode::Blt
+                | Opcode::Bge
+                | Opcode::Jump
+                | Opcode::Call => Some(inst.imm),
                 _ => None,
             };
             if let Some(t) = direct_target {
@@ -230,10 +236,8 @@ mod tests {
 
     #[test]
     fn misaligned_branch_target_is_rejected() {
-        let insts = vec![
-            Inst::rr_i(Opcode::Beq, Reg::int(0), Reg::int(0), 2),
-            Inst::bare(Opcode::Halt, 0),
-        ];
+        let insts =
+            vec![Inst::rr_i(Opcode::Beq, Reg::int(0), Reg::int(0), 2), Inst::bare(Opcode::Halt, 0)];
         assert!(matches!(
             Program::from_parts(insts, vec![]),
             Err(ProgramError::BadBranchTarget { .. })
@@ -254,7 +258,13 @@ mod tests {
 
     #[test]
     fn missing_source_operand_is_rejected() {
-        let bad = Inst { op: Opcode::Add, dst: Some(Reg::int(1)), src1: Some(Reg::int(2)), src2: None, imm: 0 };
+        let bad = Inst {
+            op: Opcode::Add,
+            dst: Some(Reg::int(1)),
+            src1: Some(Reg::int(2)),
+            src2: None,
+            imm: 0,
+        };
         assert!(matches!(
             Program::from_parts(vec![bad], vec![]),
             Err(ProgramError::MissingOperand { index: 0 })
@@ -263,7 +273,13 @@ mod tests {
 
     #[test]
     fn missing_destination_is_rejected() {
-        let bad = Inst { op: Opcode::Add, dst: None, src1: Some(Reg::int(2)), src2: Some(Reg::int(3)), imm: 0 };
+        let bad = Inst {
+            op: Opcode::Add,
+            dst: None,
+            src1: Some(Reg::int(2)),
+            src2: Some(Reg::int(3)),
+            imm: 0,
+        };
         assert!(matches!(
             Program::from_parts(vec![bad], vec![]),
             Err(ProgramError::MissingOperand { index: 0 })

@@ -145,11 +145,8 @@ impl Cache {
         let victim = match ways.iter().position(|l| !l.valid) {
             Some(i) => i,
             None => {
-                let (i, _) = ways
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, l)| l.stamp)
-                    .expect("ways nonempty");
+                let (i, _) =
+                    ways.iter().enumerate().min_by_key(|(_, l)| l.stamp).expect("ways nonempty");
                 i
             }
         };

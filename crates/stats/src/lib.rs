@@ -288,7 +288,15 @@ mod tests {
 
     #[test]
     fn vp_stats_merge_adds_fields() {
-        let mut a = VpStats { eligible: 1, hits: 2, used: 3, correct_used: 4, mispredicted: 5, correct_unused: 6, harmless_mispredictions: 7 };
+        let mut a = VpStats {
+            eligible: 1,
+            hits: 2,
+            used: 3,
+            correct_used: 4,
+            mispredicted: 5,
+            correct_unused: 6,
+            harmless_mispredictions: 7,
+        };
         let b = a;
         a.merge(&b);
         assert_eq!(a.eligible, 2);

@@ -60,12 +60,7 @@ impl Table {
     }
 
     fn width(&self) -> usize {
-        self.rows
-            .iter()
-            .map(Vec::len)
-            .chain(std::iter::once(self.headers.len()))
-            .max()
-            .unwrap_or(0)
+        self.rows.iter().map(Vec::len).chain(std::iter::once(self.headers.len())).max().unwrap_or(0)
     }
 
     /// Render as a column-aligned ASCII table with a header separator.

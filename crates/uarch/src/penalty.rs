@@ -50,7 +50,11 @@ pub struct RecoveryPenalties {
 
 impl Default for RecoveryPenalties {
     fn default() -> Self {
-        RecoveryPenalties { selective_reissue: 5.0, squash_at_execute: 20.0, squash_at_commit: 40.0 }
+        RecoveryPenalties {
+            selective_reissue: 5.0,
+            squash_at_execute: 20.0,
+            squash_at_commit: 40.0,
+        }
     }
 }
 

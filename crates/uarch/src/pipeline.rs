@@ -283,10 +283,7 @@ struct Machine<'a> {
 impl<'a> Machine<'a> {
     fn new(cfg: &'a CoreConfig, program: &'a Program) -> Self {
         let (predictor, recovery) = match &cfg.vp {
-            Some(vp) => (
-                Some(vp.kind.build(vp.scheme.clone(), cfg.seed)),
-                vp.recovery,
-            ),
+            Some(vp) => (Some(vp.kind.build(vp.scheme.clone(), cfg.seed)), vp.recovery),
             None => (None, RecoveryPolicy::SquashAtCommit),
         };
         Machine {
@@ -1226,8 +1223,8 @@ mod tests {
         // The loop counter chain is strided: a stride predictor breaks it.
         let p = counted_loop(4000, 0);
         let base = base_sim().run(&p, 40_000);
-        let vp = vp_sim(PredictorKind::TwoDeltaStride, RecoveryPolicy::SquashAtCommit)
-            .run(&p, 40_000);
+        let vp =
+            vp_sim(PredictorKind::TwoDeltaStride, RecoveryPolicy::SquashAtCommit).run(&p, 40_000);
         assert!(
             vp.metrics.ipc() >= base.metrics.ipc() * 0.99,
             "vp {} vs base {}",
@@ -1295,8 +1292,8 @@ mod tests {
         b.blt(i, n, top);
         b.halt();
         let p = b.build().unwrap();
-        let r = vp_sim(PredictorKind::TwoDeltaStride, RecoveryPolicy::SelectiveReissue)
-            .run(&p, 40_000);
+        let r =
+            vp_sim(PredictorKind::TwoDeltaStride, RecoveryPolicy::SelectiveReissue).run(&p, 40_000);
         assert!(r.metrics.instructions > 10_000);
         // With baseline counters we would see reissues; with FPC they are
         // rare but the machinery must not corrupt anything.

@@ -56,7 +56,11 @@ pub fn vp_port_cost(w: u32) -> VpPortCost {
         (r + wr) * (r + 2.0 * wr)
     };
     let _ = buffered;
-    VpPortCost { baseline: base.area_factor(), naive_vp: naive.area_factor(), buffered_vp: buffered_area }
+    VpPortCost {
+        baseline: base.area_factor(),
+        naive_vp: naive.area_factor(),
+        buffered_vp: buffered_area,
+    }
 }
 
 impl VpPortCost {

@@ -239,11 +239,7 @@ fn selective_reissue_survives_tiny_iq() {
     b.blt(counter, limit, top);
     b.halt();
     let p = b.build().unwrap();
-    let cfg = CoreConfig {
-        iq_entries: 8,
-        ..CoreConfig::default()
-    }
-    .with_vp(VpConfig {
+    let cfg = CoreConfig { iq_entries: 8, ..CoreConfig::default() }.with_vp(VpConfig {
         kind: PredictorKind::Lvp,
         scheme: vpsim_core::ConfidenceScheme::full(1),
         recovery: RecoveryPolicy::SelectiveReissue,
@@ -294,8 +290,8 @@ fn stall_attribution_identifies_the_bottleneck() {
     );
 
     // Window-bound code (serial DRAM chase): ROB-dispatch stalls dominate.
-    let chase =
-        Simulator::new(CoreConfig::default()).run(&vpsim_workloads::microkernels::pointer_chase(1 << 16), 30_000);
+    let chase = Simulator::new(CoreConfig::default())
+        .run(&vpsim_workloads::microkernels::pointer_chase(1 << 16), 30_000);
     // The serial chase fills the 48-entry LQ long before the 256-entry
     // ROB: the dominant dispatch stall is the load queue.
     assert!(

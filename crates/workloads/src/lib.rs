@@ -82,23 +82,78 @@ pub struct Benchmark {
 pub fn all_benchmarks() -> Vec<Benchmark> {
     vec![
         Benchmark { name: "gzip", suite: Suite::Cpu2000, class: Class::Int, build: spec2000::gzip },
-        Benchmark { name: "wupwise", suite: Suite::Cpu2000, class: Class::Fp, build: spec2000::wupwise },
-        Benchmark { name: "applu", suite: Suite::Cpu2000, class: Class::Fp, build: spec2000::applu },
+        Benchmark {
+            name: "wupwise",
+            suite: Suite::Cpu2000,
+            class: Class::Fp,
+            build: spec2000::wupwise,
+        },
+        Benchmark {
+            name: "applu",
+            suite: Suite::Cpu2000,
+            class: Class::Fp,
+            build: spec2000::applu,
+        },
         Benchmark { name: "vpr", suite: Suite::Cpu2000, class: Class::Int, build: spec2000::vpr },
         Benchmark { name: "art", suite: Suite::Cpu2000, class: Class::Fp, build: spec2000::art },
-        Benchmark { name: "crafty", suite: Suite::Cpu2000, class: Class::Int, build: spec2000::crafty },
-        Benchmark { name: "parser", suite: Suite::Cpu2000, class: Class::Int, build: spec2000::parser },
-        Benchmark { name: "vortex", suite: Suite::Cpu2000, class: Class::Int, build: spec2000::vortex },
-        Benchmark { name: "bzip2", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::bzip2 },
+        Benchmark {
+            name: "crafty",
+            suite: Suite::Cpu2000,
+            class: Class::Int,
+            build: spec2000::crafty,
+        },
+        Benchmark {
+            name: "parser",
+            suite: Suite::Cpu2000,
+            class: Class::Int,
+            build: spec2000::parser,
+        },
+        Benchmark {
+            name: "vortex",
+            suite: Suite::Cpu2000,
+            class: Class::Int,
+            build: spec2000::vortex,
+        },
+        Benchmark {
+            name: "bzip2",
+            suite: Suite::Cpu2006,
+            class: Class::Int,
+            build: spec2006::bzip2,
+        },
         Benchmark { name: "gcc", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::gcc },
-        Benchmark { name: "gamess", suite: Suite::Cpu2006, class: Class::Fp, build: spec2006::gamess },
+        Benchmark {
+            name: "gamess",
+            suite: Suite::Cpu2006,
+            class: Class::Fp,
+            build: spec2006::gamess,
+        },
         Benchmark { name: "mcf", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::mcf },
         Benchmark { name: "milc", suite: Suite::Cpu2006, class: Class::Fp, build: spec2006::milc },
         Benchmark { name: "namd", suite: Suite::Cpu2006, class: Class::Fp, build: spec2006::namd },
-        Benchmark { name: "gobmk", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::gobmk },
-        Benchmark { name: "hmmer", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::hmmer },
-        Benchmark { name: "sjeng", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::sjeng },
-        Benchmark { name: "h264ref", suite: Suite::Cpu2006, class: Class::Int, build: spec2006::h264ref },
+        Benchmark {
+            name: "gobmk",
+            suite: Suite::Cpu2006,
+            class: Class::Int,
+            build: spec2006::gobmk,
+        },
+        Benchmark {
+            name: "hmmer",
+            suite: Suite::Cpu2006,
+            class: Class::Int,
+            build: spec2006::hmmer,
+        },
+        Benchmark {
+            name: "sjeng",
+            suite: Suite::Cpu2006,
+            class: Class::Int,
+            build: spec2006::sjeng,
+        },
+        Benchmark {
+            name: "h264ref",
+            suite: Suite::Cpu2006,
+            class: Class::Int,
+            build: spec2006::h264ref,
+        },
         Benchmark { name: "lbm", suite: Suite::Cpu2006, class: Class::Fp, build: spec2006::lbm },
     ]
 }
@@ -183,9 +238,7 @@ mod tests {
             let p = (b.build)(&params);
             let fp_ops = Executor::new(&p)
                 .take(30_000)
-                .filter(|d| {
-                    matches!(d.inst.fu_class(), FuClass::FpAlu | FuClass::FpMulDiv)
-                })
+                .filter(|d| matches!(d.inst.fu_class(), FuClass::FpAlu | FuClass::FpMulDiv))
                 .count();
             assert!(fp_ops > 1_000, "{}: only {fp_ops} FP µops in 30k", b.name);
         }

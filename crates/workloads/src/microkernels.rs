@@ -290,11 +290,8 @@ mod tests {
     #[test]
     fn pointer_chase_addresses_are_serial_and_distinct() {
         let p = pointer_chase(256);
-        let addrs: Vec<u64> = Executor::new(&p)
-            .take(3000)
-            .filter_map(|d| d.mem_addr)
-            .take(256)
-            .collect();
+        let addrs: Vec<u64> =
+            Executor::new(&p).take(3000).filter_map(|d| d.mem_addr).take(256).collect();
         let unique: std::collections::HashSet<_> = addrs.iter().collect();
         assert_eq!(unique.len(), addrs.len(), "one full cycle visits distinct entries");
     }

@@ -62,7 +62,12 @@ pub fn lcg_step(b: &mut ProgramBuilder, x: Reg) {
 
 /// Emit an unpredictable conditional branch driven by bit `bit` of `x`,
 /// skipping over `then_body` when the bit is zero.
-pub fn random_branch(b: &mut ProgramBuilder, x: Reg, bit: u8, then_body: impl FnOnce(&mut ProgramBuilder)) {
+pub fn random_branch(
+    b: &mut ProgramBuilder,
+    x: Reg,
+    bit: u8,
+    then_body: impl FnOnce(&mut ProgramBuilder),
+) {
     let skip = b.label();
     b.shri(SCRATCH0, x, bit as i64);
     b.andi(SCRATCH0, SCRATCH0, 1);

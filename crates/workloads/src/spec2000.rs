@@ -83,8 +83,9 @@ pub fn gzip(params: &WorkloadParams) -> Program {
 pub fn wupwise(params: &WorkloadParams) -> Program {
     let mut b = ProgramBuilder::new();
     let mut layout = Layout::new();
-    let n = 2048 * params.scale; // 16 KB per array: cache-resident,
-    // so the accumulator chain (not cold misses) limits the baseline
+    // 16 KB per array: cache-resident, so the accumulator chain (not cold
+    // misses) limits the baseline.
+    let n = 2048 * params.scale;
     let a = layout.array(n);
     let x = layout.array(n);
     // Constant matrices: the accumulator grows by the same step each
@@ -352,6 +353,7 @@ pub fn parser(params: &WorkloadParams) -> Program {
         b.load(hv, hdr, 0);
         b.and(acc, acc, hv);
         b.load(p, p, 0); // next node (serial chain)
+
         // Payload lives at chain + (nodes*8) offset from the node address.
         b.load(v, p, (payload - chain) as i64);
         b.andi(t, v, 3);
@@ -439,9 +441,7 @@ mod tests {
         // Follow one of the two partial sums (f1); the other interleaves.
         let accs: Vec<u64> = Executor::new(&program)
             .take(30_000)
-            .filter(|d| {
-                d.inst.op == vpsim_isa::Opcode::FAdd && d.inst.dst == Some(Reg::float(1))
-            })
+            .filter(|d| d.inst.op == vpsim_isa::Opcode::FAdd && d.inst.dst == Some(Reg::float(1)))
             .map(|d| d.result.unwrap())
             .collect();
         assert!(accs.len() > 1000);
@@ -489,9 +489,7 @@ mod tests {
         // (hash checks) change every iteration and are excluded.
         let vals: Vec<u64> = Executor::new(&program)
             .take(60_000)
-            .filter(|d| {
-                d.inst.op == vpsim_isa::Opcode::Xor && d.inst.dst == Some(Reg::int(3))
-            })
+            .filter(|d| d.inst.op == vpsim_isa::Opcode::Xor && d.inst.dst == Some(Reg::int(3)))
             .map(|d| d.result.unwrap())
             .collect();
         assert!(vals.len() > 500);

@@ -1,8 +1,7 @@
 //! SPEC CPU2006 benchmark analogues (paper Table 3, bottom half).
 
 use crate::patterns::{
-    self, computed_switch, endless_outer, init_random_array, init_shuffled_chase, lcg_step,
-    Layout,
+    self, computed_switch, endless_outer, init_random_array, init_shuffled_chase, lcg_step, Layout,
 };
 use crate::WorkloadParams;
 use vpsim_isa::{Program, ProgramBuilder, Reg};
@@ -179,6 +178,7 @@ pub fn mcf(params: &WorkloadParams) -> Program {
     b.load_imm(p, chain as i64);
     endless_outer(&mut b, |b| {
         b.load(p, p, 0); // serial DRAM-bound chase to the next node
+
         // Arc scan at the node: three strided (prefetchable, MLP-friendly)
         // loads plus reduced-cost arithmetic — real mcf interleaves its
         // pointer chase with sequential arc-array sweeps, which is what
@@ -222,9 +222,8 @@ pub fn milc(params: &WorkloadParams) -> Program {
     let lattice_words = 262_144 * params.scale; // 2 MB
     let lat = layout.array(lattice_words);
     let mut r = patterns::rng(params.seed, 0x313C);
-    let lv: Vec<u64> = (0..lattice_words)
-        .map(|_| f64::to_bits(rand::Rng::gen_range(&mut r, -1.0..1.0)))
-        .collect();
+    let lv: Vec<u64> =
+        (0..lattice_words).map(|_| f64::to_bits(rand::Rng::gen_range(&mut r, -1.0..1.0))).collect();
     b.data_block(lat, &lv);
     let coupling = layout.array(1);
     b.data(coupling, f64::to_bits(0.125));
@@ -276,8 +275,7 @@ pub fn namd(params: &WorkloadParams) -> Program {
 
     let cv: Vec<u64> = (0..atoms).map(|k| f64::to_bits((k % 97) as f64 * 0.25)).collect();
     b.data_block(coords, &cv);
-    let nv: Vec<u64> =
-        (0..atoms).map(|k| coords + (((k * 769 + 1) % atoms) as u64) * 8).collect();
+    let nv: Vec<u64> = (0..atoms).map(|k| coords + (((k * 769 + 1) % atoms) as u64) * 8).collect();
     b.data_block(neigh, &nv);
     let (p, end, q) = (Reg::int(1), Reg::int(2), Reg::int(3));
     let (x, y, f0, f1, f2) =
@@ -321,6 +319,7 @@ pub fn gobmk(params: &WorkloadParams) -> Program {
     let zero = Reg::int(0);
     b.load_imm(x, (params.seed | 1) as i64);
     b.load_imm(Reg::int(8), 3); // influence-chain multiplier
+
     // Helper "liberty count" function.
     let liberties = b.label();
     let over = b.label();
@@ -514,8 +513,7 @@ pub fn h264ref(params: &WorkloadParams) -> Program {
     let reference = layout.array(frame_words);
     // Mostly identical frames: differences are usually zero.
     let mut r = patterns::rng(params.seed, 0x264);
-    let base_frame: Vec<u64> =
-        (0..frame_words).map(|k| ((k as u64 * 7) & 255) << 1).collect();
+    let base_frame: Vec<u64> = (0..frame_words).map(|k| ((k as u64 * 7) & 255) << 1).collect();
     let mut ref_frame = base_frame.clone();
     for _ in 0..frame_words / 1024 {
         let k = rand::Rng::gen_range(&mut r, 0..frame_words);
@@ -523,15 +521,8 @@ pub fn h264ref(params: &WorkloadParams) -> Program {
     }
     b.data_block(cur, &base_frame);
     b.data_block(reference, &ref_frame);
-    let (pc_, pr, end, a, c, sad, t) = (
-        Reg::int(1),
-        Reg::int(2),
-        Reg::int(3),
-        Reg::int(4),
-        Reg::int(5),
-        Reg::int(6),
-        Reg::int(7),
-    );
+    let (pc_, pr, end, a, c, sad, t) =
+        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5), Reg::int(6), Reg::int(7));
     let (dc, q) = (Reg::int(8), Reg::int(9));
     let zero = Reg::int(0);
     endless_outer(&mut b, |b| {
@@ -585,9 +576,8 @@ pub fn lbm(params: &WorkloadParams) -> Program {
     let cells_words = 262_144 * params.scale; // 2 MB
     let src = layout.array(cells_words);
     let dst = layout.array(cells_words);
-    let field: Vec<u64> = (0..cells_words)
-        .map(|k| f64::to_bits(1.0 + ((k % 1024) as f64) * 1e-9))
-        .collect();
+    let field: Vec<u64> =
+        (0..cells_words).map(|k| f64::to_bits(1.0 + ((k % 1024) as f64) * 1e-9)).collect();
     b.data_block(src, &field);
     let (p, end) = (Reg::int(1), Reg::int(2));
     let (f0, f1, f2, om) = (Reg::float(1), Reg::float(2), Reg::float(3), Reg::float(4));
@@ -627,10 +617,8 @@ mod tests {
     #[test]
     fn gcc_dispatches_through_indirect_jumps() {
         let program = gcc(&p());
-        let ind = Executor::new(&program)
-            .take(20_000)
-            .filter(|d| d.inst.op == Opcode::JumpInd)
-            .count();
+        let ind =
+            Executor::new(&program).take(20_000).filter(|d| d.inst.op == Opcode::JumpInd).count();
         assert!(ind > 500, "gcc must be dispatch-heavy, got {ind}");
     }
 
@@ -684,10 +672,8 @@ mod tests {
         // The setlt→mul→add select must produce max(m, iv): check that the
         // stored best values never decrease within a plateau run.
         let program = hmmer(&p());
-        let selects = Executor::new(&program)
-            .take(40_000)
-            .filter(|d| d.inst.op == Opcode::SetLt)
-            .count();
+        let selects =
+            Executor::new(&program).take(40_000).filter(|d| d.inst.op == Opcode::SetLt).count();
         assert!(selects > 1000, "arithmetic select must be exercised: {selects}");
         // Both select outcomes occur across the run.
         let outcomes: std::collections::HashSet<u64> = Executor::new(&program)

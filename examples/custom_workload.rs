@@ -21,8 +21,7 @@ use vpsim::uarch::{CoreConfig, RecoveryPolicy, Simulator, VpConfig};
 /// jumps pseudo-randomly between phases.
 fn phase_change_workload() -> Program {
     let mut b = ProgramBuilder::new();
-    let (i, phase, v, addr, t) =
-        (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+    let (i, phase, v, addr, t) = (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
     let acc = Reg::int(6);
     let slot = 0x10_0000u64;
     b.data(slot, 7);

@@ -21,8 +21,7 @@ fn main() {
     let program = (bench.build)(&WorkloadParams::default());
     let (warmup, measure) = (50_000, 200_000);
 
-    let baseline = Simulator::new(CoreConfig::default())
-        .run_with_warmup(&program, warmup, measure);
+    let baseline = Simulator::new(CoreConfig::default()).run_with_warmup(&program, warmup, measure);
 
     // Vectors: log2 denominators of the 7 forward transition probabilities.
     let vectors: [(&str, [u8; 7]); 5] = [

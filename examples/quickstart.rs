@@ -21,16 +21,16 @@ fn main() {
 
     let baseline = Simulator::new(CoreConfig::default()).run(&program, budget);
 
-    let hybrid = Simulator::new(CoreConfig::default().with_vp(VpConfig::enabled(
-        PredictorKind::VtageStride,
-        RecoveryPolicy::SquashAtCommit,
-    )))
+    let hybrid = Simulator::new(
+        CoreConfig::default()
+            .with_vp(VpConfig::enabled(PredictorKind::VtageStride, RecoveryPolicy::SquashAtCommit)),
+    )
     .run(&program, budget);
 
-    let oracle = Simulator::new(CoreConfig::default().with_vp(VpConfig::enabled(
-        PredictorKind::Oracle,
-        RecoveryPolicy::SquashAtCommit,
-    )))
+    let oracle = Simulator::new(
+        CoreConfig::default()
+            .with_vp(VpConfig::enabled(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit)),
+    )
     .run(&program, budget);
 
     let mut t = Table::new(vec![

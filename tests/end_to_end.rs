@@ -45,8 +45,8 @@ fn oracle_dominates_every_real_predictor() {
     let oracle = Simulator::new(vp_config(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit))
         .run(&program, 50_000);
     for kind in [PredictorKind::Lvp, PredictorKind::TwoDeltaStride, PredictorKind::Vtage] {
-        let real = Simulator::new(vp_config(kind, RecoveryPolicy::SquashAtCommit))
-            .run(&program, 50_000);
+        let real =
+            Simulator::new(vp_config(kind, RecoveryPolicy::SquashAtCommit)).run(&program, 50_000);
         assert!(
             real.metrics.ipc() <= oracle.metrics.ipc() * 1.01,
             "{kind:?} ({}) beat the oracle ({})",
@@ -67,8 +67,9 @@ fn vp_never_corrupts_architectural_results() {
     let program = microkernels::matmul(6);
     let functional: Vec<_> = Executor::new(&program).take(30_000).map(|d| d.seq).collect();
     assert_eq!(functional.len(), 30_000);
-    let with_vp = Simulator::new(vp_config(PredictorKind::VtageStride, RecoveryPolicy::SquashAtCommit))
-        .run(&program, 30_000);
+    let with_vp =
+        Simulator::new(vp_config(PredictorKind::VtageStride, RecoveryPolicy::SquashAtCommit))
+            .run(&program, 30_000);
     let without = Simulator::new(CoreConfig::default()).run(&program, 30_000);
     assert_eq!(with_vp.metrics.instructions, 30_000);
     assert_eq!(without.metrics.instructions, 30_000);

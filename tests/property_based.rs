@@ -4,8 +4,8 @@
 use proptest::prelude::*;
 use vpsim::core::history::{fold, fold_value16};
 use vpsim::core::{
-    ConfidenceScheme, GDiff, HistoryState, Lvp, PredictCtx, Prediction, Predictor,
-    PredictorKind, TwoDeltaStride, Vtage,
+    ConfidenceScheme, GDiff, HistoryState, Lvp, PredictCtx, Prediction, Predictor, PredictorKind,
+    TwoDeltaStride, Vtage,
 };
 use vpsim::isa::{Executor, ProgramBuilder, Reg};
 
