@@ -21,16 +21,24 @@
 //!   ipc              Diagnostics: baseline IPC + substrate statistics
 //!   ablation-vtage   VTAGE component-count sweep (offline evaluation)
 //!   ablation-extended  PP-Str / D-FCM / gDiff-VTAGE vs the hybrid
-//!   all              Everything above (paper artifacts only)
+//!   locality         Value-locality breakdown per benchmark (offline)
+//!   counters         §5 counter width vs FPC (VTAGE)
+//!   all              Every paper artifact above (extensions excluded)
 //!
 //! Options:
 //!   --warmup N       Warm-up instructions per run   [default 50000]
 //!   --measure N      Measured instructions per run  [default 200000]
 //!   --scale N        Workload footprint multiplier  [default 1]
 //!   --seed N         RNG seed                       [default 0x2014]
+//!   --threads N      Worker threads for the simulation grids
+//!                    [default: all hardware threads]
 //!   --benchmarks a,b Comma-separated subset of Table 3 names
 //!   --csv            Emit CSV instead of aligned text
 //! ```
+//!
+//! Every simulation-backed experiment runs its configuration grid on the
+//! `vpsim_bench::sweep` engine; `--threads` changes wall-clock time only,
+//! never a byte of output.
 
 use std::process::ExitCode;
 use vpsim_bench::experiments as exp;
@@ -47,7 +55,10 @@ struct Options {
 }
 
 fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
-    let mut settings = RunSettings::default();
+    let mut settings = RunSettings {
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..RunSettings::default()
+    };
     let mut csv = false;
     let mut names: Option<Vec<String>> = None;
     let mut experiments = Vec::new();
@@ -64,6 +75,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--measure" => settings.measure = next_u64("--measure")?,
             "--scale" => settings.scale = next_u64("--scale")? as usize,
             "--seed" => settings.seed = next_u64("--seed")?,
+            "--threads" => settings.threads = (next_u64("--threads")? as usize).max(1),
             "--csv" => csv = true,
             "--benchmarks" => {
                 let list = it.next().ok_or("--benchmarks requires a value")?;

@@ -1,0 +1,142 @@
+//! `sweep` — expand a declarative (predictor × confidence × recovery ×
+//! benchmark) grid and run it on the parallel sweep engine.
+//!
+//! The no-VP baseline is always run alongside the grid so every row can
+//! report a speedup. Output is merged in job-index order, so any
+//! `--threads` value produces byte-identical tables.
+//!
+//! ```text
+//! Usage: sweep [options]
+//!
+//! Options:
+//!   --threads N        Worker threads        [default: all hardware threads]
+//!   --predictors LIST  Comma-separated predictor names (lvp, 2d-str, pp-str,
+//!                      fcm, dfcm, vtage, vtage-2dstr, fcm-2dstr, gdiff,
+//!                      sag-lvp, oracle)      [default: lvp,2d-str,fcm,vtage]
+//!   --confidence LIST  baseline | fpc | full1..full8   [default: fpc]
+//!   --recovery LIST    squash | reissue                [default: squash]
+//!   --benchmarks LIST  Subset of Table 3 names         [default: all 19]
+//!   --warmup N         Warm-up instructions per run    [default 50000]
+//!   --measure N        Measured instructions per run   [default 200000]
+//!   --scale N          Workload footprint multiplier   [default 1]
+//!   --seed N           RNG seed                        [default 0x2014]
+//!   --matrix           Speedup matrix (benchmark rows × grid-point columns)
+//!                      instead of the long-form table
+//!   --csv              Emit CSV instead of aligned text
+//! ```
+//!
+//! Example: compare VTAGE and the hybrid under both recovery schemes on
+//! four benchmarks, using four workers:
+//!
+//! ```text
+//! sweep --threads 4 --predictors vtage,vtage-2dstr --recovery squash,reissue \
+//!       --benchmarks gzip,mcf,h264ref,lbm --matrix
+//! ```
+
+use std::process::ExitCode;
+use vpsim_bench::sweep::{SchemeChoice, SweepSpec};
+use vpsim_bench::RunSettings;
+use vpsim_core::PredictorKind;
+use vpsim_uarch::RecoveryPolicy;
+use vpsim_workloads::{all_benchmarks, Benchmark};
+
+struct Options {
+    spec: SweepSpec,
+    matrix: bool,
+    csv: bool,
+}
+
+fn parse_list<T: std::str::FromStr<Err = String>>(
+    list: &str,
+    what: &str,
+) -> Result<Vec<T>, String> {
+    list.split(',')
+        .map(|item| item.trim().parse().map_err(|e: String| format!("{what}: {e}")))
+        .collect()
+}
+
+fn parse_recovery(list: &str) -> Result<Vec<RecoveryPolicy>, String> {
+    list.split(',')
+        .map(|item| match item.trim() {
+            "squash" => Ok(RecoveryPolicy::SquashAtCommit),
+            "reissue" => Ok(RecoveryPolicy::SelectiveReissue),
+            other => Err(format!("unknown recovery {other} (squash | reissue)")),
+        })
+        .collect()
+}
+
+fn parse_benchmarks(list: &str) -> Result<Vec<Benchmark>, String> {
+    list.split(',')
+        .map(|name| {
+            vpsim_workloads::benchmark(name.trim())
+                .ok_or_else(|| format!("unknown benchmark {name}"))
+        })
+        .collect()
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut settings = RunSettings {
+        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+        ..RunSettings::default()
+    };
+    let mut predictors = PredictorKind::PAPER_SET.to_vec();
+    let mut schemes = vec![SchemeChoice::Fpc];
+    let mut recoveries = vec![RecoveryPolicy::SquashAtCommit];
+    let mut benches = all_benchmarks();
+    let mut matrix = false;
+    let mut csv = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--threads" => {
+                settings.threads =
+                    val()?.parse::<usize>().map_err(|e| format!("--threads: {e}"))?.max(1)
+            }
+            "--predictors" => predictors = parse_list(val()?, "--predictors")?,
+            "--confidence" => schemes = parse_list(val()?, "--confidence")?,
+            "--recovery" => recoveries = parse_recovery(val()?)?,
+            "--benchmarks" => benches = parse_benchmarks(val()?)?,
+            "--warmup" => settings.warmup = val()?.parse().map_err(|e| format!("--warmup: {e}"))?,
+            "--measure" => {
+                settings.measure = val()?.parse().map_err(|e| format!("--measure: {e}"))?
+            }
+            "--scale" => settings.scale = val()?.parse().map_err(|e| format!("--scale: {e}"))?,
+            "--seed" => settings.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--matrix" => matrix = true,
+            "--csv" => csv = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    let spec = SweepSpec { settings, predictors, schemes, recoveries, benches };
+    Ok(Options { spec, matrix, csv })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let options = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            eprintln!("usage: sweep [options]; see the source header for details");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results = options.spec.run();
+    let table = if options.matrix { results.matrix() } else { results.table() };
+    if options.csv {
+        print!("{}", table.to_csv());
+    } else {
+        eprintln!(
+            "{} runs ({} benchmark(s) x {} grid point(s) + baseline) on {} thread(s)",
+            options.spec.job_count(),
+            options.spec.benches.len(),
+            options.spec.points().len(),
+            options.spec.settings.threads,
+        );
+        println!("{table}");
+    }
+    ExitCode::SUCCESS
+}

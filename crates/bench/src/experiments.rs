@@ -3,10 +3,13 @@
 //! Analytic reproductions (Tables 1–3, the §3.1 model, §4) are exact;
 //! simulation-backed reproductions (Figures 3–7, §3.2, §8 accuracy) run
 //! the benchmark analogues on the Table 2 core and report the same rows
-//! and series the paper plots. Expected *shapes* are recorded in
-//! `EXPERIMENTS.md`.
+//! and series the paper plots. Every simulation-backed experiment batches
+//! its full configuration grid through [`crate::sweep::run_grid`], so
+//! `RunSettings::threads` parallelizes it without changing a byte of
+//! output.
 
-use crate::runner::{sweep, RunSettings, SuiteResults};
+use crate::runner::{sweep, RunSettings};
+use crate::sweep::run_grid;
 use vpsim_core::{ConfidenceScheme, PredictorKind};
 use vpsim_stats::table::{fmt_f, fmt_pct, Table};
 use vpsim_stats::{mean, speedup};
@@ -140,11 +143,11 @@ pub fn sec4_regfile() -> Table {
 pub fn sec3_backtoback(s: &RunSettings, benches: &[Benchmark]) -> Table {
     let mut t = Table::new(vec!["Benchmark".into(), "B2B eligible".into()]);
     let mut fracs = Vec::new();
-    for b in benches {
-        let r = s.run_baseline(b);
+    let base = sweep(s, benches, || s.core());
+    for (name, r) in &base.rows {
         let f = r.back_to_back.fraction();
         fracs.push(f);
-        t.row(vec![b.name.into(), fmt_pct(f, 1)]);
+        t.row(vec![(*name).into(), fmt_pct(f, 1)]);
     }
     if let Some(a) = mean::arithmetic(&fracs) {
         t.row(vec!["a-mean".into(), fmt_pct(a, 1)]);
@@ -157,10 +160,11 @@ pub fn sec3_backtoback(s: &RunSettings, benches: &[Benchmark]) -> Table {
 
 /// Figure 3: speedup upper bound with an oracle predictor.
 pub fn fig3(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let base = sweep(s, benches, || s.core());
-    let oracle = sweep(s, benches, || {
-        s.core().with_vp(VpConfig::enabled(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit))
-    });
+    let oracle_cfg =
+        s.core().with_vp(VpConfig::enabled(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit));
+    let mut suites = run_grid(s, benches, &[s.core(), oracle_cfg]);
+    let oracle = suites.pop().expect("two configs in");
+    let base = suites.pop().expect("two configs in");
     let mut t = Table::new(vec!["Benchmark".into(), "Oracle speedup".into()]);
     let speedups = oracle.speedups(&base);
     for ((name, _), sp) in oracle.rows.iter().zip(&speedups) {
@@ -179,17 +183,18 @@ pub fn fig45(s: &RunSettings, benches: &[Benchmark], recovery: RecoveryPolicy, f
         (true, RecoveryPolicy::SquashAtCommit) => ConfidenceScheme::fpc_squash(),
         (true, RecoveryPolicy::SelectiveReissue) => ConfidenceScheme::fpc_reissue(),
     };
-    let base = sweep(s, benches, || s.core());
+    let mut configs = vec![s.core()];
+    configs.extend(
+        SINGLE_SCHEMES
+            .iter()
+            .map(|&kind| s.core().with_vp(VpConfig { kind, scheme: scheme.clone(), recovery })),
+    );
+    let mut results = run_grid(s, benches, &configs);
+    let base = results.remove(0);
     let mut headers = vec!["Benchmark".into()];
     headers.extend(SINGLE_SCHEMES.iter().map(|k| k.label().to_string()));
     let mut t = Table::new(headers);
-    let mut per_kind: Vec<Vec<f64>> = Vec::new();
-    for kind in SINGLE_SCHEMES {
-        let res = sweep(s, benches, || {
-            s.core().with_vp(VpConfig { kind, scheme: scheme.clone(), recovery })
-        });
-        per_kind.push(res.speedups(&base));
-    }
+    let per_kind: Vec<Vec<f64>> = results.iter().map(|r| r.speedups(&base)).collect();
     for (i, b) in benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
         for col in &per_kind {
@@ -208,18 +213,18 @@ pub fn fig45(s: &RunSettings, benches: &[Benchmark], recovery: RecoveryPolicy, f
 /// Figure 6: VTAGE speedup and coverage, baseline counters vs FPC
 /// (squash-at-commit recovery).
 pub fn fig6(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let base = sweep(s, benches, || s.core());
     let mk = |scheme: ConfidenceScheme| {
-        sweep(s, benches, || {
-            s.core().with_vp(VpConfig {
-                kind: PredictorKind::Vtage,
-                scheme: scheme.clone(),
-                recovery: RecoveryPolicy::SquashAtCommit,
-            })
+        s.core().with_vp(VpConfig {
+            kind: PredictorKind::Vtage,
+            scheme,
+            recovery: RecoveryPolicy::SquashAtCommit,
         })
     };
-    let baseline_cnt = mk(ConfidenceScheme::baseline());
-    let fpc = mk(ConfidenceScheme::fpc_squash());
+    let configs = [s.core(), mk(ConfidenceScheme::baseline()), mk(ConfidenceScheme::fpc_squash())];
+    let mut results = run_grid(s, benches, &configs);
+    let fpc = results.pop().expect("three configs in");
+    let baseline_cnt = results.pop().expect("three configs in");
+    let base = results.pop().expect("three configs in");
     let sp_b = baseline_cnt.speedups(&base);
     let sp_f = fpc.speedups(&base);
     let mut t = Table::new(vec![
@@ -264,7 +269,16 @@ pub fn fig7(s: &RunSettings, benches: &[Benchmark]) -> Table {
         PredictorKind::FcmStride,
         PredictorKind::VtageStride,
     ];
-    let base = sweep(s, benches, || s.core());
+    let mut configs = vec![s.core()];
+    configs.extend(kinds.iter().map(|&kind| {
+        s.core().with_vp(VpConfig {
+            kind,
+            scheme: ConfidenceScheme::fpc_squash(),
+            recovery: RecoveryPolicy::SquashAtCommit,
+        })
+    }));
+    let mut results = run_grid(s, benches, &configs);
+    let base = results.remove(0);
     let mut headers = vec!["Benchmark".into()];
     for k in kinds {
         headers.push(format!("{} spd", k.label()));
@@ -273,18 +287,6 @@ pub fn fig7(s: &RunSettings, benches: &[Benchmark]) -> Table {
         headers.push(format!("{} cov", k.label()));
     }
     let mut t = Table::new(headers);
-    let results: Vec<SuiteResults> = kinds
-        .iter()
-        .map(|&kind| {
-            sweep(s, benches, || {
-                s.core().with_vp(VpConfig {
-                    kind,
-                    scheme: ConfidenceScheme::fpc_squash(),
-                    recovery: RecoveryPolicy::SquashAtCommit,
-                })
-            })
-        })
-        .collect();
     let speedups: Vec<Vec<f64>> = results.iter().map(|r| r.speedups(&base)).collect();
     for (i, b) in benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
@@ -313,18 +315,17 @@ pub fn accuracy(s: &RunSettings, benches: &[Benchmark]) -> Table {
         headers.push(format!("{} FPC", k.label()));
     }
     let mut t = Table::new(headers);
-    let mut results = Vec::new();
+    let mut configs = Vec::new();
     for kind in SINGLE_SCHEMES {
         for scheme in [ConfidenceScheme::baseline(), ConfidenceScheme::fpc_squash()] {
-            results.push(sweep(s, benches, || {
-                s.core().with_vp(VpConfig {
-                    kind,
-                    scheme: scheme.clone(),
-                    recovery: RecoveryPolicy::SquashAtCommit,
-                })
+            configs.push(s.core().with_vp(VpConfig {
+                kind,
+                scheme,
+                recovery: RecoveryPolicy::SquashAtCommit,
             }));
         }
     }
+    let results = run_grid(s, benches, &configs);
     for (i, b) in benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
         for r in &results {
@@ -339,21 +340,23 @@ pub fn accuracy(s: &RunSettings, benches: &[Benchmark]) -> Table {
 /// for one predictor — the §8.2.4 "recovery mechanism has little impact"
 /// claim, distilled.
 pub fn recovery_comparison(s: &RunSettings, benches: &[Benchmark], kind: PredictorKind) -> Table {
-    let base = sweep(s, benches, || s.core());
-    let squash = sweep(s, benches, || {
+    let configs = [
+        s.core(),
         s.core().with_vp(VpConfig {
             kind,
             scheme: ConfidenceScheme::fpc_squash(),
             recovery: RecoveryPolicy::SquashAtCommit,
-        })
-    });
-    let reissue = sweep(s, benches, || {
+        }),
         s.core().with_vp(VpConfig {
             kind,
             scheme: ConfidenceScheme::fpc_reissue(),
             recovery: RecoveryPolicy::SelectiveReissue,
-        })
-    });
+        }),
+    ];
+    let mut results = run_grid(s, benches, &configs);
+    let reissue = results.pop().expect("three configs in");
+    let squash = results.pop().expect("three configs in");
+    let base = results.pop().expect("three configs in");
     let sp_s = squash.speedups(&base);
     let sp_r = reissue.speedups(&base);
     let mut t = Table::new(vec![
@@ -468,22 +471,19 @@ pub fn ablation_extended(s: &RunSettings, benches: &[Benchmark]) -> Table {
         PredictorKind::GDiffVtage,
         PredictorKind::VtageStride,
     ];
-    let base = sweep(s, benches, || s.core());
+    let mut configs = vec![s.core()];
+    configs.extend(kinds.iter().map(|&kind| {
+        s.core().with_vp(VpConfig {
+            kind,
+            scheme: ConfidenceScheme::fpc_squash(),
+            recovery: RecoveryPolicy::SquashAtCommit,
+        })
+    }));
+    let mut results = run_grid(s, benches, &configs);
+    let base = results.remove(0);
     let mut headers = vec!["Benchmark".into()];
     headers.extend(kinds.iter().map(|k| k.label().to_string()));
     let mut t = Table::new(headers);
-    let results: Vec<SuiteResults> = kinds
-        .iter()
-        .map(|&kind| {
-            sweep(s, benches, || {
-                s.core().with_vp(VpConfig {
-                    kind,
-                    scheme: ConfidenceScheme::fpc_squash(),
-                    recovery: RecoveryPolicy::SquashAtCommit,
-                })
-            })
-        })
-        .collect();
     let speedups: Vec<Vec<f64>> = results.iter().map(|r| r.speedups(&base)).collect();
     for (i, b) in benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
@@ -518,7 +518,16 @@ pub fn counters(s: &RunSettings, benches: &[Benchmark]) -> Table {
         // table); listed here as the §5 alternative to FPC.
         ("SAg-LVP (Burtscher)", PredictorKind::SagLvp, ConfidenceScheme::baseline(), "8+4"),
     ];
-    let base = sweep(s, benches, || s.core());
+    let mut core_configs = vec![s.core()];
+    core_configs.extend(configs.iter().map(|(_, kind, scheme, _)| {
+        s.core().with_vp(VpConfig {
+            kind: *kind,
+            scheme: scheme.clone(),
+            recovery: RecoveryPolicy::SquashAtCommit,
+        })
+    }));
+    let mut results = run_grid(s, benches, &core_configs);
+    let base = results.remove(0);
     let mut t = Table::new(vec![
         "Configuration".into(),
         "g-mean speedup".into(),
@@ -526,14 +535,7 @@ pub fn counters(s: &RunSettings, benches: &[Benchmark]) -> Table {
         "Accuracy (a-mean)".into(),
         "Conf bits/entry".into(),
     ]);
-    for (label, kind, scheme, bits) in configs {
-        let res = sweep(s, benches, || {
-            s.core().with_vp(VpConfig {
-                kind,
-                scheme: scheme.clone(),
-                recovery: RecoveryPolicy::SquashAtCommit,
-            })
-        });
+    for ((label, _, _, bits), res) in configs.into_iter().zip(&results) {
         let speedups = res.speedups(&base);
         let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
         let accs: Vec<f64> =
@@ -595,17 +597,15 @@ pub fn ipc_diagnostics(s: &RunSettings, benches: &[Benchmark]) -> Table {
         "L2 MPKI".into(),
         "B2B".into(),
     ]);
-    for b in benches {
-        let base = s.run_baseline(b);
-        let oracle = s.run_vp(
-            b,
-            PredictorKind::Oracle,
-            ConfidenceScheme::fpc_squash(),
-            RecoveryPolicy::SquashAtCommit,
-        );
+    let oracle_cfg =
+        s.core().with_vp(VpConfig::enabled(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit));
+    let mut results = run_grid(s, benches, &[s.core(), oracle_cfg]);
+    let oracles = results.pop().expect("two configs in");
+    let bases = results.pop().expect("two configs in");
+    for ((name, base), (_, oracle)) in bases.rows.iter().zip(&oracles.rows) {
         let n = base.metrics.instructions;
         t.row(vec![
-            b.name.into(),
+            (*name).into(),
             fmt_f(base.metrics.ipc(), 2),
             fmt_f(oracle.metrics.ipc(), 2),
             fmt_f(base.branch.mpki(n), 1),

@@ -1,11 +1,36 @@
-//! Experiment runner shared by the `paper` binary and the Criterion
-//! benches: one function per table/figure of the paper, each returning a
-//! [`vpsim_stats::table::Table`] whose rows mirror what the paper reports.
+//! Experiment harness for the vpsim reproduction: the parallel sweep
+//! engine, the per-table/figure experiment functions, and the `paper`,
+//! `simulate` and `sweep` binaries.
 //!
-//! See `EXPERIMENTS.md` for the paper-vs-measured record and `DESIGN.md`
-//! §5 for the experiment index.
+//! * [`runner`] — simulation sizing ([`RunSettings`]) and per-suite result
+//!   bookkeeping ([`SuiteResults`]).
+//! * [`sweep`] — the deterministic parallel sweep engine: a declarative
+//!   [`sweep::SweepSpec`] grid expanded into independent jobs, executed on
+//!   a scoped worker pool with a bounded work queue, and merged in job
+//!   order so parallel output is bit-identical to serial.
+//! * [`experiments`] — one function per table/figure of the paper, each
+//!   returning a [`vpsim_stats::table::Table`] whose rows mirror what the
+//!   paper reports. See `ARCHITECTURE.md` at the repository root for the
+//!   paper-concept-to-crate map.
+//!
+//! # Examples
+//!
+//! Run a two-benchmark grid on two worker threads:
+//!
+//! ```
+//! use vpsim_bench::sweep::run_grid;
+//! use vpsim_bench::RunSettings;
+//!
+//! let s = RunSettings { warmup: 1_000, measure: 5_000, threads: 2, ..RunSettings::default() };
+//! let benches = vpsim_workloads::all_benchmarks();
+//! let suites = run_grid(&s, &benches[..2], &[s.core()]);
+//! assert_eq!(suites.len(), 1);
+//! assert_eq!(suites[0].rows.len(), 2);
+//! ```
 
 pub mod experiments;
 pub mod runner;
+pub mod sweep;
 
 pub use runner::{RunSettings, SuiteResults};
+pub use sweep::{SweepResults, SweepSpec};

@@ -11,6 +11,17 @@ use vpsim_workloads::{Benchmark, WorkloadParams};
 /// defaults here (50 k + 200 k) keep a full `paper all` run to minutes
 /// while preserving every qualitative trend. Use `--warmup`/`--measure`
 /// to run at larger scales.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_bench::RunSettings;
+/// use vpsim_workloads::benchmark;
+///
+/// let s = RunSettings { warmup: 1_000, measure: 5_000, ..RunSettings::default() };
+/// let r = s.run_baseline(&benchmark("gzip").unwrap());
+/// assert_eq!(r.metrics.instructions, 5_000);
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct RunSettings {
     /// Committed instructions simulated before measurement starts.
@@ -21,11 +32,15 @@ pub struct RunSettings {
     pub scale: usize,
     /// Seed for workload data and predictor randomness.
     pub seed: u64,
+    /// Worker threads used by grid execution ([`crate::sweep::run_grid`]);
+    /// `1` runs serially on the calling thread. Parallel output is
+    /// bit-identical to serial, so this only affects wall-clock time.
+    pub threads: usize,
 }
 
 impl Default for RunSettings {
     fn default() -> Self {
-        RunSettings { warmup: 50_000, measure: 200_000, scale: 1, seed: 0x2014 }
+        RunSettings { warmup: 50_000, measure: 200_000, scale: 1, seed: 0x2014, threads: 1 }
     }
 }
 
@@ -90,20 +105,20 @@ impl SuiteResults {
     }
 }
 
-/// Run every benchmark in `benches` under `make_config`.
+/// Run every benchmark in `benches` under the configuration produced by
+/// `make_config`, on `settings.threads` workers.
+///
+/// This is the single-configuration face of [`crate::sweep::run_grid`];
+/// experiments that compare several configurations should pass them to
+/// `run_grid` in one batch so the whole grid shares the worker pool.
 pub fn sweep(
     settings: &RunSettings,
     benches: &[Benchmark],
-    mut make_config: impl FnMut() -> CoreConfig,
+    make_config: impl Fn() -> CoreConfig,
 ) -> SuiteResults {
-    let rows = benches
-        .iter()
-        .map(|b| {
-            let r = settings.run(b, make_config());
-            (b.name, r)
-        })
-        .collect();
-    SuiteResults { rows }
+    crate::sweep::run_grid(settings, benches, &[make_config()])
+        .pop()
+        .expect("one configuration in, one suite out")
 }
 
 #[cfg(test)]
@@ -112,7 +127,7 @@ mod tests {
     use vpsim_workloads::benchmark;
 
     fn tiny() -> RunSettings {
-        RunSettings { warmup: 2_000, measure: 10_000, scale: 1, seed: 7 }
+        RunSettings { warmup: 2_000, measure: 10_000, scale: 1, seed: 7, threads: 1 }
     }
 
     #[test]

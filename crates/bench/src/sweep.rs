@@ -1,0 +1,596 @@
+//! Deterministic parallel sweep engine.
+//!
+//! The paper's headline results are full grids of (workload × predictor ×
+//! confidence × recovery) runs. Each grid cell is an independent
+//! simulation, so the engine here expands a declarative [`SweepSpec`] into
+//! index-numbered jobs, executes them on a [`std::thread::scope`] worker
+//! pool fed by a bounded work queue, and merges results **by job index** —
+//! the output of a parallel run is bit-identical to a serial run of the
+//! same grid, regardless of worker count or scheduling.
+//!
+//! Three layers, lowest first:
+//!
+//! * [`run_indexed`] — a generic deterministic parallel map: `N` jobs in,
+//!   `N` results out, in index order.
+//! * [`run_grid`] — run every benchmark under every [`CoreConfig`] and
+//!   fold the results into one [`SuiteResults`] per configuration. All the
+//!   simulation-backed experiments in [`crate::experiments`] sit on this.
+//! * [`SweepSpec`] / [`SweepResults`] — the declarative cartesian grid
+//!   behind the `sweep` binary: predictors × confidence choices × recovery
+//!   policies × benchmarks, with long-form and matrix table rendering.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpsim_bench::sweep::{SchemeChoice, SweepSpec};
+//! use vpsim_bench::RunSettings;
+//! use vpsim_core::PredictorKind;
+//! use vpsim_uarch::RecoveryPolicy;
+//! use vpsim_workloads::benchmark;
+//!
+//! let mut spec = SweepSpec {
+//!     settings: RunSettings { warmup: 1_000, measure: 5_000, ..RunSettings::default() },
+//!     predictors: vec![PredictorKind::Vtage],
+//!     schemes: vec![SchemeChoice::Fpc],
+//!     recoveries: vec![RecoveryPolicy::SquashAtCommit],
+//!     benches: vec![benchmark("gzip").unwrap()],
+//! };
+//! let serial = spec.run();
+//! spec.settings.threads = 4;
+//! let parallel = spec.run();
+//! assert_eq!(serial.table().to_csv(), parallel.table().to_csv());
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use crate::runner::{RunSettings, SuiteResults};
+use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_stats::mean;
+use vpsim_stats::table::{fmt_f, fmt_pct, Table};
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, VpConfig};
+use vpsim_workloads::Benchmark;
+
+// ---------------------------------------------------------------------------
+// Bounded work queue
+// ---------------------------------------------------------------------------
+
+/// A bounded multi-producer/multi-consumer queue of job indices.
+///
+/// `push` blocks while the queue is at capacity; `pop` blocks while it is
+/// empty and not yet closed. Closing wakes every waiter: pending `pop`s
+/// drain the remaining items and then return `None`, pending `push`es give
+/// up. The items are plain indices, so the bound is not about memory —
+/// it keeps dispatch FIFO and lets future callers stream jobs from a
+/// producer that is itself doing work (e.g. generating grid cells on the
+/// fly) without racing ahead of the workers.
+struct BoundedQueue {
+    cap: usize,
+    state: Mutex<QueueState>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct QueueState {
+    items: VecDeque<usize>,
+    closed: bool,
+}
+
+impl BoundedQueue {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            cap: cap.max(1),
+            state: Mutex::new(QueueState { items: VecDeque::new(), closed: false }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Enqueue `item`, blocking while full. Returns `false` if the queue
+    /// was closed before the item could be enqueued.
+    fn push(&self, item: usize) -> bool {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.items.len() < self.cap {
+                st.items.push_back(item);
+                self.not_empty.notify_one();
+                return true;
+            }
+            st = self.not_full.wait(st).unwrap();
+        }
+    }
+
+    /// Dequeue the next item, blocking while empty. Returns `None` once
+    /// the queue is closed and drained.
+    fn pop(&self) -> Option<usize> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
+/// Closes the queue if its thread unwinds, so the producer blocked on a
+/// full queue cannot deadlock; the panic itself resurfaces when the scope
+/// joins the worker.
+struct CloseOnPanic<'a>(&'a BoundedQueue);
+
+impl Drop for CloseOnPanic<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.close();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic parallel map
+// ---------------------------------------------------------------------------
+
+/// Run `jobs` independent jobs on `threads` workers and return their
+/// results **in job-index order**.
+///
+/// `threads <= 1` runs everything serially on the calling thread; any
+/// higher count spawns scoped workers fed by a bounded queue. Because each
+/// result is written to its own index slot, the returned vector — and
+/// therefore anything rendered from it — is identical for every thread
+/// count.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_bench::sweep::run_indexed;
+///
+/// let serial = run_indexed(10, 1, |i| i * i);
+/// let parallel = run_indexed(10, 4, |i| i * i);
+/// assert_eq!(serial, parallel);
+/// ```
+pub fn run_indexed<T, F>(jobs: usize, threads: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs).map(run).collect();
+    }
+    let workers = threads.min(jobs);
+    let queue = BoundedQueue::new(2 * workers);
+    let slots: Vec<Mutex<Option<T>>> = (0..jobs).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _guard = CloseOnPanic(&queue);
+                while let Some(i) = queue.pop() {
+                    let result = run(i);
+                    *slots[i].lock().unwrap() = Some(result);
+                }
+            });
+        }
+        for i in 0..jobs {
+            if !queue.push(i) {
+                break; // a worker panicked and closed the queue
+            }
+        }
+        queue.close();
+    });
+    slots.into_iter().map(|slot| slot.into_inner().unwrap().expect("every job ran")).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Configuration grids
+// ---------------------------------------------------------------------------
+
+/// Run every benchmark under every configuration and return one
+/// [`SuiteResults`] per configuration, in input order.
+///
+/// Jobs are laid out configuration-major (`configs[0]` over all benchmarks
+/// first), executed on `settings.threads` workers, and merged by index, so
+/// row order matches a serial double loop exactly.
+pub fn run_grid(
+    settings: &RunSettings,
+    benches: &[Benchmark],
+    configs: &[CoreConfig],
+) -> Vec<SuiteResults> {
+    if benches.is_empty() {
+        return configs.iter().map(|_| SuiteResults { rows: Vec::new() }).collect();
+    }
+    let jobs = configs.len() * benches.len();
+    let results = run_indexed(jobs, settings.threads, |i| {
+        let (ci, bi) = (i / benches.len(), i % benches.len());
+        settings.run(&benches[bi], configs[ci].clone())
+    });
+    let mut out = Vec::with_capacity(configs.len());
+    let mut it = results.into_iter();
+    for _ in configs {
+        let rows = benches.iter().map(|b| (b.name, it.next().expect("sized exactly"))).collect();
+        out.push(SuiteResults { rows });
+    }
+    out
+}
+
+/// Confidence-estimation choice in a sweep grid, resolved against the
+/// recovery policy of the same grid point (the paper pairs each recovery
+/// scheme with its own FPC probability vector, §5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchemeChoice {
+    /// The paper's baseline 3-bit saturating counters.
+    Baseline,
+    /// Forward Probabilistic Counters, vector matched to the recovery
+    /// policy (`fpc_squash` under squash-at-commit, `fpc_reissue` under
+    /// selective reissue).
+    Fpc,
+    /// A plain full counter of the given width (the paper's "simply use
+    /// wider counters" alternative).
+    Full(u8),
+}
+
+impl SchemeChoice {
+    /// Resolve to a concrete [`ConfidenceScheme`] for one grid point.
+    pub fn build(self, recovery: RecoveryPolicy) -> ConfidenceScheme {
+        match self {
+            SchemeChoice::Baseline => ConfidenceScheme::baseline(),
+            SchemeChoice::Fpc => match recovery {
+                RecoveryPolicy::SquashAtCommit => ConfidenceScheme::fpc_squash(),
+                RecoveryPolicy::SelectiveReissue => ConfidenceScheme::fpc_reissue(),
+            },
+            SchemeChoice::Full(bits) => ConfidenceScheme::full(bits),
+        }
+    }
+
+    /// Short label used in tables (`baseline`, `fpc`, `full6`, …).
+    pub fn label(self) -> String {
+        match self {
+            SchemeChoice::Baseline => "baseline".into(),
+            SchemeChoice::Fpc => "fpc".into(),
+            SchemeChoice::Full(bits) => format!("full{bits}"),
+        }
+    }
+}
+
+impl std::str::FromStr for SchemeChoice {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "baseline" | "base" => Ok(SchemeChoice::Baseline),
+            "fpc" => Ok(SchemeChoice::Fpc),
+            other => match other.strip_prefix("full").and_then(|b| b.parse::<u8>().ok()) {
+                Some(bits) if (1..=8).contains(&bits) => Ok(SchemeChoice::Full(bits)),
+                _ => Err(format!("unknown confidence scheme: {s} (baseline | fpc | full1..full8)")),
+            },
+        }
+    }
+}
+
+/// One cell of the configuration grid (the workload axis is separate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GridPoint {
+    /// Predictor under test.
+    pub kind: PredictorKind,
+    /// Confidence estimation choice.
+    pub scheme: SchemeChoice,
+    /// Misprediction recovery policy.
+    pub recovery: RecoveryPolicy,
+}
+
+impl GridPoint {
+    /// `predictor/scheme/recovery` label, e.g. `VTAGE/fpc/squash`.
+    pub fn label(&self) -> String {
+        format!("{}/{}/{}", self.kind.label(), self.scheme.label(), recovery_label(self.recovery))
+    }
+
+    /// The [`VpConfig`] this point denotes.
+    pub fn vp_config(&self) -> VpConfig {
+        VpConfig {
+            kind: self.kind,
+            scheme: self.scheme.build(self.recovery),
+            recovery: self.recovery,
+        }
+    }
+}
+
+fn recovery_label(r: RecoveryPolicy) -> &'static str {
+    match r {
+        RecoveryPolicy::SquashAtCommit => "squash",
+        RecoveryPolicy::SelectiveReissue => "reissue",
+    }
+}
+
+/// A declarative sweep: the cartesian product of predictors × confidence
+/// choices × recovery policies, run over a benchmark list, plus the no-VP
+/// baseline every speedup is measured against.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Simulation sizing, seed and worker-thread count.
+    pub settings: RunSettings,
+    /// Predictor axis.
+    pub predictors: Vec<PredictorKind>,
+    /// Confidence axis.
+    pub schemes: Vec<SchemeChoice>,
+    /// Recovery axis.
+    pub recoveries: Vec<RecoveryPolicy>,
+    /// Workload axis (paper Table 3 names).
+    pub benches: Vec<Benchmark>,
+}
+
+/// One expanded job of a [`SweepSpec`]: a single (configuration,
+/// benchmark) simulation.
+#[derive(Debug, Clone)]
+pub struct SweepJob {
+    /// Stable index; results are merged in this order.
+    pub index: usize,
+    /// Grid point, or `None` for the no-VP baseline.
+    pub point: Option<GridPoint>,
+    /// Benchmark to run.
+    pub bench: Benchmark,
+    /// Full core configuration for the run.
+    pub config: CoreConfig,
+}
+
+impl SweepSpec {
+    /// The grid points in stable (predictor-major) expansion order.
+    pub fn points(&self) -> Vec<GridPoint> {
+        let mut out = Vec::new();
+        for &kind in &self.predictors {
+            for &scheme in &self.schemes {
+                for &recovery in &self.recoveries {
+                    out.push(GridPoint { kind, scheme, recovery });
+                }
+            }
+        }
+        out
+    }
+
+    /// Expand into independent jobs: the baseline over every benchmark
+    /// first, then every grid point over every benchmark.
+    pub fn expand(&self) -> Vec<SweepJob> {
+        let mut jobs = Vec::new();
+        let mut add = |point: Option<GridPoint>, bench: &Benchmark, config: CoreConfig| {
+            jobs.push(SweepJob { index: jobs.len(), point, bench: *bench, config });
+        };
+        for b in &self.benches {
+            add(None, b, self.settings.core());
+        }
+        for point in self.points() {
+            for b in &self.benches {
+                add(Some(point), b, self.settings.core().with_vp(point.vp_config()));
+            }
+        }
+        jobs
+    }
+
+    /// Number of simulations the sweep will run (baseline included).
+    pub fn job_count(&self) -> usize {
+        self.benches.len() * (1 + self.points().len())
+    }
+
+    /// Execute the sweep on `self.settings.threads` workers (1 = serial).
+    /// Output is bit-identical for every thread count.
+    pub fn run(&self) -> SweepResults {
+        let jobs = self.expand();
+        let results = run_indexed(jobs.len(), self.settings.threads, |i| {
+            self.settings.run(&jobs[i].bench, jobs[i].config.clone())
+        });
+        let mut it = results.into_iter();
+        let mut take_suite = || SuiteResults {
+            rows: self
+                .benches
+                .iter()
+                .map(|b| (b.name, it.next().expect("sized exactly")))
+                .collect(),
+        };
+        let baseline = take_suite();
+        let points = self.points().into_iter().map(|p| (p, take_suite())).collect();
+        SweepResults { baseline, points }
+    }
+}
+
+/// Results of a [`SweepSpec`] run, in expansion order.
+#[derive(Debug, Clone)]
+pub struct SweepResults {
+    /// No-VP baseline results over the benchmark list.
+    pub baseline: SuiteResults,
+    /// Per-grid-point results, in [`SweepSpec::points`] order.
+    pub points: Vec<(GridPoint, SuiteResults)>,
+}
+
+impl SweepResults {
+    /// Long-form table: one row per (grid point, benchmark) with IPC,
+    /// speedup over the no-VP baseline, coverage and accuracy, plus a
+    /// `g-mean` summary row per point. Baseline rows come first.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "Benchmark".into(),
+            "Predictor".into(),
+            "Confidence".into(),
+            "Recovery".into(),
+            "IPC".into(),
+            "Speedup".into(),
+            "Coverage".into(),
+            "Accuracy".into(),
+        ]);
+        for (name, r) in &self.baseline.rows {
+            t.row(vec![
+                (*name).into(),
+                "none".into(),
+                "-".into(),
+                "-".into(),
+                fmt_f(r.metrics.ipc(), 3),
+                fmt_f(1.0, 3),
+                "-".into(),
+                "-".into(),
+            ]);
+        }
+        for (point, suite) in &self.points {
+            let speedups = suite.speedups(&self.baseline);
+            for (i, (name, r)) in suite.rows.iter().enumerate() {
+                t.row(vec![
+                    (*name).into(),
+                    point.kind.label().into(),
+                    point.scheme.label(),
+                    recovery_label(point.recovery).into(),
+                    fmt_f(r.metrics.ipc(), 3),
+                    fmt_f(speedups[i], 3),
+                    fmt_pct(r.vp.coverage(), 1),
+                    fmt_pct(r.vp.accuracy(), 2),
+                ]);
+            }
+            t.row(vec![
+                "g-mean".into(),
+                point.kind.label().into(),
+                point.scheme.label(),
+                recovery_label(point.recovery).into(),
+                String::new(),
+                fmt_f(mean::geometric(&speedups).unwrap_or(1.0), 3),
+                String::new(),
+                String::new(),
+            ]);
+        }
+        t
+    }
+
+    /// Matrix view: benchmarks as rows, one speedup column per grid
+    /// point, with a final `g-mean` row.
+    pub fn matrix(&self) -> Table {
+        let mut headers = vec!["Benchmark".into()];
+        headers.extend(self.points.iter().map(|(p, _)| p.label()));
+        let mut t = Table::new(headers);
+        let speedups: Vec<Vec<f64>> =
+            self.points.iter().map(|(_, suite)| suite.speedups(&self.baseline)).collect();
+        for (i, (name, _)) in self.baseline.rows.iter().enumerate() {
+            let mut row = vec![(*name).to_string()];
+            row.extend(speedups.iter().map(|col| fmt_f(col[i], 3)));
+            t.row(row);
+        }
+        let mut grow = vec!["g-mean".to_string()];
+        grow.extend(speedups.iter().map(|col| fmt_f(mean::geometric(col).unwrap_or(1.0), 3)));
+        t.row(grow);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_workloads::benchmark;
+
+    fn tiny() -> RunSettings {
+        RunSettings { warmup: 1_000, measure: 5_000, scale: 1, seed: 7, threads: 1 }
+    }
+
+    #[test]
+    fn run_indexed_is_order_deterministic() {
+        let serial = run_indexed(23, 1, |i| i * 3 + 1);
+        for threads in [2, 4, 8] {
+            assert_eq!(run_indexed(23, threads, |i| i * 3 + 1), serial);
+        }
+    }
+
+    #[test]
+    fn run_indexed_handles_edge_counts() {
+        assert!(run_indexed(0, 4, |i| i).is_empty());
+        assert_eq!(run_indexed(1, 4, |i| i + 10), vec![10]);
+        // More workers than jobs.
+        assert_eq!(run_indexed(2, 16, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn queue_drains_after_close() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1));
+        assert!(q.push(2));
+        q.close();
+        assert!(!q.push(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn scheme_choice_parses_and_labels() {
+        assert_eq!("baseline".parse::<SchemeChoice>().unwrap(), SchemeChoice::Baseline);
+        assert_eq!("fpc".parse::<SchemeChoice>().unwrap(), SchemeChoice::Fpc);
+        assert_eq!("full6".parse::<SchemeChoice>().unwrap(), SchemeChoice::Full(6));
+        assert!("full0".parse::<SchemeChoice>().is_err());
+        assert!("full9".parse::<SchemeChoice>().is_err());
+        assert!("nonsense".parse::<SchemeChoice>().is_err());
+        assert_eq!(SchemeChoice::Full(6).label(), "full6");
+    }
+
+    #[test]
+    fn fpc_choice_matches_recovery_vector() {
+        assert_eq!(
+            SchemeChoice::Fpc.build(RecoveryPolicy::SquashAtCommit),
+            ConfidenceScheme::fpc_squash()
+        );
+        assert_eq!(
+            SchemeChoice::Fpc.build(RecoveryPolicy::SelectiveReissue),
+            ConfidenceScheme::fpc_reissue()
+        );
+        assert_eq!(
+            SchemeChoice::Baseline.build(RecoveryPolicy::SquashAtCommit),
+            ConfidenceScheme::baseline()
+        );
+    }
+
+    #[test]
+    fn spec_expands_baseline_first_in_stable_order() {
+        let spec = SweepSpec {
+            settings: tiny(),
+            predictors: vec![PredictorKind::Lvp, PredictorKind::Vtage],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue],
+            benches: vec![benchmark("gzip").unwrap(), benchmark("mcf").unwrap()],
+        };
+        let jobs = spec.expand();
+        assert_eq!(jobs.len(), spec.job_count());
+        assert_eq!(jobs.len(), 2 * (1 + 4));
+        assert!(jobs[0].point.is_none() && jobs[1].point.is_none());
+        assert_eq!(jobs[0].bench.name, "gzip");
+        assert_eq!(jobs[1].bench.name, "mcf");
+        let p = jobs[2].point.unwrap();
+        assert_eq!(p.kind, PredictorKind::Lvp);
+        assert_eq!(p.recovery, RecoveryPolicy::SquashAtCommit);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.index, i);
+        }
+    }
+
+    #[test]
+    fn grid_matches_individual_runs() {
+        let s = tiny();
+        let benches = [benchmark("gzip").unwrap(), benchmark("h264ref").unwrap()];
+        let vp = s
+            .core()
+            .with_vp(VpConfig::enabled(PredictorKind::Vtage, RecoveryPolicy::SquashAtCommit));
+        let grids = run_grid(&s, &benches, &[s.core(), vp.clone()]);
+        assert_eq!(grids.len(), 2);
+        assert_eq!(grids[0].rows[0].1, s.run(&benches[0], s.core()));
+        assert_eq!(grids[1].rows[1].1, s.run(&benches[1], vp));
+    }
+
+    #[test]
+    fn empty_benches_yield_empty_suites() {
+        let s = tiny();
+        let grids = run_grid(&s, &[], &[s.core(), s.core()]);
+        assert_eq!(grids.len(), 2);
+        assert!(grids.iter().all(|g| g.rows.is_empty()));
+    }
+}

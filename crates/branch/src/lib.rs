@@ -5,7 +5,8 @@
 //! The paper's simulated front-end (Table 2) uses "TAGE 1+12 components,
 //! 15K-entry total, 20 cycles min. mis. penalty; 2-way 4K-entry BTB,
 //! 32-entry RAS". This crate reproduces that configuration. One deviation
-//! is documented in `DESIGN.md`: the maximum TAGE history length is capped
+//! is documented in `ARCHITECTURE.md` ("Model simplifications"): the
+//! maximum TAGE history length is capped
 //! at 128 bits so the predictor can share the pipeline's single
 //! [`vpsim_core::HistoryState`] register (the original TAGE uses several
 //! hundred bits; on our workloads the accuracy difference is marginal).

@@ -53,6 +53,8 @@
 //! assert_eq!(last_pred, Some(320));
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod confidence;
 pub mod fcm;
 pub mod gdiff;
@@ -219,6 +221,16 @@ impl PredictorKind {
     ///
     /// `scheme` selects the confidence flavour; `seed` feeds the FPC LFSR
     /// and any allocation randomness, keeping runs reproducible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_core::{ConfidenceScheme, PredictorKind};
+    ///
+    /// let p = PredictorKind::Vtage.build(ConfidenceScheme::fpc_squash(), 0x2014);
+    /// assert_eq!(p.name(), "VTAGE");
+    /// assert!(p.storage().total_kb() > 60.0); // paper Table 1: ~67.6 KB
+    /// ```
     pub fn build(self, scheme: ConfidenceScheme, seed: u64) -> Box<dyn Predictor> {
         match self {
             PredictorKind::Lvp => Box::new(Lvp::with_defaults(scheme, seed)),

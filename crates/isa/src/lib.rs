@@ -3,7 +3,8 @@
 //! The paper evaluates value prediction on x86 µops under gem5; the
 //! predictors themselves only observe *(PC, branch history, path history,
 //! produced values)*, so the ISA identity is irrelevant to the mechanism
-//! (see `DESIGN.md` §2). This crate defines a compact RISC-like µop ISA
+//! (see "ISA neutrality" in `ARCHITECTURE.md` at the repository root).
+//! This crate defines a compact RISC-like µop ISA
 //! (1 µop = 1 instruction) that the rest of the workspace shares:
 //!
 //! * [`Inst`]/[`Opcode`] — the µop format: up to two register sources, one

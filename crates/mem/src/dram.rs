@@ -7,7 +7,8 @@
 //! paper's numbers: **75 CPU cycles** for a row-buffer hit (CL + burst),
 //! 130 for a closed row (tRCD + CL + burst) and **185** for a row conflict
 //! (tRP + tRCD + CL + burst). Refresh (tREFI 7.8 µs) is not modeled; its
-//! steady-state impact is ≈1 % of bandwidth (documented in `DESIGN.md`).
+//! steady-state impact is ≈1 % of bandwidth (see "Model simplifications"
+//! in `ARCHITECTURE.md`).
 
 /// DDR3 timing parameters, in CPU cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

@@ -19,7 +19,7 @@
 //! was never consumed by an issued µop costs nothing (the prediction is
 //! silently replaced — §7.2.1).
 //!
-//! **Trace-driven simplifications** (documented in `DESIGN.md` §4):
+//! **Trace-driven simplifications** (see `ARCHITECTURE.md`):
 //! wrong-path instructions are not fetched; a branch misprediction instead
 //! blocks fetch until the branch executes, reproducing the ≥ 20-cycle
 //! penalty. Branches are resolved on data-speculative paths (§7.2), i.e.

@@ -7,9 +7,9 @@
 //! results* — the mix of value patterns (constant, strided,
 //! control-flow-correlated, context-dependent, chaotic), branch
 //! predictability, memory footprint and access regularity, and loop-body
-//! sizes (which determine the §3.2 back-to-back statistic). `DESIGN.md` §2
-//! documents the substitution argument; each generator's doc comment
-//! explains which behaviors it mimics.
+//! sizes (which determine the §3.2 back-to-back statistic). "Workload
+//! substitution" in `ARCHITECTURE.md` documents the substitution argument;
+//! each generator's doc comment explains which behaviors it mimics.
 //!
 //! # Examples
 //!

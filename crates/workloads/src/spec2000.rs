@@ -1,8 +1,8 @@
 //! SPEC CPU2000 benchmark analogues (paper Table 3, top half).
 //!
 //! Each generator's doc comment states which behavioral traits of the
-//! original benchmark it reproduces; `DESIGN.md` §2 carries the general
-//! substitution argument.
+//! original benchmark it reproduces; "Workload substitution" in
+//! `ARCHITECTURE.md` carries the general substitution argument.
 
 use crate::patterns::{
     self, endless_outer, init_random_array, init_shuffled_chase, lcg_step, Layout,

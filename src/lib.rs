@@ -22,6 +22,12 @@
 //! * [`workloads`] (`vpsim-workloads`) — 19 synthetic SPEC CPU2000/2006
 //!   benchmark analogues plus microkernels.
 //! * [`stats`] (`vpsim-stats`) — counters, metrics and table formatting.
+//! * [`mod@bench`] (`vpsim-bench`) — the experiment harness: paper
+//!   table/figure reproductions and the deterministic parallel sweep
+//!   engine ([`bench::sweep`]) behind the `paper` and `sweep` binaries.
+//!
+//! `ARCHITECTURE.md` at the repository root maps the paper's concepts
+//! (VTAGE, FPC, validation at commit, squash recovery) to these crates.
 //!
 //! ## Quickstart
 //!
@@ -43,6 +49,7 @@
 //! assert!(with_vp.metrics.ipc() >= base.metrics.ipc() * 0.95);
 //! ```
 
+pub use vpsim_bench as bench;
 pub use vpsim_branch as branch;
 pub use vpsim_core as core;
 pub use vpsim_isa as isa;
