@@ -26,6 +26,10 @@
 //!   all              Every paper artifact above (extensions excluded)
 //!
 //! Options:
+//!   --scenario FILE  Load sizing/benchmarks/core overrides from a file
+//!   --preset NAME    Start from a named scenario preset
+//!   --set KEY=VALUE  Override one scenario key (repeatable)
+//!   --dump-scenario  Print the resolved scenario and exit
 //!   --warmup N       Warm-up instructions per run   [default 50000]
 //!   --measure N      Measured instructions per run  [default 200000]
 //!   --scale N        Workload footprint multiplier  [default 1]
@@ -36,69 +40,50 @@
 //!   --csv            Emit CSV instead of aligned text
 //! ```
 //!
-//! Every simulation-backed experiment runs its configuration grid on the
+//! Each experiment imposes its own figure grid (a named
+//! `vpsim_bench::scenario` preset — `sweep --preset fig6` runs the same
+//! configurations), so a scenario's `predictors`/`confidence`/`recovery`
+//! axes are ignored here; its sizing, benchmark list and `core.*`
+//! overrides all apply. Every simulation-backed experiment runs on the
 //! `vpsim_bench::sweep` engine; `--threads` changes wall-clock time only,
 //! never a byte of output.
 
 use std::process::ExitCode;
 use vpsim_bench::experiments as exp;
-use vpsim_bench::RunSettings;
-use vpsim_core::PredictorKind;
+use vpsim_bench::scenario::{resolve_cli_base, Scenario};
 use vpsim_stats::table::Table;
 use vpsim_uarch::RecoveryPolicy;
-use vpsim_workloads::{all_benchmarks, Benchmark};
 
 struct Options {
-    settings: RunSettings,
-    benches: Vec<Benchmark>,
+    scenario: Scenario,
     csv: bool,
+    dump: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
-    let mut settings = RunSettings {
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        ..RunSettings::default()
-    };
+    let mut base = Scenario::default();
+    base.settings.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (mut scenario, rest, _) = resolve_cli_base(base, args)?;
     let mut csv = false;
-    let mut names: Option<Vec<String>> = None;
+    let mut dump = false;
     let mut experiments = Vec::new();
-    let mut it = args.iter();
+    let mut it = rest.iter();
     while let Some(arg) = it.next() {
-        let mut next_u64 = |what: &str| -> Result<u64, String> {
-            it.next()
-                .ok_or_else(|| format!("{what} requires a value"))?
-                .parse::<u64>()
-                .map_err(|e| format!("{what}: {e}"))
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} requires a value"))
         };
         match arg.as_str() {
-            "--warmup" => settings.warmup = next_u64("--warmup")?,
-            "--measure" => settings.measure = next_u64("--measure")?,
-            "--scale" => settings.scale = next_u64("--scale")? as usize,
-            "--seed" => settings.seed = next_u64("--seed")?,
-            "--threads" => settings.threads = (next_u64("--threads")? as usize).max(1),
+            "--set" => scenario.set(val()?)?,
             "--csv" => csv = true,
-            "--benchmarks" => {
-                let list = it.next().ok_or("--benchmarks requires a value")?;
-                names = Some(list.split(',').map(str::to_string).collect());
-            }
+            "--dump-scenario" => dump = true,
+            flag @ ("--warmup" | "--measure" | "--scale" | "--seed" | "--threads"
+            | "--benchmarks") => scenario.apply(&flag[2..], val()?)?,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),
-            exp => experiments.push(exp.to_string()),
+            experiment => experiments.push(experiment.to_string()),
         }
     }
-    let benches = match names {
-        None => all_benchmarks(),
-        Some(ns) => {
-            let mut out = Vec::new();
-            for n in ns {
-                match vpsim_workloads::benchmark(&n) {
-                    Some(b) => out.push(b),
-                    None => return Err(format!("unknown benchmark {n}")),
-                }
-            }
-            out
-        }
-    };
-    Ok((experiments, Options { settings, benches, csv }))
+    scenario.validate()?;
+    Ok((experiments, Options { scenario, csv, dump }))
 }
 
 fn emit(title: &str, table: &Table, csv: bool) {
@@ -111,63 +96,60 @@ fn emit(title: &str, table: &Table, csv: bool) {
 }
 
 fn run_experiment(name: &str, o: &Options) -> Result<(), String> {
-    let s = &o.settings;
-    let b = &o.benches;
+    let sc = &o.scenario;
     match name {
         "table1" => emit("Table 1: predictor layout", &exp::table1(), o.csv),
         "table2" => emit("Table 2: simulator configuration", &exp::table2(), o.csv),
-        "table3" => emit("Table 3: benchmark suite", &exp::table3(b), o.csv),
+        "table3" => emit("Table 3: benchmark suite", &exp::table3(&sc.benches), o.csv),
         "sec3-model" => {
             emit("§3.1 analytic example (net cycles per Kinst)", &exp::sec3_model(), o.csv)
         }
         "sec3-backtoback" => {
-            emit("§3.2 back-to-back eligible fetches", &exp::sec3_backtoback(s, b), o.csv)
+            emit("§3.2 back-to-back eligible fetches", &exp::sec3_backtoback(sc), o.csv)
         }
         "sec4-regfile" => emit("§4 register-file port cost", &exp::sec4_regfile(), o.csv),
-        "fig3" => emit("Figure 3: oracle speedup upper bound", &exp::fig3(s, b), o.csv),
+        "fig3" => emit("Figure 3: oracle speedup upper bound", &exp::fig3(sc), o.csv),
         "fig4" => {
             emit(
                 "Figure 4(a): squash-at-commit, baseline counters",
-                &exp::fig45(s, b, RecoveryPolicy::SquashAtCommit, false),
+                &exp::fig45(sc, RecoveryPolicy::SquashAtCommit, false),
                 o.csv,
             );
             emit(
                 "Figure 4(b): squash-at-commit, FPC",
-                &exp::fig45(s, b, RecoveryPolicy::SquashAtCommit, true),
+                &exp::fig45(sc, RecoveryPolicy::SquashAtCommit, true),
                 o.csv,
             );
         }
         "fig5" => {
             emit(
                 "Figure 5(a): selective reissue, baseline counters",
-                &exp::fig45(s, b, RecoveryPolicy::SelectiveReissue, false),
+                &exp::fig45(sc, RecoveryPolicy::SelectiveReissue, false),
                 o.csv,
             );
             emit(
                 "Figure 5(b): selective reissue, FPC",
-                &exp::fig45(s, b, RecoveryPolicy::SelectiveReissue, true),
+                &exp::fig45(sc, RecoveryPolicy::SelectiveReissue, true),
                 o.csv,
             );
         }
-        "fig6" => emit("Figure 6: VTAGE, baseline vs FPC", &exp::fig6(s, b), o.csv),
-        "fig7" => emit("Figure 7: hybrid predictors", &exp::fig7(s, b), o.csv),
-        "accuracy" => emit("§8.2 accuracy, baseline vs FPC", &exp::accuracy(s, b), o.csv),
-        "recovery" => emit(
-            "§8.2.4 recovery comparison (VTAGE, FPC)",
-            &exp::recovery_comparison(s, b, PredictorKind::Vtage),
-            o.csv,
-        ),
-        "ipc" => emit("Diagnostics: IPC and substrate stats", &exp::ipc_diagnostics(s, b), o.csv),
+        "fig6" => emit("Figure 6: VTAGE, baseline vs FPC", &exp::fig6(sc), o.csv),
+        "fig7" => emit("Figure 7: hybrid predictors", &exp::fig7(sc), o.csv),
+        "accuracy" => emit("§8.2 accuracy, baseline vs FPC", &exp::accuracy(sc), o.csv),
+        "recovery" => {
+            emit("§8.2.4 recovery comparison (VTAGE, FPC)", &exp::recovery_comparison(sc), o.csv)
+        }
+        "ipc" => emit("Diagnostics: IPC and substrate stats", &exp::ipc_diagnostics(sc), o.csv),
         "ablation-vtage" => {
-            emit("Ablation: VTAGE component count (offline)", &exp::ablation_vtage(s, b), o.csv)
+            emit("Ablation: VTAGE component count (offline)", &exp::ablation_vtage(sc), o.csv)
         }
         "ablation-extended" => emit(
             "Ablation: extended predictors (PP-Str, D-FCM, gDiff)",
-            &exp::ablation_extended(s, b),
+            &exp::ablation_extended(sc),
             o.csv,
         ),
-        "locality" => emit("Value locality per benchmark (offline)", &exp::locality(s, b), o.csv),
-        "counters" => emit("§5 counter width vs FPC (VTAGE)", &exp::counters(s, b), o.csv),
+        "locality" => emit("Value locality per benchmark (offline)", &exp::locality(sc), o.csv),
+        "counters" => emit("§5 counter width vs FPC (VTAGE)", &exp::counters(sc), o.csv),
         "all" => {
             for e in [
                 "table1",
@@ -204,6 +186,10 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         Ok((experiments, options)) => {
+            if options.dump {
+                print!("{}", options.scenario);
+                return ExitCode::SUCCESS;
+            }
             if experiments.is_empty() {
                 eprintln!("error: no experiment named");
                 return ExitCode::FAILURE;

@@ -1,44 +1,76 @@
-//! `simulate` — run one benchmark (or microkernel) under one configuration
-//! and print the full result record.
+//! `simulate` — run one workload under one configuration and print the
+//! full result record.
 //!
 //! ```text
-//! Usage: simulate <workload> [options]
+//! Usage: simulate [workload] [options]
 //!
 //! Workloads: any Table 3 name (gzip, mcf, …) or a microkernel:
 //!   k:tight, k:strided, k:chase, k:constant, k:branchdep, k:fpreduce,
 //!   k:calls, k:randbranch, k:matmul
 //!
 //! Options:
+//!   --scenario FILE  Load a scenario file; simulate runs its first
+//!                    workload and first grid point
+//!   --preset NAME    Start from a named scenario preset
+//!   --set KEY=VALUE  Override one scenario key (repeatable)
+//!   --dump-scenario  Print the resolved scenario and exit
 //!   --predictor P    lvp | stride | pp-str | fcm | dfcm | vtage |
-//!                    vtage-2dstr | fcm-2dstr | gdiff | oracle  [default none]
-//!   --counters C     baseline | fpc                            [default fpc]
+//!                    vtage-2dstr | fcm-2dstr | gdiff | sag-lvp | oracle
+//!                                                             [default none]
+//!   --counters C     baseline | fpc | full1..full8 | fpc-squash |
+//!                    fpc-reissue | fpc:p0.….p6                 [default fpc]
 //!   --recovery R     squash | reissue                          [default squash]
 //!   --warmup N / --measure N / --scale N / --seed N
 //! ```
+//!
+//! Everything resolves through a `vpsim_bench::scenario::Scenario` (the
+//! positional workload overrides its benchmark list, `--predictor` its
+//! predictor axis, and so on), so flag and scenario spellings of the same
+//! configuration produce byte-identical output. A scenario with several
+//! workloads or grid points runs the first of each; use `sweep` for the
+//! whole grid.
 
 use std::process::ExitCode;
-use vpsim_bench::RunSettings;
-use vpsim_core::{ConfidenceScheme, PredictorKind};
-use vpsim_isa::Program;
-use vpsim_uarch::{RecoveryPolicy, RunResult, Simulator, VpConfig};
-use vpsim_workloads::{benchmark, microkernels, WorkloadParams};
+use vpsim_bench::scenario::{resolve_cli_base, Scenario};
+use vpsim_uarch::RunResult;
 
-fn workload(name: &str, params: &WorkloadParams) -> Option<Program> {
-    if let Some(b) = benchmark(name) {
-        return Some((b.build)(params));
+fn parse_args(args: &[String]) -> Result<(Scenario, bool), String> {
+    // Flag default: no value prediction until --predictor (or a scenario
+    // grid) asks for it. Bare `simulate` (no selector) still requires a
+    // workload argument.
+    let base = Scenario { predictors: Vec::new(), ..Scenario::default() };
+    let (mut scenario, rest, has_base) = resolve_cli_base(base, args)?;
+    let mut workload: Option<String> = None;
+    let mut dump = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut val = || -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{arg} requires a value"))
+        };
+        match arg.as_str() {
+            "--set" => scenario.set(val()?)?,
+            "--dump-scenario" => dump = true,
+            // Single-valued sugar for the grid axes.
+            "--predictor" => scenario.apply("predictors", val()?)?,
+            "--counters" => scenario.apply("confidence", val()?)?,
+            "--recovery" => scenario.apply("recovery", val()?)?,
+            flag @ ("--warmup" | "--measure" | "--scale" | "--seed") => {
+                scenario.apply(&flag[2..], val()?)?
+            }
+            other if other.starts_with("--") => return Err(format!("unknown option {other}")),
+            name => match workload {
+                None => workload = Some(name.to_string()),
+                Some(_) => return Err(format!("unexpected extra workload {name}")),
+            },
+        }
     }
-    Some(match name {
-        "k:tight" => microkernels::tight_loop(),
-        "k:strided" => microkernels::strided_loop(256 * params.scale, 1),
-        "k:chase" => microkernels::pointer_chase(4096 * params.scale),
-        "k:constant" => microkernels::constant_stream(),
-        "k:branchdep" => microkernels::branch_correlated_values(),
-        "k:fpreduce" => microkernels::fp_reduction(256 * params.scale),
-        "k:calls" => microkernels::call_ladder(),
-        "k:randbranch" => microkernels::random_branches(),
-        "k:matmul" => microkernels::matmul(8 * params.scale),
-        _ => return None,
-    })
+    match workload {
+        Some(name) => scenario.apply("benchmarks", &name)?,
+        None if has_base => {}
+        None => return Err("no workload named (and no --scenario/--preset)".into()),
+    }
+    scenario.validate()?;
+    Ok((scenario, dump))
 }
 
 fn print_result(r: &RunResult) {
@@ -88,68 +120,35 @@ fn print_result(r: &RunResult) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some((name, rest)) = args.split_first() else {
-        eprintln!("usage: simulate <workload> [options] (see source header)");
-        return ExitCode::FAILURE;
-    };
-    let mut settings = RunSettings::default();
-    let mut predictor: Option<PredictorKind> = None;
-    let mut scheme = ConfidenceScheme::fpc_squash();
-    let mut recovery = RecoveryPolicy::SquashAtCommit;
-    let mut it = rest.iter();
-    while let Some(arg) = it.next() {
-        let mut val = || it.next().cloned().ok_or_else(|| format!("{arg} requires a value"));
-        let parsed: Result<(), String> = (|| {
-            match arg.as_str() {
-                "--predictor" => predictor = Some(val()?.parse().map_err(|e: String| e)?),
-                "--counters" => {
-                    scheme = match val()?.as_str() {
-                        "baseline" => ConfidenceScheme::baseline(),
-                        "fpc" => scheme.clone(),
-                        other => return Err(format!("unknown counters {other}")),
-                    }
-                }
-                "--recovery" => {
-                    recovery = match val()?.as_str() {
-                        "squash" => RecoveryPolicy::SquashAtCommit,
-                        "reissue" => RecoveryPolicy::SelectiveReissue,
-                        other => return Err(format!("unknown recovery {other}")),
-                    }
-                }
-                "--warmup" => settings.warmup = val()?.parse().map_err(|e| format!("{e}"))?,
-                "--measure" => settings.measure = val()?.parse().map_err(|e| format!("{e}"))?,
-                "--scale" => settings.scale = val()?.parse().map_err(|e| format!("{e}"))?,
-                "--seed" => settings.seed = val()?.parse().map_err(|e| format!("{e}"))?,
-                other => return Err(format!("unknown option {other}")),
-            }
-            Ok(())
-        })();
-        if let Err(e) = parsed {
+    let (scenario, dump) = match parse_args(&args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
             eprintln!("error: {e}");
+            eprintln!("usage: simulate [workload] [options] (see source header)");
             return ExitCode::FAILURE;
         }
-    }
-    // Pick the FPC vector to match the recovery scheme (paper §5) unless
-    // the baseline counters were requested.
-    if scheme != ConfidenceScheme::baseline() {
-        scheme = match recovery {
-            RecoveryPolicy::SquashAtCommit => ConfidenceScheme::fpc_squash(),
-            RecoveryPolicy::SelectiveReissue => ConfidenceScheme::fpc_reissue(),
-        };
-    }
-    let Some(program) = workload(name, &settings.params()) else {
-        eprintln!("error: unknown workload {name}");
-        return ExitCode::FAILURE;
     };
-    let mut config = settings.core();
-    if let Some(kind) = predictor {
-        config = config.with_vp(VpConfig { kind, scheme, recovery });
-        println!("workload {name}, predictor {}, {:?}", kind.label(), recovery);
-    } else {
-        println!("workload {name}, no value prediction");
+    if dump {
+        print!("{scenario}");
+        return ExitCode::SUCCESS;
     }
-    let result =
-        Simulator::new(config).run_with_warmup(&program, settings.warmup, settings.measure);
+    let bench = scenario.benches[0];
+    if scenario.benches.len() > 1 {
+        eprintln!("note: scenario lists {} workloads; running {}", scenario.benches.len(), bench);
+    }
+    let points = scenario.grid_points();
+    if points.len() > 1 {
+        eprintln!("note: scenario defines {} grid points; running {}", points.len(), points[0]);
+    }
+    let mut config = scenario.core_config();
+    match points.first() {
+        Some(point) => {
+            config = config.with_vp(point.vp_config());
+            println!("workload {}, predictor {}, {:?}", bench, point.kind.label(), point.recovery);
+        }
+        None => println!("workload {bench}, no value prediction"),
+    }
+    let result = scenario.settings.run(&bench, config);
     print_result(&result);
     ExitCode::SUCCESS
 }

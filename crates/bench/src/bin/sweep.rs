@@ -1,6 +1,12 @@
 //! `sweep` — expand a declarative (predictor × confidence × recovery ×
 //! benchmark) grid and run it on the parallel sweep engine.
 //!
+//! The grid is a [`vpsim_bench::scenario::Scenario`], resolved in layers:
+//! built-in defaults, then `--preset NAME` or `--scenario FILE`, then
+//! `--set key=value` overrides and the dedicated flags below in
+//! command-line order. `--dump-scenario` prints the fully-resolved
+//! scenario (itself a loadable scenario file) instead of running.
+//!
 //! The no-VP baseline is always run alongside the grid so every row can
 //! report a speedup. Output is merged in job-index order, so any
 //! `--threads` value produces byte-identical tables.
@@ -9,13 +15,19 @@
 //! Usage: sweep [options]
 //!
 //! Options:
+//!   --scenario FILE    Load a scenario file (key = value lines)
+//!   --preset NAME      Start from a named preset (--list-presets)
+//!   --set KEY=VALUE    Override one scenario key (repeatable)
+//!   --dump-scenario    Print the resolved scenario and exit
+//!   --list-presets     Print the preset registry and exit
 //!   --threads N        Worker threads        [default: all hardware threads]
 //!   --predictors LIST  Comma-separated predictor names (lvp, 2d-str, pp-str,
 //!                      fcm, dfcm, vtage, vtage-2dstr, fcm-2dstr, gdiff,
 //!                      sag-lvp, oracle)      [default: lvp,2d-str,fcm,vtage]
-//!   --confidence LIST  baseline | fpc | full1..full8   [default: fpc]
+//!   --confidence LIST  baseline | fpc | full1..full8 | fpc-squash |
+//!                      fpc-reissue | fpc:p0.….p6       [default: fpc]
 //!   --recovery LIST    squash | reissue                [default: squash]
-//!   --benchmarks LIST  Subset of Table 3 names         [default: all 19]
+//!   --benchmarks LIST  Table 3 names and k:* kernels   [default: all 19]
 //!   --warmup N         Warm-up instructions per run    [default 50000]
 //!   --measure N        Measured instructions per run   [default 200000]
 //!   --scale N          Workload footprint multiplier   [default 1]
@@ -26,92 +38,55 @@
 //! ```
 //!
 //! Example: compare VTAGE and the hybrid under both recovery schemes on
-//! four benchmarks, using four workers:
+//! four benchmarks, on a narrow core, using four workers:
 //!
 //! ```text
 //! sweep --threads 4 --predictors vtage,vtage-2dstr --recovery squash,reissue \
-//!       --benchmarks gzip,mcf,h264ref,lbm --matrix
+//!       --benchmarks gzip,mcf,h264ref,lbm --set core.fetch_width=4 --matrix
 //! ```
 
 use std::process::ExitCode;
-use vpsim_bench::sweep::{SchemeChoice, SweepSpec};
-use vpsim_bench::RunSettings;
-use vpsim_core::PredictorKind;
-use vpsim_uarch::RecoveryPolicy;
-use vpsim_workloads::{all_benchmarks, Benchmark};
+use vpsim_bench::scenario::{presets, resolve_cli_base, Scenario};
 
 struct Options {
-    spec: SweepSpec,
+    scenario: Scenario,
     matrix: bool,
     csv: bool,
-}
-
-fn parse_list<T: std::str::FromStr<Err = String>>(
-    list: &str,
-    what: &str,
-) -> Result<Vec<T>, String> {
-    list.split(',')
-        .map(|item| item.trim().parse().map_err(|e: String| format!("{what}: {e}")))
-        .collect()
-}
-
-fn parse_recovery(list: &str) -> Result<Vec<RecoveryPolicy>, String> {
-    list.split(',')
-        .map(|item| match item.trim() {
-            "squash" => Ok(RecoveryPolicy::SquashAtCommit),
-            "reissue" => Ok(RecoveryPolicy::SelectiveReissue),
-            other => Err(format!("unknown recovery {other} (squash | reissue)")),
-        })
-        .collect()
-}
-
-fn parse_benchmarks(list: &str) -> Result<Vec<Benchmark>, String> {
-    list.split(',')
-        .map(|name| {
-            vpsim_workloads::benchmark(name.trim())
-                .ok_or_else(|| format!("unknown benchmark {name}"))
-        })
-        .collect()
+    dump: bool,
+    list_presets: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut settings = RunSettings {
-        threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
-        ..RunSettings::default()
-    };
-    let mut predictors = PredictorKind::PAPER_SET.to_vec();
-    let mut schemes = vec![SchemeChoice::Fpc];
-    let mut recoveries = vec![RecoveryPolicy::SquashAtCommit];
-    let mut benches = all_benchmarks();
+    let mut base = Scenario::default();
+    // CLI default: use every hardware thread (a scenario file or a later
+    // --threads flag still overrides this).
+    base.settings.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let (mut scenario, rest, _) = resolve_cli_base(base, args)?;
     let mut matrix = false;
     let mut csv = false;
-    let mut it = args.iter();
+    let mut dump = false;
+    let mut list_presets = false;
+    let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut val = || -> Result<&String, String> {
             it.next().ok_or_else(|| format!("{arg} requires a value"))
         };
         match arg.as_str() {
-            "--threads" => {
-                settings.threads =
-                    val()?.parse::<usize>().map_err(|e| format!("--threads: {e}"))?.max(1)
-            }
-            "--predictors" => predictors = parse_list(val()?, "--predictors")?,
-            "--confidence" => schemes = parse_list(val()?, "--confidence")?,
-            "--recovery" => recoveries = parse_recovery(val()?)?,
-            "--benchmarks" => benches = parse_benchmarks(val()?)?,
-            "--warmup" => settings.warmup = val()?.parse().map_err(|e| format!("--warmup: {e}"))?,
-            "--measure" => {
-                settings.measure = val()?.parse().map_err(|e| format!("--measure: {e}"))?
-            }
-            "--scale" => settings.scale = val()?.parse().map_err(|e| format!("--scale: {e}"))?,
-            "--seed" => settings.seed = val()?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--set" => scenario.set(val()?)?,
             "--matrix" => matrix = true,
             "--csv" => csv = true,
+            "--dump-scenario" => dump = true,
+            "--list-presets" => list_presets = true,
+            // Dedicated flags are sugar for --set with the same key.
+            flag @ ("--threads" | "--predictors" | "--confidence" | "--recovery"
+            | "--benchmarks" | "--warmup" | "--measure" | "--scale" | "--seed") => {
+                scenario.apply(&flag[2..], val()?)?
+            }
             other => return Err(format!("unknown option {other}")),
         }
     }
-    let spec = SweepSpec { settings, predictors, schemes, recoveries, benches };
-    Ok(Options { spec, matrix, csv })
+    scenario.validate()?;
+    Ok(Options { scenario, matrix, csv, dump, list_presets })
 }
 
 fn main() -> ExitCode {
@@ -124,17 +99,28 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let results = options.spec.run();
+    if options.list_presets {
+        for (name, description) in presets() {
+            println!("{name:<20} {description}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if options.dump {
+        print!("{}", options.scenario);
+        return ExitCode::SUCCESS;
+    }
+    let spec = options.scenario.to_spec();
+    let results = spec.run();
     let table = if options.matrix { results.matrix() } else { results.table() };
     if options.csv {
         print!("{}", table.to_csv());
     } else {
         eprintln!(
             "{} runs ({} benchmark(s) x {} grid point(s) + baseline) on {} thread(s)",
-            options.spec.job_count(),
-            options.spec.benches.len(),
-            options.spec.points().len(),
-            options.spec.settings.threads,
+            spec.job_count(),
+            spec.benches.len(),
+            spec.points().len(),
+            spec.settings.threads,
         );
         println!("{table}");
     }

@@ -3,23 +3,34 @@
 //! Analytic reproductions (Tables 1–3, the §3.1 model, §4) are exact;
 //! simulation-backed reproductions (Figures 3–7, §3.2, §8 accuracy) run
 //! the benchmark analogues on the Table 2 core and report the same rows
-//! and series the paper plots. Every simulation-backed experiment batches
-//! its full configuration grid through [`crate::sweep::run_grid`], so
-//! `RunSettings::threads` parallelizes it without changing a byte of
-//! output.
+//! and series the paper plots. Each one resolves its configuration grid
+//! through a named [`crate::scenario`] preset (so `sweep --preset fig6`
+//! reproduces the same runs) and takes a [`Scenario`] for sizing,
+//! workloads and core overrides; `RunSettings::threads` parallelizes the
+//! grid without changing a byte of output.
 
-use crate::runner::{sweep, RunSettings};
-use crate::sweep::run_grid;
+use crate::runner::RunSettings;
+use crate::scenario::{self, Scenario};
+use crate::sweep::SweepResults;
 use vpsim_core::{ConfidenceScheme, PredictorKind};
 use vpsim_stats::table::{fmt_f, fmt_pct, Table};
 use vpsim_stats::{mean, speedup};
 use vpsim_uarch::penalty::{PenaltyModel, RecoveryPenalties};
 use vpsim_uarch::regfile::vp_port_cost;
-use vpsim_uarch::{CoreConfig, RecoveryPolicy, VpConfig};
+use vpsim_uarch::{CoreConfig, RecoveryPolicy};
 use vpsim_workloads::{Benchmark, Class, Suite};
 
 /// The four single-scheme predictors of Figures 4 and 5.
 pub const SINGLE_SCHEMES: [PredictorKind; 4] = PredictorKind::PAPER_SET;
+
+/// Run `sc` under the grid of the named built-in preset: sizing, workload
+/// list and core overrides come from `sc`, the grid axes/points from the
+/// preset. This is the single path every simulation-backed experiment
+/// resolves its configurations through.
+fn preset_results(sc: &Scenario, name: &str) -> SweepResults {
+    let grid = scenario::preset(name).expect("built-in preset");
+    sc.with_grid_of(&grid).run()
+}
 
 /// Table 1: predictor layout summary (entries, tag width, size in KB).
 pub fn table1() -> Table {
@@ -89,6 +100,7 @@ pub fn table3(benches: &[Benchmark]) -> Table {
             match b.suite {
                 Suite::Cpu2000 => "CPU2000".into(),
                 Suite::Cpu2006 => "CPU2006".into(),
+                Suite::Micro => "micro".into(),
             },
             match b.class {
                 Class::Int => "INT".into(),
@@ -140,10 +152,10 @@ pub fn sec4_regfile() -> Table {
 }
 
 /// §3.2: fraction of VP-eligible µops fetched back-to-back, per benchmark.
-pub fn sec3_backtoback(s: &RunSettings, benches: &[Benchmark]) -> Table {
+pub fn sec3_backtoback(sc: &Scenario) -> Table {
     let mut t = Table::new(vec!["Benchmark".into(), "B2B eligible".into()]);
     let mut fracs = Vec::new();
-    let base = sweep(s, benches, || s.core());
+    let base = preset_results(sc, "backtoback").baseline;
     for (name, r) in &base.rows {
         let f = r.back_to_back.fraction();
         fracs.push(f);
@@ -159,14 +171,12 @@ pub fn sec3_backtoback(s: &RunSettings, benches: &[Benchmark]) -> Table {
 }
 
 /// Figure 3: speedup upper bound with an oracle predictor.
-pub fn fig3(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let oracle_cfg =
-        s.core().with_vp(VpConfig::enabled(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit));
-    let mut suites = run_grid(s, benches, &[s.core(), oracle_cfg]);
-    let oracle = suites.pop().expect("two configs in");
-    let base = suites.pop().expect("two configs in");
+pub fn fig3(sc: &Scenario) -> Table {
+    let results = preset_results(sc, "fig3");
+    let base = &results.baseline;
+    let oracle = &results.points[0].1;
     let mut t = Table::new(vec!["Benchmark".into(), "Oracle speedup".into()]);
-    let speedups = oracle.speedups(&base);
+    let speedups = oracle.speedups(base);
     for ((name, _), sp) in oracle.rows.iter().zip(&speedups) {
         t.row(vec![(*name).into(), fmt_f(*sp, 2)]);
     }
@@ -176,26 +186,22 @@ pub fn fig3(s: &RunSettings, benches: &[Benchmark]) -> Table {
 
 /// Shared engine for Figures 4 and 5: speedups of the four single-scheme
 /// predictors under a given recovery policy, with baseline 3-bit counters
-/// ("(a)") or FPC ("(b)").
-pub fn fig45(s: &RunSettings, benches: &[Benchmark], recovery: RecoveryPolicy, fpc: bool) -> Table {
-    let scheme = match (fpc, recovery) {
-        (false, _) => ConfidenceScheme::baseline(),
-        (true, RecoveryPolicy::SquashAtCommit) => ConfidenceScheme::fpc_squash(),
-        (true, RecoveryPolicy::SelectiveReissue) => ConfidenceScheme::fpc_reissue(),
+/// ("(a)") or FPC ("(b)") — presets `fig4a`/`fig4b`/`fig5a`/`fig5b`.
+pub fn fig45(sc: &Scenario, recovery: RecoveryPolicy, fpc: bool) -> Table {
+    let name = match (recovery, fpc) {
+        (RecoveryPolicy::SquashAtCommit, false) => "fig4a",
+        (RecoveryPolicy::SquashAtCommit, true) => "fig4b",
+        (RecoveryPolicy::SelectiveReissue, false) => "fig5a",
+        (RecoveryPolicy::SelectiveReissue, true) => "fig5b",
     };
-    let mut configs = vec![s.core()];
-    configs.extend(
-        SINGLE_SCHEMES
-            .iter()
-            .map(|&kind| s.core().with_vp(VpConfig { kind, scheme: scheme.clone(), recovery })),
-    );
-    let mut results = run_grid(s, benches, &configs);
-    let base = results.remove(0);
+    let results = preset_results(sc, name);
+    let base = &results.baseline;
     let mut headers = vec!["Benchmark".into()];
-    headers.extend(SINGLE_SCHEMES.iter().map(|k| k.label().to_string()));
+    headers.extend(results.points.iter().map(|(p, _)| p.kind.label().to_string()));
     let mut t = Table::new(headers);
-    let per_kind: Vec<Vec<f64>> = results.iter().map(|r| r.speedups(&base)).collect();
-    for (i, b) in benches.iter().enumerate() {
+    let per_kind: Vec<Vec<f64>> =
+        results.points.iter().map(|(_, suite)| suite.speedups(base)).collect();
+    for (i, b) in sc.benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
         for col in &per_kind {
             row.push(fmt_f(col[i], 3));
@@ -211,22 +217,14 @@ pub fn fig45(s: &RunSettings, benches: &[Benchmark], recovery: RecoveryPolicy, f
 }
 
 /// Figure 6: VTAGE speedup and coverage, baseline counters vs FPC
-/// (squash-at-commit recovery).
-pub fn fig6(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let mk = |scheme: ConfidenceScheme| {
-        s.core().with_vp(VpConfig {
-            kind: PredictorKind::Vtage,
-            scheme,
-            recovery: RecoveryPolicy::SquashAtCommit,
-        })
-    };
-    let configs = [s.core(), mk(ConfidenceScheme::baseline()), mk(ConfidenceScheme::fpc_squash())];
-    let mut results = run_grid(s, benches, &configs);
-    let fpc = results.pop().expect("three configs in");
-    let baseline_cnt = results.pop().expect("three configs in");
-    let base = results.pop().expect("three configs in");
-    let sp_b = baseline_cnt.speedups(&base);
-    let sp_f = fpc.speedups(&base);
+/// (squash-at-commit recovery) — preset `fig6`.
+pub fn fig6(sc: &Scenario) -> Table {
+    let results = preset_results(sc, "fig6");
+    let base = &results.baseline;
+    let baseline_cnt = &results.points[0].1;
+    let fpc = &results.points[1].1;
+    let sp_b = baseline_cnt.speedups(base);
+    let sp_f = fpc.speedups(base);
     let mut t = Table::new(vec![
         "Benchmark".into(),
         "Speedup base".into(),
@@ -236,7 +234,7 @@ pub fn fig6(s: &RunSettings, benches: &[Benchmark]) -> Table {
         "Accuracy base".into(),
         "Accuracy FPC".into(),
     ]);
-    for (i, b) in benches.iter().enumerate() {
+    for (i, b) in sc.benches.iter().enumerate() {
         t.row(vec![
             b.name.into(),
             fmt_f(sp_b[i], 3),
@@ -260,41 +258,27 @@ pub fn fig6(s: &RunSettings, benches: &[Benchmark]) -> Table {
 }
 
 /// Figure 7: the two symmetric hybrids vs their components (FPC,
-/// squash-at-commit): speedup and coverage.
-pub fn fig7(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let kinds = [
-        PredictorKind::TwoDeltaStride,
-        PredictorKind::Fcm4,
-        PredictorKind::Vtage,
-        PredictorKind::FcmStride,
-        PredictorKind::VtageStride,
-    ];
-    let mut configs = vec![s.core()];
-    configs.extend(kinds.iter().map(|&kind| {
-        s.core().with_vp(VpConfig {
-            kind,
-            scheme: ConfidenceScheme::fpc_squash(),
-            recovery: RecoveryPolicy::SquashAtCommit,
-        })
-    }));
-    let mut results = run_grid(s, benches, &configs);
-    let base = results.remove(0);
+/// squash-at-commit): speedup and coverage — preset `fig7`.
+pub fn fig7(sc: &Scenario) -> Table {
+    let results = preset_results(sc, "fig7");
+    let base = &results.baseline;
     let mut headers = vec!["Benchmark".into()];
-    for k in kinds {
-        headers.push(format!("{} spd", k.label()));
+    for (p, _) in &results.points {
+        headers.push(format!("{} spd", p.kind.label()));
     }
-    for k in kinds {
-        headers.push(format!("{} cov", k.label()));
+    for (p, _) in &results.points {
+        headers.push(format!("{} cov", p.kind.label()));
     }
     let mut t = Table::new(headers);
-    let speedups: Vec<Vec<f64>> = results.iter().map(|r| r.speedups(&base)).collect();
-    for (i, b) in benches.iter().enumerate() {
+    let speedups: Vec<Vec<f64>> =
+        results.points.iter().map(|(_, suite)| suite.speedups(base)).collect();
+    for (i, b) in sc.benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
         for sp in &speedups {
             row.push(fmt_f(sp[i], 3));
         }
-        for r in &results {
-            row.push(fmt_pct(r.rows[i].1.vp.coverage(), 1));
+        for (_, suite) in &results.points {
+            row.push(fmt_pct(suite.rows[i].1.vp.coverage(), 1));
         }
         t.row(row);
     }
@@ -307,29 +291,28 @@ pub fn fig7(s: &RunSettings, benches: &[Benchmark]) -> Table {
 }
 
 /// §8.2.1/§8.2.2: per-predictor accuracy under baseline counters vs FPC
-/// (squash-at-commit).
-pub fn accuracy(s: &RunSettings, benches: &[Benchmark]) -> Table {
+/// (squash-at-commit) — preset `accuracy` (kind-major, baseline before
+/// FPC).
+pub fn accuracy(sc: &Scenario) -> Table {
+    use crate::sweep::SchemeChoice;
+    let results = preset_results(sc, "accuracy");
+    // One column per grid point, headers derived from the points so the
+    // preset stays free to evolve ("base" keeps the paper's shorthand for
+    // the baseline counters).
     let mut headers = vec!["Benchmark".into()];
-    for k in SINGLE_SCHEMES {
-        headers.push(format!("{} base", k.label()));
-        headers.push(format!("{} FPC", k.label()));
+    for (p, _) in &results.points {
+        let scheme = match p.scheme {
+            SchemeChoice::Baseline => "base".into(),
+            SchemeChoice::Fpc => "FPC".into(),
+            other => other.label(),
+        };
+        headers.push(format!("{} {scheme}", p.kind.label()));
     }
     let mut t = Table::new(headers);
-    let mut configs = Vec::new();
-    for kind in SINGLE_SCHEMES {
-        for scheme in [ConfidenceScheme::baseline(), ConfidenceScheme::fpc_squash()] {
-            configs.push(s.core().with_vp(VpConfig {
-                kind,
-                scheme,
-                recovery: RecoveryPolicy::SquashAtCommit,
-            }));
-        }
-    }
-    let results = run_grid(s, benches, &configs);
-    for (i, b) in benches.iter().enumerate() {
+    for (i, b) in sc.benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
-        for r in &results {
-            row.push(fmt_pct(r.rows[i].1.vp.accuracy(), 2));
+        for (_, suite) in &results.points {
+            row.push(fmt_pct(suite.rows[i].1.vp.accuracy(), 2));
         }
         t.row(row);
     }
@@ -337,35 +320,22 @@ pub fn accuracy(s: &RunSettings, benches: &[Benchmark]) -> Table {
 }
 
 /// Compare squash-at-commit against idealistic selective reissue under FPC
-/// for one predictor — the §8.2.4 "recovery mechanism has little impact"
-/// claim, distilled.
-pub fn recovery_comparison(s: &RunSettings, benches: &[Benchmark], kind: PredictorKind) -> Table {
-    let configs = [
-        s.core(),
-        s.core().with_vp(VpConfig {
-            kind,
-            scheme: ConfidenceScheme::fpc_squash(),
-            recovery: RecoveryPolicy::SquashAtCommit,
-        }),
-        s.core().with_vp(VpConfig {
-            kind,
-            scheme: ConfidenceScheme::fpc_reissue(),
-            recovery: RecoveryPolicy::SelectiveReissue,
-        }),
-    ];
-    let mut results = run_grid(s, benches, &configs);
-    let reissue = results.pop().expect("three configs in");
-    let squash = results.pop().expect("three configs in");
-    let base = results.pop().expect("three configs in");
-    let sp_s = squash.speedups(&base);
-    let sp_r = reissue.speedups(&base);
+/// for VTAGE — the §8.2.4 "recovery mechanism has little impact" claim,
+/// distilled — preset `recovery`.
+pub fn recovery_comparison(sc: &Scenario) -> Table {
+    let results = preset_results(sc, "recovery");
+    let base = &results.baseline;
+    let squash = &results.points[0].1;
+    let reissue = &results.points[1].1;
+    let sp_s = squash.speedups(base);
+    let sp_r = reissue.speedups(base);
     let mut t = Table::new(vec![
         "Benchmark".into(),
         "Squash@commit".into(),
         "Selective reissue".into(),
         "Delta".into(),
     ]);
-    for (i, b) in benches.iter().enumerate() {
+    for (i, b) in sc.benches.iter().enumerate() {
         t.row(vec![
             b.name.into(),
             fmt_f(sp_s[i], 3),
@@ -422,8 +392,9 @@ pub fn offline_eval(
 /// Ablation: VTAGE tagged-component count (offline evaluation — the
 /// geometry sweep isolates the predictor from pipeline effects). Shows
 /// how much of VTAGE's coverage the longer histories contribute.
-pub fn ablation_vtage(s: &RunSettings, benches: &[Benchmark]) -> Table {
+pub fn ablation_vtage(sc: &Scenario) -> Table {
     use vpsim_core::{Predictor as _, Vtage, VtageConfig};
+    let s = &sc.settings;
     let geometries: Vec<(String, Vec<u32>)> = vec![
         ("1 comp (2)".into(), vec![2]),
         ("2 comps (2,4)".into(), vec![2, 4]),
@@ -444,7 +415,7 @@ pub fn ablation_vtage(s: &RunSettings, benches: &[Benchmark]) -> Table {
             Vtage::new(config.clone(), ConfidenceScheme::fpc_squash(), 0).storage().total_kb();
         let mut covs = Vec::new();
         let mut accs = Vec::new();
-        for b in benches {
+        for b in &sc.benches {
             let program = (b.build)(&s.params());
             let mut p = Vtage::new(config.clone(), ConfidenceScheme::fpc_squash(), s.seed);
             let (cov, acc) = offline_eval(&mut p, &program, instructions);
@@ -463,29 +434,16 @@ pub fn ablation_vtage(s: &RunSettings, benches: &[Benchmark]) -> Table {
 
 /// Ablation: extended predictor set (per-path stride, D-FCM, gDiff over
 /// VTAGE) against the paper's headline hybrid — the paper's future-work
-/// section, made concrete.
-pub fn ablation_extended(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let kinds = [
-        PredictorKind::PerPathStride,
-        PredictorKind::DFcm4,
-        PredictorKind::GDiffVtage,
-        PredictorKind::VtageStride,
-    ];
-    let mut configs = vec![s.core()];
-    configs.extend(kinds.iter().map(|&kind| {
-        s.core().with_vp(VpConfig {
-            kind,
-            scheme: ConfidenceScheme::fpc_squash(),
-            recovery: RecoveryPolicy::SquashAtCommit,
-        })
-    }));
-    let mut results = run_grid(s, benches, &configs);
-    let base = results.remove(0);
+/// section, made concrete — preset `ablation-extended`.
+pub fn ablation_extended(sc: &Scenario) -> Table {
+    let results = preset_results(sc, "ablation-extended");
+    let base = &results.baseline;
     let mut headers = vec!["Benchmark".into()];
-    headers.extend(kinds.iter().map(|k| k.label().to_string()));
+    headers.extend(results.points.iter().map(|(p, _)| p.kind.label().to_string()));
     let mut t = Table::new(headers);
-    let speedups: Vec<Vec<f64>> = results.iter().map(|r| r.speedups(&base)).collect();
-    for (i, b) in benches.iter().enumerate() {
+    let speedups: Vec<Vec<f64>> =
+        results.points.iter().map(|(_, suite)| suite.speedups(base)).collect();
+    for (i, b) in sc.benches.iter().enumerate() {
         let mut row = vec![b.name.to_string()];
         for sp in &speedups {
             row.push(fmt_f(sp[i], 3));
@@ -505,29 +463,35 @@ pub fn ablation_extended(s: &RunSettings, benches: &[Benchmark]) -> Table {
 /// predictors" and that 3-bit FPC matches them at a fraction of the
 /// storage; this experiment runs VTAGE under 3/6/7-bit full counters and
 /// both FPC vectors (squash-at-commit recovery).
-pub fn counters(s: &RunSettings, benches: &[Benchmark]) -> Table {
-    let configs: Vec<(&str, PredictorKind, ConfidenceScheme, &str)> = vec![
-        ("VTAGE, 3-bit full", PredictorKind::Vtage, ConfidenceScheme::full(3), "3"),
-        ("VTAGE, 6-bit full", PredictorKind::Vtage, ConfidenceScheme::full(6), "6"),
-        ("VTAGE, 7-bit full", PredictorKind::Vtage, ConfidenceScheme::full(7), "7"),
-        ("VTAGE, FPC squash", PredictorKind::Vtage, ConfidenceScheme::fpc_squash(), "3"),
-        ("VTAGE, FPC reissue", PredictorKind::Vtage, ConfidenceScheme::fpc_reissue(), "3"),
-        ("LVP, 3-bit full", PredictorKind::Lvp, ConfidenceScheme::full(3), "3"),
-        ("LVP, FPC squash", PredictorKind::Lvp, ConfidenceScheme::fpc_squash(), "3"),
-        // SAg ignores the scheme argument (it carries its own pattern
-        // table); listed here as the §5 alternative to FPC.
-        ("SAg-LVP (Burtscher)", PredictorKind::SagLvp, ConfidenceScheme::baseline(), "8+4"),
-    ];
-    let mut core_configs = vec![s.core()];
-    core_configs.extend(configs.iter().map(|(_, kind, scheme, _)| {
-        s.core().with_vp(VpConfig {
-            kind: *kind,
-            scheme: scheme.clone(),
-            recovery: RecoveryPolicy::SquashAtCommit,
-        })
-    }));
-    let mut results = run_grid(s, benches, &core_configs);
-    let base = results.remove(0);
+pub fn counters(sc: &Scenario) -> Table {
+    use crate::sweep::{GridPoint, SchemeChoice};
+    // Row label and bits-per-entry column, derived from the grid point
+    // itself so the preset stays free to evolve. SAg carries its own
+    // pattern table, hence the odd bits-per-entry entry.
+    fn row_meta(p: &GridPoint) -> (String, String) {
+        if p.kind == PredictorKind::SagLvp {
+            return ("SAg-LVP (Burtscher)".into(), "8+4".into());
+        }
+        let (scheme, bits) = match p.scheme {
+            SchemeChoice::Baseline => ("3-bit full".into(), "3".into()),
+            SchemeChoice::Full(b) => (format!("{b}-bit full"), b.to_string()),
+            SchemeChoice::FpcVector(v)
+                if ConfidenceScheme::fpc(v) == ConfidenceScheme::fpc_squash() =>
+            {
+                ("FPC squash".into(), "3".into())
+            }
+            SchemeChoice::FpcVector(v)
+                if ConfidenceScheme::fpc(v) == ConfidenceScheme::fpc_reissue() =>
+            {
+                ("FPC reissue".into(), "3".into())
+            }
+            SchemeChoice::FpcVector(v) => (ConfidenceScheme::fpc(v).to_string(), "3".into()),
+            SchemeChoice::Fpc => (format!("FPC {}", p.recovery), "3".into()),
+        };
+        (format!("{}, {scheme}", p.kind.label()), bits)
+    }
+    let results = preset_results(sc, "counters");
+    let base = &results.baseline;
     let mut t = Table::new(vec![
         "Configuration".into(),
         "g-mean speedup".into(),
@@ -535,17 +499,18 @@ pub fn counters(s: &RunSettings, benches: &[Benchmark]) -> Table {
         "Accuracy (a-mean)".into(),
         "Conf bits/entry".into(),
     ]);
-    for ((label, _, _, bits), res) in configs.into_iter().zip(&results) {
-        let speedups = res.speedups(&base);
+    for (point, res) in &results.points {
+        let (label, bits) = row_meta(point);
+        let speedups = res.speedups(base);
         let worst = speedups.iter().cloned().fold(f64::INFINITY, f64::min);
         let accs: Vec<f64> =
             res.rows.iter().filter(|(_, r)| r.vp.used > 0).map(|(_, r)| r.vp.accuracy()).collect();
         t.row(vec![
-            label.into(),
+            label,
             fmt_f(mean::geometric(&speedups).unwrap_or(1.0), 3),
             fmt_f(worst, 3),
             fmt_pct(mean::arithmetic(&accs).unwrap_or(0.0), 2),
-            bits.into(),
+            bits,
         ]);
     }
     t
@@ -554,8 +519,9 @@ pub fn counters(s: &RunSettings, benches: &[Benchmark]) -> Table {
 /// Value-locality breakdown per benchmark (offline): the dynamic-weighted
 /// mix of constant / strided / patterned / chaotic value streams — the
 /// workload-side explanation of which predictor family wins where.
-pub fn locality(s: &RunSettings, benches: &[Benchmark]) -> Table {
+pub fn locality(sc: &Scenario) -> Table {
     use vpsim_core::locality::{LocalityAnalyzer, ValueClass};
+    let s = &sc.settings;
     let mut t = Table::new(vec![
         "Benchmark".into(),
         "Constant".into(),
@@ -564,7 +530,7 @@ pub fn locality(s: &RunSettings, benches: &[Benchmark]) -> Table {
         "Chaotic".into(),
     ]);
     let instructions = (s.warmup + s.measure) as usize;
-    for b in benches {
+    for b in &sc.benches {
         let program = (b.build)(&s.params());
         let mut a = LocalityAnalyzer::new();
         for di in vpsim_isa::Executor::new(&program).take(instructions) {
@@ -586,8 +552,9 @@ pub fn locality(s: &RunSettings, benches: &[Benchmark]) -> Table {
 
 /// Diagnostic table: per-benchmark baseline IPC and substrate statistics
 /// (branch MPKI, cache MPKI, back-to-back fraction) plus the oracle IPC.
-/// Not a paper figure — used to sanity-check workload character.
-pub fn ipc_diagnostics(s: &RunSettings, benches: &[Benchmark]) -> Table {
+/// Not a paper figure — used to sanity-check workload character — preset
+/// `ipc`.
+pub fn ipc_diagnostics(sc: &Scenario) -> Table {
     let mut t = Table::new(vec![
         "Benchmark".into(),
         "IPC".into(),
@@ -597,11 +564,9 @@ pub fn ipc_diagnostics(s: &RunSettings, benches: &[Benchmark]) -> Table {
         "L2 MPKI".into(),
         "B2B".into(),
     ]);
-    let oracle_cfg =
-        s.core().with_vp(VpConfig::enabled(PredictorKind::Oracle, RecoveryPolicy::SquashAtCommit));
-    let mut results = run_grid(s, benches, &[s.core(), oracle_cfg]);
-    let oracles = results.pop().expect("two configs in");
-    let bases = results.pop().expect("two configs in");
+    let results = preset_results(sc, "ipc");
+    let bases = &results.baseline;
+    let oracles = &results.points[0].1;
     for ((name, base), (_, oracle)) in bases.rows.iter().zip(&oracles.rows) {
         let n = base.metrics.instructions;
         t.row(vec![

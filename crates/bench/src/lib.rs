@@ -30,7 +30,9 @@
 
 pub mod experiments;
 pub mod runner;
+pub mod scenario;
 pub mod sweep;
 
 pub use runner::{RunSettings, SuiteResults};
+pub use scenario::{Scenario, ScenarioBuilder};
 pub use sweep::{SweepResults, SweepSpec};

@@ -45,6 +45,36 @@ impl Default for RunSettings {
 }
 
 impl RunSettings {
+    /// Check the sizing invariants and return the first violation: a
+    /// measurement window and workload scale of zero are meaningless, and a
+    /// zero worker count is rejected rather than silently clamped (`1`
+    /// means "run serially on the calling thread").
+    ///
+    /// Scenario loading ([`crate::scenario::Scenario::validate`]) and the
+    /// binaries surface these errors before any simulation starts.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_bench::RunSettings;
+    ///
+    /// assert!(RunSettings::default().validate().is_ok());
+    /// let broken = RunSettings { threads: 0, ..RunSettings::default() };
+    /// assert!(broken.validate().unwrap_err().contains("threads"));
+    /// ```
+    pub fn validate(&self) -> Result<(), String> {
+        if self.measure == 0 {
+            return Err("measure must be > 0 (committed instructions to measure)".into());
+        }
+        if self.scale == 0 {
+            return Err("scale must be > 0 (workload footprint multiplier)".into());
+        }
+        if self.threads == 0 {
+            return Err("threads must be >= 1 (1 runs serially on the calling thread)".into());
+        }
+        Ok(())
+    }
+
     /// Workload generation parameters.
     pub fn params(&self) -> WorkloadParams {
         WorkloadParams { scale: self.scale, seed: self.seed }

@@ -34,6 +34,7 @@
 //!     schemes: vec![SchemeChoice::Fpc],
 //!     recoveries: vec![RecoveryPolicy::SquashAtCommit],
 //!     benches: vec![benchmark("gzip").unwrap()],
+//!     ..SweepSpec::default()
 //! };
 //! let serial = spec.run();
 //! spec.settings.threads = 4;
@@ -239,6 +240,11 @@ pub enum SchemeChoice {
     /// A plain full counter of the given width (the paper's "simply use
     /// wider counters" alternative).
     Full(u8),
+    /// A pinned FPC probability vector (log₂ denominators), independent of
+    /// the recovery policy — how scenarios express off-paper FPC ablations
+    /// and cross-matched vectors (e.g. the reissue vector under
+    /// squash-at-commit recovery).
+    FpcVector([u8; 7]),
 }
 
 impl SchemeChoice {
@@ -251,16 +257,26 @@ impl SchemeChoice {
                 RecoveryPolicy::SelectiveReissue => ConfidenceScheme::fpc_reissue(),
             },
             SchemeChoice::Full(bits) => ConfidenceScheme::full(bits),
+            SchemeChoice::FpcVector(v) => ConfidenceScheme::fpc(v),
         }
     }
 
-    /// Short label used in tables (`baseline`, `fpc`, `full6`, …).
+    /// Short label used in tables and scenario files (`baseline`, `fpc`,
+    /// `full6`, `fpc-squash`, `fpc:0.3.3.3.3.4.4`, …). Round-trips through
+    /// [`FromStr`](std::str::FromStr).
     pub fn label(self) -> String {
         match self {
             SchemeChoice::Baseline => "baseline".into(),
             SchemeChoice::Fpc => "fpc".into(),
             SchemeChoice::Full(bits) => format!("full{bits}"),
+            SchemeChoice::FpcVector(v) => ConfidenceScheme::fpc(v).to_string(),
         }
+    }
+}
+
+impl std::fmt::Display for SchemeChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
     }
 }
 
@@ -268,13 +284,33 @@ impl std::str::FromStr for SchemeChoice {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
-            "baseline" | "base" => Ok(SchemeChoice::Baseline),
-            "fpc" => Ok(SchemeChoice::Fpc),
-            other => match other.strip_prefix("full").and_then(|b| b.parse::<u8>().ok()) {
-                Some(bits) if (1..=8).contains(&bits) => Ok(SchemeChoice::Full(bits)),
-                _ => Err(format!("unknown confidence scheme: {s} (baseline | fpc | full1..full8)")),
-            },
+        const USAGE: &str =
+            "baseline | fpc | full1..full8 | fpc-squash | fpc-reissue | fpc:p0.….p6";
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "baseline" | "base" => return Ok(SchemeChoice::Baseline),
+            "fpc" => return Ok(SchemeChoice::Fpc),
+            _ => {}
+        }
+        // Pinned vectors reuse the ConfidenceScheme spellings
+        // (`fpc-squash`, `fpc-reissue`, `fpc:p0.….p6`).
+        if lower.starts_with("fpc-") || lower.starts_with("fpc:") {
+            return match lower.parse::<ConfidenceScheme>() {
+                Ok(ConfidenceScheme::Fpc { log2_probs }) => Ok(SchemeChoice::FpcVector(log2_probs)),
+                Ok(ConfidenceScheme::Full { bits }) => Ok(SchemeChoice::Full(bits)),
+                // Keep the inner detail for malformed vectors ("bad FPC
+                // probability", "needs 7 entries"), but quote this axis's
+                // own spelling list for unknown names — the inner list
+                // omits the plain `fpc` valid here.
+                Err(e) if e.starts_with("unknown confidence scheme") => {
+                    Err(format!("unknown confidence scheme {s} ({USAGE})"))
+                }
+                Err(e) => Err(e),
+            };
+        }
+        match lower.strip_prefix("full").and_then(|b| b.parse::<u8>().ok()) {
+            Some(bits) if (1..=8).contains(&bits) => Ok(SchemeChoice::Full(bits)),
+            _ => Err(format!("unknown confidence scheme {s} ({USAGE})")),
         }
     }
 }
@@ -293,7 +329,7 @@ pub struct GridPoint {
 impl GridPoint {
     /// `predictor/scheme/recovery` label, e.g. `VTAGE/fpc/squash`.
     pub fn label(&self) -> String {
-        format!("{}/{}/{}", self.kind.label(), self.scheme.label(), recovery_label(self.recovery))
+        format!("{}/{}/{}", self.kind.label(), self.scheme.label(), self.recovery)
     }
 
     /// The [`VpConfig`] this point denotes.
@@ -306,17 +342,44 @@ impl GridPoint {
     }
 }
 
-fn recovery_label(r: RecoveryPolicy) -> &'static str {
-    match r {
-        RecoveryPolicy::SquashAtCommit => "squash",
-        RecoveryPolicy::SelectiveReissue => "reissue",
+impl std::fmt::Display for GridPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+impl std::str::FromStr for GridPoint {
+    type Err = String;
+
+    /// Parse the `predictor/scheme/recovery` form, e.g. `vtage/fpc/squash`
+    /// or `lvp/fpc:0.3.3.3.3.4.4/reissue`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_bench::sweep::GridPoint;
+    ///
+    /// let p: GridPoint = "vtage/fpc/squash".parse().unwrap();
+    /// assert_eq!(p.to_string().parse::<GridPoint>().unwrap(), p);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split('/').collect();
+        let [kind, scheme, recovery] = parts.as_slice() else {
+            return Err(format!("grid point {s} must be predictor/scheme/recovery"));
+        };
+        Ok(GridPoint {
+            kind: kind.trim().parse()?,
+            scheme: scheme.trim().parse()?,
+            recovery: recovery.trim().parse()?,
+        })
     }
 }
 
 /// A declarative sweep: the cartesian product of predictors × confidence
-/// choices × recovery policies, run over a benchmark list, plus the no-VP
-/// baseline every speedup is measured against.
-#[derive(Debug, Clone)]
+/// choices × recovery policies (or an explicit grid-point list), run over
+/// a benchmark list, plus the no-VP baseline every speedup is measured
+/// against.
+#[derive(Debug, Clone, Default)]
 pub struct SweepSpec {
     /// Simulation sizing, seed and worker-thread count.
     pub settings: RunSettings,
@@ -326,8 +389,15 @@ pub struct SweepSpec {
     pub schemes: Vec<SchemeChoice>,
     /// Recovery axis.
     pub recoveries: Vec<RecoveryPolicy>,
-    /// Workload axis (paper Table 3 names).
+    /// Explicit grid points. `Some` overrides the three cartesian axes —
+    /// how scenarios express non-rectangular grids (e.g. the §5 counter
+    /// study); `Some(vec![])` runs the baseline alone.
+    pub points: Option<Vec<GridPoint>>,
+    /// Workload axis (paper Table 3 names and `k:*` microkernels).
     pub benches: Vec<Benchmark>,
+    /// Base core configuration every grid cell starts from (structural
+    /// overrides; its seed is replaced by `settings.seed` at expansion).
+    pub core: CoreConfig,
 }
 
 /// One expanded job of a [`SweepSpec`]: a single (configuration,
@@ -345,8 +415,12 @@ pub struct SweepJob {
 }
 
 impl SweepSpec {
-    /// The grid points in stable (predictor-major) expansion order.
+    /// The grid points: the explicit list if one was given, otherwise the
+    /// cartesian axes in stable (predictor-major) expansion order.
     pub fn points(&self) -> Vec<GridPoint> {
+        if let Some(points) = &self.points {
+            return points.clone();
+        }
         let mut out = Vec::new();
         for &kind in &self.predictors {
             for &scheme in &self.schemes {
@@ -358,6 +432,12 @@ impl SweepSpec {
         out
     }
 
+    /// The core configuration a grid cell starts from: the structural base
+    /// with this sweep's seed.
+    pub fn base_core(&self) -> CoreConfig {
+        self.core.clone().with_seed(self.settings.seed)
+    }
+
     /// Expand into independent jobs: the baseline over every benchmark
     /// first, then every grid point over every benchmark.
     pub fn expand(&self) -> Vec<SweepJob> {
@@ -366,11 +446,11 @@ impl SweepSpec {
             jobs.push(SweepJob { index: jobs.len(), point, bench: *bench, config });
         };
         for b in &self.benches {
-            add(None, b, self.settings.core());
+            add(None, b, self.base_core());
         }
         for point in self.points() {
             for b in &self.benches {
-                add(Some(point), b, self.settings.core().with_vp(point.vp_config()));
+                add(Some(point), b, self.base_core().with_vp(point.vp_config()));
             }
         }
         jobs
@@ -445,7 +525,7 @@ impl SweepResults {
                     (*name).into(),
                     point.kind.label().into(),
                     point.scheme.label(),
-                    recovery_label(point.recovery).into(),
+                    point.recovery.to_string(),
                     fmt_f(r.metrics.ipc(), 3),
                     fmt_f(speedups[i], 3),
                     fmt_pct(r.vp.coverage(), 1),
@@ -456,7 +536,7 @@ impl SweepResults {
                 "g-mean".into(),
                 point.kind.label().into(),
                 point.scheme.label(),
-                recovery_label(point.recovery).into(),
+                point.recovery.to_string(),
                 String::new(),
                 fmt_f(mean::geometric(&speedups).unwrap_or(1.0), 3),
                 String::new(),
@@ -535,6 +615,82 @@ mod tests {
     }
 
     #[test]
+    fn malformed_fpc_spellings_quote_this_axis_spelling_list() {
+        let err = "fpc-bogus".parse::<SchemeChoice>().unwrap_err();
+        assert!(err.contains("| fpc |"), "{err}");
+        // Vector-shape errors keep the more specific inner message.
+        let err = "fpc:1.2.3".parse::<SchemeChoice>().unwrap_err();
+        assert!(err.contains("7 entries"), "{err}");
+    }
+
+    #[test]
+    fn pinned_fpc_vectors_parse_and_round_trip() {
+        let squash = "fpc-squash".parse::<SchemeChoice>().unwrap();
+        assert_eq!(squash, SchemeChoice::FpcVector([0, 4, 4, 4, 4, 5, 5]));
+        // A pinned vector ignores the recovery policy — unlike `fpc`.
+        assert_eq!(squash.build(RecoveryPolicy::SelectiveReissue), ConfidenceScheme::fpc_squash());
+        for text in ["fpc-squash", "fpc-reissue", "fpc:0.2.2.2.2.3.3"] {
+            let choice = text.parse::<SchemeChoice>().unwrap();
+            assert_eq!(choice.label(), text);
+            assert_eq!(choice.label().parse::<SchemeChoice>().unwrap(), choice);
+        }
+    }
+
+    #[test]
+    fn grid_point_round_trips() {
+        for text in ["vtage/fpc/squash", "LVP/full6/reissue", "o4-FCM/fpc:0.3.3.3.3.4.4/squash"] {
+            let p: GridPoint = text.parse().unwrap();
+            assert_eq!(p.to_string().parse::<GridPoint>().unwrap(), p, "{text}");
+        }
+        assert!("vtage/fpc".parse::<GridPoint>().is_err());
+        assert!("vtage/fpc/squash/extra".parse::<GridPoint>().is_err());
+    }
+
+    #[test]
+    fn explicit_points_override_cartesian_axes() {
+        let explicit = vec![
+            GridPoint {
+                kind: PredictorKind::Oracle,
+                scheme: SchemeChoice::Fpc,
+                recovery: RecoveryPolicy::SquashAtCommit,
+            },
+            GridPoint {
+                kind: PredictorKind::Lvp,
+                scheme: SchemeChoice::Full(6),
+                recovery: RecoveryPolicy::SelectiveReissue,
+            },
+        ];
+        let spec = SweepSpec {
+            settings: tiny(),
+            predictors: vec![PredictorKind::Vtage],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            points: Some(explicit.clone()),
+            benches: vec![benchmark("gzip").unwrap()],
+            ..SweepSpec::default()
+        };
+        assert_eq!(spec.points(), explicit);
+        assert_eq!(spec.job_count(), 3);
+        // An empty explicit grid runs the baseline alone.
+        let baseline_only = SweepSpec { points: Some(Vec::new()), ..spec };
+        assert_eq!(baseline_only.job_count(), 1);
+    }
+
+    #[test]
+    fn base_core_carries_overrides_and_sweep_seed() {
+        let spec = SweepSpec {
+            settings: tiny(),
+            core: CoreConfig { fetch_width: 4, ..CoreConfig::default() },
+            benches: vec![benchmark("gzip").unwrap()],
+            ..SweepSpec::default()
+        };
+        let core = spec.base_core();
+        assert_eq!(core.fetch_width, 4);
+        assert_eq!(core.seed, spec.settings.seed);
+        assert_eq!(spec.expand()[0].config, core);
+    }
+
+    #[test]
     fn fpc_choice_matches_recovery_vector() {
         assert_eq!(
             SchemeChoice::Fpc.build(RecoveryPolicy::SquashAtCommit),
@@ -558,6 +714,7 @@ mod tests {
             schemes: vec![SchemeChoice::Fpc],
             recoveries: vec![RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue],
             benches: vec![benchmark("gzip").unwrap(), benchmark("mcf").unwrap()],
+            ..SweepSpec::default()
         };
         let jobs = spec.expand();
         assert_eq!(jobs.len(), spec.job_count());

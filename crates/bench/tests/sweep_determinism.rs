@@ -18,6 +18,7 @@ fn small_grid() -> SweepSpec {
         schemes: vec![SchemeChoice::Fpc],
         recoveries: vec![RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue],
         benches: vec![benchmark("gzip").unwrap(), benchmark("h264ref").unwrap()],
+        ..SweepSpec::default()
     }
 }
 

@@ -201,6 +201,89 @@ impl Default for ConfidenceScheme {
     }
 }
 
+impl std::fmt::Display for ConfidenceScheme {
+    /// Canonical text form, re-parseable by [`FromStr`](std::str::FromStr):
+    /// `full{bits}` for full counters, `fpc-squash` / `fpc-reissue` for the
+    /// paper's two vectors, and `fpc:p0.p1.….p6` (log₂ denominators,
+    /// dot-separated) for any other vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_core::ConfidenceScheme;
+    ///
+    /// assert_eq!(ConfidenceScheme::baseline().to_string(), "full3");
+    /// assert_eq!(ConfidenceScheme::fpc_squash().to_string(), "fpc-squash");
+    /// assert_eq!(ConfidenceScheme::fpc([0, 1, 2, 3, 4, 5, 6]).to_string(), "fpc:0.1.2.3.4.5.6");
+    /// ```
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfidenceScheme::Full { bits } => write!(f, "full{bits}"),
+            s if *s == ConfidenceScheme::fpc_squash() => f.write_str("fpc-squash"),
+            s if *s == ConfidenceScheme::fpc_reissue() => f.write_str("fpc-reissue"),
+            ConfidenceScheme::Fpc { log2_probs } => {
+                f.write_str("fpc:")?;
+                for (i, p) in log2_probs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(".")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for ConfidenceScheme {
+    type Err = String;
+
+    /// Parse the [`Display`](std::fmt::Display) form (case-insensitive).
+    /// `baseline` is accepted as an alias for `full3`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_core::ConfidenceScheme;
+    ///
+    /// let s: ConfidenceScheme = "fpc:0.3.3.3.3.4.4".parse().unwrap();
+    /// assert_eq!(s, ConfidenceScheme::fpc_reissue());
+    /// assert_eq!("baseline".parse::<ConfidenceScheme>().unwrap(), ConfidenceScheme::baseline());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        const USAGE: &str = "baseline | full1..full8 | fpc-squash | fpc-reissue | fpc:p0.p1.….p6";
+        let lower = s.to_ascii_lowercase();
+        match lower.as_str() {
+            "baseline" => return Ok(ConfidenceScheme::baseline()),
+            "fpc-squash" => return Ok(ConfidenceScheme::fpc_squash()),
+            "fpc-reissue" => return Ok(ConfidenceScheme::fpc_reissue()),
+            _ => {}
+        }
+        if let Some(bits) = lower.strip_prefix("full") {
+            return match bits.parse::<u8>() {
+                Ok(b) if (1..=8).contains(&b) => Ok(ConfidenceScheme::Full { bits: b }),
+                _ => Err(format!("counter width {bits} out of range ({USAGE})")),
+            };
+        }
+        if let Some(vector) = lower.strip_prefix("fpc:") {
+            let probs: Vec<u8> = vector
+                .split('.')
+                .map(|p| {
+                    p.parse::<u8>()
+                        .ok()
+                        .filter(|&v| v < 64)
+                        .ok_or_else(|| format!("bad FPC probability {p} (log₂ denominator 0..63)"))
+                })
+                .collect::<Result<_, _>>()?;
+            let probs: [u8; 7] = probs
+                .try_into()
+                .map_err(|v: Vec<u8>| format!("FPC vector needs 7 entries, got {}", v.len()))?;
+            return Ok(ConfidenceScheme::Fpc { log2_probs: probs });
+        }
+        Err(format!("unknown confidence scheme {s} ({USAGE})"))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -331,5 +414,32 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn zero_width_counter_rejected() {
         let _ = ConfidenceScheme::full(0);
+    }
+
+    #[test]
+    fn scheme_text_round_trips() {
+        for scheme in [
+            ConfidenceScheme::baseline(),
+            ConfidenceScheme::full(1),
+            ConfidenceScheme::full(8),
+            ConfidenceScheme::fpc_squash(),
+            ConfidenceScheme::fpc_reissue(),
+            ConfidenceScheme::fpc([0, 1, 2, 3, 4, 5, 6]),
+            ConfidenceScheme::fpc([7, 7, 7, 7, 7, 7, 7]),
+        ] {
+            let text = scheme.to_string();
+            assert_eq!(text.parse::<ConfidenceScheme>().unwrap(), scheme, "{text}");
+        }
+    }
+
+    #[test]
+    fn scheme_parse_rejects_malformed_input() {
+        assert!("".parse::<ConfidenceScheme>().is_err());
+        assert!("full0".parse::<ConfidenceScheme>().is_err());
+        assert!("full9".parse::<ConfidenceScheme>().is_err());
+        assert!("fpc".parse::<ConfidenceScheme>().is_err(), "bare fpc needs a recovery context");
+        assert!("fpc:1.2.3".parse::<ConfidenceScheme>().is_err(), "short vector");
+        assert!("fpc:1.2.3.4.5.6.7.8".parse::<ConfidenceScheme>().is_err(), "long vector");
+        assert!("fpc:1.2.3.4.5.6.64".parse::<ConfidenceScheme>().is_err(), "denominator bound");
     }
 }

@@ -217,6 +217,23 @@ impl PredictorKind {
         PredictorKind::Vtage,
     ];
 
+    /// Every predictor kind, in Table 1 / extension order. The lowercase
+    /// [`PredictorKind::label`] of each entry is its canonical spelling for
+    /// [`FromStr`](std::str::FromStr).
+    pub const ALL: [PredictorKind; 11] = [
+        PredictorKind::Lvp,
+        PredictorKind::TwoDeltaStride,
+        PredictorKind::PerPathStride,
+        PredictorKind::Fcm4,
+        PredictorKind::DFcm4,
+        PredictorKind::Vtage,
+        PredictorKind::VtageStride,
+        PredictorKind::FcmStride,
+        PredictorKind::GDiffVtage,
+        PredictorKind::SagLvp,
+        PredictorKind::Oracle,
+    ];
+
     /// Instantiate the predictor with the paper's Table 1 sizing.
     ///
     /// `scheme` selects the confidence flavour; `seed` feeds the FPC LFSR
@@ -289,7 +306,11 @@ impl std::str::FromStr for PredictorKind {
             "gdiff" | "gdiff-vtage" => Ok(PredictorKind::GDiffVtage),
             "sag" | "sag-lvp" | "saglvp" => Ok(PredictorKind::SagLvp),
             "oracle" => Ok(PredictorKind::Oracle),
-            other => Err(format!("unknown predictor kind: {other}")),
+            other => {
+                let valid: Vec<String> =
+                    PredictorKind::ALL.iter().map(|k| k.label().to_ascii_lowercase()).collect();
+                Err(format!("unknown predictor kind {other} (valid: {})", valid.join(", ")))
+            }
         }
     }
 }
@@ -307,41 +328,22 @@ mod tests {
 
     #[test]
     fn kind_parse_round_trips() {
-        for kind in [
-            PredictorKind::Lvp,
-            PredictorKind::TwoDeltaStride,
-            PredictorKind::PerPathStride,
-            PredictorKind::Fcm4,
-            PredictorKind::DFcm4,
-            PredictorKind::Vtage,
-            PredictorKind::VtageStride,
-            PredictorKind::FcmStride,
-            PredictorKind::GDiffVtage,
-            PredictorKind::SagLvp,
-            PredictorKind::Oracle,
-        ] {
+        for kind in PredictorKind::ALL {
+            // Both the Display form and its lowercase canonical spelling
+            // parse back to the same kind.
+            assert_eq!(kind.to_string().parse::<PredictorKind>().unwrap(), kind);
             let label = kind.label().to_ascii_lowercase();
             let parsed: PredictorKind = label.parse().unwrap();
             assert_eq!(parsed, kind, "label {label}");
         }
-        assert!("nonsense".parse::<PredictorKind>().is_err());
+        let err = "nonsense".parse::<PredictorKind>().unwrap_err();
+        // Unknown spellings quote the full canonical list.
+        assert!(err.contains("lvp") && err.contains("sag-lvp") && err.contains("oracle"), "{err}");
     }
 
     #[test]
     fn build_constructs_every_kind() {
-        for kind in [
-            PredictorKind::Lvp,
-            PredictorKind::TwoDeltaStride,
-            PredictorKind::PerPathStride,
-            PredictorKind::Fcm4,
-            PredictorKind::DFcm4,
-            PredictorKind::Vtage,
-            PredictorKind::VtageStride,
-            PredictorKind::FcmStride,
-            PredictorKind::GDiffVtage,
-            PredictorKind::SagLvp,
-            PredictorKind::Oracle,
-        ] {
+        for kind in PredictorKind::ALL {
             let p = kind.build(ConfidenceScheme::fpc_squash(), 1);
             assert!(!p.name().is_empty());
         }

@@ -17,6 +17,41 @@ pub enum RecoveryPolicy {
     SelectiveReissue,
 }
 
+impl std::fmt::Display for RecoveryPolicy {
+    /// Canonical short name: `squash` or `reissue` (re-parseable by
+    /// [`FromStr`](std::str::FromStr)).
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            RecoveryPolicy::SquashAtCommit => "squash",
+            RecoveryPolicy::SelectiveReissue => "reissue",
+        })
+    }
+}
+
+impl std::str::FromStr for RecoveryPolicy {
+    type Err = String;
+
+    /// Parse `squash` / `reissue` (long spellings `squash-at-commit` and
+    /// `selective-reissue` are accepted too, case-insensitively).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_uarch::RecoveryPolicy;
+    ///
+    /// let r: RecoveryPolicy = "squash".parse().unwrap();
+    /// assert_eq!(r, RecoveryPolicy::SquashAtCommit);
+    /// assert_eq!(r.to_string().parse::<RecoveryPolicy>().unwrap(), r);
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "squash" | "squash-at-commit" => Ok(RecoveryPolicy::SquashAtCommit),
+            "reissue" | "selective-reissue" => Ok(RecoveryPolicy::SelectiveReissue),
+            other => Err(format!("unknown recovery policy {other} (valid: squash, reissue)")),
+        }
+    }
+}
+
 /// Value-prediction configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct VpConfig {
@@ -228,5 +263,18 @@ mod tests {
     fn zero_rob_is_rejected() {
         let c = CoreConfig { rob_entries: 0, ..CoreConfig::default() };
         c.validate();
+    }
+
+    #[test]
+    fn recovery_policy_round_trips() {
+        for r in [RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue] {
+            assert_eq!(r.to_string().parse::<RecoveryPolicy>().unwrap(), r);
+        }
+        assert_eq!(
+            "squash-at-commit".parse::<RecoveryPolicy>(),
+            Ok(RecoveryPolicy::SquashAtCommit)
+        );
+        let err = "rollback".parse::<RecoveryPolicy>().unwrap_err();
+        assert!(err.contains("squash") && err.contains("reissue"), "{err}");
     }
 }

@@ -30,13 +30,17 @@ mod spec2006;
 
 use vpsim_isa::Program;
 
-/// Benchmark suite of origin (paper Table 3).
+/// Benchmark suite of origin (paper Table 3), plus this repository's
+/// microkernel suite.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SPEC CPU2000.
     Cpu2000,
     /// SPEC CPU2006.
     Cpu2006,
+    /// Single-behavior microkernel (the `k:*` workloads, not part of the
+    /// paper's Table 3 suite).
+    Micro,
 }
 
 /// Integer or floating-point benchmark.
@@ -68,7 +72,8 @@ impl Default for WorkloadParams {
 /// A benchmark analogue: name, classification and generator.
 #[derive(Debug, Clone, Copy)]
 pub struct Benchmark {
-    /// SPEC benchmark name this analogue substitutes (e.g. `"gzip"`).
+    /// SPEC benchmark name this analogue substitutes (e.g. `"gzip"`), or a
+    /// `k:`-prefixed microkernel name (e.g. `"k:tight"`).
     pub name: &'static str,
     /// Suite of origin.
     pub suite: Suite,
@@ -76,6 +81,45 @@ pub struct Benchmark {
     pub class: Class,
     /// Program generator.
     pub build: fn(&WorkloadParams) -> Program,
+}
+
+/// A workload is identified by its name: the registries ([`all_benchmarks`],
+/// [`all_microkernels`]) guarantee one generator per name, so comparing the
+/// function pointer would add nothing (and is a lint besides).
+impl PartialEq for Benchmark {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name && self.suite == other.suite && self.class == other.class
+    }
+}
+
+impl Eq for Benchmark {}
+
+impl std::fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name)
+    }
+}
+
+impl std::str::FromStr for Benchmark {
+    type Err = String;
+
+    /// Resolve a workload by name: any Table 3 benchmark or `k:*`
+    /// microkernel. Unknown names list every valid spelling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_workloads::Benchmark;
+    ///
+    /// let b: Benchmark = "gzip".parse().unwrap();
+    /// assert_eq!(b.to_string(), "gzip");
+    /// assert!("k:tight".parse::<Benchmark>().is_ok());
+    /// assert!("nonsense".parse::<Benchmark>().is_err());
+    /// ```
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        workload(s)
+            .ok_or_else(|| format!("unknown workload {s} (valid: {})", workload_names().join(", ")))
+    }
 }
 
 /// The 19 Table 3 benchmarks, in the paper's order (CPU2000 first).
@@ -158,9 +202,71 @@ pub fn all_benchmarks() -> Vec<Benchmark> {
     ]
 }
 
+// Microkernel adapters: fixed sizing under `WorkloadParams`, matching the
+// historical `simulate` CLI mapping so `k:*` runs stay reproducible.
+fn k_tight(_: &WorkloadParams) -> Program {
+    microkernels::tight_loop()
+}
+fn k_strided(p: &WorkloadParams) -> Program {
+    microkernels::strided_loop(256 * p.scale, 1)
+}
+fn k_chase(p: &WorkloadParams) -> Program {
+    microkernels::pointer_chase(4096 * p.scale)
+}
+fn k_constant(_: &WorkloadParams) -> Program {
+    microkernels::constant_stream()
+}
+fn k_branchdep(_: &WorkloadParams) -> Program {
+    microkernels::branch_correlated_values()
+}
+fn k_fpreduce(p: &WorkloadParams) -> Program {
+    microkernels::fp_reduction(256 * p.scale)
+}
+fn k_calls(_: &WorkloadParams) -> Program {
+    microkernels::call_ladder()
+}
+fn k_randbranch(_: &WorkloadParams) -> Program {
+    microkernels::random_branches()
+}
+fn k_matmul(p: &WorkloadParams) -> Program {
+    microkernels::matmul(8 * p.scale)
+}
+
+/// The microkernels exposed as named workloads (`k:*`), usable anywhere a
+/// [`Benchmark`] is: `simulate k:chase`, `sweep --benchmarks k:tight,gzip`,
+/// or a scenario file's `benchmarks =` list.
+pub fn all_microkernels() -> Vec<Benchmark> {
+    let m = |name, class, build| Benchmark { name, suite: Suite::Micro, class, build };
+    vec![
+        m("k:tight", Class::Int, k_tight),
+        m("k:strided", Class::Int, k_strided),
+        m("k:chase", Class::Int, k_chase),
+        m("k:constant", Class::Int, k_constant),
+        m("k:branchdep", Class::Int, k_branchdep),
+        m("k:fpreduce", Class::Fp, k_fpreduce),
+        m("k:calls", Class::Int, k_calls),
+        m("k:randbranch", Class::Int, k_randbranch),
+        m("k:matmul", Class::Fp, k_matmul),
+    ]
+}
+
 /// Look up a benchmark analogue by SPEC name.
 pub fn benchmark(name: &str) -> Option<Benchmark> {
     all_benchmarks().into_iter().find(|b| b.name == name)
+}
+
+/// Look up any workload by name: Table 3 benchmarks first, then the `k:*`
+/// microkernels.
+pub fn workload(name: &str) -> Option<Benchmark> {
+    benchmark(name).or_else(|| all_microkernels().into_iter().find(|b| b.name == name))
+}
+
+/// Every valid workload name, benchmarks first — the canonical spelling
+/// list quoted by parse errors.
+pub fn workload_names() -> Vec<&'static str> {
+    let mut names: Vec<&'static str> = all_benchmarks().into_iter().map(|b| b.name).collect();
+    names.extend(all_microkernels().into_iter().map(|b| b.name));
+    names
 }
 
 #[cfg(test)]
@@ -228,6 +334,35 @@ mod tests {
     fn lookup_by_name() {
         assert!(benchmark("h264ref").is_some());
         assert!(benchmark("notabench").is_none());
+    }
+
+    #[test]
+    fn microkernels_are_named_workloads() {
+        let kernels = all_microkernels();
+        assert_eq!(kernels.len(), 9);
+        assert!(kernels.iter().all(|k| k.name.starts_with("k:")));
+        assert!(kernels.iter().all(|k| k.suite == Suite::Micro));
+        // `workload` resolves both namespaces; `benchmark` stays Table 3 only.
+        assert!(workload("k:chase").is_some());
+        assert!(workload("gzip").is_some());
+        assert!(benchmark("k:chase").is_none());
+        // Every kernel builds a runnable program.
+        let params = WorkloadParams::default();
+        for k in &kernels {
+            let p = (k.build)(&params);
+            assert!(!p.is_empty(), "{} is empty", k.name);
+        }
+    }
+
+    #[test]
+    fn benchmark_parses_and_round_trips() {
+        for name in workload_names() {
+            let b: Benchmark = name.parse().unwrap();
+            assert_eq!(b.to_string(), name);
+            assert_eq!(b, name.parse::<Benchmark>().unwrap());
+        }
+        let err = "notabench".parse::<Benchmark>().unwrap_err();
+        assert!(err.contains("gzip") && err.contains("k:tight"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,52 @@
+//! The scenario layer, end to end: load every `.vps` file shipped under
+//! `examples/scenarios/`, check each parses and matches its preset twin
+//! where it has one, then run the smoke scenario and show that `--set`
+//! style overrides layer on top of a loaded file.
+//!
+//! Run with `cargo run --example scenario_files`.
+
+use vpsim::bench::scenario::{preset, Scenario};
+
+fn main() -> Result<(), String> {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/examples/scenarios");
+
+    // Every shipped scenario file must load and validate.
+    let mut paths: Vec<_> = std::fs::read_dir(dir)
+        .map_err(|e| format!("{dir}: {e}"))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|ext| ext == "vps"))
+        .collect();
+    paths.sort();
+    for path in &paths {
+        let sc = Scenario::load(path.to_str().expect("utf8 path"))?;
+        println!(
+            "{:<24} {:>2} grid point(s) x {:>2} workload(s)",
+            path.file_name().unwrap().to_string_lossy(),
+            sc.grid_points().len(),
+            sc.benches.len(),
+        );
+    }
+
+    // Files that mirror a named preset stay in sync with it (the file adds
+    // comments and omits defaulted keys; the grid must be identical).
+    for (file, name) in
+        [("counters.vps", "counters"), ("fpc-sweep.vps", "fpc-sweep"), ("kernels.vps", "kernels")]
+    {
+        let from_file = Scenario::load(&format!("{dir}/{file}"))?;
+        let from_preset = preset(name)?;
+        assert_eq!(from_file.grid_points(), from_preset.grid_points(), "{file} vs {name}");
+    }
+    println!("\nfile grids match their presets");
+
+    // Layering: the loaded file is a base; later assignments replace keys.
+    let mut sc = Scenario::load(&format!("{dir}/smoke.vps"))?;
+    sc.set("measure=5000")?;
+    sc.set("benchmarks=gzip")?;
+    sc.set("threads=2")?;
+    sc.validate()?;
+    println!("\nsmoke scenario with overrides:\n{sc}");
+
+    let results = sc.run();
+    println!("{}", results.table());
+    Ok(())
+}

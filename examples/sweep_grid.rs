@@ -23,6 +23,7 @@ fn main() {
         schemes: vec![SchemeChoice::Fpc],
         recoveries: vec![RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue],
         benches: ["gzip", "mcf", "h264ref"].iter().map(|n| benchmark(n).unwrap()).collect(),
+        ..SweepSpec::default()
     };
     println!(
         "{} jobs ({} benchmark(s) x {} grid point(s) + baseline)\n",

@@ -23,8 +23,10 @@
 //!   benchmark analogues plus microkernels.
 //! * [`stats`] (`vpsim-stats`) — counters, metrics and table formatting.
 //! * [`mod@bench`] (`vpsim-bench`) — the experiment harness: paper
-//!   table/figure reproductions and the deterministic parallel sweep
-//!   engine ([`bench::sweep`]) behind the `paper` and `sweep` binaries.
+//!   table/figure reproductions, the deterministic parallel sweep engine
+//!   ([`bench::sweep`]), and the declarative scenario layer
+//!   ([`bench::scenario`]: `.vps` files, named presets, `--set`
+//!   overrides) behind the `paper`, `simulate` and `sweep` binaries.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's concepts
 //! (VTAGE, FPC, validation at commit, squash recovery) to these crates.
