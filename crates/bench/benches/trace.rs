@@ -1,0 +1,50 @@
+//! Capture-once / replay-many macrobenchmarks: how much host time the
+//! trace layer saves per simulation job.
+//!
+//! Three measurements per kernel:
+//! * `inline`  — the streaming path (functional executor inside the
+//!   timing loop), i.e. what every grid cell paid before the trace layer.
+//! * `capture` — the one-time cost of recording the trace.
+//! * `replay`  — one timing run over the captured trace; a grid of N
+//!   cells pays `capture + N × replay` instead of `N × inline`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use vpsim_core::PredictorKind;
+use vpsim_isa::Trace;
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, Simulator, VpConfig};
+use vpsim_workloads::microkernels;
+
+const INSTRUCTIONS: u64 = 20_000;
+
+fn bench_trace(c: &mut Criterion) {
+    let kernels: Vec<(&str, vpsim_isa::Program)> = vec![
+        ("strided", microkernels::strided_loop(256, 1)),
+        ("tight_loop", microkernels::tight_loop()),
+        ("matmul", microkernels::matmul(8)),
+    ];
+    let sim = Simulator::new(
+        CoreConfig::default()
+            .with_vp(VpConfig::enabled(PredictorKind::VtageStride, RecoveryPolicy::SquashAtCommit)),
+    );
+    let budget = sim.config().trace_budget(0, INSTRUCTIONS);
+    let mut group = c.benchmark_group("trace");
+    group.throughput(Throughput::Elements(INSTRUCTIONS));
+    group.sample_size(10);
+    for (name, program) in &kernels {
+        group.bench_with_input(BenchmarkId::new("inline", name), program, |b, p| {
+            b.iter(|| black_box(sim.run(p, INSTRUCTIONS)));
+        });
+        group.bench_with_input(BenchmarkId::new("capture", name), program, |b, p| {
+            b.iter(|| black_box(Trace::capture(p, budget)));
+        });
+        let trace = Trace::capture(program, budget);
+        group.bench_with_input(BenchmarkId::new("replay", name), &trace, |b, t| {
+            b.iter(|| black_box(sim.run_trace(t, 0, INSTRUCTIONS)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

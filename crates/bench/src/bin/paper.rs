@@ -38,6 +38,9 @@
 //!                    [default: all hardware threads]
 //!   --benchmarks a,b Comma-separated subset of Table 3 names
 //!   --csv            Emit CSV instead of aligned text
+//!   --no-trace-cache Re-execute workloads functionally per grid cell
+//!                    instead of capture-once/replay-many (byte-identical
+//!                    output; sugar for --set trace_cache=off)
 //! ```
 //!
 //! Each experiment imposes its own figure grid (a named
@@ -76,6 +79,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--set" => scenario.set(val()?)?,
             "--csv" => csv = true,
             "--dump-scenario" => dump = true,
+            "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
             flag @ ("--warmup" | "--measure" | "--scale" | "--seed" | "--threads"
             | "--benchmarks") => scenario.apply(&flag[2..], val()?)?,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),

@@ -21,6 +21,8 @@
 //!                    fpc-reissue | fpc:p0.….p6                 [default fpc]
 //!   --recovery R     squash | reissue                          [default squash]
 //!   --warmup N / --measure N / --scale N / --seed N
+//!   --no-trace-cache Execute functionally inline instead of capturing a
+//!                    trace and replaying it (byte-identical output)
 //! ```
 //!
 //! Everything resolves through a `vpsim_bench::scenario::Scenario` (the
@@ -50,6 +52,7 @@ fn parse_args(args: &[String]) -> Result<(Scenario, bool), String> {
         match arg.as_str() {
             "--set" => scenario.set(val()?)?,
             "--dump-scenario" => dump = true,
+            "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
             // Single-valued sugar for the grid axes.
             "--predictor" => scenario.apply("predictors", val()?)?,
             "--counters" => scenario.apply("confidence", val()?)?,
@@ -148,7 +151,10 @@ fn main() -> ExitCode {
         }
         None => println!("workload {bench}, no value prediction"),
     }
-    let result = scenario.settings.run(&bench, config);
+    // `run_job` resolves through the trace layer (capture once, replay)
+    // unless the scenario turned the cache off; the result is
+    // byte-identical on both paths.
+    let result = scenario.settings.run_job(&bench, config);
     print_result(&result);
     ExitCode::SUCCESS
 }

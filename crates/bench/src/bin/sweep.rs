@@ -35,6 +35,11 @@
 //!   --matrix           Speedup matrix (benchmark rows × grid-point columns)
 //!                      instead of the long-form table
 //!   --csv              Emit CSV instead of aligned text
+//!   --no-trace-cache   Re-execute each workload functionally per job
+//!                      instead of capture-once/replay-many (byte-identical
+//!                      output; sugar for --set trace_cache=off)
+//!   --timing-json F    Write capture/replay/total wall-clock and job
+//!                      counts to F as JSON (see BENCH_sweep.json)
 //! ```
 //!
 //! Example: compare VTAGE and the hybrid under both recovery schemes on
@@ -54,6 +59,7 @@ struct Options {
     csv: bool,
     dump: bool,
     list_presets: bool,
+    timing_json: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -66,6 +72,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut csv = false;
     let mut dump = false;
     let mut list_presets = false;
+    let mut timing_json = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut val = || -> Result<&String, String> {
@@ -77,6 +84,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--csv" => csv = true,
             "--dump-scenario" => dump = true,
             "--list-presets" => list_presets = true,
+            "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
+            "--timing-json" => timing_json = Some(val()?.clone()),
             // Dedicated flags are sugar for --set with the same key.
             flag @ ("--threads" | "--predictors" | "--confidence" | "--recovery"
             | "--benchmarks" | "--warmup" | "--measure" | "--scale" | "--seed") => {
@@ -86,7 +95,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         }
     }
     scenario.validate()?;
-    Ok(Options { scenario, matrix, csv, dump, list_presets })
+    Ok(Options { scenario, matrix, csv, dump, list_presets, timing_json })
 }
 
 fn main() -> ExitCode {
@@ -123,6 +132,21 @@ fn main() -> ExitCode {
             spec.settings.threads,
         );
         println!("{table}");
+        let t = &results.timing;
+        eprintln!(
+            "wall-clock: {:.2}s total ({:.2}s capture of {} trace(s), {:.2}s {})",
+            t.total.as_secs_f64(),
+            t.capture.as_secs_f64(),
+            t.captures,
+            t.replay.as_secs_f64(),
+            if t.trace_cache { "replay" } else { "inline simulation (trace cache off)" },
+        );
+    }
+    if let Some(path) = &options.timing_json {
+        if let Err(e) = std::fs::write(path, results.timing.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
     }
     ExitCode::SUCCESS
 }

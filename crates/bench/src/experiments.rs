@@ -12,7 +12,9 @@
 use crate::runner::RunSettings;
 use crate::scenario::{self, Scenario};
 use crate::sweep::SweepResults;
+use crate::trace_cache::TraceCache;
 use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_isa::DynInst;
 use vpsim_stats::table::{fmt_f, fmt_pct, Table};
 use vpsim_stats::{mean, speedup};
 use vpsim_uarch::penalty::{PenaltyModel, RecoveryPenalties};
@@ -352,19 +354,42 @@ pub fn recovery_comparison(sc: &Scenario) -> Table {
     t
 }
 
+/// The first `n` dynamic µops of `bench` for an offline experiment,
+/// handed to `f` as a polymorphic stream: replayed from the shared
+/// [`TraceCache`] when the scenario's `trace_cache` is on, or executed
+/// functionally inline otherwise. Both paths yield the identical stream
+/// (the trace layer's core guarantee), so experiment output is
+/// byte-identical either way.
+fn with_offline_stream<R>(
+    sc: &Scenario,
+    bench: &Benchmark,
+    n: u64,
+    f: impl FnOnce(&mut dyn Iterator<Item = DynInst>) -> R,
+) -> R {
+    let s = &sc.settings;
+    if s.trace_cache {
+        let (trace, _) = TraceCache::global().get(s, bench, n);
+        f(&mut trace.cursor().take(n as usize))
+    } else {
+        let program = (bench.build)(&s.params());
+        f(&mut vpsim_isa::Executor::new(&program).take(n as usize))
+    }
+}
+
 /// Offline predictor evaluation: stream a benchmark's dynamic trace
-/// through a predictor (in-order predict → train, with the correct-path
-/// branch history — identical to what the pipeline's front-end sees) and
-/// report coverage/accuracy over eligible µops.
+/// (from the inline [`Executor`](vpsim_isa::Executor) or a replayed
+/// [`Trace`](vpsim_isa::Trace) cursor — any [`DynInst`] iterator) through
+/// a predictor (in-order predict → train, with the correct-path branch
+/// history — identical to what the pipeline's front-end sees) and report
+/// coverage/accuracy over eligible µops.
 pub fn offline_eval(
     predictor: &mut dyn vpsim_core::Predictor,
-    program: &vpsim_isa::Program,
-    instructions: usize,
+    stream: impl Iterator<Item = DynInst>,
 ) -> (f64, f64) {
     use vpsim_core::{HistoryState, PredictCtx};
     let mut hist = HistoryState::default();
     let (mut eligible, mut used, mut correct) = (0u64, 0u64, 0u64);
-    for di in vpsim_isa::Executor::new(program).take(instructions) {
+    for di in stream {
         if di.vp_eligible() {
             eligible += 1;
             let ctx = PredictCtx { seq: di.seq, pc: di.pc, hist, actual: None };
@@ -408,7 +433,7 @@ pub fn ablation_vtage(sc: &Scenario) -> Table {
         "Accuracy (a-mean)".into(),
         "Size (KB)".into(),
     ]);
-    let instructions = (s.warmup + s.measure) as usize;
+    let instructions = s.warmup + s.measure;
     for (label, lengths) in geometries {
         let config = VtageConfig { history_lengths: lengths, ..VtageConfig::default() };
         let size_kb =
@@ -416,9 +441,9 @@ pub fn ablation_vtage(sc: &Scenario) -> Table {
         let mut covs = Vec::new();
         let mut accs = Vec::new();
         for b in &sc.benches {
-            let program = (b.build)(&s.params());
             let mut p = Vtage::new(config.clone(), ConfidenceScheme::fpc_squash(), s.seed);
-            let (cov, acc) = offline_eval(&mut p, &program, instructions);
+            let (cov, acc) =
+                with_offline_stream(sc, b, instructions, |stream| offline_eval(&mut p, stream));
             covs.push(cov);
             accs.push(acc);
         }
@@ -529,15 +554,16 @@ pub fn locality(sc: &Scenario) -> Table {
         "Patterned".into(),
         "Chaotic".into(),
     ]);
-    let instructions = (s.warmup + s.measure) as usize;
+    let instructions = s.warmup + s.measure;
     for b in &sc.benches {
-        let program = (b.build)(&s.params());
         let mut a = LocalityAnalyzer::new();
-        for di in vpsim_isa::Executor::new(&program).take(instructions) {
-            if di.vp_eligible() {
-                a.observe(di.pc, di.result.expect("eligible µop has a result"));
+        with_offline_stream(sc, b, instructions, |stream| {
+            for di in stream {
+                if di.vp_eligible() {
+                    a.observe(di.pc, di.result.expect("eligible µop has a result"));
+                }
             }
-        }
+        });
         let r = a.report();
         t.row(vec![
             b.name.into(),

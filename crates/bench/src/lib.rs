@@ -8,6 +8,12 @@
 //!   [`sweep::SweepSpec`] grid expanded into independent jobs, executed on
 //!   a scoped worker pool with a bounded work queue, and merged in job
 //!   order so parallel output is bit-identical to serial.
+//! * [`trace_cache`] — capture-once / replay-many: each workload's dynamic
+//!   instruction trace is captured once per process and shared
+//!   (`Arc<Trace>`) across every grid cell, worker thread and experiment,
+//!   instead of re-running the functional executor inline per job.
+//!   `RunSettings::trace_cache = false` (`--no-trace-cache`) restores
+//!   inline execution, byte-identically.
 //! * [`experiments`] — one function per table/figure of the paper, each
 //!   returning a [`vpsim_stats::table::Table`] whose rows mirror what the
 //!   paper reports. See `ARCHITECTURE.md` at the repository root for the
@@ -32,7 +38,9 @@ pub mod experiments;
 pub mod runner;
 pub mod scenario;
 pub mod sweep;
+pub mod trace_cache;
 
 pub use runner::{RunSettings, SuiteResults};
 pub use scenario::{Scenario, ScenarioBuilder};
-pub use sweep::{SweepResults, SweepSpec};
+pub use sweep::{SweepResults, SweepSpec, SweepTiming};
+pub use trace_cache::TraceCache;

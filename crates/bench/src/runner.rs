@@ -1,6 +1,7 @@
 //! Shared machinery for running benchmark × configuration sweeps.
 
 use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_isa::Trace;
 use vpsim_stats::mean;
 use vpsim_uarch::{CoreConfig, RecoveryPolicy, RunResult, Simulator, VpConfig};
 use vpsim_workloads::{Benchmark, WorkloadParams};
@@ -36,11 +37,26 @@ pub struct RunSettings {
     /// `1` runs serially on the calling thread. Parallel output is
     /// bit-identical to serial, so this only affects wall-clock time.
     pub threads: usize,
+    /// Capture-once / replay-many: when `true` (the default), grid
+    /// execution captures each workload's dynamic trace once (into
+    /// [`crate::trace_cache::TraceCache::global`]) and replays it for
+    /// every timing configuration instead of re-running the functional
+    /// executor inline per job. Results are byte-identical either way;
+    /// this only trades memory (a few MB per workload) for wall-clock
+    /// time. `false` restores pure inline execution (`--no-trace-cache`).
+    pub trace_cache: bool,
 }
 
 impl Default for RunSettings {
     fn default() -> Self {
-        RunSettings { warmup: 50_000, measure: 200_000, scale: 1, seed: 0x2014, threads: 1 }
+        RunSettings {
+            warmup: 50_000,
+            measure: 200_000,
+            scale: 1,
+            seed: 0x2014,
+            threads: 1,
+            trace_cache: true,
+        }
     }
 }
 
@@ -85,10 +101,46 @@ impl RunSettings {
         CoreConfig::default().with_seed(self.seed)
     }
 
-    /// Run one benchmark under one configuration.
+    /// Run one benchmark under one configuration on the inline streaming
+    /// path (the functional executor runs inside the timing loop).
     pub fn run(&self, bench: &Benchmark, config: CoreConfig) -> RunResult {
         let program = (bench.build)(&self.params());
         Simulator::new(config).run_with_warmup(&program, self.warmup, self.measure)
+    }
+
+    /// The capture length that makes replay byte-identical to [`Self::run`]
+    /// under `config`: the measurement window plus the core's maximum
+    /// fetch-ahead (see [`CoreConfig::trace_budget`]).
+    pub fn trace_budget(&self, config: &CoreConfig) -> u64 {
+        config.trace_budget(self.warmup, self.measure)
+    }
+
+    /// Capture `bench`'s dynamic trace, `budget` µops long (or the whole
+    /// program if shorter) — the capture half of capture-once/replay-many.
+    pub fn capture(&self, bench: &Benchmark, budget: u64) -> Trace {
+        let program = (bench.build)(&self.params());
+        Trace::capture(&program, budget)
+    }
+
+    /// Replay a captured trace under one configuration — byte-identical to
+    /// [`Self::run`] on the benchmark the trace was captured from, given a
+    /// sufficient capture budget ([`Self::trace_budget`]).
+    pub fn run_trace(&self, trace: &Trace, config: CoreConfig) -> RunResult {
+        Simulator::new(config).run_trace(trace, self.warmup, self.measure)
+    }
+
+    /// Run one benchmark under one configuration, resolving through the
+    /// trace layer when [`Self::trace_cache`] is on (capture once into the
+    /// process-wide cache, then replay) and through the inline streaming
+    /// executor otherwise. Both paths produce byte-identical results.
+    pub fn run_job(&self, bench: &Benchmark, config: CoreConfig) -> RunResult {
+        if self.trace_cache {
+            let budget = self.trace_budget(&config);
+            let (trace, _) = crate::trace_cache::TraceCache::global().get(self, bench, budget);
+            self.run_trace(&trace, config)
+        } else {
+            self.run(bench, config)
+        }
     }
 
     /// Run one benchmark with no value prediction (the speedup baseline).
@@ -157,7 +209,7 @@ mod tests {
     use vpsim_workloads::benchmark;
 
     fn tiny() -> RunSettings {
-        RunSettings { warmup: 2_000, measure: 10_000, scale: 1, seed: 7, threads: 1 }
+        RunSettings { warmup: 2_000, measure: 10_000, seed: 7, ..RunSettings::default() }
     }
 
     #[test]
@@ -174,6 +226,27 @@ mod tests {
         );
         assert_eq!(vp.metrics.instructions, 10_000);
         assert!(vp.vp.eligible > 0);
+    }
+
+    #[test]
+    fn run_job_is_byte_identical_on_both_paths() {
+        let s = tiny();
+        let b = benchmark("h264ref").unwrap();
+        let config = s
+            .core()
+            .with_vp(VpConfig::enabled(PredictorKind::Vtage, RecoveryPolicy::SquashAtCommit));
+        let inline = RunSettings { trace_cache: false, ..s }.run_job(&b, config.clone());
+        let replayed = RunSettings { trace_cache: true, ..s }.run_job(&b, config.clone());
+        assert_eq!(inline, replayed);
+        assert_eq!(inline, s.run(&b, config));
+    }
+
+    #[test]
+    fn explicit_capture_and_replay_match_inline() {
+        let s = tiny();
+        let b = benchmark("gzip").unwrap();
+        let trace = s.capture(&b, s.trace_budget(&s.core()));
+        assert_eq!(s.run_trace(&trace, s.core()), s.run_baseline(&b));
     }
 
     #[test]

@@ -49,8 +49,8 @@ use vpsim_uarch::{CoreConfig, RecoveryPolicy};
 use vpsim_workloads::{all_benchmarks, all_microkernels, Benchmark};
 
 /// Every key the text format and `--set` accept, quoted by parse errors.
-const KEYS: &str = "warmup, measure, scale, seed, threads, predictors, confidence, recovery, \
-                    points, benchmarks, core.<field>";
+const KEYS: &str = "warmup, measure, scale, seed, threads, trace_cache, predictors, confidence, \
+                    recovery, points, benchmarks, core.<field>";
 
 /// The `core.*` field names, quoted by parse errors.
 const CORE_KEYS: &str = "fetch_width, taken_branches_per_cycle, frontend_depth, issue_width, \
@@ -271,6 +271,13 @@ impl Scenario {
             "scale" => self.settings.scale = num("scale")? as usize,
             "seed" => self.settings.seed = num("seed")?,
             "threads" => self.settings.threads = num("threads")? as usize,
+            "trace_cache" => {
+                self.settings.trace_cache = match value.to_ascii_lowercase().as_str() {
+                    "on" | "true" | "1" => true,
+                    "off" | "false" | "0" => false,
+                    other => return Err(format!("trace_cache: {other} is not on|off")),
+                }
+            }
             "predictors" => {
                 self.predictors = parse_list(value).map_err(|e| format!("predictors: {e}"))?
             }
@@ -404,6 +411,7 @@ impl fmt::Display for Scenario {
         write_kv(f, "scale", &self.settings.scale.to_string())?;
         write_kv(f, "seed", &self.settings.seed.to_string())?;
         write_kv(f, "threads", &self.settings.threads.to_string())?;
+        write_kv(f, "trace_cache", if self.settings.trace_cache { "on" } else { "off" })?;
         write_kv(f, "predictors", &join(self.predictors.iter().map(|k| lower(k.label()))))?;
         write_kv(f, "confidence", &join(self.schemes.iter().map(|s| s.label())))?;
         write_kv(f, "recovery", &join(self.recoveries.iter().map(|r| r.to_string())))?;
@@ -478,6 +486,13 @@ impl ScenarioBuilder {
     /// Worker threads (1 = serial; output is thread-count invariant).
     pub fn threads(mut self, n: usize) -> Self {
         self.0.settings.threads = n;
+        self
+    }
+
+    /// Capture-once/replay-many trace cache (on by default; output is
+    /// byte-identical either way).
+    pub fn trace_cache(mut self, on: bool) -> Self {
+        self.0.settings.trace_cache = on;
         self
     }
 
@@ -922,6 +937,24 @@ mod tests {
         assert_eq!(sc.grid_points().len(), 0);
         sc.set("points=auto").unwrap();
         assert_eq!(sc, Scenario::default());
+    }
+
+    #[test]
+    fn trace_cache_key_round_trips_and_rejects_garbage() {
+        let mut sc = Scenario::default();
+        assert!(sc.settings.trace_cache, "cache is on by default");
+        sc.apply_text("trace_cache = off").unwrap();
+        assert!(!sc.settings.trace_cache);
+        assert!(sc.to_string().contains("trace_cache = off"));
+        assert_eq!(sc.to_string().parse::<Scenario>().unwrap(), sc);
+        for (spelling, want) in [("on", true), ("true", true), ("0", false), ("OFF", false)] {
+            sc.apply("trace_cache", spelling).unwrap();
+            assert_eq!(sc.settings.trace_cache, want, "{spelling}");
+        }
+        let err = sc.apply("trace_cache", "maybe").unwrap_err();
+        assert!(err.contains("on|off"), "{err}");
+        let err = sc.apply_text("tracecache = on").unwrap_err();
+        assert!(err.contains("trace_cache"), "unknown keys list the right spelling: {err}");
     }
 
     #[test]

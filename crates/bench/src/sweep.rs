@@ -43,10 +43,13 @@
 //! ```
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::runner::{RunSettings, SuiteResults};
+use crate::trace_cache::TraceCache;
 use vpsim_core::{ConfidenceScheme, PredictorKind};
+use vpsim_isa::Trace;
 use vpsim_stats::mean;
 use vpsim_stats::table::{fmt_f, fmt_pct, Table};
 use vpsim_uarch::{CoreConfig, RecoveryPolicy, VpConfig};
@@ -198,12 +201,38 @@ where
 // Configuration grids
 // ---------------------------------------------------------------------------
 
+/// Capture (or fetch from the process-wide [`TraceCache`]) one shared
+/// trace per benchmark, in parallel on `settings.threads` workers. The
+/// budget covers the largest ROB in `configs`, so every grid cell replays
+/// byte-identically. Returns the traces (benchmark order) and how many
+/// were captured fresh.
+fn prefetch_traces(
+    settings: &RunSettings,
+    benches: &[Benchmark],
+    configs: &[CoreConfig],
+) -> (Vec<Arc<Trace>>, usize) {
+    let budget = configs
+        .iter()
+        .map(|c| settings.trace_budget(c))
+        .max()
+        .unwrap_or_else(|| settings.trace_budget(&settings.core()));
+    let captures = run_indexed(benches.len(), settings.threads, |bi| {
+        TraceCache::global().get(settings, &benches[bi], budget)
+    });
+    let fresh = captures.iter().filter(|(_, fresh)| *fresh).count();
+    (captures.into_iter().map(|(trace, _)| trace).collect(), fresh)
+}
+
 /// Run every benchmark under every configuration and return one
 /// [`SuiteResults`] per configuration, in input order.
 ///
 /// Jobs are laid out configuration-major (`configs[0]` over all benchmarks
 /// first), executed on `settings.threads` workers, and merged by index, so
-/// row order matches a serial double loop exactly.
+/// row order matches a serial double loop exactly. With
+/// `settings.trace_cache` on, each benchmark's dynamic trace is captured
+/// once and shared (`Arc<Trace>`) across every configuration and worker
+/// thread; with it off, every job re-executes functionally inline. The
+/// two modes produce byte-identical results.
 pub fn run_grid(
     settings: &RunSettings,
     benches: &[Benchmark],
@@ -213,10 +242,18 @@ pub fn run_grid(
         return configs.iter().map(|_| SuiteResults { rows: Vec::new() }).collect();
     }
     let jobs = configs.len() * benches.len();
-    let results = run_indexed(jobs, settings.threads, |i| {
-        let (ci, bi) = (i / benches.len(), i % benches.len());
-        settings.run(&benches[bi], configs[ci].clone())
-    });
+    let results = if settings.trace_cache {
+        let (traces, _) = prefetch_traces(settings, benches, configs);
+        run_indexed(jobs, settings.threads, |i| {
+            let (ci, bi) = (i / benches.len(), i % benches.len());
+            settings.run_trace(&traces[bi], configs[ci].clone())
+        })
+    } else {
+        run_indexed(jobs, settings.threads, |i| {
+            let (ci, bi) = (i / benches.len(), i % benches.len());
+            settings.run(&benches[bi], configs[ci].clone())
+        })
+    };
     let mut out = Vec::with_capacity(configs.len());
     let mut it = results.into_iter();
     for _ in configs {
@@ -462,12 +499,45 @@ impl SweepSpec {
     }
 
     /// Execute the sweep on `self.settings.threads` workers (1 = serial).
-    /// Output is bit-identical for every thread count.
+    /// Output is bit-identical for every thread count, and for the trace
+    /// cache on vs off ([`RunSettings::trace_cache`]): with it on, jobs
+    /// are grouped by workload, each workload's trace is captured once
+    /// and shared across the whole grid via `Arc<Trace>`; with it off,
+    /// every job re-executes the functional trace inline.
     pub fn run(&self) -> SweepResults {
+        let start = Instant::now();
         let jobs = self.expand();
-        let results = run_indexed(jobs.len(), self.settings.threads, |i| {
-            self.settings.run(&jobs[i].bench, jobs[i].config.clone())
-        });
+        let mut timing = SweepTiming {
+            jobs: jobs.len(),
+            workloads: self.benches.len(),
+            trace_cache: self.settings.trace_cache,
+            threads: self.settings.threads,
+            ..SweepTiming::default()
+        };
+        let results = if self.settings.trace_cache {
+            let configs: Vec<CoreConfig> = jobs.iter().map(|j| j.config.clone()).collect();
+            let capture_start = Instant::now();
+            let (traces, fresh) = prefetch_traces(&self.settings, &self.benches, &configs);
+            timing.capture = capture_start.elapsed();
+            timing.captures = fresh;
+            let replay_start = Instant::now();
+            // Jobs are expanded benchmark-major within each grid point,
+            // so the job's workload — and its shared trace — is index
+            // modulo the benchmark count.
+            let results = run_indexed(jobs.len(), self.settings.threads, |i| {
+                self.settings.run_trace(&traces[i % self.benches.len()], jobs[i].config.clone())
+            });
+            timing.replay = replay_start.elapsed();
+            results
+        } else {
+            let replay_start = Instant::now();
+            let results = run_indexed(jobs.len(), self.settings.threads, |i| {
+                self.settings.run(&jobs[i].bench, jobs[i].config.clone())
+            });
+            timing.replay = replay_start.elapsed();
+            results
+        };
+        timing.total = start.elapsed();
         let mut it = results.into_iter();
         let mut take_suite = || SuiteResults {
             rows: self
@@ -478,7 +548,63 @@ impl SweepSpec {
         };
         let baseline = take_suite();
         let points = self.points().into_iter().map(|p| (p, take_suite())).collect();
-        SweepResults { baseline, points }
+        SweepResults { baseline, points, timing }
+    }
+}
+
+/// Wall-clock breakdown of one [`SweepSpec::run`]: how long the capture
+/// and replay phases took, and how much work they covered. The `sweep`
+/// binary serializes this as JSON via `--timing-json` for performance
+/// trajectory tracking (`BENCH_sweep.json` at the repository root).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SweepTiming {
+    /// Wall-clock of the trace capture/prefetch phase (zero with the
+    /// trace cache off).
+    pub capture: Duration,
+    /// Wall-clock of the simulation phase (replay, or inline execution
+    /// with the cache off).
+    pub replay: Duration,
+    /// Wall-clock of the whole sweep, expansion and merging included.
+    pub total: Duration,
+    /// Simulation jobs run (baseline rows included).
+    pub jobs: usize,
+    /// Distinct workloads in the grid.
+    pub workloads: usize,
+    /// Traces captured fresh this run (cache misses; hits cost nothing).
+    pub captures: usize,
+    /// Whether the capture-once/replay-many path was used.
+    pub trace_cache: bool,
+    /// Worker threads.
+    pub threads: usize,
+}
+
+impl SweepTiming {
+    /// Serialize as a small JSON object (no external dependencies; every
+    /// field is a number or boolean, so escaping is a non-issue).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_bench::sweep::SweepTiming;
+    ///
+    /// let json = SweepTiming::default().to_json();
+    /// assert!(json.starts_with("{\n"));
+    /// assert!(json.contains("\"jobs\": 0"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\n  \"trace_cache\": {},\n  \"threads\": {},\n  \"jobs\": {},\n  \
+             \"workloads\": {},\n  \"captures\": {},\n  \"capture_seconds\": {:.6},\n  \
+             \"replay_seconds\": {:.6},\n  \"total_seconds\": {:.6}\n}}\n",
+            self.trace_cache,
+            self.threads,
+            self.jobs,
+            self.workloads,
+            self.captures,
+            self.capture.as_secs_f64(),
+            self.replay.as_secs_f64(),
+            self.total.as_secs_f64(),
+        )
     }
 }
 
@@ -489,6 +615,8 @@ pub struct SweepResults {
     pub baseline: SuiteResults,
     /// Per-grid-point results, in [`SweepSpec::points`] order.
     pub points: Vec<(GridPoint, SuiteResults)>,
+    /// Wall-clock breakdown of the run (capture vs replay phases).
+    pub timing: SweepTiming,
 }
 
 impl SweepResults {
@@ -572,7 +700,7 @@ mod tests {
     use vpsim_workloads::benchmark;
 
     fn tiny() -> RunSettings {
-        RunSettings { warmup: 1_000, measure: 5_000, scale: 1, seed: 7, threads: 1 }
+        RunSettings { warmup: 1_000, measure: 5_000, seed: 7, ..RunSettings::default() }
     }
 
     #[test]
@@ -741,6 +869,57 @@ mod tests {
         assert_eq!(grids.len(), 2);
         assert_eq!(grids[0].rows[0].1, s.run(&benches[0], s.core()));
         assert_eq!(grids[1].rows[1].1, s.run(&benches[1], vp));
+    }
+
+    #[test]
+    fn trace_cache_off_is_byte_identical_to_on() {
+        let spec = SweepSpec {
+            settings: tiny(),
+            predictors: vec![PredictorKind::Lvp, PredictorKind::Vtage],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            benches: vec![benchmark("gzip").unwrap(), benchmark("mcf").unwrap()],
+            ..SweepSpec::default()
+        };
+        let cached = spec.run();
+        let inline = SweepSpec {
+            settings: RunSettings { trace_cache: false, ..spec.settings },
+            ..spec.clone()
+        }
+        .run();
+        assert_eq!(cached.table().to_csv(), inline.table().to_csv());
+        assert_eq!(cached.baseline.rows, inline.baseline.rows);
+        for ((pa, sa), (pb, sb)) in cached.points.iter().zip(&inline.points) {
+            assert_eq!(pa, pb);
+            assert_eq!(sa.rows, sb.rows);
+        }
+        // The timing record reflects the mode.
+        assert!(cached.timing.trace_cache && !inline.timing.trace_cache);
+        assert_eq!(inline.timing.captures, 0);
+        assert_eq!(cached.timing.jobs, spec.job_count());
+    }
+
+    #[test]
+    fn timing_json_carries_the_phase_breakdown() {
+        let spec = SweepSpec {
+            settings: tiny(),
+            predictors: vec![PredictorKind::Lvp],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            benches: vec![benchmark("gzip").unwrap()],
+            ..SweepSpec::default()
+        };
+        let results = spec.run();
+        let t = results.timing;
+        assert_eq!(t.jobs, 2);
+        assert_eq!(t.workloads, 1);
+        assert!(t.total >= t.replay);
+        let json = t.to_json();
+        for needle in
+            ["\"trace_cache\": true", "\"jobs\": 2", "\"capture_seconds\":", "\"total_seconds\":"]
+        {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
     }
 
     #[test]

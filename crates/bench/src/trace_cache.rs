@@ -1,0 +1,202 @@
+//! Process-wide capture-once / replay-many trace cache.
+//!
+//! A sweep grid runs the same workload under many timing configurations;
+//! a `paper all` session runs the same 19 workloads under a dozen
+//! experiment grids. The dynamic instruction stream depends only on
+//! (workload, scale, seed, length), so this cache captures each stream
+//! **once** per process and hands out `Arc<Trace>` clones to every
+//! consumer — worker threads of one sweep and successive experiments
+//! alike. See "Trace layer" in `ARCHITECTURE.md` for the dataflow and
+//! memory-footprint discussion; `trace_cache = off` (or the binaries'
+//! `--no-trace-cache`) bypasses the layer entirely and re-executes
+//! functionally inline, byte-identically.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::runner::RunSettings;
+use vpsim_isa::Trace;
+use vpsim_workloads::Benchmark;
+
+/// What makes two captures interchangeable: the workload identity and the
+/// generation parameters that shape its program and data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct TraceKey {
+    name: &'static str,
+    scale: usize,
+    seed: u64,
+}
+
+struct Entry {
+    /// Capture limit this trace was taken with.
+    budget: u64,
+    /// The program ended before the budget: the trace is the complete
+    /// execution and satisfies *any* request.
+    complete: bool,
+    trace: Arc<Trace>,
+}
+
+impl Entry {
+    fn covers(&self, budget: u64) -> bool {
+        self.complete || self.budget >= budget
+    }
+}
+
+/// A keyed store of captured traces. Most callers want the process-wide
+/// [`TraceCache::global`]; separate instances exist for tests.
+#[derive(Default)]
+pub struct TraceCache {
+    entries: Mutex<HashMap<TraceKey, Entry>>,
+}
+
+impl TraceCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TraceCache::default()
+    }
+
+    /// The process-wide cache shared by the sweep engine, the experiment
+    /// functions and the binaries.
+    pub fn global() -> &'static TraceCache {
+        static GLOBAL: OnceLock<TraceCache> = OnceLock::new();
+        GLOBAL.get_or_init(TraceCache::new)
+    }
+
+    /// The trace for `bench` under `settings`' generation parameters,
+    /// covering at least `budget` µops (or the whole program, if it is
+    /// shorter). Returns `(trace, freshly_captured)`: `false` means a
+    /// cache hit.
+    ///
+    /// Capture runs outside the lock, so concurrent workers never block
+    /// on each other's captures; if two race on the same key, both
+    /// capture identical traces (the whole stack is deterministic) and
+    /// one wins the insert — results are unaffected.
+    pub fn get(
+        &self,
+        settings: &RunSettings,
+        bench: &Benchmark,
+        budget: u64,
+    ) -> (Arc<Trace>, bool) {
+        let key = TraceKey { name: bench.name, scale: settings.scale, seed: settings.seed };
+        if let Some(entry) = self.entries.lock().unwrap().get(&key) {
+            if entry.covers(budget) {
+                return (Arc::clone(&entry.trace), false);
+            }
+        }
+        let program = (bench.build)(&settings.params());
+        let trace = Arc::new(Trace::capture(&program, budget));
+        let complete = (trace.len() as u64) < budget;
+        let mut entries = self.entries.lock().unwrap();
+        match entries.get(&key) {
+            // A racing worker (or a longer earlier capture) already
+            // satisfies the request; keep the established entry.
+            Some(entry) if entry.covers(budget) => (Arc::clone(&entry.trace), false),
+            _ => {
+                entries.insert(key, Entry { budget, complete, trace: Arc::clone(&trace) });
+                (trace, true)
+            }
+        }
+    }
+
+    /// Number of cached traces.
+    pub fn len(&self) -> usize {
+        self.entries.lock().unwrap().len()
+    }
+
+    /// `true` if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total approximate heap footprint of the cached traces, in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.entries.lock().unwrap().values().map(|e| e.trace.approx_bytes()).sum()
+    }
+
+    /// Drop every cached trace (frees the memory once the last `Arc`
+    /// clone held by a running job is gone).
+    pub fn clear(&self) {
+        self.entries.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vpsim_workloads::workload;
+
+    fn settings() -> RunSettings {
+        RunSettings { warmup: 100, measure: 400, ..RunSettings::default() }
+    }
+
+    #[test]
+    fn second_request_is_a_hit_sharing_the_same_trace() {
+        let cache = TraceCache::new();
+        let bench = workload("k:tight").unwrap();
+        let (a, fresh_a) = cache.get(&settings(), &bench, 1_000);
+        let (b, fresh_b) = cache.get(&settings(), &bench, 1_000);
+        assert!(fresh_a && !fresh_b);
+        assert!(Arc::ptr_eq(&a, &b), "hits share the captured trace");
+        assert_eq!(cache.len(), 1);
+        assert!(cache.approx_bytes() > 0);
+    }
+
+    #[test]
+    fn longer_budget_recaptures_and_shorter_reuses() {
+        let cache = TraceCache::new();
+        let bench = workload("gzip").unwrap();
+        let (short, _) = cache.get(&settings(), &bench, 500);
+        assert_eq!(short.len(), 500);
+        let (long, fresh) = cache.get(&settings(), &bench, 2_000);
+        assert!(fresh, "insufficient entry must be re-captured");
+        assert_eq!(long.len(), 2_000);
+        // The longer capture replaced the short one and now serves both.
+        let (again, fresh) = cache.get(&settings(), &bench, 500);
+        assert!(!fresh);
+        assert!(Arc::ptr_eq(&long, &again));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn complete_traces_satisfy_any_budget() {
+        use vpsim_workloads::{Class, Suite, WorkloadParams};
+        // The registry workloads run forever by design, so build a finite
+        // program to exercise the "program ended before the budget" path.
+        fn finite(_: &WorkloadParams) -> vpsim_isa::Program {
+            let mut b = vpsim_isa::ProgramBuilder::new();
+            let (i, n) = (vpsim_isa::Reg::int(1), vpsim_isa::Reg::int(2));
+            b.load_imm(n, 50);
+            let top = b.bind_label();
+            b.addi(i, i, 1);
+            b.blt(i, n, top);
+            b.halt();
+            b.build().unwrap()
+        }
+        let bench = Benchmark {
+            name: "finite-test",
+            suite: Suite::Micro,
+            class: Class::Int,
+            build: finite,
+        };
+        let cache = TraceCache::new();
+        let (full, _) = cache.get(&settings(), &bench, 10_000);
+        assert!((full.len() as u64) < 10_000, "the program halts before the budget");
+        // A complete trace satisfies even a larger request without
+        // re-capturing.
+        let (hit, fresh) = cache.get(&settings(), &bench, 1_000_000);
+        assert!(!fresh);
+        assert!(Arc::ptr_eq(&full, &hit));
+    }
+
+    #[test]
+    fn distinct_scale_or_seed_gets_its_own_trace() {
+        let cache = TraceCache::new();
+        let bench = workload("gzip").unwrap();
+        cache.get(&settings(), &bench, 500);
+        cache.get(&RunSettings { seed: 99, ..settings() }, &bench, 500);
+        cache.get(&RunSettings { scale: 2, ..settings() }, &bench, 500);
+        assert_eq!(cache.len(), 3);
+        cache.clear();
+        assert!(cache.is_empty());
+    }
+}

@@ -126,6 +126,46 @@ fn sweep_smoke_dump_matches_the_golden_file() {
 }
 
 #[test]
+fn no_trace_cache_is_byte_identical_and_timing_json_lands() {
+    let file = TempScenario::new(
+        "cache.vps",
+        "warmup = 500\nmeasure = 2000\nthreads = 2\npredictors = vtage\nbenchmarks = gzip\n",
+    );
+    let cached = run(env!("CARGO_BIN_EXE_sweep"), &["--scenario", file.path(), "--csv"]);
+    let inline =
+        run(env!("CARGO_BIN_EXE_sweep"), &["--scenario", file.path(), "--no-trace-cache", "--csv"]);
+    assert_eq!(stdout(&cached), stdout(&inline), "the escape hatch must not change a byte");
+    // The flag is sugar for the scenario key, visible in the dump.
+    let dumped = stdout(&run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &["--scenario", file.path(), "--no-trace-cache", "--dump-scenario"],
+    ));
+    assert!(dumped.contains("trace_cache = off"), "{dumped}");
+    // --timing-json writes the phase breakdown.
+    let json_path = std::env::temp_dir().join(format!("vpsim-timing-{}.json", std::process::id()));
+    let out = run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &["--scenario", file.path(), "--csv", "--timing-json", json_path.to_str().unwrap()],
+    );
+    assert!(out.status.success());
+    let json = std::fs::read_to_string(&json_path).expect("timing json written");
+    let _ = std::fs::remove_file(&json_path);
+    for needle in ["\"trace_cache\": true", "\"jobs\": 2", "\"workloads\": 1", "capture_seconds"] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
+}
+
+#[test]
+fn simulate_no_trace_cache_is_byte_identical() {
+    let args = ["k:constant", "--predictor", "lvp", "--warmup", "500", "--measure", "2000"];
+    let cached = run(env!("CARGO_BIN_EXE_simulate"), &args);
+    let mut inline_args = args.to_vec();
+    inline_args.push("--no-trace-cache");
+    let inline = run(env!("CARGO_BIN_EXE_simulate"), &inline_args);
+    assert_eq!(stdout(&cached), stdout(&inline));
+}
+
+#[test]
 fn sweep_preset_equals_its_flag_spelling() {
     let preset =
         run(env!("CARGO_BIN_EXE_sweep"), &["--preset", "smoke", "--threads", "2", "--csv"]);

@@ -44,6 +44,7 @@ proptest! {
         scale in 1usize..6,
         seed in any::<u64>(),
         threads in 1usize..17,
+        trace_cache in any::<bool>(),
         predictors in prop::collection::vec(
             prop::sample::select(PredictorKind::ALL.to_vec()), 0..5),
         schemes in prop::collection::vec(prop::sample::select(scheme_pool()), 0..4),
@@ -76,7 +77,7 @@ proptest! {
                 .collect::<Vec<_>>()
         });
         let scenario = Scenario {
-            settings: vpsim_bench::RunSettings { warmup, measure, scale, seed, threads },
+            settings: vpsim_bench::RunSettings { warmup, measure, scale, seed, threads, trace_cache },
             predictors,
             schemes,
             recoveries,

@@ -8,7 +8,7 @@ use vpsim_uarch::{RecoveryPolicy, VpConfig};
 use vpsim_workloads::benchmark;
 
 fn tiny() -> RunSettings {
-    RunSettings { warmup: 1_000, measure: 6_000, scale: 1, seed: 0x2014, threads: 1 }
+    RunSettings { warmup: 1_000, measure: 6_000, ..RunSettings::default() }
 }
 
 fn small_grid() -> SweepSpec {

@@ -16,6 +16,9 @@
 //! * [`Executor`] — the architectural (functional) executor; it runs a
 //!   [`Program`] and yields the dynamic instruction stream ([`DynInst`])
 //!   that the cycle-level core in `vpsim-uarch` replays.
+//! * [`Trace`] / [`TraceCursor`] / [`InstSource`] — the capture-once /
+//!   replay-many layer: a compact struct-of-arrays record of the dynamic
+//!   stream, captured once and replayed into any number of timing runs.
 //!
 //! # Examples
 //!
@@ -48,6 +51,7 @@ mod inst;
 mod memory;
 mod program;
 mod reg;
+mod trace;
 
 pub use builder::{Label, ProgramBuilder};
 pub use exec::{DynInst, Executor};
@@ -55,3 +59,4 @@ pub use inst::{FuClass, Inst, Opcode};
 pub use memory::SparseMemory;
 pub use program::{Program, ProgramError};
 pub use reg::{Reg, RegClass, NUM_ARCH_REGS};
+pub use trace::{InstSource, Trace, TraceCursor};

@@ -1,0 +1,350 @@
+//! Capture-once / replay-many: compact dynamic-instruction traces.
+//!
+//! The paper's methodology is trace-driven — the architectural instruction
+//! stream is fixed while the timing model (predictor, confidence, recovery)
+//! varies across a study. Re-running the functional [`Executor`] inline
+//! inside every timing run therefore repeats identical work once per grid
+//! cell. This module splits the two concerns:
+//!
+//! * [`Trace`] — a struct-of-arrays record of the dynamic stream, captured
+//!   **once** per (program, length) from the executor.
+//! * [`TraceCursor`] — a cheap replay iterator that reconstructs the exact
+//!   [`DynInst`] sequence from a `&Trace` with no register file, no sparse
+//!   memory and no per-µop semantics.
+//! * [`InstSource`] — the abstraction the cycle-level core consumes: both
+//!   `Executor` (streaming, capture path) and `TraceCursor` (replay path)
+//!   implement it, and the two produce byte-identical streams.
+//!
+//! # Memory footprint
+//!
+//! The layout exploits the µop encoding: `seq` is the record position,
+//! `pc = index * 4` (µops are 4 bytes), `next_pc` defaults to the
+//! fall-through and is stored only for diverging control flow, and the
+//! optional payloads (result, effective address, store value) live in
+//! dense side-streams gated by a per-record flag byte. A record costs
+//! 5 bytes fixed (static index + flags) plus 8 bytes per present payload —
+//! ≈ 14–22 bytes for typical ALU/branch mixes versus the 88-byte in-memory
+//! [`DynInst`], so a 250 k-µop capture (the default sweep sizing plus
+//! in-flight slack) is ≈ 4–6 MB per workload. [`Trace::approx_bytes`]
+//! reports the concrete number.
+//!
+//! # Examples
+//!
+//! ```
+//! use vpsim_isa::{Executor, ProgramBuilder, Reg, Trace};
+//!
+//! let mut b = ProgramBuilder::new();
+//! let (i, n) = (Reg::int(1), Reg::int(2));
+//! b.load_imm(n, 10);
+//! let top = b.bind_label();
+//! b.addi(i, i, 1);
+//! b.blt(i, n, top);
+//! b.halt();
+//! let program = b.build()?;
+//!
+//! // Capture once…
+//! let trace = Trace::capture(&program, 1_000);
+//! // …replay many times: the cursor yields the exact executor stream.
+//! let replayed: Vec<_> = trace.cursor().collect();
+//! let executed: Vec<_> = Executor::new(&program).collect();
+//! assert_eq!(replayed, executed);
+//! # Ok::<(), vpsim_isa::ProgramError>(())
+//! ```
+
+use crate::exec::{DynInst, Executor};
+use crate::inst::Inst;
+use crate::program::{Program, INST_BYTES};
+
+/// A source of dynamic instructions for the cycle-level core.
+///
+/// Implemented by [`Executor`] (functional execution, streaming) and
+/// [`TraceCursor`] (replay of a captured [`Trace`]). Both yield the same
+/// stream for the same program, so a timing model driven through this
+/// trait produces byte-identical results on either path.
+pub trait InstSource {
+    /// The next dynamic instruction, or `None` once the stream ends
+    /// (program halted, fell off the end, or the trace is exhausted).
+    fn next_inst(&mut self) -> Option<DynInst>;
+}
+
+impl InstSource for Executor<'_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+}
+
+impl InstSource for TraceCursor<'_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+}
+
+// Per-record flag bits.
+const HAS_RESULT: u8 = 1 << 0;
+const HAS_MEM_ADDR: u8 = 1 << 1;
+const HAS_STORE_VALUE: u8 = 1 << 2;
+const TAKEN: u8 = 1 << 3;
+/// `next_pc != pc + 4`: the architectural successor is stored explicitly.
+const DIVERGES: u8 = 1 << 4;
+
+/// A captured dynamic instruction stream in struct-of-arrays form.
+///
+/// Self-contained: the static µop table is copied in, so a trace outlives
+/// the [`Program`] it came from and can be shared across threads (e.g. via
+/// `Arc<Trace>`) without lifetime ties. The source module's header
+/// comment walks through the layout and footprint arithmetic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Static µop table; `index` entries point into it.
+    insts: Vec<Inst>,
+    /// Static instruction index per dynamic record.
+    index: Vec<u32>,
+    /// Presence/outcome flag byte per dynamic record.
+    flags: Vec<u8>,
+    /// One interleaved stream of the optional payloads, in flag-bit order
+    /// per record (result, effective address, store value, diverging
+    /// `next_pc`) — replay consumes it strictly sequentially, so the
+    /// cursor needs a single position and the prefetcher a single stream.
+    payload: Vec<u64>,
+}
+
+impl Trace {
+    /// Capture up to `limit` dynamic instructions of `program` from a
+    /// fresh [`Executor`] (fewer if the program halts first).
+    ///
+    /// A trace replayed into a timing model is byte-identical to inline
+    /// execution as long as it covers every µop the model would fetch;
+    /// for a run measuring `warmup + measure` commits that bound is
+    /// `warmup + measure` plus the core's maximum in-flight capacity
+    /// (`vpsim-uarch` exposes it as `CoreConfig::trace_budget`).
+    pub fn capture(program: &Program, limit: u64) -> Trace {
+        let mut trace = Trace {
+            insts: program.insts().to_vec(),
+            index: Vec::new(),
+            flags: Vec::new(),
+            payload: Vec::new(),
+        };
+        let limit = usize::try_from(limit).unwrap_or(usize::MAX);
+        for di in Executor::new(program).take(limit) {
+            trace.push(&di);
+        }
+        trace
+    }
+
+    fn push(&mut self, di: &DynInst) {
+        debug_assert_eq!(di.seq, self.index.len() as u64, "records must be dense from 0");
+        let mut flags = 0u8;
+        if let Some(v) = di.result {
+            flags |= HAS_RESULT;
+            self.payload.push(v);
+        }
+        if let Some(a) = di.mem_addr {
+            flags |= HAS_MEM_ADDR;
+            self.payload.push(a);
+        }
+        if let Some(v) = di.store_value {
+            flags |= HAS_STORE_VALUE;
+            self.payload.push(v);
+        }
+        if di.taken {
+            flags |= TAKEN;
+        }
+        if di.next_pc != di.pc + INST_BYTES {
+            flags |= DIVERGES;
+            self.payload.push(di.next_pc);
+        }
+        self.index.push(di.index);
+        self.flags.push(flags);
+    }
+
+    /// Number of dynamic instructions captured.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// `true` if nothing was captured.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Approximate heap footprint in bytes (the SoA payloads plus the
+    /// static µop table).
+    pub fn approx_bytes(&self) -> usize {
+        self.insts.len() * std::mem::size_of::<Inst>()
+            + self.index.len() * std::mem::size_of::<u32>()
+            + self.flags.len()
+            + self.payload.len() * std::mem::size_of::<u64>()
+    }
+
+    /// A replay iterator over the captured stream, starting at `seq` 0.
+    pub fn cursor(&self) -> TraceCursor<'_> {
+        TraceCursor { trace: self, pos: 0, payload_pos: 0 }
+    }
+}
+
+/// Replay iterator over a [`Trace`]: yields the captured [`DynInst`]
+/// stream exactly, in order, at a few loads per µop.
+///
+/// Obtain one with [`Trace::cursor`]; any number of cursors may replay the
+/// same shared trace concurrently.
+#[derive(Debug, Clone)]
+pub struct TraceCursor<'a> {
+    trace: &'a Trace,
+    /// Next record position (== the `seq` it will yield).
+    pos: usize,
+    /// Next unconsumed slot of the interleaved payload stream.
+    payload_pos: usize,
+}
+
+impl Iterator for TraceCursor<'_> {
+    type Item = DynInst;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynInst> {
+        let t = self.trace;
+        let index = *t.index.get(self.pos)?;
+        let flags = t.flags[self.pos];
+        let pc = index as u64 * INST_BYTES;
+        // Payloads were pushed in flag-bit order; consume them the same
+        // way from the single sequential stream.
+        let mut p = self.payload_pos;
+        let mut pull = |bit: u8| {
+            if flags & bit != 0 {
+                let v = t.payload[p];
+                p += 1;
+                Some(v)
+            } else {
+                None
+            }
+        };
+        let result = pull(HAS_RESULT);
+        let mem_addr = pull(HAS_MEM_ADDR);
+        let store_value = pull(HAS_STORE_VALUE);
+        let next_pc = match pull(DIVERGES) {
+            Some(target) => target,
+            None => pc + INST_BYTES,
+        };
+        self.payload_pos = p;
+        let seq = self.pos as u64;
+        self.pos += 1;
+        Some(DynInst {
+            seq,
+            pc,
+            index,
+            inst: t.insts[index as usize],
+            result,
+            mem_addr,
+            store_value,
+            taken: flags & TAKEN != 0,
+            next_pc,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.trace.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for TraceCursor<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::reg::Reg;
+
+    /// A program exercising every record shape: ALU, loads, stores, taken
+    /// and not-taken branches, calls/returns, an indirect jump, and halt.
+    fn mixed_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        let (i, n, acc, addr, t) =
+            (Reg::int(1), Reg::int(2), Reg::int(3), Reg::int(4), Reg::int(5));
+        let lr = Reg::int(31);
+        b.load_imm(n, 40);
+        b.load_imm(addr, 0x1000);
+        let f = b.label();
+        let top = b.bind_label();
+        b.add(acc, acc, i);
+        b.store(addr, acc, 0);
+        b.load(t, addr, 0);
+        b.call(lr, f);
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        b.bind(f);
+        b.ret(lr);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn capture_then_replay_is_the_executor_stream() {
+        let p = mixed_program();
+        let executed: Vec<_> = Executor::new(&p).collect();
+        let trace = Trace::capture(&p, u64::MAX);
+        assert_eq!(trace.len(), executed.len());
+        let replayed: Vec<_> = trace.cursor().collect();
+        assert_eq!(replayed, executed);
+    }
+
+    #[test]
+    fn truncated_capture_is_a_prefix() {
+        let p = mixed_program();
+        let executed: Vec<_> = Executor::new(&p).collect();
+        for limit in [0usize, 1, 7, 50] {
+            let trace = Trace::capture(&p, limit as u64);
+            assert_eq!(trace.len(), limit.min(executed.len()));
+            let replayed: Vec<_> = trace.cursor().collect();
+            assert_eq!(replayed[..], executed[..trace.len()]);
+        }
+    }
+
+    #[test]
+    fn cursor_is_restartable_and_sized() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, 25);
+        let first: Vec<_> = trace.cursor().collect();
+        let mut cursor = trace.cursor();
+        assert_eq!(cursor.len(), 25);
+        cursor.next();
+        assert_eq!(cursor.len(), 24);
+        let second: Vec<_> = trace.cursor().collect();
+        assert_eq!(first, second, "cursors are independent");
+    }
+
+    #[test]
+    fn inst_source_paths_agree() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let mut exec = Executor::new(&p);
+        let mut cursor = trace.cursor();
+        loop {
+            let (a, b) = (exec.next_inst(), cursor.next_inst());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_is_compact_and_reported() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let bytes = trace.approx_bytes();
+        assert!(bytes > 0);
+        // The SoA form must undercut materializing the DynInst stream.
+        let materialized = trace.len() * std::mem::size_of::<DynInst>();
+        assert!(bytes < materialized, "{bytes} vs {materialized}");
+    }
+
+    #[test]
+    fn empty_capture_is_empty() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.build().unwrap();
+        let trace = Trace::capture(&p, 0);
+        assert!(trace.is_empty());
+        assert_eq!(trace.cursor().next(), None);
+    }
+}

@@ -203,6 +203,32 @@ impl CoreConfig {
         self
     }
 
+    /// How many functionally-executed µops a captured
+    /// [`Trace`](vpsim_isa::Trace) must cover for
+    /// [`Simulator::run_trace`](crate::Simulator::run_trace) to be
+    /// byte-identical to inline execution of `warmup + measure` committed
+    /// instructions on this core.
+    ///
+    /// Fetch can run ahead of commit by at most the fetch-queue capacity
+    /// plus the ROB size (squashed µops are refetched from an internal
+    /// queue, never re-pulled from the source), so the bound is
+    /// `warmup + measure + fetch_queue + rob_entries`. Shorter programs
+    /// need only their full length.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_uarch::CoreConfig;
+    ///
+    /// let c = CoreConfig::default(); // 128-entry fetch queue + 256 ROB
+    /// assert_eq!(c.trace_budget(50_000, 200_000), 250_384);
+    /// ```
+    pub fn trace_budget(&self, warmup: u64, measure: u64) -> u64 {
+        warmup
+            .saturating_add(measure)
+            .saturating_add((crate::pipeline::FETCH_QUEUE + self.rob_entries) as u64)
+    }
+
     /// Validate invariants.
     ///
     /// # Panics

@@ -13,6 +13,13 @@
 //! validation/training at commit, and either of the paper's two recovery
 //! schemes ([`RecoveryPolicy`]).
 //!
+//! The core is driven through `vpsim-isa`'s `InstSource` abstraction:
+//! [`Simulator::run`]/[`Simulator::run_with_warmup`] stream the functional
+//! executor inline, while [`Simulator::run_trace`] replays a pre-captured
+//! `Trace` — byte-identical results, no functional re-execution (see
+//! "Trace layer" in `ARCHITECTURE.md`). [`CoreConfig::trace_budget`] gives
+//! the capture length that makes replay exact.
+//!
 //! The crate also hosts the paper's two analytic models:
 //! [`penalty::PenaltyModel`] (§3.1 recovery-cost arithmetic) and
 //! [`regfile`] (§4 register-file port cost).

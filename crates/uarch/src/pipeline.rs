@@ -32,13 +32,16 @@ use crate::storesets::StoreSets;
 use std::collections::{HashMap, VecDeque};
 use vpsim_branch::{Btb, Ras, RasCheckpoint, Tage};
 use vpsim_core::{HistoryState, PredictCtx, Predictor};
-use vpsim_isa::{DynInst, Executor, FuClass, Opcode, Program, RegClass};
+use vpsim_isa::{DynInst, Executor, FuClass, InstSource, Opcode, Program, RegClass, Trace};
 use vpsim_mem::MemoryHierarchy;
 use vpsim_stats::{BackToBackStats, BranchStats, RunMetrics, VpStats};
 
 const UNSCHEDULED: u64 = u64::MAX;
 /// Fetch-queue capacity (µops buffered between fetch and dispatch).
-const FETCH_QUEUE: usize = 128;
+/// Referenced by [`CoreConfig::trace_budget`]: together with the ROB size
+/// it bounds how far fetch can run ahead of commit, and therefore how many
+/// µops a captured trace must cover to replay byte-identically.
+pub(crate) const FETCH_QUEUE: usize = 128;
 /// Cycles without a commit after which the simulator declares a deadlock
 /// (a model bug, not a workload property).
 const DEADLOCK_LIMIT: u64 = 1_000_000;
@@ -147,6 +150,15 @@ struct Counters {
     stalls: StallBreakdown,
 }
 
+/// Render a schedule cycle for diagnostics (`-` = not yet scheduled).
+fn fmt_cycle(c: u64) -> String {
+    if c == UNSCHEDULED {
+        "-".into()
+    } else {
+        c.to_string()
+    }
+}
+
 #[derive(Debug, Clone)]
 struct FuPools {
     alu: Vec<u64>,
@@ -240,16 +252,57 @@ impl Simulator {
 
     /// Run with a warm-up: simulate `warmup` committed instructions with
     /// statistics discarded, then measure the next `measure` instructions.
+    ///
+    /// This is the streaming path: the functional [`Executor`] runs inline,
+    /// one µop ahead of fetch. [`Simulator::run_trace`] produces the same
+    /// result from a pre-captured trace without re-executing.
     pub fn run_with_warmup(&self, program: &Program, warmup: u64, measure: u64) -> RunResult {
-        let mut machine = Machine::new(&self.config, program);
+        self.run_source(Executor::new(program), warmup, measure)
+    }
+
+    /// Replay a captured [`Trace`] instead of executing inline. The result
+    /// is byte-identical to [`Simulator::run_with_warmup`] on the same
+    /// program provided the trace covers at least
+    /// [`CoreConfig::trace_budget`]`(warmup, measure)` µops (or the whole
+    /// program, if it is shorter).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_uarch::{CoreConfig, Simulator};
+    /// use vpsim_isa::{ProgramBuilder, Reg, Trace};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// let (i, n) = (Reg::int(1), Reg::int(2));
+    /// b.load_imm(n, 1000);
+    /// let top = b.bind_label();
+    /// b.addi(i, i, 1);
+    /// b.blt(i, n, top);
+    /// b.halt();
+    /// let program = b.build()?;
+    ///
+    /// let sim = Simulator::new(CoreConfig::default());
+    /// let trace = Trace::capture(&program, sim.config().trace_budget(0, 2_000));
+    /// assert_eq!(sim.run_trace(&trace, 0, 2_000), sim.run(&program, 2_000));
+    /// # Ok::<(), vpsim_isa::ProgramError>(())
+    /// ```
+    pub fn run_trace(&self, trace: &Trace, warmup: u64, measure: u64) -> RunResult {
+        self.run_source(trace.cursor(), warmup, measure)
+    }
+
+    /// Drive the core from any [`InstSource`] — the generic face behind
+    /// [`Simulator::run_with_warmup`] (streaming executor) and
+    /// [`Simulator::run_trace`] (trace replay).
+    pub fn run_source<S: InstSource>(&self, source: S, warmup: u64, measure: u64) -> RunResult {
+        let mut machine = Machine::new(&self.config, source);
         machine.simulate(warmup, measure)
     }
 }
 
-struct Machine<'a> {
+struct Machine<'a, S> {
     cfg: &'a CoreConfig,
-    trace: Executor<'a>,
-    trace_done: bool,
+    source: S,
+    source_done: bool,
     refetch: VecDeque<DynInst>,
     window: VecDeque<Slot>,
     mem: MemoryHierarchy,
@@ -280,16 +333,16 @@ struct Machine<'a> {
     stop_at: u64,
 }
 
-impl<'a> Machine<'a> {
-    fn new(cfg: &'a CoreConfig, program: &'a Program) -> Self {
+impl<'a, S: InstSource> Machine<'a, S> {
+    fn new(cfg: &'a CoreConfig, source: S) -> Self {
         let (predictor, recovery) = match &cfg.vp {
             Some(vp) => (Some(vp.kind.build(vp.scheme.clone(), cfg.seed)), vp.recovery),
             None => (None, RecoveryPolicy::SquashAtCommit),
         };
         Machine {
             cfg,
-            trace: Executor::new(program),
-            trace_done: false,
+            source,
+            source_done: false,
             refetch: VecDeque::new(),
             window: VecDeque::new(),
             mem: MemoryHierarchy::new(cfg.mem.clone()),
@@ -330,7 +383,7 @@ impl<'a> Machine<'a> {
         let mut snapped = warmup == 0;
 
         while self.counters.committed < target {
-            if self.window.is_empty() && self.refetch.is_empty() && self.trace_done {
+            if self.window.is_empty() && self.refetch.is_empty() && self.source_done {
                 break;
             }
             let committed_before = self.counters.committed;
@@ -353,12 +406,9 @@ impl<'a> Machine<'a> {
             self.dispatch();
             self.fetch();
             self.now += 1;
-            assert!(
-                self.now - self.last_commit_cycle < DEADLOCK_LIMIT,
-                "pipeline deadlock at cycle {} (committed {})",
-                self.now,
-                self.counters.committed
-            );
+            if self.now - self.last_commit_cycle >= DEADLOCK_LIMIT {
+                panic!("{}", self.deadlock_report());
+            }
         }
 
         let c = &self.counters;
@@ -395,6 +445,46 @@ impl<'a> Machine<'a> {
             memory_order_violations: c.violations - s.violations,
             stalls: c.stalls.diff(&s.stalls),
         }
+    }
+
+    /// Diagnostic for the [`DEADLOCK_LIMIT`] panic: a deadlock is a model
+    /// bug, so the message must carry enough machine state to localize it
+    /// from a CI log alone — the stuck cycle, the ROB head (the µop whose
+    /// non-retirement wedges everything) and every queue occupancy.
+    fn deadlock_report(&self) -> String {
+        let head = match self.window.front() {
+            Some(s) => format!(
+                "seq {} pc {:#x} {:?} in {:?} (dispatched@{} issued@{} complete@{})",
+                s.di.seq,
+                s.di.pc,
+                s.di.inst.op,
+                s.state,
+                fmt_cycle(s.dispatched_at),
+                fmt_cycle(s.issued_at),
+                fmt_cycle(s.complete_at),
+            ),
+            None => "none (window empty)".into(),
+        };
+        format!(
+            "pipeline deadlock: no commit for {DEADLOCK_LIMIT} cycles at cycle {} \
+             (committed {}, last commit at cycle {}); ROB head: {head}; \
+             occupancy: rob {}/{}, iq {}/{}, lq {}/{}, sq {}/{}, fetch-queue {}/{FETCH_QUEUE}, \
+             refetch {}; fetch blocked on {:?}",
+            self.now,
+            self.counters.committed,
+            self.last_commit_cycle,
+            self.rob_used,
+            self.cfg.rob_entries,
+            self.iq_used,
+            self.cfg.iq_entries,
+            self.lq_used,
+            self.cfg.lq_entries,
+            self.sq_used,
+            self.cfg.sq_entries,
+            self.fe_count,
+            self.refetch.len(),
+            self.fetch_blocked_on,
+        )
     }
 
     // ----- window helpers -----
@@ -900,10 +990,10 @@ impl<'a> Machine<'a> {
         if let Some(di) = self.refetch.pop_front() {
             return Some(di);
         }
-        match self.trace.next() {
+        match self.source.next_inst() {
             Some(di) => Some(di),
             None => {
-                self.trace_done = true;
+                self.source_done = true;
                 None
             }
         }
@@ -1342,6 +1432,52 @@ mod tests {
         let warm = sim.run_with_warmup(&p, 20_000, 20_000);
         assert_eq!(warm.metrics.instructions, 20_000);
         assert!(warm.metrics.ipc() >= cold.metrics.ipc() * 0.95);
+    }
+
+    #[test]
+    fn trace_replay_matches_inline_execution() {
+        use vpsim_isa::Trace;
+        let p = counted_loop(3000, 4);
+        for sim in [
+            base_sim(),
+            vp_sim(PredictorKind::Vtage, RecoveryPolicy::SquashAtCommit),
+            vp_sim(PredictorKind::TwoDeltaStride, RecoveryPolicy::SelectiveReissue),
+        ] {
+            let inline = sim.run_with_warmup(&p, 2_000, 10_000);
+            let trace = Trace::capture(&p, sim.config().trace_budget(2_000, 10_000));
+            let replayed = sim.run_trace(&trace, 2_000, 10_000);
+            assert_eq!(inline, replayed, "replay must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn short_program_trace_replays_to_the_end() {
+        use vpsim_isa::Trace;
+        // The program ends long before the budget: the trace is complete
+        // and replay must agree with inline execution of the whole thing.
+        let p = counted_loop(50, 1);
+        let sim = base_sim();
+        let trace = Trace::capture(&p, sim.config().trace_budget(0, 100_000));
+        assert_eq!(sim.run_trace(&trace, 0, 100_000), sim.run(&p, 100_000));
+    }
+
+    #[test]
+    fn deadlock_report_names_the_stuck_state() {
+        // Drive a machine a few cycles without letting anything commit,
+        // then render the report the DEADLOCK_LIMIT panic would print.
+        let p = counted_loop(100, 2);
+        let cfg = CoreConfig::default();
+        let mut m = Machine::new(&cfg, vpsim_isa::Executor::new(&p));
+        for _ in 0..300 {
+            m.fetch();
+            m.now += 1;
+        }
+        let report = m.deadlock_report();
+        for needle in ["pipeline deadlock", "ROB head", "iq 0/128", "lq 0/48", "fetch-queue"] {
+            assert!(report.contains(needle), "missing {needle:?} in: {report}");
+        }
+        // The head µop is still traversing the front-end.
+        assert!(report.contains("FrontEnd"), "{report}");
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //!   (the paper's contribution): LVP, 2-delta stride, per-path stride,
 //!   order-4 FCM, D-FCM, VTAGE, hybrids, gDiff, and the FPC scheme.
 //! * [`isa`] (`vpsim-isa`) — the µop ISA, program builder and functional
-//!   executor that produce dynamic instruction traces.
+//!   executor that produce dynamic instruction traces, plus the
+//!   capture-once/replay-many trace layer (`Trace`, `TraceCursor`, the
+//!   `InstSource` trait) the cycle-level core replays from.
 //! * [`branch`] (`vpsim-branch`) — TAGE direction predictor, BTB, RAS.
 //! * [`mem`] (`vpsim-mem`) — L1I/L1D/L2 caches, MSHRs, stride prefetcher,
 //!   DDR3-1600 timing model.
@@ -24,7 +26,8 @@
 //! * [`stats`] (`vpsim-stats`) — counters, metrics and table formatting.
 //! * [`mod@bench`] (`vpsim-bench`) — the experiment harness: paper
 //!   table/figure reproductions, the deterministic parallel sweep engine
-//!   ([`bench::sweep`]), and the declarative scenario layer
+//!   ([`bench::sweep`]), the process-wide capture-once/replay-many trace
+//!   cache ([`bench::trace_cache`]), and the declarative scenario layer
 //!   ([`bench::scenario`]: `.vps` files, named presets, `--set`
 //!   overrides) behind the `paper`, `simulate` and `sweep` binaries.
 //!

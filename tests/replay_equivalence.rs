@@ -1,0 +1,103 @@
+//! The trace layer's end-to-end guarantee: a [`RunResult`] obtained by
+//! replaying a captured trace (`Simulator::run_trace`) is **byte-identical**
+//! to the inline-`Executor` streaming path, for every `PredictorKind` ×
+//! `RecoveryPolicy` combination the workspace can instantiate, the no-VP
+//! baseline, and non-default warm-up/core sizings.
+
+use vpsim::core::PredictorKind;
+use vpsim::isa::Trace;
+use vpsim::uarch::{CoreConfig, RecoveryPolicy, RunResult, Simulator, VpConfig};
+use vpsim::workloads::microkernels;
+
+/// Every predictor the workspace can instantiate, including extension
+/// baselines and the oracle.
+const ALL_KINDS: [PredictorKind; 11] = [
+    PredictorKind::Lvp,
+    PredictorKind::TwoDeltaStride,
+    PredictorKind::PerPathStride,
+    PredictorKind::Fcm4,
+    PredictorKind::DFcm4,
+    PredictorKind::Vtage,
+    PredictorKind::VtageStride,
+    PredictorKind::FcmStride,
+    PredictorKind::GDiffVtage,
+    PredictorKind::SagLvp,
+    PredictorKind::Oracle,
+];
+
+const ALL_POLICIES: [RecoveryPolicy; 2] =
+    [RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue];
+
+const WARMUP: u64 = 500;
+const MEASURE: u64 = 2_500;
+
+fn both_paths(config: CoreConfig, program: &vpsim::isa::Program) -> (RunResult, RunResult) {
+    let sim = Simulator::new(config);
+    let inline = sim.run_with_warmup(program, WARMUP, MEASURE);
+    let trace = Trace::capture(program, sim.config().trace_budget(WARMUP, MEASURE));
+    let replayed = sim.run_trace(&trace, WARMUP, MEASURE);
+    (inline, replayed)
+}
+
+#[test]
+fn replay_is_byte_identical_for_every_predictor_and_recovery() {
+    // Strided loads + a loop branch exercise prediction, validation and
+    // both recovery paths on every predictor.
+    let program = microkernels::strided_loop(64, 8);
+    for kind in ALL_KINDS {
+        for policy in ALL_POLICIES {
+            let config = CoreConfig::default().with_vp(VpConfig::enabled(kind, policy));
+            let (inline, replayed) = both_paths(config, &program);
+            assert_eq!(
+                inline.metrics.instructions, MEASURE,
+                "{kind:?}/{policy:?} did not retire the full budget"
+            );
+            assert_eq!(inline, replayed, "{kind:?}/{policy:?} replay differs from inline");
+        }
+    }
+}
+
+#[test]
+fn replay_is_byte_identical_without_value_prediction() {
+    let program = microkernels::pointer_chase(1024);
+    let (inline, replayed) = both_paths(CoreConfig::default(), &program);
+    assert_eq!(inline, replayed);
+}
+
+#[test]
+fn replay_is_byte_identical_on_a_resized_core() {
+    // A narrow core changes the fetch-ahead bound trace_budget encodes;
+    // replay must stay exact there too.
+    let config = CoreConfig {
+        fetch_width: 4,
+        issue_width: 4,
+        retire_width: 4,
+        rob_entries: 64,
+        iq_entries: 32,
+        ..CoreConfig::default()
+    }
+    .with_vp(VpConfig::enabled(PredictorKind::VtageStride, RecoveryPolicy::SquashAtCommit));
+    let program = microkernels::matmul(8);
+    let (inline, replayed) = both_paths(config, &program);
+    assert_eq!(inline, replayed);
+}
+
+#[test]
+fn one_shared_trace_serves_many_configurations() {
+    // Capture once with the largest budget; every configuration replays
+    // from the same trace and matches its own inline run — the sharing
+    // pattern the sweep engine uses (Arc<Trace> across worker threads).
+    let program = microkernels::strided_loop(64, 8);
+    let budget = CoreConfig::default().trace_budget(WARMUP, MEASURE);
+    let trace = Trace::capture(&program, budget);
+    for kind in [PredictorKind::Lvp, PredictorKind::Vtage, PredictorKind::Oracle] {
+        let config =
+            CoreConfig::default().with_vp(VpConfig::enabled(kind, RecoveryPolicy::SquashAtCommit));
+        let sim = Simulator::new(config);
+        assert_eq!(
+            sim.run_trace(&trace, WARMUP, MEASURE),
+            sim.run_with_warmup(&program, WARMUP, MEASURE),
+            "{kind:?} differs replaying the shared trace"
+        );
+    }
+}
