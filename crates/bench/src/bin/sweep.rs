@@ -38,8 +38,9 @@
 //!   --no-trace-cache   Re-execute each workload functionally per job
 //!                      instead of capture-once/replay-many (byte-identical
 //!                      output; sugar for --set trace_cache=off)
-//!   --timing-json F    Write capture/replay/total wall-clock and job
-//!                      counts to F as JSON (see BENCH_sweep.json)
+//!   --timing-json F    Write capture/replay/total wall-clock, job/µop
+//!                      counts and ns-per-µop to F as JSON (see
+//!                      BENCH_sweep.json)
 //! ```
 //!
 //! Example: compare VTAGE and the hybrid under both recovery schemes on
@@ -134,12 +135,13 @@ fn main() -> ExitCode {
         println!("{table}");
         let t = &results.timing;
         eprintln!(
-            "wall-clock: {:.2}s total ({:.2}s capture of {} trace(s), {:.2}s {})",
+            "wall-clock: {:.2}s total ({:.2}s capture of {} trace(s), {:.2}s {}, {:.0} ns/µop)",
             t.total.as_secs_f64(),
             t.capture.as_secs_f64(),
             t.captures,
             t.replay.as_secs_f64(),
             if t.trace_cache { "replay" } else { "inline simulation (trace cache off)" },
+            t.ns_per_uop(),
         );
     }
     if let Some(path) = &options.timing_json {

@@ -509,6 +509,7 @@ impl SweepSpec {
         let jobs = self.expand();
         let mut timing = SweepTiming {
             jobs: jobs.len(),
+            uops: jobs.len() as u64 * (self.settings.warmup + self.settings.measure),
             workloads: self.benches.len(),
             trace_cache: self.settings.trace_cache,
             threads: self.settings.threads,
@@ -568,6 +569,10 @@ pub struct SweepTiming {
     pub total: Duration,
     /// Simulation jobs run (baseline rows included).
     pub jobs: usize,
+    /// Committed µops simulated across all jobs (nominal: each job runs
+    /// its warm-up plus measurement window; endless workloads always
+    /// commit the full budget).
+    pub uops: u64,
     /// Distinct workloads in the grid.
     pub workloads: usize,
     /// Traces captured fresh this run (cache misses; hits cost nothing).
@@ -579,6 +584,27 @@ pub struct SweepTiming {
 }
 
 impl SweepTiming {
+    /// Nanoseconds of simulation (replay/inline) wall-clock per committed
+    /// µop — the timing model's throughput figure, tracked across PRs in
+    /// `BENCH_sweep.json` and reported by the `pipeline_cycle` criterion
+    /// bench. Zero when no µops were simulated.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use std::time::Duration;
+    /// use vpsim_bench::sweep::SweepTiming;
+    ///
+    /// let t = SweepTiming { replay: Duration::from_secs(1), uops: 10_000_000, ..SweepTiming::default() };
+    /// assert_eq!(t.ns_per_uop(), 100.0);
+    /// ```
+    pub fn ns_per_uop(&self) -> f64 {
+        if self.uops == 0 {
+            return 0.0;
+        }
+        self.replay.as_secs_f64() * 1e9 / self.uops as f64
+    }
+
     /// Serialize as a small JSON object (no external dependencies; every
     /// field is a number or boolean, so escaping is a non-issue).
     ///
@@ -590,20 +616,24 @@ impl SweepTiming {
     /// let json = SweepTiming::default().to_json();
     /// assert!(json.starts_with("{\n"));
     /// assert!(json.contains("\"jobs\": 0"));
+    /// assert!(json.contains("\"ns_per_uop\": 0.0"));
     /// ```
     pub fn to_json(&self) -> String {
         format!(
             "{{\n  \"trace_cache\": {},\n  \"threads\": {},\n  \"jobs\": {},\n  \
-             \"workloads\": {},\n  \"captures\": {},\n  \"capture_seconds\": {:.6},\n  \
-             \"replay_seconds\": {:.6},\n  \"total_seconds\": {:.6}\n}}\n",
+             \"uops\": {},\n  \"workloads\": {},\n  \"captures\": {},\n  \
+             \"capture_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
+             \"total_seconds\": {:.6},\n  \"ns_per_uop\": {:.1}\n}}\n",
             self.trace_cache,
             self.threads,
             self.jobs,
+            self.uops,
             self.workloads,
             self.captures,
             self.capture.as_secs_f64(),
             self.replay.as_secs_f64(),
             self.total.as_secs_f64(),
+            self.ns_per_uop(),
         )
     }
 }
@@ -914,10 +944,18 @@ mod tests {
         assert_eq!(t.jobs, 2);
         assert_eq!(t.workloads, 1);
         assert!(t.total >= t.replay);
+        // 2 jobs × (1 000 warm-up + 5 000 measured) committed µops.
+        assert_eq!(t.uops, 12_000);
+        assert!(t.ns_per_uop() > 0.0, "simulation took time: {:?}", t.replay);
         let json = t.to_json();
-        for needle in
-            ["\"trace_cache\": true", "\"jobs\": 2", "\"capture_seconds\":", "\"total_seconds\":"]
-        {
+        for needle in [
+            "\"trace_cache\": true",
+            "\"jobs\": 2",
+            "\"uops\": 12000",
+            "\"capture_seconds\":",
+            "\"total_seconds\":",
+            "\"ns_per_uop\":",
+        ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
     }

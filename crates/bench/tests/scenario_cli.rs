@@ -150,7 +150,14 @@ fn no_trace_cache_is_byte_identical_and_timing_json_lands() {
     assert!(out.status.success());
     let json = std::fs::read_to_string(&json_path).expect("timing json written");
     let _ = std::fs::remove_file(&json_path);
-    for needle in ["\"trace_cache\": true", "\"jobs\": 2", "\"workloads\": 1", "capture_seconds"] {
+    for needle in [
+        "\"trace_cache\": true",
+        "\"jobs\": 2",
+        "\"uops\": 5000",
+        "\"workloads\": 1",
+        "capture_seconds",
+        "ns_per_uop",
+    ] {
         assert!(json.contains(needle), "missing {needle} in {json}");
     }
 }

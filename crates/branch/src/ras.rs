@@ -31,7 +31,7 @@ pub struct Ras {
 
 /// A checkpoint of the RAS control state ([`Ras::checkpoint`] /
 /// [`Ras::restore`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct RasCheckpoint {
     sp: usize,
     depth: usize,

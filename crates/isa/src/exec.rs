@@ -11,7 +11,7 @@ use crate::reg::{Reg, NUM_ARCH_REGS};
 /// front: the architectural result (the value a value predictor must guess),
 /// effective addresses, and the branch outcome. The out-of-order core in
 /// `vpsim-uarch` replays this stream and charges time.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct DynInst {
     /// Global dynamic sequence number, starting at 0.
     pub seq: u64,

@@ -172,6 +172,14 @@ pub struct Inst {
     pub imm: i64,
 }
 
+/// The default µop is a `Nop` — the placeholder occupying unallocated
+/// instruction-window slab slots in `vpsim-uarch`.
+impl Default for Inst {
+    fn default() -> Self {
+        Inst { op: Opcode::Nop, dst: None, src1: None, src2: None, imm: 0 }
+    }
+}
+
 impl Inst {
     /// A µop with destination and two register sources.
     pub fn rrr(op: Opcode, dst: Reg, src1: Reg, src2: Reg) -> Self {
@@ -211,6 +219,27 @@ impl Inst {
     /// Source registers in operand order.
     pub fn sources(&self) -> Vec<Reg> {
         self.src1.into_iter().chain(self.src2).collect()
+    }
+
+    /// Source registers in operand order as a compacted fixed pair — the
+    /// allocation-free counterpart of [`Inst::sources`], used by the
+    /// timing model's zero-allocation rename path.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_isa::{Inst, Opcode, Reg};
+    ///
+    /// let add = Inst::rrr(Opcode::Add, Reg::int(1), Reg::int(2), Reg::int(3));
+    /// assert_eq!(add.source_pair(), [Some(Reg::int(2)), Some(Reg::int(3))]);
+    /// let jind = Inst { op: Opcode::JumpInd, dst: None, src1: None, src2: Some(Reg::int(4)), imm: 0 };
+    /// assert_eq!(jind.source_pair(), [Some(Reg::int(4)), None]);
+    /// ```
+    pub fn source_pair(&self) -> [Option<Reg>; 2] {
+        match (self.src1, self.src2) {
+            (None, s2) => [s2, None],
+            (s1, s2) => [s1, s2],
+        }
     }
 
     /// `true` for loads and stores.

@@ -56,6 +56,7 @@ mod pipeline;
 pub mod regfile;
 mod result;
 mod storesets;
+mod window;
 
 pub use config::{CoreConfig, FuConfig, RecoveryPolicy, VpConfig};
 pub use pipeline::Simulator;

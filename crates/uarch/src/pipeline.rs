@@ -19,6 +19,20 @@
 //! was never consumed by an issued µop costs nothing (the prediction is
 //! silently replaced — §7.2.1).
 //!
+//! **Hot-loop architecture** (see "Timing-model internals" in
+//! `ARCHITECTURE.md`): in-flight µops live in a slab-backed
+//! struct-of-arrays [`Window`] with a ROB-order ring. Completion is
+//! event-driven through a [`CompletionWheel`] instead of a per-cycle
+//! window scan; issue selection iterates a seq-ordered ready bitset fed by
+//! a producer→consumer wakeup scoreboard; dispatch starts directly at the
+//! front-end region; and selective-reissue poison is a bitmask per slot
+//! with inverted producer lists, so inheritance is a word-wise OR and
+//! validation touches exactly the poisoned consumers. All per-cycle
+//! scratch buffers are machine-owned, so the steady-state loop performs
+//! zero heap allocation per cycle (`crates/uarch/tests/zero_alloc.rs`).
+//! Every restructure is behavior-preserving: results are byte-identical
+//! to the scan-based window (`tests/golden/pipeline_results.txt`).
+//!
 //! **Trace-driven simplifications** (see `ARCHITECTURE.md`):
 //! wrong-path instructions are not fetched; a branch misprediction instead
 //! blocks fetch until the branch executes, reproducing the ≥ 20-cycle
@@ -29,14 +43,14 @@
 use crate::config::{CoreConfig, RecoveryPolicy};
 use crate::result::{diff_cache, RunResult, StallBreakdown};
 use crate::storesets::StoreSets;
-use std::collections::{HashMap, VecDeque};
+use crate::window::{flag, CompletionWheel, Event, FetchB2b, Stage, Waiter, Window, UNSCHEDULED};
+use std::collections::VecDeque;
 use vpsim_branch::{Btb, Ras, RasCheckpoint, Tage};
 use vpsim_core::{HistoryState, PredictCtx, Predictor};
 use vpsim_isa::{DynInst, Executor, FuClass, InstSource, Opcode, Program, RegClass, Trace};
 use vpsim_mem::MemoryHierarchy;
 use vpsim_stats::{BackToBackStats, BranchStats, RunMetrics, VpStats};
 
-const UNSCHEDULED: u64 = u64::MAX;
 /// Fetch-queue capacity (µops buffered between fetch and dispatch).
 /// Referenced by [`CoreConfig::trace_budget`]: together with the ROB size
 /// it bounds how far fetch can run ahead of commit, and therefore how many
@@ -45,90 +59,15 @@ pub(crate) const FETCH_QUEUE: usize = 128;
 /// Cycles without a commit after which the simulator declares a deadlock
 /// (a model bug, not a workload property).
 const DEADLOCK_LIMIT: u64 = 1_000_000;
+/// Initial completion-wheel horizon; the wheel grows on demand when a
+/// memory access schedules further out.
+const WHEEL_HORIZON: usize = 1024;
 
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum Stage {
-    /// Fetched, traversing the in-order front-end.
-    FrontEnd,
-    /// Dispatched into ROB/IQ, waiting for operands.
-    Waiting,
-    /// Issued to a functional unit.
-    Issued,
-    /// Result produced; waiting to retire.
-    Completed,
-}
-
-#[derive(Debug, Clone)]
-struct Slot {
-    di: DynInst,
-    state: Stage,
-    fe_exit: u64,
-    dispatched_at: u64,
-    issued_at: u64,
-    complete_at: u64,
-    /// Producer seq per source operand (None = value already architectural).
-    deps: [Option<u64>; 2],
-    /// Store-set predicted dependence (loads only).
-    store_dep: Option<u64>,
-    /// Confident predicted value injected at dispatch.
-    predicted: Option<u64>,
-    /// The predictor's value regardless of confidence (used to repair the
-    /// predictor's speculative tracking at execute time).
-    pred_any: Option<u64>,
-    /// Predictor produced any value (hit), confident or not.
-    pred_hit: bool,
-    /// Predictor produced a correct value that was not confident.
-    pred_correct_unused: bool,
-    pred_wrong: bool,
-    /// Some consumer issued using the predicted value before execution.
-    pred_consumer_issued: bool,
-    /// Squash younger µops when this µop commits (squash-at-commit).
-    vp_squash_at_commit: bool,
-    /// Outstanding predicted producers this µop's issue consumed
-    /// (selective reissue poison set).
-    poison: Vec<u64>,
-    iq_held: bool,
-    lq_held: bool,
-    sq_held: bool,
-    prf_class: Option<RegClass>,
-    hist_after: HistoryState,
-    ras_cp: RasCheckpoint,
-    br_mispred: bool,
-    eligible: bool,
-}
-
-impl Slot {
-    fn new(di: DynInst, fe_exit: u64, hist_after: HistoryState, ras_cp: RasCheckpoint) -> Self {
-        Slot {
-            di,
-            state: Stage::FrontEnd,
-            fe_exit,
-            dispatched_at: UNSCHEDULED,
-            issued_at: UNSCHEDULED,
-            complete_at: UNSCHEDULED,
-            deps: [None, None],
-            store_dep: None,
-            predicted: None,
-            pred_any: None,
-            pred_hit: false,
-            pred_correct_unused: false,
-            pred_wrong: false,
-            pred_consumer_issued: false,
-            vp_squash_at_commit: false,
-            poison: Vec::new(),
-            iq_held: false,
-            lq_held: false,
-            sq_held: false,
-            prf_class: None,
-            hist_after,
-            ras_cp,
-            br_mispred: false,
-            eligible: false,
-        }
-    }
-}
-
-#[derive(Debug, Clone, Default)]
+/// Retire-stage counters, diffed against a warm-up snapshot to produce a
+/// [`RunResult`]. All fields are plain integers, so the snapshot is a
+/// `Copy` assignment and measurement is a field-wise [`Counters::delta`] —
+/// no per-interval clone.
+#[derive(Debug, Clone, Copy, Default)]
 struct Counters {
     committed: u64,
     eligible: u64,
@@ -148,6 +87,33 @@ struct Counters {
     violations: u64,
     reissued: u64,
     stalls: StallBreakdown,
+}
+
+impl Counters {
+    /// Field-wise difference against an earlier snapshot of the same
+    /// accumulator.
+    fn delta(&self, s: &Counters) -> Counters {
+        Counters {
+            committed: self.committed - s.committed,
+            eligible: self.eligible - s.eligible,
+            hits: self.hits - s.hits,
+            used: self.used - s.used,
+            correct_used: self.correct_used - s.correct_used,
+            mispredicted: self.mispredicted - s.mispredicted,
+            correct_unused: self.correct_unused - s.correct_unused,
+            harmless: self.harmless - s.harmless,
+            cond_branches: self.cond_branches - s.cond_branches,
+            dir_mispred: self.dir_mispred - s.dir_mispred,
+            target_mispred: self.target_mispred - s.target_mispred,
+            uncond: self.uncond - s.uncond,
+            b2b_eligible: self.b2b_eligible - s.b2b_eligible,
+            b2b: self.b2b - s.b2b,
+            vp_squashes: self.vp_squashes - s.vp_squashes,
+            violations: self.violations - s.violations,
+            reissued: self.reissued - s.reissued,
+            stalls: self.stalls.diff(&s.stalls),
+        }
+    }
 }
 
 /// Render a schedule cycle for diagnostics (`-` = not yet scheduled).
@@ -201,6 +167,17 @@ impl FuPools {
             },
         }
     }
+}
+
+/// One issue-select decision, applied after the selection scan (two-phase
+/// issue, as in the original scan-based scheduler). `spec_start..spec_start
+/// + spec_len` indexes the machine-owned speculative-producer scratch.
+#[derive(Debug, Clone, Copy)]
+struct Pick {
+    idx: u32,
+    complete_at: u64,
+    spec_start: u32,
+    spec_len: u32,
 }
 
 /// The simulator: construct once from a [`CoreConfig`], then run programs.
@@ -297,6 +274,24 @@ impl Simulator {
         let mut machine = Machine::new(&self.config, source);
         machine.simulate(warmup, measure)
     }
+
+    /// Test-only instrumentation hook: identical to
+    /// [`Simulator::run_source`], but invokes `mark` once, the first time
+    /// the committed-instruction count reaches `mark_at`. The
+    /// zero-allocation regression test uses this to start counting heap
+    /// allocations only after the machine reaches steady state.
+    #[doc(hidden)]
+    pub fn run_source_marked<S: InstSource>(
+        &self,
+        source: S,
+        warmup: u64,
+        measure: u64,
+        mark_at: u64,
+        mark: &mut dyn FnMut(),
+    ) -> RunResult {
+        let mut machine = Machine::new(&self.config, source);
+        machine.simulate_marked(warmup, measure, mark_at, mark)
+    }
 }
 
 struct Machine<'a, S> {
@@ -304,7 +299,9 @@ struct Machine<'a, S> {
     source: S,
     source_done: bool,
     refetch: VecDeque<DynInst>,
-    window: VecDeque<Slot>,
+    w: Window,
+    wheel: CompletionWheel,
+    b2b: FetchB2b,
     mem: MemoryHierarchy,
     tage: Tage,
     btb: Btb,
@@ -325,12 +322,20 @@ struct Machine<'a, S> {
     int_prf_used: usize,
     fp_prf_used: usize,
     fu: FuPools,
-    last_fetch_cycle: HashMap<u64, u64>,
     counters: Counters,
     last_commit_cycle: u64,
     /// Commit-count ceiling: the retire stage stops mid-group here so a
     /// measurement of N instructions is exactly N.
     stop_at: u64,
+    // ----- machine-owned per-cycle scratch (zero-alloc steady state) -----
+    /// Issue candidates collected from the ready bitset, age order.
+    ready_scratch: Vec<u32>,
+    /// Issue-select decisions, applied after the selection scan.
+    picks: Vec<Pick>,
+    /// Flattened speculative-producer seqs referenced by [`Pick`]s.
+    spec_buf: Vec<u64>,
+    /// Waiter drain buffer for writeback wakeups.
+    wake_scratch: Vec<Waiter>,
 }
 
 impl<'a, S: InstSource> Machine<'a, S> {
@@ -344,7 +349,9 @@ impl<'a, S: InstSource> Machine<'a, S> {
             source,
             source_done: false,
             refetch: VecDeque::new(),
-            window: VecDeque::new(),
+            w: Window::new(FETCH_QUEUE + cfg.rob_entries),
+            wheel: CompletionWheel::new(WHEEL_HORIZON),
+            b2b: FetchB2b::new(),
             mem: MemoryHierarchy::new(cfg.mem.clone()),
             tage: Tage::with_defaults(cfg.seed ^ 0xB4A9C),
             btb: Btb::with_defaults(),
@@ -365,25 +372,39 @@ impl<'a, S: InstSource> Machine<'a, S> {
             int_prf_used: 0,
             fp_prf_used: 0,
             fu: FuPools::new(cfg),
-            last_fetch_cycle: HashMap::new(),
             counters: Counters::default(),
             last_commit_cycle: 0,
             stop_at: u64::MAX,
+            ready_scratch: Vec::with_capacity(cfg.issue_width.max(16)),
+            picks: Vec::with_capacity(cfg.issue_width),
+            spec_buf: Vec::with_capacity(2 * cfg.issue_width),
+            wake_scratch: Vec::new(),
         }
     }
 
     fn simulate(&mut self, warmup: u64, measure: u64) -> RunResult {
+        self.simulate_marked(warmup, measure, u64::MAX, &mut || ())
+    }
+
+    fn simulate_marked(
+        &mut self,
+        warmup: u64,
+        measure: u64,
+        mark_at: u64,
+        mark: &mut dyn FnMut(),
+    ) -> RunResult {
         let target = warmup.saturating_add(measure);
         // Retire pauses exactly at the warm-up boundary so the measurement
         // window is precisely `measure` instructions.
         self.stop_at = if warmup > 0 { warmup } else { target };
-        let mut snapshot = self.counters.clone();
+        let mut snapshot = self.counters;
         let mut snap_cycle = 0u64;
         let mut snap_caches = (self.mem.l1i_stats, self.mem.l1d_stats, self.mem.l2_stats);
         let mut snapped = warmup == 0;
+        let mut marked = false;
 
         while self.counters.committed < target {
-            if self.window.is_empty() && self.refetch.is_empty() && self.source_done {
+            if self.w.is_empty() && self.refetch.is_empty() && self.source_done {
                 break;
             }
             let committed_before = self.counters.committed;
@@ -391,8 +412,12 @@ impl<'a, S: InstSource> Machine<'a, S> {
             if self.counters.committed == committed_before {
                 self.counters.stalls.commit_idle_cycles += 1;
             }
+            if !marked && self.counters.committed >= mark_at {
+                mark();
+                marked = true;
+            }
             if !snapped && self.counters.committed >= warmup {
-                snapshot = self.counters.clone();
+                snapshot = self.counters;
                 snap_cycle = self.now;
                 snap_caches = (self.mem.l1i_stats, self.mem.l1d_stats, self.mem.l2_stats);
                 snapped = true;
@@ -411,65 +436,65 @@ impl<'a, S: InstSource> Machine<'a, S> {
             }
         }
 
-        let c = &self.counters;
-        let s = &snapshot;
+        let d = self.counters.delta(&snapshot);
         RunResult {
             metrics: RunMetrics {
                 cycles: self.now.saturating_sub(snap_cycle),
-                instructions: c.committed - s.committed,
+                instructions: d.committed,
             },
             vp: VpStats {
-                eligible: c.eligible - s.eligible,
-                hits: c.hits - s.hits,
-                used: c.used - s.used,
-                correct_used: c.correct_used - s.correct_used,
-                mispredicted: c.mispredicted - s.mispredicted,
-                correct_unused: c.correct_unused - s.correct_unused,
-                harmless_mispredictions: c.harmless - s.harmless,
+                eligible: d.eligible,
+                hits: d.hits,
+                used: d.used,
+                correct_used: d.correct_used,
+                mispredicted: d.mispredicted,
+                correct_unused: d.correct_unused,
+                harmless_mispredictions: d.harmless,
             },
             branch: BranchStats {
-                conditional: c.cond_branches - s.cond_branches,
-                direction_mispredictions: c.dir_mispred - s.dir_mispred,
-                target_mispredictions: c.target_mispred - s.target_mispred,
-                unconditional: c.uncond - s.uncond,
+                conditional: d.cond_branches,
+                direction_mispredictions: d.dir_mispred,
+                target_mispredictions: d.target_mispred,
+                unconditional: d.uncond,
             },
             l1i: diff_cache(&self.mem.l1i_stats, &snap_caches.0),
             l1d: diff_cache(&self.mem.l1d_stats, &snap_caches.1),
             l2: diff_cache(&self.mem.l2_stats, &snap_caches.2),
-            back_to_back: BackToBackStats {
-                eligible: c.b2b_eligible - s.b2b_eligible,
-                back_to_back: c.b2b - s.b2b,
-            },
-            vp_squashes: c.vp_squashes - s.vp_squashes,
-            reissued_uops: c.reissued - s.reissued,
-            memory_order_violations: c.violations - s.violations,
-            stalls: c.stalls.diff(&s.stalls),
+            back_to_back: BackToBackStats { eligible: d.b2b_eligible, back_to_back: d.b2b },
+            vp_squashes: d.vp_squashes,
+            reissued_uops: d.reissued,
+            memory_order_violations: d.violations,
+            stalls: d.stalls,
         }
     }
 
     /// Diagnostic for the [`DEADLOCK_LIMIT`] panic: a deadlock is a model
     /// bug, so the message must carry enough machine state to localize it
     /// from a CI log alone — the stuck cycle, the ROB head (the µop whose
-    /// non-retirement wedges everything) and every queue occupancy.
+    /// non-retirement wedges everything), every queue occupancy and the
+    /// window slab's free-list state.
     fn deadlock_report(&self) -> String {
-        let head = match self.window.front() {
-            Some(s) => format!(
-                "seq {} pc {:#x} {:?} in {:?} (dispatched@{} issued@{} complete@{})",
-                s.di.seq,
-                s.di.pc,
-                s.di.inst.op,
-                s.state,
-                fmt_cycle(s.dispatched_at),
-                fmt_cycle(s.issued_at),
-                fmt_cycle(s.complete_at),
-            ),
+        let head = match self.w.front() {
+            Some(idx) => {
+                let i = idx as usize;
+                format!(
+                    "seq {} pc {:#x} {:?} in {:?} (dispatched@{} issued@{} complete@{})",
+                    self.w.di[i].seq,
+                    self.w.di[i].pc,
+                    self.w.di[i].inst.op,
+                    self.w.state[i],
+                    fmt_cycle(self.w.dispatched_at[i]),
+                    fmt_cycle(self.w.issued_at[i]),
+                    fmt_cycle(self.w.complete_at[i]),
+                )
+            }
             None => "none (window empty)".into(),
         };
         format!(
             "pipeline deadlock: no commit for {DEADLOCK_LIMIT} cycles at cycle {} \
              (committed {}, last commit at cycle {}); ROB head: {head}; \
              occupancy: rob {}/{}, iq {}/{}, lq {}/{}, sq {}/{}, fetch-queue {}/{FETCH_QUEUE}, \
-             refetch {}; fetch blocked on {:?}",
+             window slab {}/{} (free {}), refetch {}; fetch blocked on {:?}",
             self.now,
             self.counters.committed,
             self.last_commit_cycle,
@@ -482,20 +507,12 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.sq_used,
             self.cfg.sq_entries,
             self.fe_count,
+            self.w.len(),
+            self.w.capacity(),
+            self.w.free_slots(),
             self.refetch.len(),
             self.fetch_blocked_on,
         )
-    }
-
-    // ----- window helpers -----
-
-    fn slot_index(&self, seq: u64) -> Option<usize> {
-        let front = self.window.front()?.di.seq;
-        if seq < front {
-            return None; // committed
-        }
-        let idx = (seq - front) as usize;
-        (idx < self.window.len()).then_some(idx)
     }
 
     // ----- commit stage -----
@@ -505,83 +522,90 @@ impl<'a, S: InstSource> Machine<'a, S> {
             if self.counters.committed >= self.stop_at {
                 break;
             }
-            let Some(front) = self.window.front() else { break };
-            if front.state != Stage::Completed {
+            let Some(front) = self.w.front() else { break };
+            if self.w.state[front as usize] != Stage::Completed {
                 break;
             }
-            let slot = self.window.pop_front().expect("front checked");
-            let seq = slot.di.seq;
+            let idx = self.w.pop_front();
+            let i = idx as usize;
+            let seq = self.w.di[i].seq;
             self.last_commit_cycle = self.now;
             self.rob_used -= 1;
-            if slot.iq_held {
+            if self.w.flag(idx, flag::IQ_HELD) {
                 self.iq_used -= 1;
             }
-            if slot.lq_held {
+            if self.w.flag(idx, flag::LQ_HELD) {
                 self.lq_used -= 1;
             }
-            if slot.sq_held {
+            if self.w.flag(idx, flag::SQ_HELD) {
                 self.sq_used -= 1;
             }
-            match slot.prf_class {
+            match self.w.prf_class[i] {
                 Some(RegClass::Int) => self.int_prf_used -= 1,
                 Some(RegClass::Float) => self.fp_prf_used -= 1,
                 None => {}
             }
-            for r in self.rename.iter_mut() {
-                if *r == Some(seq) {
-                    *r = None;
+            // Only this µop's destination can map to it (set at dispatch),
+            // so the rename release is a single-slot check, not a scan.
+            if let Some(d) = self.w.di[i].inst.dst {
+                if self.rename[d.index()] == Some(seq) {
+                    self.rename[d.index()] = None;
                 }
             }
             // Commit-time cache state update for stores.
-            if slot.di.inst.op == Opcode::Store {
-                let addr = slot.di.mem_addr.expect("store has an address");
-                self.mem.store(slot.di.pc, addr, self.now);
+            if self.w.di[i].inst.op == Opcode::Store {
+                let addr = self.w.di[i].mem_addr.expect("store has an address");
+                self.mem.store(self.w.di[i].pc, addr, self.now);
             }
             // Train the value predictor (in order, every eligible µop).
-            if slot.eligible {
+            if self.w.flag(idx, flag::ELIGIBLE) {
                 if let Some(p) = self.predictor.as_mut() {
-                    p.train(seq, slot.di.result.expect("eligible µop has a result"));
+                    p.train(seq, self.w.di[i].result.expect("eligible µop has a result"));
                 }
                 self.counters.eligible += 1;
-                if slot.pred_hit {
+                if self.w.flag(idx, flag::PRED_HIT) {
                     self.counters.hits += 1;
                 }
-                if slot.predicted.is_some() {
+                if self.w.predicted[i].is_some() {
                     self.counters.used += 1;
-                    if slot.pred_wrong {
+                    if self.w.flag(idx, flag::PRED_WRONG) {
                         self.counters.mispredicted += 1;
-                        if !slot.pred_consumer_issued {
+                        if !self.w.flag(idx, flag::PRED_CONSUMER_ISSUED) {
                             self.counters.harmless += 1;
                         }
                     } else {
                         self.counters.correct_used += 1;
                     }
-                } else if slot.pred_correct_unused {
+                } else if self.w.flag(idx, flag::PRED_CORRECT_UNUSED) {
                     self.counters.correct_unused += 1;
                 }
             }
             // Train the branch predictors.
-            let op = slot.di.inst.op;
+            let op = self.w.di[i].inst.op;
             if op.is_cond_branch() {
-                self.tage.train(seq, slot.di.taken);
+                self.tage.train(seq, self.w.di[i].taken);
                 self.counters.cond_branches += 1;
-                if slot.br_mispred {
+                if self.w.flag(idx, flag::BR_MISPRED) {
                     self.counters.dir_mispred += 1;
                 }
             } else if op.is_control() {
                 self.counters.uncond += 1;
                 if op == Opcode::JumpInd {
-                    self.btb.update(slot.di.pc, slot.di.next_pc);
+                    self.btb.update(self.w.di[i].pc, self.w.di[i].next_pc);
                 }
-                if slot.br_mispred {
+                if self.w.flag(idx, flag::BR_MISPRED) {
                     self.counters.target_mispred += 1;
                 }
             }
             self.counters.committed += 1;
             // Value-misprediction squash at commit.
-            if slot.vp_squash_at_commit {
+            let squash = self.w.flag(idx, flag::VP_SQUASH_AT_COMMIT);
+            let hist = self.w.hist_after[i];
+            let cp = self.w.ras_cp[i];
+            self.w.release(idx);
+            if squash {
                 self.counters.vp_squashes += 1;
-                self.squash_after(seq, slot.hist_after, slot.ras_cp);
+                self.squash_after(seq, hist, cp);
                 break;
             }
         }
@@ -589,42 +613,89 @@ impl<'a, S: InstSource> Machine<'a, S> {
 
     // ----- completion (execute/writeback) stage -----
 
+    /// Event-driven completion. The cycle's due events (completion wheel
+    /// bucket plus any deferred carry-overs) replace the old full-window
+    /// scan; stale events — squashed or reissued slots — are dropped by
+    /// their generation/state check. Two passes preserve the scan's
+    /// semantics exactly:
+    ///
+    /// 1. *Writeback wakeups*: every due value wakes the consumers
+    ///    registered on it, even when pass 2 is aborted mid-cycle by a
+    ///    memory-order squash (the old scan's issue stage saw
+    ///    `complete_at <= now` values as ready regardless).
+    /// 2. *Completion processing* in age order: stage flip, branch
+    ///    unblock, memory-order violation detection (aborting the pass on
+    ///    a squash, deferring the untouched remainder to the next cycle),
+    ///    and value-prediction validation/recovery.
     fn complete(&mut self) {
-        for idx in 0..self.window.len() {
-            let (state, complete_at) = {
-                let s = &self.window[idx];
-                (s.state, s.complete_at)
-            };
-            if state != Stage::Issued || complete_at > self.now {
+        let mut due = self.wheel.take_due(self.now);
+        due.retain(|ev| self.w.event_live(*ev, self.now));
+        due.sort_unstable_by_key(|ev| self.w.di[ev.idx as usize].seq);
+
+        // Pass 1: writeback wakeups.
+        for ev in &due {
+            let p = ev.idx as usize;
+            if self.w.waiters[p].is_empty() {
                 continue;
             }
-            self.window[idx].state = Stage::Completed;
-            let seq = self.window[idx].di.seq;
-            let op = self.window[idx].di.inst.op;
+            let mut waiters = std::mem::take(&mut self.w.waiters[p]);
+            self.wake_scratch.clear();
+            self.wake_scratch.append(&mut waiters);
+            debug_assert!(waiters.is_empty());
+            self.w.waiters[p] = waiters;
+            for k in 0..self.wake_scratch.len() {
+                let wt = self.wake_scratch[k];
+                let c = wt.idx as usize;
+                if self.w.gen[c] == wt.gen && self.w.state[c] == Stage::Waiting {
+                    self.refresh_ready(wt.idx);
+                }
+            }
+        }
+
+        // Pass 2: completion processing in age order.
+        for k in 0..due.len() {
+            let ev = due[k];
+            // Re-check liveness: an earlier completion may have reissued
+            // this µop within the same cycle.
+            if !self.w.event_live(ev, self.now) {
+                continue;
+            }
+            let idx = ev.idx;
+            let i = idx as usize;
+            self.w.state[i] = Stage::Completed;
+            let seq = self.w.di[i].seq;
+            let op = self.w.di[i].inst.op;
 
             // Branch resolution unblocks fetch.
-            if self.window[idx].br_mispred && self.fetch_blocked_on == Some(seq) {
+            if self.w.flag(idx, flag::BR_MISPRED) && self.fetch_blocked_on == Some(seq) {
                 self.fetch_blocked_on = None;
                 self.fetch_resume_at = self.fetch_resume_at.max(self.now + 1);
             }
 
             // Store execution: memory-order violation detection.
             if op == Opcode::Store {
-                self.store_sets.store_executed(seq);
-                let addr = self.window[idx].di.mem_addr;
+                self.store_sets.store_executed(seq, self.w.lfst_slot[i]);
+                let addr = self.w.di[i].mem_addr;
                 if let Some(violating_load) = self.find_violating_load(seq, addr) {
                     self.counters.violations += 1;
-                    let store_pc = self.window[idx].di.pc;
-                    let load_idx = self.slot_index(violating_load).expect("load in window");
-                    let load_pc = self.window[load_idx].di.pc;
+                    let store_pc = self.w.di[i].pc;
+                    let load_idx = self.w.idx_of(violating_load).expect("load in window");
+                    let load_pc = self.w.di[load_idx as usize].pc;
                     self.store_sets.record_violation(load_pc, store_pc);
-                    // Squash from the violating load (it refetches).
+                    // Squash from the violating load (it refetches) and
+                    // stop this stage; unprocessed completions carry over
+                    // to the next cycle, exactly like the old scan's
+                    // early return.
                     let boundary = violating_load - 1;
-                    let bidx = self.slot_index(boundary).expect("boundary in window");
-                    let hist = self.window[bidx].hist_after;
-                    let cp = self.window[bidx].ras_cp;
+                    let bidx = self.w.idx_of(boundary).expect("boundary in window") as usize;
+                    let hist = self.w.hist_after[bidx];
+                    let cp = self.w.ras_cp[bidx];
+                    for &ev in due.iter().skip(k + 1) {
+                        self.wheel.defer(ev);
+                    }
                     self.squash_after(boundary, hist, cp);
-                    return; // window changed; stop this stage
+                    self.wheel.recycle(due);
+                    return;
                 }
             }
 
@@ -634,143 +705,181 @@ impl<'a, S: InstSource> Machine<'a, S> {
             // computed"), so the predictor's speculative value tracking is
             // repaired for *any* wrong prediction, confident or not —
             // otherwise a cold or glitched chain self-feeds forever.
-            {
-                let slot = &self.window[idx];
-                if let (Some(guess), Some(actual)) = (slot.pred_any, slot.di.result) {
-                    if guess != actual {
-                        let pc = slot.di.pc;
-                        if let Some(p) = self.predictor.as_mut() {
-                            p.resolve(seq, pc, actual);
-                        }
+            if let (Some(guess), Some(actual)) = (self.w.pred_any[i], self.w.di[i].result) {
+                if guess != actual {
+                    let pc = self.w.di[i].pc;
+                    if let Some(p) = self.predictor.as_mut() {
+                        p.resolve(seq, pc, actual);
                     }
                 }
             }
-            let slot = &mut self.window[idx];
-            if let (Some(pred), Some(actual)) = (slot.predicted, slot.di.result) {
+            if let (Some(pred), Some(actual)) = (self.w.predicted[i], self.w.di[i].result) {
                 if pred != actual {
-                    slot.pred_wrong = true;
-                    if slot.pred_consumer_issued {
+                    self.w.set_flag(idx, flag::PRED_WRONG);
+                    if self.w.flag(idx, flag::PRED_CONSUMER_ISSUED) {
                         match self.recovery {
                             RecoveryPolicy::SquashAtCommit => {
-                                slot.vp_squash_at_commit = true;
+                                self.w.set_flag(idx, flag::VP_SQUASH_AT_COMMIT);
                             }
                             RecoveryPolicy::SelectiveReissue => {
-                                self.selective_reissue(seq);
+                                self.selective_reissue(idx);
                             }
                         }
                     }
                 } else if self.recovery == RecoveryPolicy::SelectiveReissue {
-                    self.validate_poison(seq);
+                    self.validate_poison(idx);
                 }
             }
         }
+        self.wheel.recycle(due);
     }
 
     /// Youngest check: find the oldest load younger than store `seq` to the
-    /// same address that has already left the scheduler.
+    /// same address that has already left the scheduler. Walks the ROB
+    /// order ring forward from the store, so the first match is the oldest.
     fn find_violating_load(&self, store_seq: u64, addr: Option<u64>) -> Option<u64> {
         let addr = addr?;
-        self.window
-            .iter()
-            .filter(|s| {
-                s.di.seq > store_seq
-                    && s.di.inst.op == Opcode::Load
-                    && s.di.mem_addr == Some(addr)
-                    && matches!(s.state, Stage::Issued | Stage::Completed)
-            })
-            .map(|s| s.di.seq)
-            .min()
+        let front_seq = self.w.di[self.w.front()? as usize].seq;
+        let store_off = (store_seq - front_seq) as usize;
+        for off in store_off + 1..self.w.len() {
+            let i = self.w.at(off) as usize;
+            if self.w.di[i].inst.op == Opcode::Load
+                && self.w.di[i].mem_addr == Some(addr)
+                && matches!(self.w.state[i], Stage::Issued | Stage::Completed)
+            {
+                return Some(self.w.di[i].seq);
+            }
+        }
+        None
     }
 
     /// Selective reissue: every issued/completed µop transitively dependent
-    /// on the mispredicted value of `producer` re-enters the scheduler this
-    /// cycle (idealistic 0-cycle repair, §7.2.1).
-    fn selective_reissue(&mut self, producer: u64) {
-        for idx in 0..self.window.len() {
-            let slot = &mut self.window[idx];
-            if slot.di.seq > producer
-                && matches!(slot.state, Stage::Issued | Stage::Completed)
-                && slot.poison.contains(&producer)
-            {
-                slot.state = Stage::Waiting;
-                slot.issued_at = UNSCHEDULED;
-                slot.complete_at = UNSCHEDULED;
-                slot.poison.clear();
-                self.counters.reissued += 1;
+    /// on the mispredicted value of producer slot `p` re-enters the
+    /// scheduler this cycle (idealistic 0-cycle repair, §7.2.1). The
+    /// inverted poison list names exactly those consumers; entries whose
+    /// bit was already cleared (reissued by another producer, or stale
+    /// after slot recycling) are skipped by the bitmask check.
+    fn selective_reissue(&mut self, p: u32) {
+        let mut list = std::mem::take(&mut self.w.poisoned[p as usize]);
+        for &c in &list {
+            if !self.w.poison_contains(c, p) {
+                continue;
             }
+            let ci = c as usize;
+            debug_assert!(matches!(self.w.state[ci], Stage::Issued | Stage::Completed));
+            debug_assert!(self.w.di[ci].seq > self.w.di[p as usize].seq);
+            self.w.state[ci] = Stage::Waiting;
+            self.w.issued_at[ci] = UNSCHEDULED;
+            self.w.complete_at[ci] = UNSCHEDULED;
+            self.w.poison_clear(c);
+            self.w.ready_set(self.w.di[ci].seq);
+            self.counters.reissued += 1;
         }
+        list.clear();
+        debug_assert!(self.w.poisoned[p as usize].is_empty());
+        self.w.poisoned[p as usize] = list;
     }
 
-    /// A predicted value validated correct: clear it from poison sets and
-    /// release IQ entries of now-non-speculative completed µops.
-    fn validate_poison(&mut self, producer: u64) {
-        for idx in 0..self.window.len() {
-            let slot = &mut self.window[idx];
-            if let Some(pos) = slot.poison.iter().position(|&p| p == producer) {
-                slot.poison.swap_remove(pos);
-                if slot.poison.is_empty() && slot.state == Stage::Completed && slot.iq_held {
-                    slot.iq_held = false;
-                    self.iq_used -= 1;
-                }
+    /// A predicted value validated correct: clear producer slot `p` from
+    /// the poison sets of exactly its recorded consumers and release IQ
+    /// entries of now-non-speculative completed µops.
+    fn validate_poison(&mut self, p: u32) {
+        let mut list = std::mem::take(&mut self.w.poisoned[p as usize]);
+        for &c in &list {
+            if !self.w.poison_contains(c, p) {
+                continue;
+            }
+            self.w.poison_remove(c, p);
+            if self.w.poison_is_empty(c)
+                && self.w.state[c as usize] == Stage::Completed
+                && self.w.flag(c, flag::IQ_HELD)
+            {
+                self.w.clear_flag(c, flag::IQ_HELD);
+                self.iq_used -= 1;
             }
         }
+        list.clear();
+        debug_assert!(self.w.poisoned[p as usize].is_empty());
+        self.w.poisoned[p as usize] = list;
     }
 
     // ----- issue stage -----
 
+    /// Issue selection over the ready bitset in age order (two-phase:
+    /// select, then apply — identical priority and resource order to the
+    /// old full-window scan). The bitset is a conservative candidate
+    /// filter; operands are re-verified here, and a consumer found unready
+    /// (e.g. its producer was reissued since the wakeup) re-registers on
+    /// the scoreboard and leaves the set.
     fn issue(&mut self) {
         let mut issued = 0usize;
         let mut loads = 0usize;
         let mut stores = 0usize;
-        let mut picks: Vec<(usize, Vec<u64>, u64)> = Vec::new(); // (idx, spec deps, complete_at)
+        self.picks.clear();
+        self.spec_buf.clear();
+        let mut cand = std::mem::take(&mut self.ready_scratch);
+        self.w.collect_ready(&mut cand);
 
-        for idx in 0..self.window.len() {
+        for &idx in &cand {
             if issued >= self.cfg.issue_width {
                 break;
             }
-            let slot = &self.window[idx];
-            if slot.state != Stage::Waiting || slot.dispatched_at >= self.now {
-                continue;
-            }
-            let fu = slot.di.inst.fu_class();
+            let i = idx as usize;
+            debug_assert_eq!(self.w.state[i], Stage::Waiting);
+            debug_assert!(self.w.dispatched_at[i] < self.now);
+            let fu = self.w.di[i].inst.fu_class();
             if fu == FuClass::Load && loads >= self.cfg.fu.load_ports {
                 continue;
             }
             if fu == FuClass::Store && stores >= self.cfg.fu.store_ports {
                 continue;
             }
-            // Operand readiness.
-            let Some(spec) = self.operands_ready(slot) else { continue };
+            // Operand readiness (re-verified; the ground truth).
+            let spec_start = self.spec_buf.len();
+            if !self.check_operands(idx) {
+                self.spec_buf.truncate(spec_start);
+                continue;
+            }
             // Loads: memory dependence rules.
             let mut forwarded = false;
             if fu == FuClass::Load {
-                match self.load_memory_ready(slot) {
-                    None => continue,
+                match self.load_memory_ready(idx) {
+                    None => {
+                        self.spec_buf.truncate(spec_start);
+                        continue;
+                    }
                     Some(f) => forwarded = f,
                 }
             }
             // Functional unit claim.
-            let latency = self.execute_latency(&slot.di);
-            let pipelined = !matches!(slot.di.inst.op, Opcode::Div | Opcode::Rem | Opcode::FDiv);
+            let latency = self.execute_latency(&self.w.di[i]);
+            let pipelined =
+                !matches!(self.w.di[i].inst.op, Opcode::Div | Opcode::Rem | Opcode::FDiv);
             let busy_until = if pipelined { self.now + 1 } else { self.now + latency };
             if !self.fu.claim(fu, self.now, busy_until) {
+                self.spec_buf.truncate(spec_start);
                 continue;
             }
             // Completion time.
             let complete_at = match fu {
                 FuClass::Load => {
-                    let addr = slot.di.mem_addr.expect("load address");
+                    let addr = self.w.di[i].mem_addr.expect("load address");
                     if forwarded {
                         self.now + 1 + 2 // AGU + store-buffer forward
                     } else {
-                        let pc = slot.di.pc;
+                        let pc = self.w.di[i].pc;
                         self.mem.load(pc, addr, self.now + 1)
                     }
                 }
                 FuClass::Store => self.now + 1, // AGU; data to store buffer
                 _ => self.now + latency,
             };
-            picks.push((idx, spec, complete_at));
+            self.picks.push(Pick {
+                idx,
+                complete_at,
+                spec_start: spec_start as u32,
+                spec_len: (self.spec_buf.len() - spec_start) as u32,
+            });
             issued += 1;
             if fu == FuClass::Load {
                 loads += 1;
@@ -779,103 +888,129 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 stores += 1;
             }
         }
+        self.ready_scratch = cand;
 
-        for (idx, spec, complete_at) in picks {
-            // Mark speculative consumption on the producers.
-            let mut poison: Vec<u64> = Vec::new();
-            for p in &spec {
-                if let Some(pidx) = self.slot_index(*p) {
-                    self.window[pidx].pred_consumer_issued = true;
-                    if !poison.contains(p) {
-                        poison.push(*p);
+        for k in 0..self.picks.len() {
+            let Pick { idx, complete_at, spec_start, spec_len } = self.picks[k];
+            let i = idx as usize;
+            // Mark speculative consumption on the producers and poison
+            // this µop with each distinct speculative source.
+            for s in spec_start..spec_start + spec_len {
+                let pseq = self.spec_buf[s as usize];
+                if let Some(p) = self.w.idx_of(pseq) {
+                    self.w.set_flag(p, flag::PRED_CONSUMER_ISSUED);
+                    if self.w.poison_insert(idx, p) {
+                        self.w.poisoned[p as usize].push(idx);
                     }
                 }
             }
-            // Inherit poison from executed-but-unvalidated producers.
+            // Inherit poison from executed-but-unvalidated producers: a
+            // word-wise OR of the producer's bitmask (O(1) per dependence
+            // instead of the old Vec clone).
             if self.recovery == RecoveryPolicy::SelectiveReissue {
-                let deps = self.window[idx].deps;
+                let deps = self.w.deps[i];
                 for dep in deps.iter().flatten() {
-                    if let Some(pidx) = self.slot_index(*dep) {
-                        if matches!(self.window[pidx].state, Stage::Issued | Stage::Completed) {
-                            let inherited: Vec<u64> = self.window[pidx].poison.clone();
-                            for p in inherited {
-                                if !poison.contains(&p) {
-                                    poison.push(p);
-                                }
-                            }
+                    if let Some(p) = self.w.idx_of(*dep) {
+                        if matches!(self.w.state[p as usize], Stage::Issued | Stage::Completed) {
+                            self.w.poison_inherit(idx, p);
                         }
                     }
                 }
             }
             let free_iq = match self.recovery {
                 RecoveryPolicy::SquashAtCommit => true,
-                RecoveryPolicy::SelectiveReissue => poison.is_empty(),
+                RecoveryPolicy::SelectiveReissue => self.w.poison_is_empty(idx),
             };
-            let slot = &mut self.window[idx];
-            slot.state = Stage::Issued;
-            slot.issued_at = self.now;
-            slot.complete_at = complete_at;
-            slot.poison = poison;
-            if free_iq && slot.iq_held {
-                slot.iq_held = false;
+            self.w.state[i] = Stage::Issued;
+            self.w.issued_at[i] = self.now;
+            self.w.complete_at[i] = complete_at;
+            self.w.ready_clear(self.w.di[i].seq);
+            self.wheel.schedule(self.now, Event { at: complete_at, idx, gen: self.w.gen[i] });
+            if free_iq && self.w.flag(idx, flag::IQ_HELD) {
+                self.w.clear_flag(idx, flag::IQ_HELD);
                 self.iq_used -= 1;
             }
         }
     }
 
-    /// `Some(speculative_producers)` if all register operands are ready,
-    /// `None` otherwise.
-    fn operands_ready(&self, slot: &Slot) -> Option<Vec<u64>> {
-        let mut spec = Vec::new();
-        for dep in slot.deps.iter().flatten() {
-            match self.slot_index(*dep) {
+    /// Ground-truth operand check for waiting consumer `c`, with the same
+    /// readiness rules as the original scheduler: a register operand is
+    /// ready when its producer committed, completed, writes back this
+    /// cycle, or carries an injected prediction (speculative readiness —
+    /// those producers are appended to `spec_buf`). On failure, `c` is
+    /// registered on every unready producer's wakeup list and leaves the
+    /// ready set.
+    fn check_operands(&mut self, c: u32) -> bool {
+        let ci = c as usize;
+        let deps = self.w.deps[ci];
+        let cgen = self.w.gen[ci];
+        let mut ok = true;
+        for dep in deps.iter().flatten() {
+            match self.w.idx_of(*dep) {
                 None => {} // committed: read from the register file
-                Some(pidx) => {
-                    let p = &self.window[pidx];
-                    match p.state {
+                Some(p) => {
+                    let pi = p as usize;
+                    match self.w.state[pi] {
                         Stage::Completed => {}
-                        Stage::Issued if p.complete_at <= self.now => {}
-                        _ if p.predicted.is_some() && p.state != Stage::FrontEnd => {
-                            spec.push(*dep);
+                        Stage::Issued if self.w.complete_at[pi] <= self.now => {}
+                        _ if self.w.predicted[pi].is_some()
+                            && self.w.state[pi] != Stage::FrontEnd =>
+                        {
+                            self.spec_buf.push(*dep);
                         }
-                        _ => return None,
+                        _ => {
+                            ok = false;
+                            self.w.waiters[pi].push(Waiter { idx: c, gen: cgen });
+                        }
                     }
                 }
             }
         }
-        // Store data/address operands follow the same rules (handled above);
-        // store-set dependence for loads is checked separately.
-        Some(spec)
+        if !ok {
+            self.w.ready_clear(self.w.di[ci].seq);
+        }
+        ok
+    }
+
+    /// Re-evaluate waiting µop `c` for the ready set: mark it a candidate
+    /// when all operands are ready, otherwise (re-)register it on its
+    /// unready producers. Called at dispatch and on writeback wakeups.
+    fn refresh_ready(&mut self, c: u32) {
+        let start = self.spec_buf.len();
+        let ok = self.check_operands(c);
+        self.spec_buf.truncate(start);
+        if ok {
+            self.w.ready_set(self.w.di[c as usize].seq);
+        }
     }
 
     /// Memory-side readiness for a load: `None` = must wait; `Some(fwd)`
     /// with `fwd = true` when store-to-load forwarding supplies the data.
-    fn load_memory_ready(&self, slot: &Slot) -> Option<bool> {
+    fn load_memory_ready(&self, idx: u32) -> Option<bool> {
+        let i = idx as usize;
         // Store-set predicted dependence: wait until that store executed.
-        if let Some(dep) = slot.store_dep {
-            if let Some(pidx) = self.slot_index(dep) {
-                if !matches!(self.window[pidx].state, Stage::Completed) {
+        if let Some(dep) = self.w.store_dep[i] {
+            if let Some(pidx) = self.w.idx_of(dep) {
+                if self.w.state[pidx as usize] != Stage::Completed {
                     return None;
                 }
             }
         }
-        // Youngest older store to the same address, if any.
-        let addr = slot.di.mem_addr.expect("load address");
+        // Youngest older store to the same address, if any: walk the ROB
+        // order ring backward from just below this load.
+        let addr = self.w.di[i].mem_addr.expect("load address");
+        let front_seq = self.w.di[self.w.front().expect("load in window") as usize].seq;
+        let my_off = (self.w.di[i].seq - front_seq) as usize;
         let mut forwarded = false;
-        for s in self.window.iter().rev() {
-            if s.di.seq >= slot.di.seq {
-                continue;
-            }
-            if s.di.inst.op == Opcode::Store && s.di.mem_addr == Some(addr) {
-                match s.state {
-                    Stage::Completed => forwarded = true,
-                    // The store has not executed: issuing now would violate
-                    // ordering. Without a store-set prediction the hardware
-                    // issues anyway (and pays a violation squash when the
-                    // store executes); with one we never get here. We model
-                    // the speculative issue faithfully.
-                    _ => forwarded = false,
-                }
+        for off in (0..my_off).rev() {
+            let j = self.w.at(off) as usize;
+            if self.w.di[j].inst.op == Opcode::Store && self.w.di[j].mem_addr == Some(addr) {
+                // The store has not executed: issuing now would violate
+                // ordering. Without a store-set prediction the hardware
+                // issues anyway (and pays a violation squash when the
+                // store executes); with one we never get here. We model
+                // the speculative issue faithfully.
+                forwarded = self.w.state[j] == Stage::Completed;
                 break;
             }
         }
@@ -896,18 +1031,22 @@ impl<'a, S: InstSource> Machine<'a, S> {
 
     // ----- dispatch (rename) stage -----
 
+    /// In-order dispatch straight from the front-end region: the
+    /// front-end µops are exactly the youngest `fe_count` entries of the
+    /// ROB order ring, so dispatch starts there instead of skipping over
+    /// every already-dispatched slot.
     fn dispatch(&mut self) {
+        let len = self.w.len();
+        let mut off = len - self.fe_count;
         let mut dispatched = 0usize;
-        for idx in 0..self.window.len() {
+        while off < len {
             if dispatched >= self.cfg.fetch_width {
                 break;
             }
-            let slot = &self.window[idx];
-            match slot.state {
-                Stage::FrontEnd => {}
-                _ => continue,
-            }
-            if slot.fe_exit > self.now {
+            let idx = self.w.at(off);
+            let i = idx as usize;
+            debug_assert_eq!(self.w.state[i], Stage::FrontEnd);
+            if self.w.fe_exit[i] > self.now {
                 break; // in-order front-end: younger µops are even later
             }
             // Structural resources (attribute the first blocker per cycle).
@@ -919,7 +1058,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 self.counters.stalls.dispatch_iq_cycles += 1;
                 break;
             }
-            let op = slot.di.inst.op;
+            let op = self.w.di[i].inst.op;
             if op == Opcode::Load && self.lq_used >= self.cfg.lq_entries {
                 self.counters.stalls.dispatch_lq_cycles += 1;
                 break;
@@ -928,7 +1067,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 self.counters.stalls.dispatch_sq_cycles += 1;
                 break;
             }
-            let dst_class = slot.di.inst.dst.map(|d| d.class());
+            let dst_class = self.w.di[i].inst.dst.map(|d| d.class());
             match dst_class {
                 Some(RegClass::Int) if 32 + self.int_prf_used >= self.cfg.int_prf => {
                     self.counters.stalls.dispatch_prf_cycles += 1;
@@ -941,19 +1080,19 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 _ => {}
             }
             // Rename.
-            let seq = self.window[idx].di.seq;
-            let sources = self.window[idx].di.inst.sources();
+            let seq = self.w.di[i].seq;
+            let sources = self.w.di[i].inst.source_pair();
             let mut deps = [None, None];
-            for (k, r) in sources.iter().enumerate().take(2) {
+            for (k, r) in sources.iter().flatten().enumerate() {
                 deps[k] = self.rename[r.index()];
             }
-            if let Some(d) = self.window[idx].di.inst.dst {
+            if let Some(d) = self.w.di[i].inst.dst {
                 self.rename[d.index()] = Some(seq);
             }
             // Memory structures.
             let (mut lq_held, mut sq_held) = (false, false);
             let mut store_dep = None;
-            let pc = self.window[idx].di.pc;
+            let pc = self.w.di[i].pc;
             if op == Opcode::Load {
                 lq_held = true;
                 self.lq_used += 1;
@@ -961,7 +1100,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             } else if op == Opcode::Store {
                 sq_held = true;
                 self.sq_used += 1;
-                self.store_sets.store_dispatched(pc, seq);
+                self.w.lfst_slot[i] = self.store_sets.store_dispatched(pc, seq);
             }
             match dst_class {
                 Some(RegClass::Int) => self.int_prf_used += 1,
@@ -972,15 +1111,22 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.iq_used += 1;
             self.fe_count -= 1;
             dispatched += 1;
-            let slot = &mut self.window[idx];
-            slot.state = Stage::Waiting;
-            slot.dispatched_at = self.now;
-            slot.deps = deps;
-            slot.store_dep = store_dep;
-            slot.iq_held = true;
-            slot.lq_held = lq_held;
-            slot.sq_held = sq_held;
-            slot.prf_class = dst_class;
+            self.w.state[i] = Stage::Waiting;
+            self.w.dispatched_at[i] = self.now;
+            self.w.deps[i] = deps;
+            self.w.store_dep[i] = store_dep;
+            self.w.set_flag(idx, flag::IQ_HELD);
+            if lq_held {
+                self.w.set_flag(idx, flag::LQ_HELD);
+            }
+            if sq_held {
+                self.w.set_flag(idx, flag::SQ_HELD);
+            }
+            self.w.prf_class[i] = dst_class;
+            // Scoreboard entry: immediately ready, or registered on its
+            // unready producers for wakeup.
+            self.refresh_ready(idx);
+            off += 1;
         }
     }
 
@@ -1050,35 +1196,39 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 }
                 self.fetch_hist.push_path(pc);
             }
-            // Value prediction at fetch.
-            let mut slot = Slot::new(
+            // Window slot + value prediction at fetch.
+            let idx = self.w.alloc(
                 di,
                 self.now + self.cfg.frontend_depth,
                 self.fetch_hist,
                 self.ras.checkpoint(),
             );
-            slot.br_mispred = mispred;
+            if mispred {
+                self.w.set_flag(idx, flag::BR_MISPRED);
+            }
             if di.vp_eligible() {
-                slot.eligible = true;
+                self.w.set_flag(idx, flag::ELIGIBLE);
                 self.counters.b2b_eligible += 1;
-                if self.last_fetch_cycle.get(&pc) == Some(&(self.now.wrapping_sub(1))) {
+                if self.b2b.fetched(pc, self.now) {
                     self.counters.b2b += 1;
                 }
-                self.last_fetch_cycle.insert(pc, self.now);
                 if let Some(p) = self.predictor.as_mut() {
                     let ctx = PredictCtx { seq, pc, hist: pre_hist, actual: di.result };
                     let pred = p.predict(&ctx);
-                    slot.pred_hit = pred.value.is_some();
-                    slot.pred_any = pred.value;
+                    if pred.value.is_some() {
+                        self.w.set_flag(idx, flag::PRED_HIT);
+                    }
+                    self.w.pred_any[idx as usize] = pred.value;
                     match pred.confident_value() {
-                        Some(v) => slot.predicted = Some(v),
+                        Some(v) => self.w.predicted[idx as usize] = Some(v),
                         None => {
-                            slot.pred_correct_unused = pred.value == di.result;
+                            if pred.value == di.result {
+                                self.w.set_flag(idx, flag::PRED_CORRECT_UNUSED);
+                            }
                         }
                     }
                 }
             }
-            self.window.push_back(slot);
             self.fe_count += 1;
             fetched += 1;
             if di.taken {
@@ -1099,38 +1249,44 @@ impl<'a, S: InstSource> Machine<'a, S> {
     /// Remove every µop younger than `boundary` from the window, queue them
     /// for refetch, and restore front-end state. Fetch resumes next cycle.
     fn squash_after(&mut self, boundary: u64, hist: HistoryState, ras_cp: RasCheckpoint) {
-        while matches!(self.window.back(), Some(s) if s.di.seq > boundary) {
-            let slot = self.window.pop_back().expect("back checked");
-            match slot.state {
+        while let Some(back) = self.w.back() {
+            if self.w.di[back as usize].seq <= boundary {
+                break;
+            }
+            let idx = self.w.pop_back();
+            let i = idx as usize;
+            match self.w.state[i] {
                 Stage::FrontEnd => self.fe_count -= 1,
                 _ => {
                     self.rob_used -= 1;
-                    if slot.iq_held {
+                    if self.w.flag(idx, flag::IQ_HELD) {
                         self.iq_used -= 1;
                     }
-                    if slot.lq_held {
+                    if self.w.flag(idx, flag::LQ_HELD) {
                         self.lq_used -= 1;
                     }
-                    if slot.sq_held {
+                    if self.w.flag(idx, flag::SQ_HELD) {
                         self.sq_used -= 1;
                     }
-                    match slot.prf_class {
+                    match self.w.prf_class[i] {
                         Some(RegClass::Int) => self.int_prf_used -= 1,
                         Some(RegClass::Float) => self.fp_prf_used -= 1,
                         None => {}
                     }
                 }
             }
-            self.refetch.push_front(slot.di);
+            self.refetch.push_front(self.w.di[i]);
+            self.w.release(idx);
         }
         // Rebuild the rename map from the surviving dispatched window.
         self.rename = [None; vpsim_isa::NUM_ARCH_REGS];
-        for idx in 0..self.window.len() {
-            if self.window[idx].state == Stage::FrontEnd {
+        for off in 0..self.w.len() {
+            let i = self.w.at(off) as usize;
+            if self.w.state[i] == Stage::FrontEnd {
                 continue;
             }
-            if let Some(d) = self.window[idx].di.inst.dst {
-                self.rename[d.index()] = Some(self.window[idx].di.seq);
+            if let Some(d) = self.w.di[i].inst.dst {
+                self.rename[d.index()] = Some(self.w.di[i].seq);
             }
         }
         if let Some(p) = self.predictor.as_mut() {
@@ -1473,11 +1629,26 @@ mod tests {
             m.now += 1;
         }
         let report = m.deadlock_report();
-        for needle in ["pipeline deadlock", "ROB head", "iq 0/128", "lq 0/48", "fetch-queue"] {
+        for needle in
+            ["pipeline deadlock", "ROB head", "iq 0/128", "lq 0/48", "fetch-queue", "window slab"]
+        {
             assert!(report.contains(needle), "missing {needle:?} in: {report}");
         }
-        // The head µop is still traversing the front-end.
+        // The head µop is still traversing the front-end, and the slab
+        // reports its free-list occupancy.
         assert!(report.contains("FrontEnd"), "{report}");
+        assert!(report.contains("(free "), "{report}");
+    }
+
+    #[test]
+    fn run_source_marked_fires_once_at_the_boundary() {
+        let p = counted_loop(2000, 2);
+        let sim = base_sim();
+        let mut hits = 0usize;
+        let marked =
+            sim.run_source_marked(vpsim_isa::Executor::new(&p), 0, 6_000, 3_000, &mut || hits += 1);
+        assert_eq!(hits, 1, "mark fires exactly once");
+        assert_eq!(marked, sim.run(&p, 6_000), "the hook must not change results");
     }
 
     #[test]

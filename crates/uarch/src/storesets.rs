@@ -17,8 +17,10 @@
 /// // Until a violation is observed, loads are predicted independent.
 /// assert_eq!(ss.load_dependence(0x40), None);
 /// ss.record_violation(0x40, 0x80);
-/// ss.store_dispatched(0x80, 7);
+/// let slot = ss.store_dispatched(0x80, 7);
 /// assert_eq!(ss.load_dependence(0x40), Some(7));
+/// ss.store_executed(7, slot);
+/// assert_eq!(ss.load_dependence(0x40), None);
 /// ```
 #[derive(Debug, Clone)]
 pub struct StoreSets {
@@ -57,18 +59,24 @@ impl StoreSets {
 
     /// Record that store `seq` at `pc` was dispatched (it becomes the last
     /// fetched store of its set). Stores without a set are untracked.
-    pub fn store_dispatched(&mut self, pc: u64, seq: u64) {
-        if let Some(ssid) = self.ssit[self.index(pc)] {
-            self.lfst[ssid as usize] = Some(seq);
-        }
+    /// Returns the LFST slot written, if any — the caller passes it back
+    /// to [`StoreSets::store_executed`] so clearing is O(1) instead of a
+    /// full LFST scan (a store occupies at most one slot).
+    pub fn store_dispatched(&mut self, pc: u64, seq: u64) -> Option<u16> {
+        let ssid = self.ssit[self.index(pc)]?;
+        self.lfst[ssid as usize] = Some(seq);
+        Some(ssid)
     }
 
     /// Clear the LFST entry when store `seq` executes (younger loads no
-    /// longer need to wait).
-    pub fn store_executed(&mut self, seq: u64) {
-        for slot in self.lfst.iter_mut() {
-            if *slot == Some(seq) {
-                *slot = None;
+    /// longer need to wait). `slot` is the hint
+    /// [`StoreSets::store_dispatched`] returned for this store; the entry
+    /// is only cleared while it still names `seq` (a younger store of the
+    /// same set may have superseded it).
+    pub fn store_executed(&mut self, seq: u64, slot: Option<u16>) {
+        if let Some(ssid) = slot {
+            if self.lfst[ssid as usize] == Some(seq) {
+                self.lfst[ssid as usize] = None;
             }
         }
     }
@@ -116,9 +124,10 @@ mod tests {
     fn violation_links_load_to_store() {
         let mut ss = StoreSets::new(64);
         ss.record_violation(0x10, 0x20);
-        ss.store_dispatched(0x20, 42);
+        let slot = ss.store_dispatched(0x20, 42);
+        assert!(slot.is_some());
         assert_eq!(ss.load_dependence(0x10), Some(42));
-        ss.store_executed(42);
+        ss.store_executed(42, slot);
         assert_eq!(ss.load_dependence(0x10), None);
     }
 
@@ -126,7 +135,22 @@ mod tests {
     fn unrelated_store_does_not_block() {
         let mut ss = StoreSets::new(64);
         ss.record_violation(0x10, 0x20);
-        ss.store_dispatched(0x999, 1); // no set: untracked
+        assert_eq!(ss.store_dispatched(0x999, 1), None); // no set: untracked
+        assert_eq!(ss.load_dependence(0x10), None);
+    }
+
+    #[test]
+    fn superseded_store_execution_keeps_the_younger_entry() {
+        // Store 1 dispatches, then store 2 of the same set supersedes it.
+        // Store 1 executing must not clear store 2's LFST entry.
+        let mut ss = StoreSets::new(64);
+        ss.record_violation(0x10, 0x20);
+        let s1 = ss.store_dispatched(0x20, 1);
+        let s2 = ss.store_dispatched(0x20, 2);
+        assert_eq!(s1, s2, "same set, same slot");
+        ss.store_executed(1, s1);
+        assert_eq!(ss.load_dependence(0x10), Some(2));
+        ss.store_executed(2, s2);
         assert_eq!(ss.load_dependence(0x10), None);
     }
 

@@ -1,0 +1,732 @@
+//! Slab-backed struct-of-arrays instruction window and its companion
+//! hot-loop structures.
+//!
+//! The timing model ([`crate::pipeline`]) used to keep its in-flight µops
+//! in a `VecDeque<Slot>` of ~200-byte slots and rediscover everything by
+//! scanning it: completion scanned the whole window every cycle, issue
+//! re-checked every waiting µop's operands, poison sets were per-slot
+//! `Vec<u64>`s cloned on inheritance, and dispatch walked over every
+//! already-dispatched slot to find the front-end region. This module
+//! replaces that with indexed structures sized once at construction so the
+//! steady-state simulation loop performs **zero heap allocation per cycle**
+//! (verified by `crates/uarch/tests/zero_alloc.rs`):
+//!
+//! * [`Window`] — a fixed-capacity slab in struct-of-arrays layout with a
+//!   free list and per-slot **generation stamps**. Slab indices are stable
+//!   for a µop's whole lifetime; a parallel ROB-order ring (`order`) keeps
+//!   the commit/seq order, and `seq → slab index` is O(1) because the
+//!   window always holds a contiguous seq range.
+//! * **Poison tracking** — each slot's selective-reissue poison set is a
+//!   bitmask over *producer slab indices* plus an inverted
+//!   producer→consumers list, so issue-time inheritance is a word-wise OR
+//!   (no `Vec` clone) and validation/reissue walk exactly the affected
+//!   consumers instead of the whole window. Stale inverted entries are
+//!   skipped lazily by re-checking the bitmask — the generation stamp of
+//!   the *slot* guards everything else that can outlive a µop.
+//! * **Wakeup scoreboard** — waiting consumers register on their unready
+//!   producers (`waiters`); a producer's writeback re-checks exactly those
+//!   consumers and sets their bit in a seq-indexed `ready` bitset that the
+//!   issue stage iterates in age order. The bitset is a conservative
+//!   candidate filter: issue re-verifies operands, so spurious set bits are
+//!   harmless and selective reissue (which can make a "ready" consumer
+//!   unready again) only needs lazy repair.
+//! * [`CompletionWheel`] — completion events bucketed by cycle (a timing
+//!   wheel that grows to the largest in-flight latency), replacing the
+//!   every-cycle full-window completion scan. Events carry `(cycle, slab
+//!   index, generation)` and are dropped lazily when the slot was squashed
+//!   or reissued.
+//! * [`FetchB2b`] — the §3.2 back-to-back fetch statistic over a two-cycle
+//!   PC ring. The previous `HashMap<pc, cycle>` grew without bound on
+//!   endless workloads; only the previous cycle's fetch group can ever
+//!   match, so two `fetch_width`-sized buffers are exact and O(1) memory.
+
+use std::collections::VecDeque;
+use vpsim_branch::RasCheckpoint;
+use vpsim_core::HistoryState;
+use vpsim_isa::{DynInst, RegClass};
+
+/// Sentinel for "not yet scheduled" cycles.
+pub(crate) const UNSCHEDULED: u64 = u64::MAX;
+
+/// Pipeline stage of a window slot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub(crate) enum Stage {
+    /// Fetched, traversing the in-order front-end.
+    FrontEnd,
+    /// Dispatched into ROB/IQ, waiting for operands.
+    Waiting,
+    /// Issued to a functional unit.
+    Issued,
+    /// Result produced; waiting to retire.
+    Completed,
+}
+
+/// Boolean slot attributes, packed into one flag word per slot.
+pub(crate) mod flag {
+    /// Predictor produced any value (hit), confident or not.
+    pub const PRED_HIT: u16 = 1 << 0;
+    /// Predictor produced a correct value that was not confident.
+    pub const PRED_CORRECT_UNUSED: u16 = 1 << 1;
+    /// The injected confident prediction turned out wrong.
+    pub const PRED_WRONG: u16 = 1 << 2;
+    /// Some consumer issued using the predicted value before execution.
+    pub const PRED_CONSUMER_ISSUED: u16 = 1 << 3;
+    /// Squash younger µops when this µop commits (squash-at-commit).
+    pub const VP_SQUASH_AT_COMMIT: u16 = 1 << 4;
+    /// Slot holds an issue-queue entry.
+    pub const IQ_HELD: u16 = 1 << 5;
+    /// Slot holds a load-queue entry.
+    pub const LQ_HELD: u16 = 1 << 6;
+    /// Slot holds a store-queue entry.
+    pub const SQ_HELD: u16 = 1 << 7;
+    /// Fetch-time branch misprediction (direction or target).
+    pub const BR_MISPRED: u16 = 1 << 8;
+    /// µop is value-prediction eligible (writes a register).
+    pub const ELIGIBLE: u16 = 1 << 9;
+}
+
+/// A scheduled completion: slot `idx` (validated by `gen`) finishes
+/// execution at cycle `at`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Event {
+    /// Absolute completion cycle.
+    pub at: u64,
+    /// Slab index of the completing slot.
+    pub idx: u32,
+    /// Generation stamp of the slot when the event was scheduled.
+    pub gen: u32,
+}
+
+/// A consumer registered for wakeup, validated by its generation stamp.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Waiter {
+    /// Slab index of the waiting consumer.
+    pub idx: u32,
+    /// Generation stamp of the consumer when it registered.
+    pub gen: u32,
+}
+
+/// The instruction window: a struct-of-arrays slab plus ROB-order ring.
+///
+/// Fields are directly accessible to the pipeline (same crate); the
+/// methods here own the bookkeeping that must stay consistent — slot
+/// allocation/release, the seq-indexed ready bitset and the poison
+/// bitmasks with their inverted lists.
+#[derive(Debug)]
+pub(crate) struct Window {
+    cap: usize,
+    /// Bit-position mask for the seq-indexed `ready` bitset
+    /// (`capacity.next_power_of_two() - 1`).
+    pos_mask: u64,
+    /// Words per poison bitmask (one bit per slab slot).
+    poison_words: usize,
+
+    // ----- slab arrays (struct-of-arrays, all of length `cap`) -----
+    /// The dynamic µop occupying each slot.
+    pub di: Vec<DynInst>,
+    /// Pipeline stage.
+    pub state: Vec<Stage>,
+    /// Packed boolean attributes ([`flag`]).
+    pub flags: Vec<u16>,
+    /// Cycle the µop leaves the in-order front-end.
+    pub fe_exit: Vec<u64>,
+    /// Cycle the µop dispatched ([`UNSCHEDULED`] while in the front-end).
+    pub dispatched_at: Vec<u64>,
+    /// Cycle the µop last issued.
+    pub issued_at: Vec<u64>,
+    /// Cycle the µop's execution completes.
+    pub complete_at: Vec<u64>,
+    /// Producer seq per source operand (`None` = value architectural).
+    pub deps: Vec<[Option<u64>; 2]>,
+    /// Store-set predicted dependence (loads only).
+    pub store_dep: Vec<Option<u64>>,
+    /// LFST slot this store occupies (store-set bookkeeping hint).
+    pub lfst_slot: Vec<Option<u16>>,
+    /// Confident predicted value injected at dispatch.
+    pub predicted: Vec<Option<u64>>,
+    /// The predictor's value regardless of confidence.
+    pub pred_any: Vec<Option<u64>>,
+    /// Physical-register class held by this µop's destination.
+    pub prf_class: Vec<Option<RegClass>>,
+    /// Speculative history after this µop (squash restore point).
+    pub hist_after: Vec<HistoryState>,
+    /// RAS checkpoint after this µop (squash restore point).
+    pub ras_cp: Vec<RasCheckpoint>,
+    /// Generation stamp, bumped on release; anything that may outlive the
+    /// slot (completion events, waiter registrations) carries a copy and
+    /// is discarded lazily on mismatch.
+    pub gen: Vec<u32>,
+    /// Wakeup scoreboard: waiting consumers to re-check when this slot's
+    /// value becomes available. Consumed (drained) at writeback.
+    pub waiters: Vec<Vec<Waiter>>,
+    /// Inverted poison index: consumers whose poison mask has this slot's
+    /// bit. Entries are validated against the bitmask when walked.
+    pub poisoned: Vec<Vec<u32>>,
+
+    /// Flattened poison bitmasks, `poison_words` words per slot, one bit
+    /// per *producer slab index*.
+    poison: Vec<u64>,
+    /// Free slab indices.
+    free: Vec<u32>,
+    /// ROB-order ring of slab indices, oldest first.
+    order: VecDeque<u32>,
+    /// Issue-candidate bitset indexed by `seq & pos_mask`: waiting slots
+    /// whose operands are (conservatively) ready.
+    ready: Vec<u64>,
+}
+
+impl Window {
+    /// A window able to hold `cap` in-flight µops (fetch queue + ROB).
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0);
+        let pos = cap.next_power_of_two().max(64);
+        let poison_words = cap.div_ceil(64);
+        Window {
+            cap,
+            pos_mask: (pos - 1) as u64,
+            poison_words,
+            di: vec![DynInst::default(); cap],
+            state: vec![Stage::FrontEnd; cap],
+            flags: vec![0; cap],
+            fe_exit: vec![0; cap],
+            dispatched_at: vec![0; cap],
+            issued_at: vec![0; cap],
+            complete_at: vec![0; cap],
+            deps: vec![[None, None]; cap],
+            store_dep: vec![None; cap],
+            lfst_slot: vec![None; cap],
+            predicted: vec![None; cap],
+            pred_any: vec![None; cap],
+            prf_class: vec![None; cap],
+            hist_after: vec![HistoryState::default(); cap],
+            ras_cp: vec![RasCheckpoint::default(); cap],
+            gen: vec![0; cap],
+            waiters: vec![Vec::new(); cap],
+            poisoned: vec![Vec::new(); cap],
+            poison: vec![0; cap * poison_words],
+            free: (0..cap as u32).rev().collect(),
+            order: VecDeque::with_capacity(cap),
+            ready: vec![0; pos / 64],
+        }
+    }
+
+    /// In-flight µops (front-end included).
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Total slab capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Free-list occupancy (slots available for fetch).
+    pub fn free_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Slab index of the oldest in-flight µop.
+    pub fn front(&self) -> Option<u32> {
+        self.order.front().copied()
+    }
+
+    /// Slab index of the youngest in-flight µop.
+    pub fn back(&self) -> Option<u32> {
+        self.order.back().copied()
+    }
+
+    /// Slab index at ROB-order position `off` (0 = oldest).
+    pub fn at(&self, off: usize) -> u32 {
+        self.order[off]
+    }
+
+    /// Seq of the oldest in-flight µop.
+    fn front_seq(&self) -> Option<u64> {
+        self.front().map(|i| self.di[i as usize].seq)
+    }
+
+    /// O(1) `seq → slab index`; `None` when `seq` already committed or is
+    /// not in flight. Relies on the window holding a contiguous seq range
+    /// (squashed µops are refetched in order).
+    pub fn idx_of(&self, seq: u64) -> Option<u32> {
+        let front = self.front_seq()?;
+        if seq < front {
+            return None; // committed
+        }
+        let off = (seq - front) as usize;
+        (off < self.order.len()).then(|| self.order[off])
+    }
+
+    /// Allocate a slot for `di` at the back of the ROB order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full — the pipeline's fetch-queue and ROB
+    /// occupancy checks make that unreachable.
+    pub fn alloc(
+        &mut self,
+        di: DynInst,
+        fe_exit: u64,
+        hist_after: HistoryState,
+        ras_cp: RasCheckpoint,
+    ) -> u32 {
+        let idx = self.free.pop().expect("window slab full: occupancy checks violated");
+        let i = idx as usize;
+        debug_assert!(self.waiters[i].is_empty() && self.poisoned[i].is_empty());
+        debug_assert!(self.poison_is_empty(idx));
+        if let Some(&b) = self.order.back() {
+            debug_assert!(di.seq == self.di[b as usize].seq + 1, "window seqs must be contiguous");
+        }
+        self.di[i] = di;
+        self.state[i] = Stage::FrontEnd;
+        self.flags[i] = 0;
+        self.fe_exit[i] = fe_exit;
+        self.dispatched_at[i] = UNSCHEDULED;
+        self.issued_at[i] = UNSCHEDULED;
+        self.complete_at[i] = UNSCHEDULED;
+        self.deps[i] = [None, None];
+        self.store_dep[i] = None;
+        self.lfst_slot[i] = None;
+        self.predicted[i] = None;
+        self.pred_any[i] = None;
+        self.prf_class[i] = None;
+        self.hist_after[i] = hist_after;
+        self.ras_cp[i] = ras_cp;
+        self.order.push_back(idx);
+        idx
+    }
+
+    /// Remove the oldest µop from the ROB order (commit). The slab fields
+    /// stay readable until [`Window::release`].
+    pub fn pop_front(&mut self) -> u32 {
+        self.order.pop_front().expect("pop_front on empty window")
+    }
+
+    /// Remove the youngest µop from the ROB order (squash). The slab
+    /// fields stay readable until [`Window::release`].
+    pub fn pop_back(&mut self) -> u32 {
+        self.order.pop_back().expect("pop_back on empty window")
+    }
+
+    /// Return a popped slot to the free list: bump its generation (lazily
+    /// invalidating any events/registrations that still name it) and clear
+    /// the state that must not leak to the next occupant.
+    pub fn release(&mut self, idx: u32) {
+        let i = idx as usize;
+        self.gen[i] = self.gen[i].wrapping_add(1);
+        self.waiters[i].clear();
+        self.poisoned[i].clear();
+        self.poison[i * self.poison_words..(i + 1) * self.poison_words].fill(0);
+        self.ready_clear(self.di[i].seq);
+        self.free.push(idx);
+    }
+
+    /// `true` if `ev` still refers to the µop it was scheduled for and
+    /// that µop is an issued slot due at or before `now`.
+    pub fn event_live(&self, ev: Event, now: u64) -> bool {
+        let i = ev.idx as usize;
+        self.gen[i] == ev.gen && self.state[i] == Stage::Issued && self.complete_at[i] <= now
+    }
+
+    // ----- flag helpers -----
+
+    /// Read one [`flag`] bit.
+    pub fn flag(&self, idx: u32, bit: u16) -> bool {
+        self.flags[idx as usize] & bit != 0
+    }
+
+    /// Set one [`flag`] bit.
+    pub fn set_flag(&mut self, idx: u32, bit: u16) {
+        self.flags[idx as usize] |= bit;
+    }
+
+    /// Clear one [`flag`] bit.
+    pub fn clear_flag(&mut self, idx: u32, bit: u16) {
+        self.flags[idx as usize] &= !bit;
+    }
+
+    // ----- ready bitset (issue candidates) -----
+
+    /// Mark the µop with `seq` as an issue candidate.
+    pub fn ready_set(&mut self, seq: u64) {
+        let pos = seq & self.pos_mask;
+        self.ready[(pos >> 6) as usize] |= 1 << (pos & 63);
+    }
+
+    /// Remove the µop with `seq` from the issue candidates.
+    pub fn ready_clear(&mut self, seq: u64) {
+        let pos = seq & self.pos_mask;
+        self.ready[(pos >> 6) as usize] &= !(1 << (pos & 63));
+    }
+
+    /// Collect the issue candidates in age (seq) order into `out`
+    /// (cleared first). Candidates are slab indices; every set bit belongs
+    /// to an in-flight waiting µop by construction.
+    pub fn collect_ready(&self, out: &mut Vec<u32>) {
+        out.clear();
+        let Some(front) = self.front_seq() else { return };
+        let words = self.ready.len();
+        let start = front & self.pos_mask;
+        let (start_word, start_bit) = ((start >> 6) as usize, start & 63);
+        for wi in 0..=words {
+            let w = (start_word + wi) % words;
+            let mut bits = self.ready[w];
+            if wi == 0 {
+                bits &= !0u64 << start_bit;
+            } else if wi == words {
+                bits &= !(!0u64 << start_bit);
+            }
+            while bits != 0 {
+                let b = bits.trailing_zeros() as u64;
+                bits &= bits - 1;
+                let pos = (w as u64) << 6 | b;
+                let off = (pos.wrapping_sub(start)) & self.pos_mask;
+                debug_assert!((off as usize) < self.order.len(), "stale ready bit");
+                let idx = self.order[off as usize];
+                debug_assert_eq!(self.state[idx as usize], Stage::Waiting);
+                out.push(idx);
+            }
+        }
+    }
+
+    // ----- poison bitmasks -----
+
+    /// `true` if consumer `c`'s poison set names producer slot `p`.
+    pub fn poison_contains(&self, c: u32, p: u32) -> bool {
+        let w = self.poison[c as usize * self.poison_words + (p >> 6) as usize];
+        w & (1 << (p & 63)) != 0
+    }
+
+    /// Add producer slot `p` to consumer `c`'s poison set. Returns `true`
+    /// if the bit was newly set (the caller then records the inverted
+    /// `poisoned[p] -> c` entry).
+    pub fn poison_insert(&mut self, c: u32, p: u32) -> bool {
+        let slot = &mut self.poison[c as usize * self.poison_words + (p >> 6) as usize];
+        let bit = 1u64 << (p & 63);
+        let fresh = *slot & bit == 0;
+        *slot |= bit;
+        fresh
+    }
+
+    /// Remove producer slot `p` from consumer `c`'s poison set.
+    pub fn poison_remove(&mut self, c: u32, p: u32) {
+        self.poison[c as usize * self.poison_words + (p >> 6) as usize] &= !(1 << (p & 63));
+    }
+
+    /// Clear consumer `c`'s whole poison set (selective reissue).
+    pub fn poison_clear(&mut self, c: u32) {
+        let w = self.poison_words;
+        self.poison[c as usize * w..(c as usize + 1) * w].fill(0);
+    }
+
+    /// `true` if consumer `c` carries no poison.
+    pub fn poison_is_empty(&self, c: u32) -> bool {
+        let w = self.poison_words;
+        self.poison[c as usize * w..(c as usize + 1) * w].iter().all(|&x| x == 0)
+    }
+
+    /// Consumer `c` inherits producer `p`'s poison set (word-wise OR) —
+    /// O(1) per dependence instead of the old per-slot `Vec` clone. Newly
+    /// set bits are recorded in the inverted lists so validation and
+    /// reissue can find `c` from each poison source.
+    pub fn poison_inherit(&mut self, c: u32, p: u32) {
+        let w = self.poison_words;
+        for k in 0..w {
+            let add = self.poison[p as usize * w + k] & !self.poison[c as usize * w + k];
+            if add == 0 {
+                continue;
+            }
+            self.poison[c as usize * w + k] |= add;
+            let mut bits = add;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                self.poisoned[(k << 6) | b].push(c);
+            }
+        }
+    }
+}
+
+/// Completion events bucketed by cycle — a timing wheel.
+///
+/// The wheel grows to the largest in-flight latency (power of two), so a
+/// bucket only ever holds events for one cycle. `carry` holds events that
+/// were due but deferred: scheduled at or before the current cycle, or
+/// postponed when a memory-order squash aborted the completion stage
+/// mid-pass (mirroring the old scan's early return).
+#[derive(Debug, Default)]
+pub(crate) struct CompletionWheel {
+    buckets: Vec<Vec<Event>>,
+    carry: Vec<Event>,
+    due: Vec<Event>,
+}
+
+impl CompletionWheel {
+    /// A wheel with an initial horizon of `horizon` cycles (rounded up to
+    /// a power of two; grows on demand).
+    pub fn new(horizon: usize) -> Self {
+        let n = horizon.next_power_of_two().max(64);
+        CompletionWheel { buckets: vec![Vec::new(); n], carry: Vec::new(), due: Vec::new() }
+    }
+
+    /// Schedule `ev` for cycle `ev.at`; events due at or before `now`
+    /// land in the carry list and are processed next cycle (matching the
+    /// old scan, which a same-cycle issue could never reach).
+    pub fn schedule(&mut self, now: u64, ev: Event) {
+        if ev.at <= now {
+            self.carry.push(ev);
+            return;
+        }
+        let dist = (ev.at - now) as usize;
+        if dist >= self.buckets.len() {
+            self.grow(now, dist);
+        }
+        let slot = (ev.at as usize) & (self.buckets.len() - 1);
+        self.buckets[slot].push(ev);
+    }
+
+    fn grow(&mut self, now: u64, dist: usize) {
+        let new_len = (dist + 1).next_power_of_two();
+        let mut buckets = vec![Vec::new(); new_len];
+        for old in &mut self.buckets {
+            for ev in old.drain(..) {
+                debug_assert!(ev.at > now);
+                buckets[(ev.at as usize) & (new_len - 1)].push(ev);
+            }
+        }
+        self.buckets = buckets;
+    }
+
+    /// Drain everything due at `now` (this cycle's bucket plus the carry
+    /// list) into the reusable due buffer and hand it out by value; return
+    /// it with [`CompletionWheel::recycle`] to keep its capacity.
+    pub fn take_due(&mut self, now: u64) -> Vec<Event> {
+        self.due.clear();
+        let slot = (now as usize) & (self.buckets.len() - 1);
+        for ev in self.buckets[slot].drain(..) {
+            debug_assert_eq!(ev.at, now, "wheel lap: event outlived its bucket");
+            self.due.push(ev);
+        }
+        self.due.append(&mut self.carry);
+        std::mem::take(&mut self.due)
+    }
+
+    /// Return the buffer [`CompletionWheel::take_due`] handed out, so its
+    /// capacity is reused next cycle (zero-allocation steady state).
+    pub fn recycle(&mut self, due: Vec<Event>) {
+        self.due = due;
+    }
+
+    /// Defer a due event to the next cycle (completion stage aborted by a
+    /// memory-order squash before reaching it).
+    pub fn defer(&mut self, ev: Event) {
+        self.carry.push(ev);
+    }
+}
+
+/// Back-to-back fetch detection (§3.2) over a two-cycle PC ring.
+///
+/// A µop fetches "back-to-back" when its PC was also fetched in the
+/// immediately preceding cycle — the case where a fetch-time value
+/// predictor must use its own prediction as the last value. Only the
+/// previous cycle's fetch group (at most `fetch_width` PCs) can match, so
+/// two small buffers replace the unbounded `HashMap<pc, cycle>` the model
+/// used to carry: memory stays flat on endless workloads
+/// (`capacity()` is asserted in the regression test).
+#[derive(Debug)]
+pub(crate) struct FetchB2b {
+    cycles: [u64; 2],
+    pcs: [Vec<u64>; 2],
+}
+
+impl FetchB2b {
+    /// An empty tracker.
+    pub fn new() -> Self {
+        FetchB2b { cycles: [u64::MAX; 2], pcs: [Vec::new(), Vec::new()] }
+    }
+
+    /// Record that `pc` fetches at cycle `now`; returns `true` when the
+    /// most recent previous fetch of `pc` was exactly at `now - 1`.
+    pub fn fetched(&mut self, pc: u64, now: u64) -> bool {
+        let cur = (now & 1) as usize;
+        if self.cycles[cur] != now {
+            self.cycles[cur] = now;
+            self.pcs[cur].clear();
+        }
+        let prev = cur ^ 1;
+        let b2b = self.cycles[prev] == now.wrapping_sub(1)
+            && self.pcs[prev].contains(&pc)
+            && !self.pcs[cur].contains(&pc);
+        self.pcs[cur].push(pc);
+        b2b
+    }
+
+    /// Total retained PC entries — bounded by two fetch groups; the
+    /// memory-flatness regression test asserts this never grows past
+    /// `2 * fetch_width`.
+    #[cfg(test)]
+    pub fn capacity(&self) -> usize {
+        self.pcs[0].len() + self.pcs[1].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn di(seq: u64) -> DynInst {
+        DynInst { seq, ..DynInst::default() }
+    }
+
+    fn fresh(cap: usize, n: u64) -> Window {
+        let mut w = Window::new(cap);
+        for s in 0..n {
+            w.alloc(di(s), 0, HistoryState::default(), RasCheckpoint::default());
+        }
+        w
+    }
+
+    #[test]
+    fn alloc_assigns_stable_indices_and_idx_of_resolves() {
+        let mut w = fresh(8, 5);
+        assert_eq!(w.len(), 5);
+        for s in 0..5 {
+            let idx = w.idx_of(s).unwrap();
+            assert_eq!(w.di[idx as usize].seq, s);
+        }
+        assert_eq!(w.idx_of(5), None);
+        // Commit the front two: their seqs now resolve to None.
+        for _ in 0..2 {
+            let idx = w.pop_front();
+            w.release(idx);
+        }
+        assert_eq!(w.idx_of(0), None);
+        assert_eq!(w.idx_of(1), None);
+        let idx = w.idx_of(2).unwrap();
+        assert_eq!(w.di[idx as usize].seq, 2);
+        // Freed slots are recycled, indices stay stable for live slots.
+        let live: Vec<u32> = (2..5).map(|s| w.idx_of(s).unwrap()).collect();
+        w.alloc(di(5), 0, HistoryState::default(), RasCheckpoint::default());
+        for (k, s) in (2..5).enumerate() {
+            assert_eq!(w.idx_of(s).unwrap(), live[k]);
+        }
+    }
+
+    #[test]
+    fn release_bumps_generation() {
+        let mut w = fresh(4, 2);
+        let idx = w.pop_front();
+        let g = w.gen[idx as usize];
+        w.release(idx);
+        assert_eq!(w.gen[idx as usize], g + 1);
+        let ev = Event { at: 5, idx, gen: g };
+        assert!(!w.event_live(ev, 5), "stale generation must invalidate events");
+    }
+
+    #[test]
+    fn ready_bitset_iterates_in_seq_order_across_wrap() {
+        // Force the seq positions to wrap the bitset: commit far enough
+        // that front_seq & pos_mask lands near the top.
+        let cap = 6; // pos space rounds up to 64
+        let mut w = Window::new(cap);
+        for s in 0..200u64 {
+            w.alloc(di(s), 0, HistoryState::default(), RasCheckpoint::default());
+            if w.len() == cap {
+                let idx = w.pop_front();
+                w.release(idx);
+            }
+        }
+        // Window now holds seqs 195..=199 (len 5). Mark all ready.
+        for s in 195..200u64 {
+            let i = w.idx_of(s).unwrap();
+            w.state[i as usize] = Stage::Waiting;
+            w.ready_set(s);
+        }
+        let mut out = Vec::new();
+        w.collect_ready(&mut out);
+        let seqs: Vec<u64> = out.iter().map(|&i| w.di[i as usize].seq).collect();
+        assert_eq!(seqs, vec![195, 196, 197, 198, 199]);
+        w.ready_clear(197);
+        w.collect_ready(&mut out);
+        let seqs: Vec<u64> = out.iter().map(|&i| w.di[i as usize].seq).collect();
+        assert_eq!(seqs, vec![195, 196, 198, 199]);
+    }
+
+    #[test]
+    fn poison_masks_union_and_invert() {
+        let mut w = fresh(8, 6);
+        let (a, b, c) = (w.idx_of(0).unwrap(), w.idx_of(1).unwrap(), w.idx_of(2).unwrap());
+        assert!(w.poison_insert(c, a));
+        assert!(!w.poison_insert(c, a), "duplicate insert reports not-fresh");
+        w.poisoned[a as usize].push(c);
+        assert!(w.poison_contains(c, a));
+        assert!(!w.poison_is_empty(c));
+        // Inheritance: another consumer ORs c's mask in and the inverted
+        // list learns about it.
+        let d = w.idx_of(3).unwrap();
+        w.poison_inherit(d, c);
+        assert!(w.poison_contains(d, a));
+        assert_eq!(w.poisoned[a as usize], vec![c, d]);
+        // Removing and clearing.
+        w.poison_remove(c, a);
+        assert!(w.poison_is_empty(c));
+        w.poison_insert(d, b);
+        w.poison_clear(d);
+        assert!(w.poison_is_empty(d));
+    }
+
+    #[test]
+    fn completion_wheel_delivers_at_the_right_cycle_and_grows() {
+        let mut wh = CompletionWheel::new(4);
+        wh.schedule(0, Event { at: 3, idx: 1, gen: 0 });
+        wh.schedule(0, Event { at: 1000, idx: 2, gen: 0 }); // forces growth
+        wh.schedule(0, Event { at: 0, idx: 3, gen: 0 }); // due now → carry
+        let due = wh.take_due(0);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].idx, 3);
+        assert!(wh.take_due(1).is_empty());
+        assert!(wh.take_due(2).is_empty());
+        let due = wh.take_due(3);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].idx, 1);
+        for n in 4..1000 {
+            assert!(wh.take_due(n).is_empty(), "cycle {n}");
+        }
+        assert_eq!(wh.take_due(1000).len(), 1);
+        // Deferred events resurface next cycle.
+        wh.defer(Event { at: 1000, idx: 9, gen: 0 });
+        assert_eq!(wh.take_due(1001).len(), 1);
+    }
+
+    #[test]
+    fn b2b_matches_the_hashmap_semantics() {
+        let mut t = FetchB2b::new();
+        assert!(!t.fetched(0x40, 0), "first fetch is never back-to-back");
+        assert!(t.fetched(0x40, 1), "previous-cycle fetch matches");
+        assert!(!t.fetched(0x40, 1), "same-cycle refetch is not back-to-back");
+        assert!(t.fetched(0x40, 2));
+        assert!(!t.fetched(0x40, 4), "a gap cycle breaks the chain");
+        assert!(!t.fetched(0x80, 5), "different pc does not match");
+        assert!(t.fetched(0x40, 5), "0x40 was fetched in the previous cycle");
+        assert!(!t.fetched(0x40, 7), "two idle cycles break the chain");
+    }
+
+    #[test]
+    fn b2b_memory_stays_flat_on_endless_unique_pcs() {
+        // The old HashMap grew one entry per distinct PC; the ring must
+        // hold at most two fetch groups no matter how many PCs stream by.
+        let mut t = FetchB2b::new();
+        for cycle in 0..1_000_000u64 {
+            for lane in 0..8u64 {
+                t.fetched(0x1000 + cycle * 64 + lane * 8, cycle);
+            }
+            assert!(t.capacity() <= 16, "tracker grew: {}", t.capacity());
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! The zero-allocation invariant of the timing-model hot loop.
+//!
+//! After the slab-window refactor, every per-cycle structure the `Machine`
+//! touches — window slab, ready bitset, poison masks, completion wheel,
+//! wakeup/waiter lists, issue scratch, fetch ring — is allocated once and
+//! reused, so steady-state simulation performs **zero heap allocations per
+//! cycle**. This test enforces it with a counting global allocator and the
+//! `Simulator::run_source_marked` hook: allocations are counted only after
+//! the machine has committed a warm-up prefix (so one-time growth —
+//! wheel horizon, buffer capacities, predictor in-flight queues reaching
+//! their high-water mark — is excluded), exactly the "debug-assert
+//! allocation counter behind a test hook" the refactor promises.
+//!
+//! Scope: the no-VP core is strictly zero-alloc. With a value predictor
+//! attached, predictor-internal tables may still rehash, so the VP case
+//! asserts a near-zero bound per committed instruction rather than zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use vpsim_core::PredictorKind;
+use vpsim_isa::{Executor, ProgramBuilder, Reg, Trace};
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, Simulator, VpConfig};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+/// The counting allocator and `COUNTING` flag are process-global, so the
+/// tests in this binary must not overlap — a concurrent test's heap
+/// traffic would be charged to whichever window is armed. Every test
+/// takes this lock first (and survives a poisoned lock so one failure
+/// doesn't cascade).
+static SERIAL: Mutex<()> = Mutex::new(());
+
+fn serialize_test() -> MutexGuard<'static, ()> {
+    SERIAL.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// A loop with ALU chains, loads, stores and branches — every stage of the
+/// pipeline is exercised, with a memory footprint that is fully touched
+/// during the warm-up prefix.
+fn mixed_kernel() -> vpsim_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let (x, y, i, n, addr) = (Reg::int(1), Reg::int(5), Reg::int(2), Reg::int(3), Reg::int(4));
+    b.data(0x1000, 1);
+    b.load_imm(n, 1_000_000);
+    b.load_imm(addr, 0x1000);
+    let top = b.bind_label();
+    b.load(x, addr, 0);
+    b.addi(y, x, 1);
+    b.store(addr, y, 0);
+    b.addi(Reg::int(6), Reg::int(6), 3);
+    b.addi(Reg::int(7), Reg::int(6), 1);
+    b.addi(i, i, 1);
+    b.blt(i, n, top);
+    b.halt();
+    b.build().unwrap()
+}
+
+/// Run `config` on the mixed kernel, counting allocations only after
+/// `warm` committed instructions; returns allocations during the last
+/// `measured` committed instructions.
+fn allocations_in_steady_state(config: CoreConfig, warm: u64, measured: u64) -> u64 {
+    let program = mixed_kernel();
+    let sim = Simulator::new(config);
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    let mut armed = false;
+    sim.run_source_marked(Executor::new(&program), 0, warm + measured, warm, &mut || {
+        COUNTING.store(true, Ordering::SeqCst);
+        armed = true;
+    });
+    COUNTING.store(false, Ordering::SeqCst);
+    assert!(armed, "mark hook must fire");
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+#[test]
+fn no_vp_steady_state_is_allocation_free() {
+    let _serial = serialize_test();
+    // The inline executor writes to a fixed store footprint and the
+    // machine's scratch reaches its high-water mark well inside the
+    // warm-up, so the measured region must allocate nothing at all.
+    let allocs = allocations_in_steady_state(CoreConfig::default(), 60_000, 60_000);
+    assert_eq!(allocs, 0, "no-VP steady state must not allocate ({allocs} allocations)");
+}
+
+#[test]
+fn trace_replay_steady_state_is_allocation_free() {
+    let _serial = serialize_test();
+    // Replay is the sweep engine's hot path; it must be as clean as the
+    // inline path.
+    let program = mixed_kernel();
+    let sim = Simulator::new(CoreConfig::default());
+    let trace = Trace::capture(&program, sim.config().trace_budget(0, 120_000));
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    sim.run_source_marked(trace.cursor(), 0, 120_000, 60_000, &mut || {
+        COUNTING.store(true, Ordering::SeqCst);
+    });
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(allocs, 0, "replay steady state must not allocate ({allocs} allocations)");
+}
+
+#[test]
+fn vp_steady_state_allocations_are_bounded() {
+    let _serial = serialize_test();
+    // Predictor-internal structures (in-flight queues, speculative
+    // windows) stabilize after warm-up; the pipeline itself contributes
+    // nothing. Allow a tiny residue for predictor table management but
+    // fail loudly if per-cycle allocation ever creeps back in.
+    let config = CoreConfig::default()
+        .with_vp(VpConfig::enabled(PredictorKind::VtageStride, RecoveryPolicy::SquashAtCommit));
+    let measured = 60_000u64;
+    let allocs = allocations_in_steady_state(config, 60_000, measured);
+    assert!(
+        allocs * 1000 < measured,
+        "VP steady state allocates too much: {allocs} allocations / {measured} instructions"
+    );
+}
+
+#[test]
+fn selective_reissue_steady_state_allocations_are_bounded() {
+    let _serial = serialize_test();
+    // The reissue path exercises poison inheritance — formerly a Vec
+    // clone per issued µop — which must now be allocation-free.
+    let config = CoreConfig::default().with_vp(VpConfig::enabled(
+        PredictorKind::TwoDeltaStride,
+        RecoveryPolicy::SelectiveReissue,
+    ));
+    let measured = 60_000u64;
+    let allocs = allocations_in_steady_state(config, 60_000, measured);
+    assert!(
+        allocs * 1000 < measured,
+        "reissue steady state allocates too much: {allocs} allocations / {measured} instructions"
+    );
+}
