@@ -604,6 +604,20 @@ fn smoke() -> Scenario {
         .expect("valid preset")
 }
 
+/// Memory-stress CI grid: VTAGE on the cache-hostile workloads (the two
+/// memory-bound Table 3 analogues plus the pointer-chasing and blocked
+/// matmul microkernels), sized like `smoke` so the perf-smoke CI step stays
+/// cheap while exercising the LSQ and hierarchy hot paths.
+fn mem_smoke() -> Scenario {
+    Scenario::builder()
+        .warmup(2_000)
+        .measure(10_000)
+        .predictors(&[PredictorKind::Vtage])
+        .benchmarks(&["mcf", "art", "k:chase", "k:matmul"])
+        .build()
+        .expect("valid preset")
+}
+
 fn point(kind: PredictorKind, scheme: SchemeChoice, recovery: RecoveryPolicy) -> GridPoint {
     GridPoint { kind, scheme, recovery }
 }
@@ -790,6 +804,7 @@ const PRESETS: &[Preset] = &[
         paper_defaults,
     ),
     ("smoke", "tiny CI grid: VTAGE on gzip+mcf, 2k warm-up + 10k measured", smoke),
+    ("mem-smoke", "memory-stress CI grid: VTAGE on mcf/art/k:chase/k:matmul", mem_smoke),
     ("fig3", "oracle speedup upper bound (Figure 3)", fig3),
     ("fig4a", "squash-at-commit, baseline counters (Figure 4a)", fig4a),
     ("fig4b", "squash-at-commit, FPC (Figure 4b)", fig4b),

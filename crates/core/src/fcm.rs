@@ -128,11 +128,13 @@ impl FcmCore {
     /// Effective (speculative) history: in-flight folded elements overlay
     /// the committed VHT history, youngest first.
     fn effective_hist(&self, pc: u64, committed: &[u16; ORDER]) -> [u16; ORDER] {
-        let spec = self.spec_hist.recent(pc, ORDER);
         let mut hist = [0u16; ORDER];
-        for i in 0..ORDER {
-            hist[i] = if i < spec.len() { spec[i] as u16 } else { committed[i - spec.len()] };
+        let mut k = 0;
+        for v in self.spec_hist.recent_iter(pc, ORDER) {
+            hist[k] = v as u16;
+            k += 1;
         }
+        hist[k..ORDER].copy_from_slice(&committed[..ORDER - k]);
         hist
     }
 

@@ -66,17 +66,27 @@ pub fn fold(hist: u128, len: u32, out_bits: u32) -> u64 {
     if len == 0 {
         return 0;
     }
-    let kept = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
-    let mask = (1u128 << out_bits) - 1;
-    let mut acc = 0u128;
-    let mut rest = kept;
-    let mut remaining = len;
-    while remaining > 0 {
-        acc ^= rest & mask;
-        rest >>= out_bits;
-        remaining = remaining.saturating_sub(out_bits);
+    let mask = (1u64 << out_bits) - 1;
+    // Chunks past the last set bit XOR in zeros, so both loops may stop at
+    // `rest == 0`; histories up to 64 bits (most components) fold in
+    // native-width arithmetic.
+    if len <= 64 {
+        let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
+        let mut rest = (hist as u64) & keep;
+        let mut acc = 0u64;
+        while rest != 0 {
+            acc ^= rest & mask;
+            rest >>= out_bits;
+        }
+        return acc;
     }
-    (acc & mask) as u64
+    let mut rest = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+    let mut acc = 0u64;
+    while rest != 0 {
+        acc ^= (rest as u64) & mask;
+        rest >>= out_bits;
+    }
+    acc
 }
 
 /// Fold a 64-bit value onto itself to 16 bits (the paper's o4-FCM history

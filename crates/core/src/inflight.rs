@@ -158,10 +158,13 @@ impl SpecWindow {
 
     /// Up to `n` youngest speculative values for `pc`, **youngest first**.
     pub fn recent(&self, pc: u64, n: usize) -> Vec<u64> {
-        match self.by_pc.get(&pc) {
-            Some(q) => q.iter().rev().take(n).map(|&(_, v)| v).collect(),
-            None => Vec::new(),
-        }
+        self.recent_iter(pc, n).collect()
+    }
+
+    /// Allocation-free variant of [`SpecWindow::recent`] for per-predict
+    /// hot paths.
+    pub fn recent_iter(&self, pc: u64, n: usize) -> impl Iterator<Item = u64> + '_ {
+        self.by_pc.get(&pc).into_iter().flat_map(move |q| q.iter().rev().take(n).map(|&(_, v)| v))
     }
 
     /// Retire every record with `seq <= upto` (their instructions have
@@ -172,9 +175,9 @@ impl SpecWindow {
             let q = self.by_pc.get_mut(&pc).expect("log/by_pc in sync");
             let (front_seq, _) = q.pop_front().expect("log/by_pc in sync");
             debug_assert_eq!(front_seq, seq);
-            if q.is_empty() {
-                self.by_pc.remove(&pc);
-            }
+            // Emptied queues stay cached: the same static instruction will
+            // predict again, and dropping the entry would re-pay the hash
+            // insert and the queue's heap allocation every occurrence.
         }
     }
 
@@ -185,9 +188,6 @@ impl SpecWindow {
             let q = self.by_pc.get_mut(&pc).expect("log/by_pc in sync");
             let (back_seq, _) = q.pop_back().expect("log/by_pc in sync");
             debug_assert_eq!(back_seq, s);
-            if q.is_empty() {
-                self.by_pc.remove(&pc);
-            }
         }
     }
 

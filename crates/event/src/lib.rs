@@ -1,0 +1,362 @@
+//! The shared discrete-event core of the simulator: two drain disciplines
+//! over the same "payload due at an absolute cycle" abstraction
+//! ([`Timed`]), factored out of the cycle-level core so the pipeline and
+//! the memory hierarchy schedule completions on one substrate.
+//!
+//! * [`TimingWheel`] — the **dense** discipline: events bucketed by cycle
+//!   in a power-of-two ring that grows to the largest in-flight latency.
+//!   The consumer drains one bucket per cycle (`take_due`), so a cycle
+//!   with nothing due costs one empty-bucket probe. This is the engine
+//!   behind the pipeline's completion stage (`vpsim-uarch`), where some
+//!   event is due almost every cycle.
+//! * [`EventSet`] — the **sparse** discipline: a flat list of in-flight
+//!   events behind a `next_due` watermark. Expiry is O(1) while nothing is
+//!   due — the common case for MSHR files, where a query-driven model
+//!   touches the set on *accesses* (thousands of cycles apart under cache
+//!   hits), not cycles. The list doubles as the registry of in-flight
+//!   payloads (an MSHR's outstanding misses), so membership queries walk
+//!   the same storage the completions are scheduled in.
+//!
+//! Both structures allocate only at construction/high-water growth and
+//! reuse their buffers afterwards, preserving the zero-allocation
+//! steady-state discipline of the hot loops that embed them
+//! (`crates/uarch/tests/zero_alloc.rs`).
+
+#![warn(missing_docs)]
+
+/// A payload schedulable on the event core: anything that knows the
+/// absolute cycle it becomes due.
+pub trait Timed {
+    /// The absolute cycle at which this event fires.
+    fn due_at(&self) -> u64;
+}
+
+/// Events bucketed by cycle — a timing wheel (the dense discipline).
+///
+/// The wheel grows to the largest in-flight latency (power of two), so a
+/// bucket only ever holds events for one cycle. `carry` holds events that
+/// were due but deferred: scheduled at or before the current cycle, or
+/// postponed by the consumer mid-drain ([`TimingWheel::defer`]).
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_event::{Timed, TimingWheel};
+///
+/// #[derive(Clone, Copy)]
+/// struct Fill(u64);
+/// impl Timed for Fill {
+///     fn due_at(&self) -> u64 {
+///         self.0
+///     }
+/// }
+///
+/// let mut wheel = TimingWheel::new(16);
+/// wheel.schedule(0, Fill(3));
+/// assert!(wheel.take_due(2).is_empty());
+/// let due = wheel.take_due(3);
+/// assert_eq!(due.len(), 1);
+/// wheel.recycle(due);
+/// ```
+#[derive(Debug)]
+pub struct TimingWheel<E> {
+    buckets: Vec<Vec<E>>,
+    carry: Vec<E>,
+    due: Vec<E>,
+}
+
+impl<E: Timed + Copy> TimingWheel<E> {
+    /// A wheel with an initial horizon of `horizon` cycles (rounded up to
+    /// a power of two; grows on demand).
+    pub fn new(horizon: usize) -> Self {
+        let n = horizon.next_power_of_two().max(64);
+        TimingWheel { buckets: vec![Vec::new(); n], carry: Vec::new(), due: Vec::new() }
+    }
+
+    /// Schedule `ev` for cycle `ev.due_at()`; events due at or before
+    /// `now` land in the carry list and are processed next cycle (a
+    /// same-cycle completion is never visible to the cycle that issued it).
+    pub fn schedule(&mut self, now: u64, ev: E) {
+        let at = ev.due_at();
+        if at <= now {
+            self.carry.push(ev);
+            return;
+        }
+        let dist = (at - now) as usize;
+        if dist >= self.buckets.len() {
+            self.grow(now, dist);
+        }
+        let slot = (at as usize) & (self.buckets.len() - 1);
+        self.buckets[slot].push(ev);
+    }
+
+    fn grow(&mut self, now: u64, dist: usize) {
+        let new_len = (dist + 1).next_power_of_two();
+        let mut buckets = vec![Vec::new(); new_len];
+        for old in &mut self.buckets {
+            for ev in old.drain(..) {
+                debug_assert!(ev.due_at() > now);
+                buckets[(ev.due_at() as usize) & (new_len - 1)].push(ev);
+            }
+        }
+        self.buckets = buckets;
+    }
+
+    /// Drain everything due at `now` (this cycle's bucket plus the carry
+    /// list) into the reusable due buffer and hand it out by value; return
+    /// it with [`TimingWheel::recycle`] to keep its capacity.
+    pub fn take_due(&mut self, now: u64) -> Vec<E> {
+        self.due.clear();
+        let slot = (now as usize) & (self.buckets.len() - 1);
+        for ev in self.buckets[slot].drain(..) {
+            debug_assert_eq!(ev.due_at(), now, "wheel lap: event outlived its bucket");
+            self.due.push(ev);
+        }
+        self.due.append(&mut self.carry);
+        std::mem::take(&mut self.due)
+    }
+
+    /// Return the buffer [`TimingWheel::take_due`] handed out, so its
+    /// capacity is reused next cycle (zero-allocation steady state).
+    pub fn recycle(&mut self, due: Vec<E>) {
+        self.due = due;
+    }
+
+    /// Defer a due event to the next cycle (the consumer aborted its drain
+    /// pass before reaching it).
+    pub fn defer(&mut self, ev: E) {
+        self.carry.push(ev);
+    }
+
+    /// The earliest cycle `>= now` at which [`TimingWheel::take_due`]
+    /// would return anything, or `None` when the wheel is empty. Carried
+    /// events surface at the next drain, so a non-empty carry list reports
+    /// `now` itself. Every scheduled event lies within one lap of `now`
+    /// (the wheel grows at schedule time), so the first non-empty bucket
+    /// in a forward ring scan is exact, and the scan costs at most the
+    /// distance to the next event — the consumer's license to fast-forward
+    /// idle cycles instead of draining empty buckets one by one.
+    pub fn next_due_at_or_after(&self, now: u64) -> Option<u64> {
+        if !self.carry.is_empty() {
+            return Some(now);
+        }
+        let len = self.buckets.len();
+        (0..len as u64)
+            .find(|&k| !self.buckets[(now.wrapping_add(k) as usize) & (len - 1)].is_empty())
+            .map(|k| now + k)
+    }
+}
+
+/// A flat set of in-flight events behind a `next_due` watermark — the
+/// sparse discipline.
+///
+/// Designed for query-driven models (MSHR files, writeback queues) where
+/// the set is small and bounded, consulted on *accesses* rather than every
+/// cycle, and "nothing due yet" must cost O(1): [`EventSet::expire`]
+/// returns immediately while `now` is below the watermark and compacts the
+/// list (recomputing the watermark) only when something actually fired.
+/// The live entries stay iterable ([`EventSet::iter`]) so the set doubles
+/// as the registry of outstanding payloads.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_event::{EventSet, Timed};
+///
+/// #[derive(Clone, Copy)]
+/// struct Miss {
+///     line: u64,
+///     ready: u64,
+/// }
+/// impl Timed for Miss {
+///     fn due_at(&self) -> u64 {
+///         self.ready
+///     }
+/// }
+///
+/// let mut set = EventSet::with_capacity(4);
+/// set.push(Miss { line: 0x40, ready: 100 });
+/// assert_eq!(set.next_due(), Some(100));
+/// set.expire(99); // O(1): below the watermark
+/// assert_eq!(set.len(), 1);
+/// set.expire(100);
+/// assert!(set.is_empty());
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventSet<E> {
+    events: Vec<E>,
+    /// Earliest `due_at` among live entries; `u64::MAX` when empty.
+    next_due: u64,
+}
+
+impl<E: Timed> EventSet<E> {
+    /// An empty set preallocated for `capacity` in-flight events (the set
+    /// itself does not enforce the bound; embedders like an MSHR file do).
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventSet { events: Vec::with_capacity(capacity), next_due: u64::MAX }
+    }
+
+    /// Add an in-flight event, advancing the watermark if it is the new
+    /// earliest completion.
+    pub fn push(&mut self, ev: E) {
+        self.next_due = self.next_due.min(ev.due_at());
+        self.events.push(ev);
+    }
+
+    /// Drop every event due at or before `now`. O(1) while `now` is below
+    /// the watermark; otherwise compacts in place (order-preserving, no
+    /// allocation) and recomputes the watermark.
+    pub fn expire(&mut self, now: u64) {
+        if now < self.next_due {
+            return;
+        }
+        let mut min = u64::MAX;
+        self.events.retain(|e| {
+            let due = e.due_at();
+            if due > now {
+                min = min.min(due);
+                true
+            } else {
+                false
+            }
+        });
+        self.next_due = min;
+    }
+
+    /// The earliest completion among live events, or `None` when empty.
+    pub fn next_due(&self) -> Option<u64> {
+        (!self.events.is_empty()).then_some(self.next_due)
+    }
+
+    /// Iterate the live events (insertion order).
+    pub fn iter(&self) -> std::slice::Iter<'_, E> {
+        self.events.iter()
+    }
+
+    /// Number of live events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+impl<'a, E: Timed> IntoIterator for &'a EventSet<E> {
+    type Item = &'a E;
+    type IntoIter = std::slice::Iter<'a, E>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Ev {
+        at: u64,
+        id: u32,
+    }
+
+    impl Timed for Ev {
+        fn due_at(&self) -> u64 {
+            self.at
+        }
+    }
+
+    #[test]
+    fn wheel_delivers_at_the_right_cycle_and_grows() {
+        let mut wh = TimingWheel::new(4);
+        wh.schedule(0, Ev { at: 3, id: 1 });
+        wh.schedule(0, Ev { at: 1000, id: 2 }); // forces growth
+        wh.schedule(0, Ev { at: 0, id: 3 }); // due now → carry
+        let due = wh.take_due(0);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].id, 3);
+        assert!(wh.take_due(1).is_empty());
+        assert!(wh.take_due(2).is_empty());
+        let due = wh.take_due(3);
+        assert_eq!(due.len(), 1);
+        assert_eq!(due[0].id, 1);
+        for n in 4..1000 {
+            assert!(wh.take_due(n).is_empty(), "cycle {n}");
+        }
+        assert_eq!(wh.take_due(1000).len(), 1);
+        // Deferred events resurface next cycle.
+        wh.defer(Ev { at: 1000, id: 9 });
+        assert_eq!(wh.take_due(1001).len(), 1);
+    }
+
+    #[test]
+    fn wheel_reports_the_next_due_cycle_exactly() {
+        let mut wh = TimingWheel::new(8);
+        assert_eq!(wh.next_due_at_or_after(0), None, "empty wheel has nothing due");
+        wh.schedule(10, Ev { at: 17, id: 1 });
+        wh.schedule(10, Ev { at: 300, id: 2 });
+        assert_eq!(wh.next_due_at_or_after(11), Some(17));
+        assert_eq!(wh.next_due_at_or_after(17), Some(17), "due now is reported as now");
+        assert_eq!(wh.take_due(17).len(), 1);
+        assert_eq!(wh.next_due_at_or_after(18), Some(300), "scan crosses the grown ring");
+        // A deferred event is due at the very next drain.
+        wh.defer(Ev { at: 17, id: 3 });
+        assert_eq!(wh.next_due_at_or_after(18), Some(18));
+    }
+
+    #[test]
+    fn wheel_recycled_buffer_keeps_capacity() {
+        let mut wh = TimingWheel::new(8);
+        for id in 0..32 {
+            wh.schedule(0, Ev { at: 5, id });
+        }
+        let due = wh.take_due(5);
+        assert_eq!(due.len(), 32);
+        let cap = due.capacity();
+        wh.recycle(due);
+        assert!(wh.take_due(6).capacity() >= cap, "recycled buffer lost its capacity");
+    }
+
+    #[test]
+    fn set_expire_is_gated_by_the_watermark() {
+        let mut s = EventSet::with_capacity(4);
+        s.push(Ev { at: 50, id: 1 });
+        s.push(Ev { at: 30, id: 2 });
+        s.push(Ev { at: 90, id: 3 });
+        assert_eq!(s.next_due(), Some(30));
+        s.expire(29);
+        assert_eq!(s.len(), 3, "nothing due yet");
+        s.expire(50);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.next_due(), Some(90), "watermark recomputed after compaction");
+        s.expire(90);
+        assert!(s.is_empty());
+        assert_eq!(s.next_due(), None);
+    }
+
+    #[test]
+    fn set_preserves_insertion_order_across_expiry() {
+        let mut s = EventSet::with_capacity(4);
+        for (at, id) in [(10, 1), (99, 2), (10, 3), (99, 4)] {
+            s.push(Ev { at, id });
+        }
+        s.expire(10);
+        let ids: Vec<u32> = s.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn set_push_after_expiry_restores_the_watermark() {
+        let mut s = EventSet::with_capacity(2);
+        s.push(Ev { at: 10, id: 1 });
+        s.expire(10);
+        assert!(s.is_empty());
+        s.push(Ev { at: 7, id: 2 });
+        assert_eq!(s.next_due(), Some(7));
+        s.expire(7);
+        assert!(s.is_empty());
+    }
+}

@@ -78,7 +78,13 @@ pub struct AccessResult {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines in one contiguous slab, `ways` per set: one bounds-checked
+    /// slice per access instead of a per-set heap allocation, and the
+    /// geometry divisions fold into the precomputed shifts below.
+    lines: Vec<Line>,
+    line_shift: u32,
+    set_mask: u64,
+    tag_shift: u32,
     tick: u64,
 }
 
@@ -90,7 +96,14 @@ impl Cache {
     /// Panics if the geometry is inconsistent (non-power-of-two sets/lines).
     pub fn new(config: CacheConfig) -> Self {
         config.validate();
-        Cache { sets: vec![vec![Line::default(); config.ways]; config.sets()], config, tick: 0 }
+        Cache {
+            lines: vec![Line::default(); config.sets() * config.ways],
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: (config.sets() - 1) as u64,
+            tag_shift: config.sets().trailing_zeros(),
+            config,
+            tick: 0,
+        }
     }
 
     /// The geometry.
@@ -99,10 +112,17 @@ impl Cache {
     }
 
     fn set_and_tag(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_bytes as u64;
-        let set = (line as usize) & (self.config.sets() - 1);
-        let tag = line >> self.config.sets().trailing_zeros();
-        (set, tag)
+        let line = addr >> self.line_shift;
+        ((line & self.set_mask) as usize, line >> self.tag_shift)
+    }
+
+    fn set(&self, set: usize) -> &[Line] {
+        &self.lines[set * self.config.ways..(set + 1) * self.config.ways]
+    }
+
+    fn set_mut(&mut self, set: usize) -> &mut [Line] {
+        let w = self.config.ways;
+        &mut self.lines[set * w..(set + 1) * w]
     }
 
     /// Demand access. Updates LRU and the dirty bit on hit; misses change
@@ -111,9 +131,10 @@ impl Cache {
     pub fn access(&mut self, addr: u64, is_write: bool) -> AccessResult {
         self.tick += 1;
         let (set, tag) = self.set_and_tag(addr);
-        for line in &mut self.sets[set] {
+        let tick = self.tick;
+        for line in self.set_mut(set) {
             if line.valid && line.tag == tag {
-                line.stamp = self.tick;
+                line.stamp = tick;
                 line.dirty |= is_write;
                 let was_prefetch = line.prefetched;
                 line.prefetched = false;
@@ -126,7 +147,7 @@ impl Cache {
     /// Check for presence without disturbing LRU or prefetch state.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.set_and_tag(addr);
-        self.sets[set].iter().any(|l| l.valid && l.tag == tag)
+        self.set(set).iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Install the line containing `addr`, evicting LRU if needed.
@@ -135,11 +156,13 @@ impl Cache {
     /// accounting).
     pub fn fill(&mut self, addr: u64, prefetch: bool) -> Option<u64> {
         self.tick += 1;
+        let tick = self.tick;
         let (set, tag) = self.set_and_tag(addr);
-        let ways = &mut self.sets[set];
+        let (line_shift, tag_shift) = (self.line_shift, self.tag_shift);
+        let ways = self.set_mut(set);
         // Already present (e.g. a demand fill raced a prefetch): refresh.
         if let Some(line) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
-            line.stamp = self.tick;
+            line.stamp = tick;
             return None;
         }
         let victim = match ways.iter().position(|l| !l.valid) {
@@ -151,14 +174,12 @@ impl Cache {
             }
         };
         let evicted = if ways[victim].valid && ways[victim].dirty {
-            let sets_bits = self.config.sets().trailing_zeros();
-            let line_no = (ways[victim].tag << sets_bits) | set as u64;
-            Some(line_no * self.config.line_bytes as u64)
+            let line_no = (ways[victim].tag << tag_shift) | set as u64;
+            Some(line_no << line_shift)
         } else {
             None
         };
-        ways[victim] =
-            Line { valid: true, tag, dirty: false, stamp: self.tick, prefetched: prefetch };
+        ways[victim] = Line { valid: true, tag, dirty: false, stamp: tick, prefetched: prefetch };
         evicted
     }
 

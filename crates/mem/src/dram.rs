@@ -117,8 +117,12 @@ impl Dram {
         let done = start + latency;
         bank.open_row = Some(row);
         // The bank is occupied until slightly before data completes (the
-        // burst overlaps the next command's lead-in).
-        bank.busy_until = done.saturating_sub(c.burst / 2);
+        // burst overlaps the next command's lead-in). Expressed as service
+        // time from `start`, not a clamp on `done`: every latency includes
+        // a full burst, so the occupancy is always positive and a request
+        // at cycle 0 holds the bank exactly as long as one at any other
+        // epoch.
+        bank.busy_until = start + (latency - c.burst / 2);
         done
     }
 }
@@ -157,6 +161,28 @@ mod tests {
         // Back-to-back same-row request at cycle 0 must wait for the bank.
         let t2 = d.access(64, 0);
         assert!(t2 > t1 - 20, "second access queues behind the first");
+    }
+
+    #[test]
+    fn back_to_back_occupancy_is_exact_even_at_cycle_zero() {
+        let c = DramConfig::default();
+        let mut d = Dram::new(c);
+        // Closed-bank activate at cycle 0: data at tRCD + CL + burst = 130,
+        // bank occupied for the full service time minus the burst overlap
+        // (130 - 10 = 120) — the cycle-0 epoch gets no discount.
+        let t1 = d.access(0, 0);
+        assert_eq!(t1, 130);
+        // Same-row follow-up issued immediately: starts when the bank
+        // frees at 120, row hit costs 75 → data at 195.
+        let t2 = d.access(64, 0);
+        assert_eq!(t2, 195);
+        // The same pair shifted to a late epoch sees identical spacing.
+        let mut d2 = Dram::new(c);
+        let base = 1_000_000;
+        let u1 = d2.access(0, base);
+        let u2 = d2.access(64, base);
+        assert_eq!(u1 - base, t1);
+        assert_eq!(u2 - base, t2, "occupancy must be epoch-invariant");
     }
 
     #[test]

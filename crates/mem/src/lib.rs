@@ -12,7 +12,10 @@
 //! The composed [`MemoryHierarchy`] exposes three timed operations —
 //! [`MemoryHierarchy::fetch_inst`], [`MemoryHierarchy::load`] and
 //! [`MemoryHierarchy::store`] — that map a `(address, cycle)` pair to the
-//! data-ready cycle.
+//! data-ready cycle. In-flight fills live on the shared event core
+//! (`vpsim-event`): each [`MshrFile`] is a watermark-gated event set, so
+//! a query cycle with nothing due costs a single comparison and idle
+//! state costs no work at all.
 //!
 //! # Examples
 //!
@@ -36,4 +39,4 @@ pub use cache::{AccessResult, Cache, CacheConfig};
 pub use dram::{Dram, DramConfig};
 pub use hierarchy::{MemoryConfig, MemoryHierarchy};
 pub use mshr::MshrFile;
-pub use prefetch::StridePrefetcher;
+pub use prefetch::{PrefetchBatch, StridePrefetcher};

@@ -4,8 +4,27 @@
 //! already outstanding merge into the existing entry (they complete when
 //! the first fill returns); when all MSHRs are busy a new miss must wait
 //! for the earliest completion.
+//!
+//! The file is an [`EventSet`] of in-flight fills: expiry is O(1) while no
+//! fill is due (the watermark equals the earliest completion), membership
+//! and merge queries walk the same small flat list the completions are
+//! scheduled in, and — unlike the `HashMap` this replaces — the steady
+//! state never rehashes or allocates.
 
-use std::collections::HashMap;
+use vpsim_event::{EventSet, Timed};
+
+/// One outstanding miss: the line being filled and its completion cycle.
+#[derive(Debug, Clone, Copy)]
+struct Miss {
+    line: u64,
+    ready: u64,
+}
+
+impl Timed for Miss {
+    fn due_at(&self) -> u64 {
+        self.ready
+    }
+}
 
 /// A finite file of miss status holding registers.
 ///
@@ -23,7 +42,7 @@ use std::collections::HashMap;
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
-    outstanding: HashMap<u64, u64>, // line addr -> fill cycle
+    outstanding: EventSet<Miss>,
 }
 
 impl MshrFile {
@@ -34,17 +53,18 @@ impl MshrFile {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        MshrFile { capacity, outstanding: HashMap::with_capacity(capacity) }
+        MshrFile { capacity, outstanding: EventSet::with_capacity(capacity) }
     }
 
-    /// Drop entries whose fill has completed by `now`.
+    /// Drop entries whose fill has completed by `now`. O(1) while the
+    /// earliest outstanding fill is still in the future.
     pub fn expire(&mut self, now: u64) {
-        self.outstanding.retain(|_, &mut ready| ready > now);
+        self.outstanding.expire(now);
     }
 
     /// Fill cycle of an outstanding miss on `line_addr`, if any (merge).
     pub fn lookup(&self, line_addr: u64) -> Option<u64> {
-        self.outstanding.get(&line_addr).copied()
+        self.outstanding.iter().find(|m| m.line == line_addr).map(|m| m.ready)
     }
 
     /// `true` if a new miss can allocate right now.
@@ -55,7 +75,7 @@ impl MshrFile {
     /// The earliest completion among outstanding misses (when a full file
     /// frees up), or `None` if empty.
     pub fn earliest_completion(&self) -> Option<u64> {
-        self.outstanding.values().copied().min()
+        self.outstanding.next_due()
     }
 
     /// Record a new outstanding miss completing at `fill_cycle`.
@@ -66,8 +86,8 @@ impl MshrFile {
     /// callers must check [`MshrFile::has_free`] / [`MshrFile::lookup`].
     pub fn allocate(&mut self, line_addr: u64, fill_cycle: u64) {
         assert!(self.has_free(), "MSHR file full");
-        let prev = self.outstanding.insert(line_addr, fill_cycle);
-        assert!(prev.is_none(), "line already outstanding");
+        assert!(self.lookup(line_addr).is_none(), "line already outstanding");
+        self.outstanding.push(Miss { line: line_addr, ready: fill_cycle });
     }
 
     /// Number of outstanding misses.
@@ -130,5 +150,18 @@ mod tests {
         let m = MshrFile::new(2);
         assert!(m.is_empty());
         assert_eq!(m.earliest_completion(), None);
+    }
+
+    #[test]
+    fn merged_lines_expire_together_and_watermark_tracks_the_min() {
+        let mut m = MshrFile::new(3);
+        m.allocate(0x00, 90);
+        m.allocate(0x40, 30);
+        m.allocate(0x80, 50);
+        assert_eq!(m.earliest_completion(), Some(30));
+        m.expire(30);
+        assert_eq!(m.lookup(0x40), None);
+        assert_eq!(m.earliest_completion(), Some(50), "min recomputed after expiry");
+        assert_eq!(m.len(), 2);
     }
 }

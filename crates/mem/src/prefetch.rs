@@ -5,6 +5,14 @@
 //! the L2 access stream; once a stride is confirmed twice, each training
 //! access emits up to `degree` prefetch addresses starting `distance`
 //! strides ahead.
+//!
+//! Strides are tracked as `u64` two's-complement deltas: descending
+//! streams are just large wrapping deltas, so confirmation compares and
+//! target generation multiply in the same modulo-2⁶⁴ arithmetic the
+//! address space uses. (The previous `i64` representation computed the
+//! same targets in release builds but could trip debug overflow checks on
+//! streams crossing the sign boundary.) Targets come back as a
+//! [`PrefetchBatch`] — a counted iterator, not an allocated `Vec`.
 
 /// Per-PC stride detector driving L2 prefetches.
 ///
@@ -15,7 +23,7 @@
 /// let mut p = StridePrefetcher::with_defaults();
 /// assert!(p.train(0x40, 0x1000).is_empty());
 /// assert!(p.train(0x40, 0x1040).is_empty()); // first stride observed
-/// let prefetches = p.train(0x40, 0x1080);    // stride confirmed
+/// let prefetches: Vec<u64> = p.train(0x40, 0x1080).collect(); // confirmed
 /// assert_eq!(prefetches.len(), 8);
 /// assert_eq!(prefetches[0], 0x10C0);
 /// ```
@@ -32,9 +40,59 @@ struct Entry {
     valid: bool,
     tag: u32,
     last_addr: u64,
-    stride: i64,
+    /// Two's-complement address delta (a descending stream wraps).
+    stride: u64,
     confirmed: u8, // 0..=2
 }
+
+/// The prefetch targets one training access emits: `len()` addresses each
+/// one stride apart, starting `distance` strides past the trigger.
+///
+/// Yields addresses lazily (wrapping modulo-2⁶⁴ steps) so the hierarchy's
+/// issue loop consumes them without a per-access heap allocation.
+#[derive(Debug, Clone, Copy)]
+pub struct PrefetchBatch {
+    next: u64,
+    stride: u64,
+    remaining: u32,
+}
+
+impl PrefetchBatch {
+    /// A batch yielding nothing (no stride confirmed yet).
+    fn empty() -> Self {
+        PrefetchBatch { next: 0, stride: 0, remaining: 0 }
+    }
+
+    /// Number of addresses left to yield.
+    pub fn len(&self) -> usize {
+        self.remaining as usize
+    }
+
+    /// `true` when this access triggers no prefetches.
+    pub fn is_empty(&self) -> bool {
+        self.remaining == 0
+    }
+}
+
+impl Iterator for PrefetchBatch {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let addr = self.next;
+        self.next = self.next.wrapping_add(self.stride);
+        self.remaining -= 1;
+        Some(addr)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.len(), Some(self.len()))
+    }
+}
+
+impl ExactSizeIterator for PrefetchBatch {}
 
 impl StridePrefetcher {
     /// The paper's configuration: degree 8, distance 1, 256-entry table.
@@ -60,17 +118,17 @@ impl StridePrefetcher {
 
     /// Observe a demand access from instruction `pc` to `addr`; returns the
     /// prefetch addresses to issue (empty until a stride is confirmed).
-    pub fn train(&mut self, pc: u64, addr: u64) -> Vec<u64> {
+    pub fn train(&mut self, pc: u64, addr: u64) -> PrefetchBatch {
         let index = ((pc >> 2) & ((1 << self.index_bits) - 1)) as usize;
         let tag = (pc >> (2 + self.index_bits)) as u32;
         let e = &mut self.table[index];
         if !e.valid || e.tag != tag {
             *e = Entry { valid: true, tag, last_addr: addr, stride: 0, confirmed: 0 };
-            return Vec::new();
+            return PrefetchBatch::empty();
         }
-        let stride = addr.wrapping_sub(e.last_addr) as i64;
+        let stride = addr.wrapping_sub(e.last_addr);
         if stride == 0 {
-            return Vec::new(); // same line re-touch: nothing to learn
+            return PrefetchBatch::empty(); // same line re-touch: nothing to learn
         }
         if stride == e.stride {
             e.confirmed = (e.confirmed + 1).min(2);
@@ -80,11 +138,13 @@ impl StridePrefetcher {
         }
         e.last_addr = addr;
         if e.confirmed < 2 {
-            return Vec::new();
+            return PrefetchBatch::empty();
         }
-        (0..self.degree as u64)
-            .map(|k| addr.wrapping_add((e.stride * (self.distance + k) as i64) as u64))
-            .collect()
+        PrefetchBatch {
+            next: addr.wrapping_add(e.stride.wrapping_mul(self.distance)),
+            stride: e.stride,
+            remaining: self.degree as u32,
+        }
     }
 }
 
@@ -97,7 +157,7 @@ mod tests {
         let mut p = StridePrefetcher::with_defaults();
         assert!(p.train(0x10, 1000).is_empty());
         assert!(p.train(0x10, 1100).is_empty());
-        let pf = p.train(0x10, 1200);
+        let pf: Vec<u64> = p.train(0x10, 1200).collect();
         assert_eq!(pf.len(), 8);
         assert_eq!(pf[0], 1300);
         assert_eq!(pf[7], 2000);
@@ -108,8 +168,37 @@ mod tests {
         let mut p = StridePrefetcher::with_defaults();
         p.train(0x10, 2000);
         p.train(0x10, 1900);
-        let pf = p.train(0x10, 1800);
+        let pf: Vec<u64> = p.train(0x10, 1800).collect();
         assert_eq!(pf[0], 1700);
+        assert_eq!(pf[7], 1000, "the whole batch descends by one stride per step");
+    }
+
+    #[test]
+    fn descending_stream_through_zero_wraps_cleanly() {
+        // A descending stream whose targets cross address 0: the wrapping
+        // u64 stride math must neither panic (the old i64 representation
+        // tripped debug overflow checks here) nor bend the stride.
+        let mut p = StridePrefetcher::with_defaults();
+        p.train(0x10, 300);
+        p.train(0x10, 200);
+        let pf: Vec<u64> = p.train(0x10, 100).collect();
+        assert_eq!(pf[0], 0);
+        assert_eq!(pf[1], 0u64.wrapping_sub(100));
+        assert_eq!(pf[7], 0u64.wrapping_sub(700));
+    }
+
+    #[test]
+    fn stream_wrapping_the_address_space_keeps_its_stride() {
+        // Strides near the top of the address space: deltas that would
+        // overflow i64 still confirm and extrapolate modulo 2^64.
+        let top = u64::MAX - 100;
+        let mut p = StridePrefetcher::with_defaults();
+        p.train(0x10, top);
+        p.train(0x10, top.wrapping_add(64));
+        let pf: Vec<u64> = p.train(0x10, top.wrapping_add(128)).collect();
+        assert_eq!(pf.len(), 8);
+        assert_eq!(pf[0], top.wrapping_add(192));
+        assert_eq!(pf[7], top.wrapping_add(192 + 7 * 64), "wrapped past zero");
     }
 
     #[test]
@@ -131,8 +220,8 @@ mod tests {
             p.train(0x10, k * 64);
             p.train(0x20, 100_000 - k * 128);
         }
-        let a = p.train(0x10, 3 * 64);
-        let b = p.train(0x20, 100_000 - 3 * 128);
+        let a: Vec<u64> = p.train(0x10, 3 * 64).collect();
+        let b: Vec<u64> = p.train(0x20, 100_000 - 3 * 128).collect();
         assert_eq!(a[0], 4 * 64);
         assert_eq!(b[0], 100_000 - 4 * 128);
     }
@@ -155,5 +244,18 @@ mod tests {
         assert!(p.train(conflicting, 0).is_empty());
         // Original pc must start over.
         assert!(p.train(0x0, 128).is_empty());
+    }
+
+    #[test]
+    fn batch_reports_its_length_exactly() {
+        let mut p = StridePrefetcher::new(16, 4, 2);
+        p.train(0x10, 0x1000);
+        p.train(0x10, 0x1040);
+        let batch = p.train(0x10, 0x1080);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch.size_hint(), (4, Some(4)));
+        let targets: Vec<u64> = batch.collect();
+        // Distance 2: first target is two strides past the trigger.
+        assert_eq!(targets, vec![0x1100, 0x1140, 0x1180, 0x11C0]);
     }
 }

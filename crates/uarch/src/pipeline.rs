@@ -407,6 +407,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             if self.w.is_empty() && self.refetch.is_empty() && self.source_done {
                 break;
             }
+            self.idle_skip();
             let committed_before = self.counters.committed;
             self.commit();
             if self.counters.committed == committed_before {
@@ -513,6 +514,97 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.refetch.len(),
             self.fetch_blocked_on,
         )
+    }
+
+    // ----- idle fast-forward -----
+
+    /// Jump the clock across provably-dead cycles.
+    ///
+    /// A cycle does work only if some stage can make progress: commit needs
+    /// a completed ROB head, complete/issue need a due wheel event or a
+    /// ready µop, dispatch needs an arrived front-end µop plus free
+    /// resources, and fetch needs to be unblocked. When every stage is
+    /// blocked, the earliest cycle anything changes is bounded by the next
+    /// completion-wheel event (all wakeups — completions, fills, branch
+    /// resolutions — ride on it), the head front-end µop's decode exit, or
+    /// a fetch redirect's resume cycle. Skip straight there, batching the
+    /// per-cycle stall counters the skipped cycles would have incremented,
+    /// so every counter stays byte-identical to cycle-by-cycle execution.
+    fn idle_skip(&mut self) {
+        // Commit is blocked only when a non-completed head wedges the ROB;
+        // an empty window means fetch still has work, so fall through.
+        match self.w.front() {
+            Some(front) if self.w.state[front as usize] != Stage::Completed => {}
+            _ => return,
+        }
+        // Issue: nothing is ready now, and nothing becomes ready except
+        // through a wheel event (producer completion, fill, resolution).
+        if !self.w.ready_is_empty() {
+            return;
+        }
+        // The deadlock check fires after cycle `last_commit + LIMIT - 1`;
+        // never skip past it so the panic reports the same cycle.
+        let mut wake = self.last_commit_cycle + DEADLOCK_LIMIT - 1;
+        type Counter = fn(&mut StallBreakdown) -> &mut u64;
+        // Dispatch: blocked because the fetch queue is empty, the head
+        // front-end µop has not left decode yet, or its first structural
+        // resource is exhausted (same attribution order as `dispatch`).
+        let mut dispatch_counter: Option<Counter> = None;
+        if self.fe_count > 0 {
+            let i = self.w.at(self.w.len() - self.fe_count) as usize;
+            if self.w.fe_exit[i] > self.now {
+                wake = wake.min(self.w.fe_exit[i]);
+            } else if self.rob_used >= self.cfg.rob_entries {
+                dispatch_counter = Some(|s| &mut s.dispatch_rob_cycles);
+            } else if self.iq_used >= self.cfg.iq_entries {
+                dispatch_counter = Some(|s| &mut s.dispatch_iq_cycles);
+            } else {
+                let op = self.w.di[i].inst.op;
+                if op == Opcode::Load && self.lq_used >= self.cfg.lq_entries {
+                    dispatch_counter = Some(|s| &mut s.dispatch_lq_cycles);
+                } else if op == Opcode::Store && self.sq_used >= self.cfg.sq_entries {
+                    dispatch_counter = Some(|s| &mut s.dispatch_sq_cycles);
+                } else {
+                    match self.w.di[i].inst.dst.map(|d| d.class()) {
+                        Some(RegClass::Int) if 32 + self.int_prf_used >= self.cfg.int_prf => {
+                            dispatch_counter = Some(|s| &mut s.dispatch_prf_cycles);
+                        }
+                        Some(RegClass::Float) if 32 + self.fp_prf_used >= self.cfg.fp_prf => {
+                            dispatch_counter = Some(|s| &mut s.dispatch_prf_cycles);
+                        }
+                        _ => return, // dispatch would make progress
+                    }
+                }
+            }
+        }
+        // Fetch: same priority order as `fetch`. An unblocked front end
+        // with trace input left means the cycle is live.
+        let mut fetch_counter: Option<Counter> = None;
+        if self.fetch_blocked_on.is_some() {
+            fetch_counter = Some(|s| &mut s.fetch_branch_cycles);
+        } else if self.now < self.fetch_resume_at {
+            fetch_counter = Some(|s| &mut s.fetch_redirect_cycles);
+            wake = wake.min(self.fetch_resume_at);
+        } else if self.fe_count >= FETCH_QUEUE {
+            fetch_counter = Some(|s| &mut s.fetch_queue_full_cycles);
+        } else if !(self.source_done && self.refetch.is_empty()) {
+            return; // fetch would make progress
+        }
+        if let Some(due) = self.wheel.next_due_at_or_after(self.now) {
+            wake = wake.min(due);
+        }
+        if wake <= self.now {
+            return;
+        }
+        let skipped = wake - self.now;
+        self.counters.stalls.commit_idle_cycles += skipped;
+        if let Some(c) = dispatch_counter {
+            *c(&mut self.counters.stalls) += skipped;
+        }
+        if let Some(c) = fetch_counter {
+            *c(&mut self.counters.stalls) += skipped;
+        }
+        self.now = wake;
     }
 
     // ----- commit stage -----
@@ -735,22 +827,12 @@ impl<'a, S: InstSource> Machine<'a, S> {
     }
 
     /// Youngest check: find the oldest load younger than store `seq` to the
-    /// same address that has already left the scheduler. Walks the ROB
-    /// order ring forward from the store, so the first match is the oldest.
+    /// same address that has already left the scheduler. The window's
+    /// address-indexed load chains walk only same-line loads in age order,
+    /// so the first match is the oldest.
     fn find_violating_load(&self, store_seq: u64, addr: Option<u64>) -> Option<u64> {
-        let addr = addr?;
-        let front_seq = self.w.di[self.w.front()? as usize].seq;
-        let store_off = (store_seq - front_seq) as usize;
-        for off in store_off + 1..self.w.len() {
-            let i = self.w.at(off) as usize;
-            if self.w.di[i].inst.op == Opcode::Load
-                && self.w.di[i].mem_addr == Some(addr)
-                && matches!(self.w.state[i], Stage::Issued | Stage::Completed)
-            {
-                return Some(self.w.di[i].seq);
-            }
-        }
-        None
+        let idx = self.w.oldest_younger_issued_load(addr?, store_seq)?;
+        Some(self.w.di[idx as usize].seq)
     }
 
     /// Selective reissue: every issued/completed µop transitively dependent
@@ -844,11 +926,17 @@ impl<'a, S: InstSource> Machine<'a, S> {
             let mut forwarded = false;
             if fu == FuClass::Load {
                 match self.load_memory_ready(idx) {
-                    None => {
+                    Err(store) => {
                         self.spec_buf.truncate(spec_start);
+                        // Park on the blocking store instead of busy-polling
+                        // the ready set: its completion event's pass-1
+                        // wakeup re-arms this load on exactly the cycle the
+                        // poll would have seen it complete.
+                        self.w.ready_clear(self.w.di[i].seq);
+                        self.w.waiters[store as usize].push(Waiter { idx, gen: self.w.gen[i] });
                         continue;
                     }
-                    Some(f) => forwarded = f,
+                    Ok(f) => forwarded = f,
                 }
             }
             // Functional unit claim.
@@ -984,37 +1072,31 @@ impl<'a, S: InstSource> Machine<'a, S> {
         }
     }
 
-    /// Memory-side readiness for a load: `None` = must wait; `Some(fwd)`
-    /// with `fwd = true` when store-to-load forwarding supplies the data.
-    fn load_memory_ready(&self, idx: u32) -> Option<bool> {
+    /// Memory-side readiness for a load: `Err(store)` = must wait for the
+    /// in-flight store at slot `store` to execute; `Ok(fwd)` with
+    /// `fwd = true` when store-to-load forwarding supplies the data.
+    fn load_memory_ready(&self, idx: u32) -> Result<bool, u32> {
         let i = idx as usize;
         // Store-set predicted dependence: wait until that store executed.
         if let Some(dep) = self.w.store_dep[i] {
             if let Some(pidx) = self.w.idx_of(dep) {
                 if self.w.state[pidx as usize] != Stage::Completed {
-                    return None;
+                    return Err(pidx);
                 }
             }
         }
-        // Youngest older store to the same address, if any: walk the ROB
-        // order ring backward from just below this load.
+        // Youngest older store to the same address, if any, via the
+        // window's address-indexed store chains. If that store has not
+        // executed, issuing now would violate ordering; without a
+        // store-set prediction the hardware issues anyway (and pays a
+        // violation squash when the store executes), and with one we
+        // never get here. We model the speculative issue faithfully.
         let addr = self.w.di[i].mem_addr.expect("load address");
-        let front_seq = self.w.di[self.w.front().expect("load in window") as usize].seq;
-        let my_off = (self.w.di[i].seq - front_seq) as usize;
-        let mut forwarded = false;
-        for off in (0..my_off).rev() {
-            let j = self.w.at(off) as usize;
-            if self.w.di[j].inst.op == Opcode::Store && self.w.di[j].mem_addr == Some(addr) {
-                // The store has not executed: issuing now would violate
-                // ordering. Without a store-set prediction the hardware
-                // issues anyway (and pays a violation squash when the
-                // store executes); with one we never get here. We model
-                // the speculative issue faithfully.
-                forwarded = self.w.state[j] == Stage::Completed;
-                break;
-            }
-        }
-        Some(forwarded)
+        let forwarded = match self.w.youngest_older_store(addr, self.w.di[i].seq) {
+            Some(s) => self.w.state[s as usize] == Stage::Completed,
+            None => false,
+        };
+        Ok(forwarded)
     }
 
     fn execute_latency(&self, di: &DynInst) -> u64 {
@@ -1123,6 +1205,9 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 self.w.set_flag(idx, flag::SQ_HELD);
             }
             self.w.prf_class[i] = dst_class;
+            // Loads and stores join the address-indexed LSQ chains here;
+            // release (commit or squash) unlinks them.
+            self.w.lsq_insert(idx);
             // Scoreboard entry: immediately ready, or registered on its
             // unready producers for wakeup.
             self.refresh_ready(idx);

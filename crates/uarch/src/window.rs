@@ -30,11 +30,18 @@
 //!   candidate filter: issue re-verifies operands, so spurious set bits are
 //!   harmless and selective reissue (which can make a "ready" consumer
 //!   unready again) only needs lazy repair.
-//! * [`CompletionWheel`] — completion events bucketed by cycle (a timing
-//!   wheel that grows to the largest in-flight latency), replacing the
-//!   every-cycle full-window completion scan. Events carry `(cycle, slab
-//!   index, generation)` and are dropped lazily when the slot was squashed
-//!   or reissued.
+//! * **Address-indexed LSQ** — in-flight loads and stores are threaded
+//!   onto line-hashed bucket chains (intrusive doubly-linked, age-ordered
+//!   because dispatch is in-order), so store-to-load forwarding and
+//!   memory-order violation checks walk only same-line µops instead of
+//!   the whole ROB-order ring. Entries join at dispatch and leave at
+//!   [`Window::release`] (commit or squash), mirroring the LQ/SQ held
+//!   flags.
+//! * [`CompletionWheel`] — completion events bucketed by cycle on the
+//!   shared [`vpsim_event::TimingWheel`] (the wheel grows to the largest
+//!   in-flight latency), replacing the every-cycle full-window completion
+//!   scan. Events carry `(cycle, slab index, generation)` and are dropped
+//!   lazily when the slot was squashed or reissued.
 //! * [`FetchB2b`] — the §3.2 back-to-back fetch statistic over a two-cycle
 //!   PC ring. The previous `HashMap<pc, cycle>` grew without bound on
 //!   endless workloads; only the previous cycle's fetch group can ever
@@ -43,10 +50,14 @@
 use std::collections::VecDeque;
 use vpsim_branch::RasCheckpoint;
 use vpsim_core::HistoryState;
-use vpsim_isa::{DynInst, RegClass};
+use vpsim_event::{Timed, TimingWheel};
+use vpsim_isa::{DynInst, Opcode, RegClass};
 
 /// Sentinel for "not yet scheduled" cycles.
 pub(crate) const UNSCHEDULED: u64 = u64::MAX;
+
+/// Sentinel slab index for "no link" in the LSQ bucket chains.
+const NONE: u32 = u32::MAX;
 
 /// Pipeline stage of a window slot.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -164,6 +175,25 @@ pub(crate) struct Window {
     /// bit. Entries are validated against the bitmask when walked.
     pub poisoned: Vec<Vec<u32>>,
 
+    // ----- address-indexed LSQ (line-hashed bucket chains) -----
+    /// Right shift applied to the fibonacci-hashed line address to pick a
+    /// bucket (`64 - log2(bucket count)`).
+    lsq_shift: u32,
+    /// Oldest dispatched store chained on each bucket.
+    store_head: Vec<u32>,
+    /// Youngest dispatched store chained on each bucket.
+    store_tail: Vec<u32>,
+    /// Oldest dispatched load chained on each bucket.
+    load_head: Vec<u32>,
+    /// Youngest dispatched load chained on each bucket.
+    load_tail: Vec<u32>,
+    /// Next-younger chain link per slot ([`NONE`] when last or unlinked).
+    mem_next: Vec<u32>,
+    /// Next-older chain link per slot ([`NONE`] when first or unlinked).
+    mem_prev: Vec<u32>,
+    /// Bucket a slot is chained on ([`NONE`] when not on any chain).
+    mem_bucket: Vec<u32>,
+
     /// Flattened poison bitmasks, `poison_words` words per slot, one bit
     /// per *producer slab index*.
     poison: Vec<u64>,
@@ -204,6 +234,14 @@ impl Window {
             gen: vec![0; cap],
             waiters: vec![Vec::new(); cap],
             poisoned: vec![Vec::new(); cap],
+            lsq_shift: 64 - pos.trailing_zeros(),
+            store_head: vec![NONE; pos],
+            store_tail: vec![NONE; pos],
+            load_head: vec![NONE; pos],
+            load_tail: vec![NONE; pos],
+            mem_next: vec![NONE; cap],
+            mem_prev: vec![NONE; cap],
+            mem_bucket: vec![NONE; cap],
             poison: vec![0; cap * poison_words],
             free: (0..cap as u32).rev().collect(),
             order: VecDeque::with_capacity(cap),
@@ -280,6 +318,7 @@ impl Window {
         let i = idx as usize;
         debug_assert!(self.waiters[i].is_empty() && self.poisoned[i].is_empty());
         debug_assert!(self.poison_is_empty(idx));
+        debug_assert_eq!(self.mem_bucket[i], NONE, "recycled slot still on an LSQ chain");
         if let Some(&b) = self.order.back() {
             debug_assert!(di.seq == self.di[b as usize].seq + 1, "window seqs must be contiguous");
         }
@@ -319,6 +358,7 @@ impl Window {
     /// the state that must not leak to the next occupant.
     pub fn release(&mut self, idx: u32) {
         let i = idx as usize;
+        self.lsq_remove(idx);
         self.gen[i] = self.gen[i].wrapping_add(1);
         self.waiters[i].clear();
         self.poisoned[i].clear();
@@ -363,6 +403,12 @@ impl Window {
     pub fn ready_clear(&mut self, seq: u64) {
         let pos = seq & self.pos_mask;
         self.ready[(pos >> 6) as usize] &= !(1 << (pos & 63));
+    }
+
+    /// `true` when no µop is an issue candidate — a handful of word
+    /// compares, cheap enough to gate the pipeline's idle fast-forward.
+    pub fn ready_is_empty(&self) -> bool {
+        self.ready.iter().all(|&w| w == 0)
     }
 
     /// Collect the issue candidates in age (seq) order into `out`
@@ -451,84 +497,127 @@ impl Window {
             }
         }
     }
-}
 
-/// Completion events bucketed by cycle — a timing wheel.
-///
-/// The wheel grows to the largest in-flight latency (power of two), so a
-/// bucket only ever holds events for one cycle. `carry` holds events that
-/// were due but deferred: scheduled at or before the current cycle, or
-/// postponed when a memory-order squash aborted the completion stage
-/// mid-pass (mirroring the old scan's early return).
-#[derive(Debug, Default)]
-pub(crate) struct CompletionWheel {
-    buckets: Vec<Vec<Event>>,
-    carry: Vec<Event>,
-    due: Vec<Event>,
-}
+    // ----- address-indexed LSQ -----
 
-impl CompletionWheel {
-    /// A wheel with an initial horizon of `horizon` cycles (rounded up to
-    /// a power of two; grows on demand).
-    pub fn new(horizon: usize) -> Self {
-        let n = horizon.next_power_of_two().max(64);
-        CompletionWheel { buckets: vec![Vec::new(); n], carry: Vec::new(), due: Vec::new() }
+    /// Bucket for a byte address: fibonacci hash of its 64-byte line, so
+    /// streaming accesses spread across buckets instead of clustering.
+    fn lsq_bucket(&self, addr: u64) -> usize {
+        ((addr >> 6).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> self.lsq_shift) as usize
     }
 
-    /// Schedule `ev` for cycle `ev.at`; events due at or before `now`
-    /// land in the carry list and are processed next cycle (matching the
-    /// old scan, which a same-cycle issue could never reach).
-    pub fn schedule(&mut self, now: u64, ev: Event) {
-        if ev.at <= now {
-            self.carry.push(ev);
+    /// Thread a just-dispatched load or store onto its bucket chain.
+    /// Dispatch is in-order, so appending at the tail keeps every chain
+    /// age-sorted. Non-memory µops and address-less slots are ignored.
+    pub fn lsq_insert(&mut self, idx: u32) {
+        let i = idx as usize;
+        let Some(addr) = self.di[i].mem_addr else { return };
+        let op = self.di[i].inst.op;
+        let is_load = op == Opcode::Load;
+        if !is_load && op != Opcode::Store {
             return;
         }
-        let dist = (ev.at - now) as usize;
-        if dist >= self.buckets.len() {
-            self.grow(now, dist);
+        let b = self.lsq_bucket(addr);
+        debug_assert_eq!(self.mem_bucket[i], NONE, "slot already chained");
+        let t = if is_load { self.load_tail[b] } else { self.store_tail[b] };
+        self.mem_prev[i] = t;
+        self.mem_next[i] = NONE;
+        self.mem_bucket[i] = b as u32;
+        if t != NONE {
+            debug_assert!(self.di[t as usize].seq < self.di[i].seq, "chain must stay age-sorted");
+            self.mem_next[t as usize] = idx;
+        } else if is_load {
+            self.load_head[b] = idx;
+        } else {
+            self.store_head[b] = idx;
         }
-        let slot = (ev.at as usize) & (self.buckets.len() - 1);
-        self.buckets[slot].push(ev);
+        if is_load {
+            self.load_tail[b] = idx;
+        } else {
+            self.store_tail[b] = idx;
+        }
     }
 
-    fn grow(&mut self, now: u64, dist: usize) {
-        let new_len = (dist + 1).next_power_of_two();
-        let mut buckets = vec![Vec::new(); new_len];
-        for old in &mut self.buckets {
-            for ev in old.drain(..) {
-                debug_assert!(ev.at > now);
-                buckets[(ev.at as usize) & (new_len - 1)].push(ev);
+    /// Unlink a slot from its bucket chain (no-op when it is not on one).
+    /// Called from [`Window::release`], so commit and squash both drop
+    /// chain entries exactly when the slot dies.
+    fn lsq_remove(&mut self, idx: u32) {
+        let i = idx as usize;
+        let b = self.mem_bucket[i];
+        if b == NONE {
+            return;
+        }
+        let b = b as usize;
+        let is_load = self.di[i].inst.op == Opcode::Load;
+        let (p, n) = (self.mem_prev[i], self.mem_next[i]);
+        if p != NONE {
+            self.mem_next[p as usize] = n;
+        } else if is_load {
+            self.load_head[b] = n;
+        } else {
+            self.store_head[b] = n;
+        }
+        if n != NONE {
+            self.mem_prev[n as usize] = p;
+        } else if is_load {
+            self.load_tail[b] = p;
+        } else {
+            self.store_tail[b] = p;
+        }
+        self.mem_bucket[i] = NONE;
+    }
+
+    /// Youngest dispatched store to exactly `addr` with seq below
+    /// `before_seq` — the store a load at `before_seq` would forward from.
+    /// Walks the bucket's store chain youngest-first, so the first match
+    /// is the answer (equivalent to the old backward ROB-ring scan:
+    /// everything older than a dispatched load is itself dispatched).
+    pub fn youngest_older_store(&self, addr: u64, before_seq: u64) -> Option<u32> {
+        let mut cur = self.store_tail[self.lsq_bucket(addr)];
+        while cur != NONE {
+            let i = cur as usize;
+            if self.di[i].seq < before_seq && self.di[i].mem_addr == Some(addr) {
+                return Some(cur);
             }
+            cur = self.mem_prev[i];
         }
-        self.buckets = buckets;
+        None
     }
 
-    /// Drain everything due at `now` (this cycle's bucket plus the carry
-    /// list) into the reusable due buffer and hand it out by value; return
-    /// it with [`CompletionWheel::recycle`] to keep its capacity.
-    pub fn take_due(&mut self, now: u64) -> Vec<Event> {
-        self.due.clear();
-        let slot = (now as usize) & (self.buckets.len() - 1);
-        for ev in self.buckets[slot].drain(..) {
-            debug_assert_eq!(ev.at, now, "wheel lap: event outlived its bucket");
-            self.due.push(ev);
+    /// Oldest issued or completed load to exactly `addr` with seq above
+    /// `after_seq` — the memory-order violation a store at `after_seq`
+    /// must squash. Walks the bucket's load chain oldest-first.
+    pub fn oldest_younger_issued_load(&self, addr: u64, after_seq: u64) -> Option<u32> {
+        let mut cur = self.load_head[self.lsq_bucket(addr)];
+        while cur != NONE {
+            let i = cur as usize;
+            if self.di[i].seq > after_seq
+                && self.di[i].mem_addr == Some(addr)
+                && matches!(self.state[i], Stage::Issued | Stage::Completed)
+            {
+                return Some(cur);
+            }
+            cur = self.mem_next[i];
         }
-        self.due.append(&mut self.carry);
-        std::mem::take(&mut self.due)
-    }
-
-    /// Return the buffer [`CompletionWheel::take_due`] handed out, so its
-    /// capacity is reused next cycle (zero-allocation steady state).
-    pub fn recycle(&mut self, due: Vec<Event>) {
-        self.due = due;
-    }
-
-    /// Defer a due event to the next cycle (completion stage aborted by a
-    /// memory-order squash before reaching it).
-    pub fn defer(&mut self, ev: Event) {
-        self.carry.push(ev);
+        None
     }
 }
+
+impl Timed for Event {
+    fn due_at(&self) -> u64 {
+        self.at
+    }
+}
+
+/// Completion events bucketed by cycle — the shared [`TimingWheel`] from
+/// `vpsim-event`, instantiated over pipeline [`Event`]s.
+///
+/// The wheel grows to the largest in-flight latency; events due at or
+/// before the current cycle land in its carry list and are processed next
+/// cycle (matching the old per-cycle scan, which a same-cycle issue could
+/// never reach), and `defer` re-queues events postponed when a
+/// memory-order squash aborts the completion stage mid-pass.
+pub(crate) type CompletionWheel = TimingWheel<Event>;
 
 /// Back-to-back fetch detection (§3.2) over a two-cycle PC ring.
 ///
@@ -679,6 +768,61 @@ mod tests {
         w.poison_insert(d, b);
         w.poison_clear(d);
         assert!(w.poison_is_empty(d));
+    }
+
+    fn mem_di(seq: u64, op: Opcode, addr: u64) -> DynInst {
+        let mut d = DynInst { seq, mem_addr: Some(addr), ..DynInst::default() };
+        d.inst.op = op;
+        d
+    }
+
+    #[test]
+    fn lsq_chains_resolve_forwarding_and_violations_by_address() {
+        let mut w = Window::new(16);
+        // seq 0: store A, seq 1: store B, seq 2: store A, seq 3: load A,
+        // seq 4: load B — dispatched (chained) in order.
+        let a = 0x1000u64;
+        let b = 0x2040u64;
+        for (seq, op, addr) in [
+            (0, Opcode::Store, a),
+            (1, Opcode::Store, b),
+            (2, Opcode::Store, a),
+            (3, Opcode::Load, a),
+            (4, Opcode::Load, b),
+        ] {
+            let idx = w.alloc(
+                mem_di(seq, op, addr),
+                0,
+                HistoryState::default(),
+                RasCheckpoint::default(),
+            );
+            w.lsq_insert(idx);
+        }
+        // A load at seq 3 forwards from the *youngest older* store to A: seq 2.
+        let s = w.youngest_older_store(a, 3).unwrap();
+        assert_eq!(w.di[s as usize].seq, 2);
+        // Nothing older than seq 0 exists, and address C was never stored.
+        assert_eq!(w.youngest_older_store(a, 0), None);
+        assert_eq!(w.youngest_older_store(0x3000, 5), None);
+        // Violation check: loads only count once issued.
+        assert_eq!(w.oldest_younger_issued_load(a, 0), None);
+        let l3 = w.idx_of(3).unwrap();
+        w.state[l3 as usize] = Stage::Issued;
+        let v = w.oldest_younger_issued_load(a, 0).unwrap();
+        assert_eq!(w.di[v as usize].seq, 3);
+        // A store younger than the load sees no violation.
+        assert_eq!(w.oldest_younger_issued_load(a, 3), None);
+        // Squash the two loads: release unlinks them from the chains.
+        for _ in 0..2 {
+            let idx = w.pop_back();
+            w.release(idx);
+        }
+        assert_eq!(w.oldest_younger_issued_load(a, 0), None);
+        // Stores still chained; releasing the middle store relinks around it.
+        let s1 = w.idx_of(2).unwrap();
+        w.lsq_remove(s1);
+        let s = w.youngest_older_store(a, 3).unwrap();
+        assert_eq!(w.di[s as usize].seq, 0);
     }
 
     #[test]
