@@ -41,6 +41,9 @@
 //!   --no-trace-cache Re-execute workloads functionally per grid cell
 //!                    instead of capture-once/replay-many (byte-identical
 //!                    output; sugar for --set trace_cache=off)
+//!   --stall-report   Run the resolved scenario grid with the pipeline
+//!                    event tap attached and print per-cell stall
+//!                    attribution (may be given with no experiment)
 //! ```
 //!
 //! Each experiment imposes its own figure grid (a named
@@ -61,6 +64,7 @@ struct Options {
     scenario: Scenario,
     csv: bool,
     dump: bool,
+    stall_report: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
@@ -69,6 +73,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
     let (mut scenario, rest, _) = resolve_cli_base(base, args)?;
     let mut csv = false;
     let mut dump = false;
+    let mut stall_report = false;
     let mut experiments = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
@@ -79,6 +84,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--set" => scenario.set(val()?)?,
             "--csv" => csv = true,
             "--dump-scenario" => dump = true,
+            "--stall-report" => stall_report = true,
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
             flag @ ("--warmup" | "--measure" | "--scale" | "--seed" | "--threads"
             | "--benchmarks") => scenario.apply(&flag[2..], val()?)?,
@@ -87,7 +93,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
         }
     }
     scenario.validate()?;
-    Ok((experiments, Options { scenario, csv, dump }))
+    Ok((experiments, Options { scenario, csv, dump, stall_report }))
 }
 
 fn emit(title: &str, table: &Table, csv: bool) {
@@ -194,7 +200,7 @@ fn main() -> ExitCode {
                 print!("{}", options.scenario);
                 return ExitCode::SUCCESS;
             }
-            if experiments.is_empty() {
+            if experiments.is_empty() && !options.stall_report {
                 eprintln!("error: no experiment named");
                 return ExitCode::FAILURE;
             }
@@ -203,6 +209,12 @@ fn main() -> ExitCode {
                     eprintln!("error: {msg}");
                     return ExitCode::FAILURE;
                 }
+            }
+            if options.stall_report {
+                // Per-cell stall attribution over the scenario's own grid
+                // (conservation-checked inside run_stall_report).
+                let results = options.scenario.to_spec().run_stall_report();
+                emit("Stall attribution (measured window)", &results.table(), options.csv);
             }
             ExitCode::SUCCESS
         }

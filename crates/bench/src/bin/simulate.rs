@@ -21,6 +21,11 @@
 //!                    fpc-reissue | fpc:p0.….p6                 [default fpc]
 //!   --recovery R     squash | reissue                          [default squash]
 //!   --warmup N / --measure N / --scale N / --seed N
+//!   --stall-report   Attach the pipeline event tap and print per-cause
+//!                    stall attribution (every measured cycle charged to
+//!                    exactly one cause) plus mean queue occupancies
+//!   --cycle-log N    Keep the last N tap events in a ring buffer and
+//!                    print them after the result (implies the tap)
 //!   --no-trace-cache Execute functionally inline instead of capturing a
 //!                    trace and replaying it (byte-identical output)
 //! ```
@@ -34,16 +39,25 @@
 
 use std::process::ExitCode;
 use vpsim_bench::scenario::{resolve_cli_base, Scenario};
+use vpsim_stats::stall::{CycleCause, StallReport};
+use vpsim_stats::table::{fmt_f, fmt_pct, Table};
+use vpsim_uarch::tap::{check_conservation, CycleLog, StallTally};
 use vpsim_uarch::RunResult;
 
-fn parse_args(args: &[String]) -> Result<(Scenario, bool), String> {
+struct Flags {
+    dump: bool,
+    stall_report: bool,
+    cycle_log: Option<usize>,
+}
+
+fn parse_args(args: &[String]) -> Result<(Scenario, Flags), String> {
     // Flag default: no value prediction until --predictor (or a scenario
     // grid) asks for it. Bare `simulate` (no selector) still requires a
     // workload argument.
     let base = Scenario { predictors: Vec::new(), ..Scenario::default() };
     let (mut scenario, rest, has_base) = resolve_cli_base(base, args)?;
     let mut workload: Option<String> = None;
-    let mut dump = false;
+    let mut flags = Flags { dump: false, stall_report: false, cycle_log: None };
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut val = || -> Result<&String, String> {
@@ -51,7 +65,16 @@ fn parse_args(args: &[String]) -> Result<(Scenario, bool), String> {
         };
         match arg.as_str() {
             "--set" => scenario.set(val()?)?,
-            "--dump-scenario" => dump = true,
+            "--dump-scenario" => flags.dump = true,
+            "--stall-report" => flags.stall_report = true,
+            "--cycle-log" => {
+                let n: usize =
+                    val()?.parse().map_err(|e| format!("--cycle-log wants a count: {e}"))?;
+                if n == 0 {
+                    return Err("--cycle-log must keep at least one event".into());
+                }
+                flags.cycle_log = Some(n);
+            }
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
             // Single-valued sugar for the grid axes.
             "--predictor" => scenario.apply("predictors", val()?)?,
@@ -73,7 +96,22 @@ fn parse_args(args: &[String]) -> Result<(Scenario, bool), String> {
         None => return Err("no workload named (and no --scenario/--preset)".into()),
     }
     scenario.validate()?;
-    Ok((scenario, dump))
+    Ok((scenario, flags))
+}
+
+/// Vertical per-cause view of a [`StallReport`]: one row per cause with
+/// its cycle count and share of the measured window.
+fn stall_table(report: &StallReport) -> Table {
+    let mut t = Table::new(vec!["Cause".into(), "Cycles".into(), "Share".into()]);
+    for &cause in CycleCause::ALL.iter() {
+        t.row(vec![
+            cause.label().into(),
+            report.cause_cycles(cause).to_string(),
+            fmt_pct(report.fraction(cause), 2),
+        ]);
+    }
+    t.row(vec!["total".into(), report.total_cycles().to_string(), fmt_pct(1.0, 2)]);
+    t
 }
 
 fn print_result(r: &RunResult) {
@@ -123,7 +161,7 @@ fn print_result(r: &RunResult) {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (scenario, dump) = match parse_args(&args) {
+    let (scenario, flags) = match parse_args(&args) {
         Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
@@ -131,7 +169,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    if dump {
+    if flags.dump {
         print!("{scenario}");
         return ExitCode::SUCCESS;
     }
@@ -153,8 +191,38 @@ fn main() -> ExitCode {
     }
     // `run_job` resolves through the trace layer (capture once, replay)
     // unless the scenario turned the cache off; the result is
-    // byte-identical on both paths.
-    let result = scenario.settings.run_job(&bench, config);
-    print_result(&result);
+    // byte-identical on both paths — with or without the tap attached.
+    if flags.stall_report || flags.cycle_log.is_some() {
+        let keep = flags.cycle_log.unwrap_or(1);
+        let mut sink = (StallTally::default(), CycleLog::with_capacity(keep));
+        let result = scenario.settings.run_job_with_sink(&bench, config, &mut sink);
+        print_result(&result);
+        let report = sink.0.measured();
+        if let Err(violation) = check_conservation(&result, &report) {
+            eprintln!("error: stall conservation broken: {violation}");
+            return ExitCode::FAILURE;
+        }
+        if flags.stall_report {
+            println!();
+            println!("stall attribution (measured window)");
+            print!("{}", stall_table(&report));
+            println!(
+                "mean occupancy    ROB {} / IQ {} / LQ {} / SQ {} / FQ {}",
+                fmt_f(report.mean_rob(), 1),
+                fmt_f(report.mean_iq(), 1),
+                fmt_f(report.mean_lq(), 1),
+                fmt_f(report.mean_sq(), 1),
+                fmt_f(report.mean_fq(), 1),
+            );
+        }
+        if let Some(n) = flags.cycle_log {
+            println!();
+            println!("last {} of {} tap events", sink.1.tail(n).len(), sink.1.total_events());
+            print!("{}", sink.1.render_tail(n));
+        }
+    } else {
+        let result = scenario.settings.run_job(&bench, config);
+        print_result(&result);
+    }
     ExitCode::SUCCESS
 }

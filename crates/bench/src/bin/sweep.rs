@@ -34,7 +34,13 @@
 //!   --seed N           RNG seed                        [default 0x2014]
 //!   --matrix           Speedup matrix (benchmark rows × grid-point columns)
 //!                      instead of the long-form table
+//!   --stall-report     Attach the pipeline event tap to every job and
+//!                      print per-cell stall attribution (one row per
+//!                      cell: cycles, per-cause shares, mean occupancies)
+//!                      instead of the speedup table; every cell is
+//!                      conservation-checked against its RunResult
 //!   --csv              Emit CSV instead of aligned text
+//!   --json             Emit JSON (array of row objects) instead of text
 //!   --no-trace-cache   Re-execute each workload functionally per job
 //!                      instead of capture-once/replay-many (byte-identical
 //!                      output; sugar for --set trace_cache=off)
@@ -57,7 +63,9 @@ use vpsim_bench::scenario::{presets, resolve_cli_base, Scenario};
 struct Options {
     scenario: Scenario,
     matrix: bool,
+    stall_report: bool,
     csv: bool,
+    json: bool,
     dump: bool,
     list_presets: bool,
     timing_json: Option<String>,
@@ -70,7 +78,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     base.settings.threads = std::thread::available_parallelism().map_or(1, |n| n.get());
     let (mut scenario, rest, _) = resolve_cli_base(base, args)?;
     let mut matrix = false;
+    let mut stall_report = false;
     let mut csv = false;
+    let mut json = false;
     let mut dump = false;
     let mut list_presets = false;
     let mut timing_json = None;
@@ -82,7 +92,9 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         match arg.as_str() {
             "--set" => scenario.set(val()?)?,
             "--matrix" => matrix = true,
+            "--stall-report" => stall_report = true,
             "--csv" => csv = true,
+            "--json" => json = true,
             "--dump-scenario" => dump = true,
             "--list-presets" => list_presets = true,
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
@@ -95,8 +107,27 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             other => return Err(format!("unknown option {other}")),
         }
     }
+    if stall_report && matrix {
+        return Err("--stall-report prints per-cell attribution; --matrix does not apply".into());
+    }
+    if stall_report && timing_json.is_some() {
+        return Err("--stall-report runs do not produce a --timing-json record".into());
+    }
+    if csv && json {
+        return Err("--csv and --json are mutually exclusive".into());
+    }
     scenario.validate()?;
-    Ok(Options { scenario, matrix, csv, dump, list_presets, timing_json })
+    Ok(Options { scenario, matrix, stall_report, csv, json, dump, list_presets, timing_json })
+}
+
+fn render(table: &vpsim_stats::table::Table, o: &Options) -> String {
+    if o.csv {
+        table.to_csv()
+    } else if o.json {
+        table.to_json()
+    } else {
+        table.to_ascii()
+    }
 }
 
 fn main() -> ExitCode {
@@ -120,10 +151,15 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
     let spec = options.scenario.to_spec();
+    if options.stall_report {
+        let results = spec.run_stall_report();
+        print!("{}", render(&results.table(), &options));
+        return ExitCode::SUCCESS;
+    }
     let results = spec.run();
     let table = if options.matrix { results.matrix() } else { results.table() };
-    if options.csv {
-        print!("{}", table.to_csv());
+    if options.csv || options.json {
+        print!("{}", render(&table, &options));
     } else {
         eprintln!(
             "{} runs ({} benchmark(s) x {} grid point(s) + baseline) on {} thread(s)",

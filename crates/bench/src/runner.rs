@@ -3,6 +3,8 @@
 use vpsim_core::{ConfidenceScheme, PredictorKind};
 use vpsim_isa::Trace;
 use vpsim_stats::mean;
+use vpsim_stats::stall::StallReport;
+use vpsim_uarch::tap::{PipeEventSink, StallTally};
 use vpsim_uarch::{CoreConfig, RecoveryPolicy, RunResult, Simulator, VpConfig};
 use vpsim_workloads::{Benchmark, WorkloadParams};
 
@@ -141,6 +143,66 @@ impl RunSettings {
         } else {
             self.run(bench, config)
         }
+    }
+
+    /// [`Self::run`] with a pipeline event sink attached (see
+    /// [`vpsim_uarch::tap`]). With a [`vpsim_uarch::tap::NullSink`] this is
+    /// exactly [`Self::run`]; any enabled sink observes the same simulation
+    /// without perturbing its result.
+    pub fn run_with_sink<T: PipeEventSink>(
+        &self,
+        bench: &Benchmark,
+        config: CoreConfig,
+        sink: &mut T,
+    ) -> RunResult {
+        let program = (bench.build)(&self.params());
+        Simulator::new(config).run_source_with_sink(
+            vpsim_isa::Executor::new(&program),
+            self.warmup,
+            self.measure,
+            sink,
+        )
+    }
+
+    /// [`Self::run_trace`] with a pipeline event sink attached.
+    pub fn run_trace_with_sink<T: PipeEventSink>(
+        &self,
+        trace: &Trace,
+        config: CoreConfig,
+        sink: &mut T,
+    ) -> RunResult {
+        Simulator::new(config).run_trace_with_sink(trace, self.warmup, self.measure, sink)
+    }
+
+    /// [`Self::run_job`] with a pipeline event sink attached: resolves
+    /// through the trace cache exactly like `run_job`, so a tapped run
+    /// observes the same simulation the untapped sweep executed.
+    pub fn run_job_with_sink<T: PipeEventSink>(
+        &self,
+        bench: &Benchmark,
+        config: CoreConfig,
+        sink: &mut T,
+    ) -> RunResult {
+        if self.trace_cache {
+            let budget = self.trace_budget(&config);
+            let (trace, _) = crate::trace_cache::TraceCache::global().get(self, bench, budget);
+            self.run_trace_with_sink(&trace, config, sink)
+        } else {
+            self.run_with_sink(bench, config, sink)
+        }
+    }
+
+    /// Run one job with a [`StallTally`] attached and return the result
+    /// together with the measured-region stall report. The `RunResult` is
+    /// byte-identical to [`Self::run_job`] on the same inputs.
+    pub fn run_job_tapped(
+        &self,
+        bench: &Benchmark,
+        config: CoreConfig,
+    ) -> (RunResult, StallReport) {
+        let mut tally = StallTally::default();
+        let result = self.run_job_with_sink(bench, config, &mut tally);
+        (result, tally.measured())
     }
 
     /// Run one benchmark with no value prediction (the speedup baseline).

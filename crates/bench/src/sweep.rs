@@ -51,8 +51,10 @@ use crate::trace_cache::TraceCache;
 use vpsim_core::{ConfidenceScheme, PredictorKind};
 use vpsim_isa::Trace;
 use vpsim_stats::mean;
+use vpsim_stats::stall::StallReport;
 use vpsim_stats::table::{fmt_f, fmt_pct, Table};
-use vpsim_uarch::{CoreConfig, RecoveryPolicy, VpConfig};
+use vpsim_uarch::tap::{check_conservation, StallTally};
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, RunResult, VpConfig};
 use vpsim_workloads::Benchmark;
 
 // ---------------------------------------------------------------------------
@@ -550,6 +552,111 @@ impl SweepSpec {
         let baseline = take_suite();
         let points = self.points().into_iter().map(|p| (p, take_suite())).collect();
         SweepResults { baseline, points, timing }
+    }
+
+    /// Execute the sweep with a [`StallTally`] attached to every job and
+    /// return per-cell stall attribution alongside the run results.
+    ///
+    /// Each cell's `RunResult` is byte-identical to the corresponding cell
+    /// of [`SweepSpec::run`] (the tap observes, it does not perturb), and
+    /// each cell's report is checked against its result with
+    /// [`check_conservation`] before this returns — a failed law is a bug
+    /// in the simulator's accounting and panics with the cell label.
+    pub fn run_stall_report(&self) -> StallResults {
+        let jobs = self.expand();
+        let results: Vec<(RunResult, StallReport)> = if self.settings.trace_cache {
+            let configs: Vec<CoreConfig> = jobs.iter().map(|j| j.config.clone()).collect();
+            let (traces, _) = prefetch_traces(&self.settings, &self.benches, &configs);
+            run_indexed(jobs.len(), self.settings.threads, |i| {
+                let mut tally = StallTally::default();
+                let result = self.settings.run_trace_with_sink(
+                    &traces[i % self.benches.len()],
+                    jobs[i].config.clone(),
+                    &mut tally,
+                );
+                (result, tally.measured())
+            })
+        } else {
+            run_indexed(jobs.len(), self.settings.threads, |i| {
+                let mut tally = StallTally::default();
+                let result =
+                    self.settings.run_with_sink(&jobs[i].bench, jobs[i].config.clone(), &mut tally);
+                (result, tally.measured())
+            })
+        };
+        let cells: Vec<StallCell> = jobs
+            .iter()
+            .zip(results)
+            .map(|(job, (result, stalls))| {
+                let cell = StallCell { bench: job.bench.name, point: job.point, result, stalls };
+                if let Err(violation) = check_conservation(&cell.result, &cell.stalls) {
+                    panic!("stall conservation broken at {}: {violation}", cell.label());
+                }
+                cell
+            })
+            .collect();
+        StallResults { cells }
+    }
+}
+
+/// One cell of a [`SweepSpec::run_stall_report`] grid: the configuration
+/// point (or the no-VP baseline), its run result, and the measured-region
+/// stall attribution.
+#[derive(Debug, Clone)]
+pub struct StallCell {
+    /// Workload name.
+    pub bench: &'static str,
+    /// Grid point, or `None` for the no-VP baseline.
+    pub point: Option<GridPoint>,
+    /// The simulation result (byte-identical to the untapped run).
+    pub result: RunResult,
+    /// Per-cause cycle attribution over the measured region.
+    pub stalls: StallReport,
+}
+
+impl StallCell {
+    /// `benchmark @ predictor/scheme/recovery` label for diagnostics.
+    pub fn label(&self) -> String {
+        match self.point {
+            Some(p) => format!("{} @ {}", self.bench, p.label()),
+            None => format!("{} @ baseline", self.bench),
+        }
+    }
+}
+
+/// Results of [`SweepSpec::run_stall_report`], in expansion order
+/// (baseline cells first, then each grid point over the benchmark list).
+#[derive(Debug, Clone)]
+pub struct StallResults {
+    /// Per-cell results with stall attribution, conservation-checked.
+    pub cells: Vec<StallCell>,
+}
+
+impl StallResults {
+    /// Long-form table: one row per cell with the configuration columns
+    /// followed by [`StallReport::headers`] (total cycles, per-cause
+    /// percentages and mean queue occupancies).
+    pub fn table(&self) -> Table {
+        let mut headers =
+            vec!["Benchmark".into(), "Predictor".into(), "Confidence".into(), "Recovery".into()];
+        headers.extend(StallReport::headers());
+        let mut t = Table::new(headers);
+        for cell in &self.cells {
+            let mut row = match cell.point {
+                Some(p) => {
+                    vec![
+                        cell.bench.into(),
+                        p.kind.label().into(),
+                        p.scheme.label(),
+                        p.recovery.to_string(),
+                    ]
+                }
+                None => vec![cell.bench.into(), "none".into(), "-".into(), "-".into()],
+            };
+            row.extend(cell.stalls.cells());
+            t.row(row);
+        }
+        t
     }
 }
 

@@ -1,0 +1,58 @@
+//! Grid-level guarantees of `SweepSpec::run_stall_report`, on the same
+//! smoke/mem-smoke grids CI's perf steps run.
+//!
+//! Two invariants per cell: (a) the tapped `RunResult` is byte-identical
+//! to the untapped sweep's (the tap observes, never perturbs), and (b) the
+//! stall attribution reconciles exactly with the result
+//! (`check_conservation` — also asserted inside `run_stall_report` itself,
+//! which panics with the cell label on any violation).
+
+use vpsim_bench::scenario::preset;
+use vpsim_uarch::tap::check_conservation;
+
+/// Run a preset's grid both ways and cross-check every cell.
+fn preset_grid_conserves_and_matches(name: &str) {
+    let mut scenario = preset(name).unwrap();
+    // Keep CI cheap: the container is effectively single-CPU anyway.
+    scenario.settings.threads = 1;
+    let spec = scenario.to_spec();
+    let stall = spec.run_stall_report();
+    let plain = spec.run();
+    assert_eq!(stall.cells.len(), spec.job_count(), "one cell per expanded job");
+
+    // Expansion order: baseline over all benches, then each point.
+    let mut expected = Vec::new();
+    for (bench, result) in &plain.baseline.rows {
+        expected.push((*bench, None, result));
+    }
+    for (point, suite) in &plain.points {
+        for (bench, result) in &suite.rows {
+            expected.push((*bench, Some(*point), result));
+        }
+    }
+    for (cell, (bench, point, result)) in stall.cells.iter().zip(expected) {
+        assert_eq!(cell.bench, bench);
+        assert_eq!(cell.point, point);
+        assert_eq!(&cell.result, result, "tap perturbed {}", cell.label());
+        check_conservation(&cell.result, &cell.stalls)
+            .unwrap_or_else(|violation| panic!("{}: {violation}", cell.label()));
+        assert_eq!(cell.stalls.total_cycles(), cell.result.metrics.cycles, "{}", cell.label());
+    }
+
+    // The rendered table carries one row per cell and survives all three
+    // renderers (the CI smoke step diffs the CSV against a golden).
+    let table = stall.table();
+    assert_eq!(table.len(), stall.cells.len());
+    assert!(table.to_csv().starts_with("Benchmark,Predictor,Confidence,Recovery,Cycles"));
+    assert!(table.to_json().starts_with("[\n"));
+}
+
+#[test]
+fn smoke_grid_conserves_and_matches_untapped_results() {
+    preset_grid_conserves_and_matches("smoke");
+}
+
+#[test]
+fn mem_smoke_grid_conserves_and_matches_untapped_results() {
+    preset_grid_conserves_and_matches("mem-smoke");
+}

@@ -13,7 +13,9 @@
 //! * [`BranchStats`], [`CacheStats`] — substrate statistics.
 //! * [`mean`] — arithmetic/geometric/harmonic means used for the "a-mean"
 //!   and "g-mean" rows of the figures.
-//! * [`table::Table`] — ASCII and CSV rendering of result tables.
+//! * [`stall`] — per-cycle stall attribution ([`stall::CycleCause`],
+//!   [`stall::StallReport`]) aggregated from the pipeline event tap.
+//! * [`table::Table`] — ASCII, CSV and JSON rendering of result tables.
 //!
 //! # Examples
 //!
@@ -26,6 +28,7 @@
 //! ```
 
 pub mod mean;
+pub mod stall;
 pub mod table;
 
 /// Cycles and retired-instruction counts of one simulation run.

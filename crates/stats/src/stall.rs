@@ -1,0 +1,380 @@
+//! Per-cycle stall attribution for the pipeline event tap.
+//!
+//! The timing model in `vpsim-uarch` can stream typed per-cycle events into a
+//! [`PipeEventSink`]; the aggregate those events reduce to lives here so the
+//! numbers flow through the same dependency-free crate as every other
+//! statistic the harness prints.
+//!
+//! Attribution is *exclusive and exhaustive*: every simulated cycle is
+//! assigned exactly one [`CycleCause`] — [`CycleCause::Active`] when at least
+//! one µop retired that cycle, otherwise one of the six stall causes derived
+//! from the state of the window head at commit time. Consequently the per-
+//! cause counts of a [`StallReport`] always sum to the total cycle count, and
+//! the stall causes alone sum to the simulator's commit-idle counter — the
+//! conservation laws the differential tests in `vpsim-uarch` and
+//! `vpsim-bench` assert on every grid cell.
+//!
+//! [`PipeEventSink`]: ../../vpsim_uarch/tap/trait.PipeEventSink.html
+
+use crate::table::{fmt_f, fmt_pct};
+
+/// Exclusive attribution of one simulated cycle.
+///
+/// A cycle is [`Active`](CycleCause::Active) when at least one µop retired;
+/// otherwise the cause names the oldest-µop bottleneck that prevented
+/// retirement (see the variant docs for the exact head-state mapping).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CycleCause {
+    /// At least one µop committed this cycle.
+    Active,
+    /// The window is empty (or its head has not left the front-end) and the
+    /// front end is not refilling it fast enough: instruction-cache misses,
+    /// branch-redirect bubbles, or frontend latency.
+    FetchStarve,
+    /// The head µop has finished the front end but cannot enter the backend:
+    /// a structural resource (ROB/IQ/LSQ/PRF) is exhausted.
+    DispatchBlock,
+    /// The head is a non-memory µop waiting in the issue queue or executing:
+    /// operands not ready or FU latency not yet elapsed.
+    IssueWait,
+    /// The head is a load or store waiting to issue or complete: cache
+    /// misses, MSHR pressure, DRAM latency, or memory-order serialization.
+    MemWait,
+    /// The head was fetched as part of squash recovery (its sequence number
+    /// is at or below the youngest µop ever squashed) and is still being
+    /// re-fetched or re-decoded: the refill shadow of a value/memory-order
+    /// misprediction.
+    SquashRecovery,
+    /// The head has completed but cannot retire: the retire port is blocked
+    /// by in-order commit semantics (only possible mid-group; a lone
+    /// completed head always retires, so this names retire-width pressure).
+    CommitBlock,
+}
+
+impl CycleCause {
+    /// Number of distinct causes (the width of [`StallReport::cycles`]).
+    pub const COUNT: usize = 7;
+
+    /// Every cause, in report-column order ([`Active`](CycleCause::Active)
+    /// first, then the six stall causes).
+    pub const ALL: [CycleCause; CycleCause::COUNT] = [
+        CycleCause::Active,
+        CycleCause::FetchStarve,
+        CycleCause::DispatchBlock,
+        CycleCause::IssueWait,
+        CycleCause::MemWait,
+        CycleCause::SquashRecovery,
+        CycleCause::CommitBlock,
+    ];
+
+    /// Stable column index of this cause within [`StallReport::cycles`].
+    pub fn index(self) -> usize {
+        match self {
+            CycleCause::Active => 0,
+            CycleCause::FetchStarve => 1,
+            CycleCause::DispatchBlock => 2,
+            CycleCause::IssueWait => 3,
+            CycleCause::MemWait => 4,
+            CycleCause::SquashRecovery => 5,
+            CycleCause::CommitBlock => 6,
+        }
+    }
+
+    /// Human-readable kebab-case label, as used in report headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            CycleCause::Active => "active",
+            CycleCause::FetchStarve => "fetch-starve",
+            CycleCause::DispatchBlock => "dispatch-block",
+            CycleCause::IssueWait => "issue-wait",
+            CycleCause::MemWait => "mem-wait",
+            CycleCause::SquashRecovery => "squash-recovery",
+            CycleCause::CommitBlock => "commit-block",
+        }
+    }
+
+    /// `true` for every cause except [`Active`](CycleCause::Active).
+    pub fn is_stall(self) -> bool {
+        !matches!(self, CycleCause::Active)
+    }
+}
+
+/// Structure occupancies sampled at the end of a cycle, attached to each
+/// per-cycle event so the report can derive mean occupancy per structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Occupancy {
+    /// Re-order buffer entries in use.
+    pub rob: u32,
+    /// Issue-queue entries in use.
+    pub iq: u32,
+    /// Load-queue entries in use.
+    pub lq: u32,
+    /// Store-queue entries in use.
+    pub sq: u32,
+    /// Fetch-queue (front-end) µops in flight.
+    pub fetch_queue: u32,
+}
+
+/// Aggregated per-cycle attribution plus per-stage event counts for one
+/// simulation run (or one measured region, via [`StallReport::delta`]).
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_stats::stall::{CycleCause, Occupancy, StallReport};
+///
+/// let mut r = StallReport::default();
+/// r.record_cycles(CycleCause::Active, 3, Occupancy { rob: 12, ..Default::default() });
+/// r.record_cycles(CycleCause::MemWait, 1, Occupancy { rob: 16, ..Default::default() });
+/// assert_eq!(r.total_cycles(), 4);
+/// assert_eq!(r.stall_cycles(), 1);
+/// assert!((r.fraction(CycleCause::MemWait) - 0.25).abs() < 1e-12);
+/// assert!((r.mean_rob() - 13.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct StallReport {
+    /// Cycles attributed to each cause, indexed by [`CycleCause::index`].
+    pub cycles: [u64; CycleCause::COUNT],
+    /// Cycle-weighted ROB occupancy sum (divide by total cycles for a mean).
+    pub rob_occupancy: u64,
+    /// Cycle-weighted issue-queue occupancy sum.
+    pub iq_occupancy: u64,
+    /// Cycle-weighted load-queue occupancy sum.
+    pub lq_occupancy: u64,
+    /// Cycle-weighted store-queue occupancy sum.
+    pub sq_occupancy: u64,
+    /// Cycle-weighted fetch-queue occupancy sum.
+    pub fq_occupancy: u64,
+    /// µops allocated into the window by the front end.
+    pub fetched: u64,
+    /// µops renamed and inserted into the backend.
+    pub dispatched: u64,
+    /// µop issue events (selective-reissue re-executions included).
+    pub issued: u64,
+    /// µop completion (writeback) events.
+    pub writebacks: u64,
+    /// µops retired.
+    pub committed: u64,
+    /// Value predictions validated at execute (a reissued µop revalidates).
+    pub vp_validations: u64,
+    /// Validations whose predicted value mismatched the computed result.
+    pub vp_mispredictions: u64,
+    /// Pipeline squashes caused by a value misprediction at commit.
+    pub vp_squashes: u64,
+    /// Pipeline squashes caused by a memory-order violation.
+    pub order_squashes: u64,
+    /// µops discarded by all squashes combined.
+    pub squashed_uops: u64,
+    /// Dependent µops re-executed by selective reissue.
+    pub reissued: u64,
+}
+
+impl StallReport {
+    /// Attribute `span` consecutive cycles to `cause`, sampled at occupancy
+    /// `occ` (constant across the span — batched `idle_skip` spans by
+    /// construction cover cycles in which no pipeline state changes).
+    pub fn record_cycles(&mut self, cause: CycleCause, span: u64, occ: Occupancy) {
+        self.cycles[cause.index()] += span;
+        self.rob_occupancy += u64::from(occ.rob) * span;
+        self.iq_occupancy += u64::from(occ.iq) * span;
+        self.lq_occupancy += u64::from(occ.lq) * span;
+        self.sq_occupancy += u64::from(occ.sq) * span;
+        self.fq_occupancy += u64::from(occ.fetch_queue) * span;
+    }
+
+    /// Total cycles attributed (all causes, including `Active`).
+    pub fn total_cycles(&self) -> u64 {
+        self.cycles.iter().sum()
+    }
+
+    /// Cycles attributed to any stall cause (everything except `Active`).
+    pub fn stall_cycles(&self) -> u64 {
+        self.total_cycles() - self.cycles[CycleCause::Active.index()]
+    }
+
+    /// Cycles attributed to `cause`.
+    pub fn cause_cycles(&self, cause: CycleCause) -> u64 {
+        self.cycles[cause.index()]
+    }
+
+    /// Fraction of all attributed cycles assigned to `cause` (`0.0` for an
+    /// empty report).
+    pub fn fraction(&self, cause: CycleCause) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cause_cycles(cause) as f64 / total as f64
+        }
+    }
+
+    /// Mean ROB occupancy over all attributed cycles.
+    pub fn mean_rob(&self) -> f64 {
+        self.mean(self.rob_occupancy)
+    }
+
+    /// Mean issue-queue occupancy over all attributed cycles.
+    pub fn mean_iq(&self) -> f64 {
+        self.mean(self.iq_occupancy)
+    }
+
+    /// Mean load-queue occupancy over all attributed cycles.
+    pub fn mean_lq(&self) -> f64 {
+        self.mean(self.lq_occupancy)
+    }
+
+    /// Mean store-queue occupancy over all attributed cycles.
+    pub fn mean_sq(&self) -> f64 {
+        self.mean(self.sq_occupancy)
+    }
+
+    /// Mean fetch-queue occupancy over all attributed cycles.
+    pub fn mean_fq(&self) -> f64 {
+        self.mean(self.fq_occupancy)
+    }
+
+    fn mean(&self, weighted: u64) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            weighted as f64 / total as f64
+        }
+    }
+
+    /// Field-wise difference `self - earlier`: the report for the region
+    /// between two snapshots of the same accumulating tally.
+    pub fn delta(&self, earlier: &StallReport) -> StallReport {
+        let mut cycles = [0u64; CycleCause::COUNT];
+        for (i, slot) in cycles.iter_mut().enumerate() {
+            *slot = self.cycles[i] - earlier.cycles[i];
+        }
+        StallReport {
+            cycles,
+            rob_occupancy: self.rob_occupancy - earlier.rob_occupancy,
+            iq_occupancy: self.iq_occupancy - earlier.iq_occupancy,
+            lq_occupancy: self.lq_occupancy - earlier.lq_occupancy,
+            sq_occupancy: self.sq_occupancy - earlier.sq_occupancy,
+            fq_occupancy: self.fq_occupancy - earlier.fq_occupancy,
+            fetched: self.fetched - earlier.fetched,
+            dispatched: self.dispatched - earlier.dispatched,
+            issued: self.issued - earlier.issued,
+            writebacks: self.writebacks - earlier.writebacks,
+            committed: self.committed - earlier.committed,
+            vp_validations: self.vp_validations - earlier.vp_validations,
+            vp_mispredictions: self.vp_mispredictions - earlier.vp_mispredictions,
+            vp_squashes: self.vp_squashes - earlier.vp_squashes,
+            order_squashes: self.order_squashes - earlier.order_squashes,
+            squashed_uops: self.squashed_uops - earlier.squashed_uops,
+            reissued: self.reissued - earlier.reissued,
+        }
+    }
+
+    /// Column headers matching [`StallReport::cells`], for table rendering.
+    pub fn headers() -> Vec<String> {
+        let mut h = vec!["Cycles".to_string()];
+        h.extend(CycleCause::ALL.iter().map(|c| c.label().to_string()));
+        h.extend(["ROB-avg", "IQ-avg", "LQ-avg", "SQ-avg", "FQ-avg"].map(String::from));
+        h
+    }
+
+    /// Formatted cells matching [`StallReport::headers`]: total cycles, the
+    /// per-cause percentage breakdown, and mean structure occupancies.
+    pub fn cells(&self) -> Vec<String> {
+        let mut cells = vec![self.total_cycles().to_string()];
+        cells.extend(CycleCause::ALL.iter().map(|c| fmt_pct(self.fraction(*c), 2)));
+        cells.extend(
+            [self.mean_rob(), self.mean_iq(), self.mean_lq(), self.mean_sq(), self.mean_fq()]
+                .map(|v| fmt_f(v, 1)),
+        );
+        cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn occ(rob: u32, iq: u32) -> Occupancy {
+        Occupancy { rob, iq, lq: 1, sq: 2, fetch_queue: 3 }
+    }
+
+    #[test]
+    fn attribution_is_exclusive_and_sums_to_total() {
+        let mut r = StallReport::default();
+        r.record_cycles(CycleCause::Active, 10, occ(8, 4));
+        r.record_cycles(CycleCause::FetchStarve, 5, occ(0, 0));
+        r.record_cycles(CycleCause::MemWait, 85, occ(32, 16));
+        assert_eq!(r.total_cycles(), 100);
+        assert_eq!(r.stall_cycles(), 90);
+        let by_cause: u64 = CycleCause::ALL.iter().map(|c| r.cause_cycles(*c)).sum();
+        assert_eq!(by_cause, r.total_cycles());
+        assert!((r.fraction(CycleCause::MemWait) - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn occupancy_means_are_cycle_weighted() {
+        let mut r = StallReport::default();
+        r.record_cycles(CycleCause::Active, 1, occ(10, 0));
+        r.record_cycles(CycleCause::IssueWait, 3, occ(2, 4));
+        // (10*1 + 2*3) / 4 = 4.0 ; (0*1 + 4*3) / 4 = 3.0
+        assert!((r.mean_rob() - 4.0).abs() < 1e-12);
+        assert!((r.mean_iq() - 3.0).abs() < 1e-12);
+        assert!((r.mean_lq() - 1.0).abs() < 1e-12);
+        assert!((r.mean_sq() - 2.0).abs() < 1e-12);
+        assert!((r.mean_fq() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_report_has_zero_fractions_and_means() {
+        let r = StallReport::default();
+        assert_eq!(r.total_cycles(), 0);
+        assert_eq!(r.fraction(CycleCause::Active), 0.0);
+        assert_eq!(r.mean_rob(), 0.0);
+    }
+
+    #[test]
+    fn delta_subtracts_every_field() {
+        let mut early = StallReport::default();
+        early.record_cycles(CycleCause::Active, 4, occ(2, 2));
+        early.committed = 4;
+        early.fetched = 6;
+        let mut late = early;
+        late.record_cycles(CycleCause::CommitBlock, 6, occ(30, 1));
+        late.committed = 14;
+        late.fetched = 20;
+        late.vp_squashes = 2;
+        let d = late.delta(&early);
+        assert_eq!(d.total_cycles(), 6);
+        assert_eq!(d.cause_cycles(CycleCause::CommitBlock), 6);
+        assert_eq!(d.cause_cycles(CycleCause::Active), 0);
+        assert_eq!(d.committed, 10);
+        assert_eq!(d.fetched, 14);
+        assert_eq!(d.vp_squashes, 2);
+        assert_eq!(d.rob_occupancy, 180);
+    }
+
+    #[test]
+    fn headers_and_cells_line_up() {
+        let mut r = StallReport::default();
+        r.record_cycles(CycleCause::Active, 50, occ(16, 8));
+        r.record_cycles(CycleCause::DispatchBlock, 50, occ(16, 8));
+        let headers = StallReport::headers();
+        let cells = r.cells();
+        assert_eq!(headers.len(), cells.len());
+        assert_eq!(cells[0], "100");
+        // Column 1 is "active", column 3 is "dispatch-block".
+        assert_eq!(cells[1], "50.00%");
+        assert_eq!(cells[3], "50.00%");
+        assert_eq!(cells[headers.len() - 5], "16.0");
+    }
+
+    #[test]
+    fn cause_index_is_consistent_with_all_order() {
+        for (i, cause) in CycleCause::ALL.iter().enumerate() {
+            assert_eq!(cause.index(), i);
+        }
+        assert!(CycleCause::MemWait.is_stall());
+        assert!(!CycleCause::Active.is_stall());
+    }
+}

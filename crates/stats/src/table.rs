@@ -94,6 +94,52 @@ impl Table {
         }
         out
     }
+
+    /// Render as a JSON array of objects, one per row, keyed by the column
+    /// headers. Cells are already formatted text, so every value is a JSON
+    /// string; missing cells of short rows become `""`.
+    pub fn to_json(&self) -> String {
+        let ncols = self.width();
+        let mut out = String::from("[\n");
+        for (r, row) in self.rows.iter().enumerate() {
+            out.push_str("  {");
+            for i in 0..ncols {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                let header = self.headers.get(i).map(String::as_str).unwrap_or("");
+                let cell = row.get(i).map(String::as_str).unwrap_or("");
+                out.push_str(&json_string(header));
+                out.push_str(": ");
+                out.push_str(&json_string(cell));
+            }
+            out.push('}');
+            if r + 1 < self.rows.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]\n");
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 impl fmt::Display for Table {
@@ -203,6 +249,24 @@ mod tests {
         let csv = t.to_csv();
         assert!(csv.contains("\"x,y\""));
         assert!(csv.contains("\"say \"\"hi\"\"\""));
+    }
+
+    #[test]
+    fn json_emits_one_object_per_row() {
+        let json = sample().to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains(r#"{"name": "alpha", "value": "1.25"},"#));
+        assert!(json.contains(r#"{"name": "beta", "value": "10.50"}"#));
+        assert!(json.trim_end().ends_with(']'));
+    }
+
+    #[test]
+    fn json_escapes_special_characters_and_pads_short_rows() {
+        let mut t = Table::new(vec!["a".into(), "b".into()]);
+        t.row(vec!["say \"hi\"\nthere\\".into()]);
+        let json = t.to_json();
+        assert!(json.contains(r#""say \"hi\"\nthere\\""#), "bad escaping in:\n{json}");
+        assert!(json.contains(r#""b": """#), "missing padded cell in:\n{json}");
     }
 
     #[test]

@@ -24,6 +24,13 @@
 //! [`penalty::PenaltyModel`] (§3.1 recovery-cost arithmetic) and
 //! [`regfile`] (§4 register-file port cost).
 //!
+//! For per-cycle observability the pipeline carries an opt-in event tap
+//! ([`tap`]): [`Simulator::run_source_with_sink`] streams typed pipeline
+//! events into a [`tap::PipeEventSink`] (stall attribution via
+//! [`tap::StallTally`], a bounded cycle log via [`tap::CycleLog`]), while
+//! the default [`tap::NullSink`] keeps the tap compiled out of the ordinary
+//! entry points — see "Observability internals" in `ARCHITECTURE.md`.
+//!
 //! # Examples
 //!
 //! ```
@@ -56,6 +63,7 @@ mod pipeline;
 pub mod regfile;
 mod result;
 mod storesets;
+pub mod tap;
 mod window;
 
 pub use config::{CoreConfig, FuConfig, RecoveryPolicy, VpConfig};

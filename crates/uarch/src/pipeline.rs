@@ -43,6 +43,9 @@
 use crate::config::{CoreConfig, RecoveryPolicy};
 use crate::result::{diff_cache, RunResult, StallBreakdown};
 use crate::storesets::StoreSets;
+use crate::tap::{
+    CycleCause, NullSink, Occupancy, PipeEvent, PipeEventKind, PipeEventSink, SquashCause,
+};
 use crate::window::{flag, CompletionWheel, Event, FetchB2b, Stage, Waiter, Window, UNSCHEDULED};
 use std::collections::VecDeque;
 use vpsim_branch::{Btb, Ras, RasCheckpoint, Tage};
@@ -271,8 +274,60 @@ impl Simulator {
     /// [`Simulator::run_with_warmup`] (streaming executor) and
     /// [`Simulator::run_trace`] (trace replay).
     pub fn run_source<S: InstSource>(&self, source: S, warmup: u64, measure: u64) -> RunResult {
-        let mut machine = Machine::new(&self.config, source);
+        self.run_source_with_sink(source, warmup, measure, &mut NullSink)
+    }
+
+    /// Like [`Simulator::run_source`], but streams typed pipeline events
+    /// into `sink` (see [`crate::tap`]). The simulated machine is
+    /// unaffected: the returned [`RunResult`] is byte-identical to the
+    /// sink-free entry points (`tests/tap_equivalence.rs` proves this for
+    /// arbitrary scenarios).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_uarch::tap::{check_conservation, StallTally};
+    /// use vpsim_uarch::{CoreConfig, Simulator};
+    /// use vpsim_isa::{Executor, ProgramBuilder, Reg};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// let (i, n) = (Reg::int(1), Reg::int(2));
+    /// b.load_imm(n, 500);
+    /// let top = b.bind_label();
+    /// b.addi(i, i, 1);
+    /// b.blt(i, n, top);
+    /// b.halt();
+    /// let program = b.build()?;
+    ///
+    /// let sim = Simulator::new(CoreConfig::default());
+    /// let mut tally = StallTally::default();
+    /// let result = sim.run_source_with_sink(Executor::new(&program), 0, 1_000, &mut tally);
+    /// let report = tally.measured();
+    /// assert_eq!(report.total_cycles(), result.metrics.cycles);
+    /// check_conservation(&result, &report).unwrap();
+    /// # Ok::<(), vpsim_isa::ProgramError>(())
+    /// ```
+    pub fn run_source_with_sink<S: InstSource, T: PipeEventSink>(
+        &self,
+        source: S,
+        warmup: u64,
+        measure: u64,
+        sink: &mut T,
+    ) -> RunResult {
+        let mut machine = Machine::new(&self.config, source, sink);
         machine.simulate(warmup, measure)
+    }
+
+    /// [`Simulator::run_trace`] with an event sink: replay a captured
+    /// trace while streaming pipeline events into `sink`.
+    pub fn run_trace_with_sink<T: PipeEventSink>(
+        &self,
+        trace: &Trace,
+        warmup: u64,
+        measure: u64,
+        sink: &mut T,
+    ) -> RunResult {
+        self.run_source_with_sink(trace.cursor(), warmup, measure, sink)
     }
 
     /// Test-only instrumentation hook: identical to
@@ -289,13 +344,36 @@ impl Simulator {
         mark_at: u64,
         mark: &mut dyn FnMut(),
     ) -> RunResult {
-        let mut machine = Machine::new(&self.config, source);
+        self.run_source_marked_with_sink(source, warmup, measure, mark_at, mark, &mut NullSink)
+    }
+
+    /// [`Simulator::run_source_marked`] with an event sink — lets the
+    /// zero-allocation test prove the *enabled* tap path also stays
+    /// allocation-free in steady state.
+    #[doc(hidden)]
+    pub fn run_source_marked_with_sink<S: InstSource, T: PipeEventSink>(
+        &self,
+        source: S,
+        warmup: u64,
+        measure: u64,
+        mark_at: u64,
+        mark: &mut dyn FnMut(),
+        sink: &mut T,
+    ) -> RunResult {
+        let mut machine = Machine::new(&self.config, source, sink);
         machine.simulate_marked(warmup, measure, mark_at, mark)
     }
 }
 
-struct Machine<'a, S> {
+struct Machine<'a, S, T: PipeEventSink> {
     cfg: &'a CoreConfig,
+    /// Event tap ([`crate::tap`]). `T::ENABLED` guards every emission at
+    /// compile time, so a [`NullSink`] machine carries no tap code at all.
+    sink: &'a mut T,
+    /// Youngest seq ever squashed: front-end µops at or below this mark
+    /// are squash-recovery refetches for stall attribution. Maintained
+    /// only when the tap is enabled.
+    squash_hwm: Option<u64>,
     source: S,
     source_done: bool,
     refetch: VecDeque<DynInst>,
@@ -338,14 +416,16 @@ struct Machine<'a, S> {
     wake_scratch: Vec<Waiter>,
 }
 
-impl<'a, S: InstSource> Machine<'a, S> {
-    fn new(cfg: &'a CoreConfig, source: S) -> Self {
+impl<'a, S: InstSource, T: PipeEventSink> Machine<'a, S, T> {
+    fn new(cfg: &'a CoreConfig, source: S, sink: &'a mut T) -> Self {
         let (predictor, recovery) = match &cfg.vp {
             Some(vp) => (Some(vp.kind.build(vp.scheme.clone(), cfg.seed)), vp.recovery),
             None => (None, RecoveryPolicy::SquashAtCommit),
         };
         Machine {
             cfg,
+            sink,
+            squash_hwm: None,
             source,
             source_done: false,
             refetch: VecDeque::new(),
@@ -410,9 +490,15 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.idle_skip();
             let committed_before = self.counters.committed;
             self.commit();
-            if self.counters.committed == committed_before {
+            let idle = self.counters.committed == committed_before;
+            if idle {
                 self.counters.stalls.commit_idle_cycles += 1;
             }
+            // Attribute the cycle at commit-time machine state; the record
+            // itself is emitted just before `now` advances so Cycle events
+            // pair 1:1 with clock movement (the conservation invariant).
+            let cycle_cause =
+                if T::ENABLED && idle { self.stall_cause() } else { CycleCause::Active };
             if !marked && self.counters.committed >= mark_at {
                 mark();
                 marked = true;
@@ -423,6 +509,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 snap_caches = (self.mem.l1i_stats, self.mem.l1d_stats, self.mem.l2_stats);
                 snapped = true;
                 self.stop_at = target;
+                self.emit(0, PipeEventKind::MeasureStart);
             }
             if self.counters.committed >= target {
                 break;
@@ -431,6 +518,10 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.issue();
             self.dispatch();
             self.fetch();
+            if T::ENABLED {
+                let occ = self.occupancy();
+                self.emit(0, PipeEventKind::Cycle { cause: cycle_cause, span: 1, occ });
+            }
             self.now += 1;
             if self.now - self.last_commit_cycle >= DEADLOCK_LIMIT {
                 panic!("{}", self.deadlock_report());
@@ -474,6 +565,9 @@ impl<'a, S: InstSource> Machine<'a, S> {
     /// from a CI log alone — the stuck cycle, the ROB head (the µop whose
     /// non-retirement wedges everything), every queue occupancy and the
     /// window slab's free-list state.
+    /// When the attached sink retains history (a [`crate::tap::CycleLog`]),
+    /// the report additionally dumps the most recent cycle records, so the
+    /// panic shows *how* the machine wedged, not just its final state.
     fn deadlock_report(&self) -> String {
         let head = match self.w.front() {
             Some(idx) => {
@@ -491,7 +585,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             }
             None => "none (window empty)".into(),
         };
-        format!(
+        let mut report = format!(
             "pipeline deadlock: no commit for {DEADLOCK_LIMIT} cycles at cycle {} \
              (committed {}, last commit at cycle {}); ROB head: {head}; \
              occupancy: rob {}/{}, iq {}/{}, lq {}/{}, sq {}/{}, fetch-queue {}/{FETCH_QUEUE}, \
@@ -513,7 +607,81 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.w.free_slots(),
             self.refetch.len(),
             self.fetch_blocked_on,
-        )
+        );
+        if let Some(tail) = self.sink.deadlock_tail() {
+            report.push('\n');
+            report.push_str(&tail);
+        }
+        report
+    }
+
+    // ----- event tap -----
+
+    /// Emit one tap event stamped with the current cycle. With the default
+    /// [`NullSink`] (`T::ENABLED == false`) the guard is a compile-time
+    /// constant and the whole call folds away.
+    #[inline(always)]
+    fn emit(&mut self, seq: u64, kind: PipeEventKind) {
+        if T::ENABLED {
+            self.sink.event(PipeEvent { cycle: self.now, seq, kind });
+        }
+    }
+
+    /// Structure occupancies for a per-cycle attribution record.
+    fn occupancy(&self) -> Occupancy {
+        Occupancy {
+            rob: self.rob_used as u32,
+            iq: self.iq_used as u32,
+            lq: self.lq_used as u32,
+            sq: self.sq_used as u32,
+            fetch_queue: self.fe_count as u32,
+        }
+    }
+
+    /// Exclusive stall attribution for a cycle in which nothing retired,
+    /// decided by the state of the oldest in-flight µop — the one whose
+    /// non-retirement bounds everything younger (same head-first logic as
+    /// [`Machine::idle_skip`], which is why a batched span has a constant
+    /// cause):
+    ///
+    /// * head completed → retire-port pressure ([`CycleCause::CommitBlock`]);
+    /// * head waiting/issued → execution latency: memory µops are
+    ///   [`CycleCause::MemWait`], the rest [`CycleCause::IssueWait`];
+    /// * head still in the front-end → [`CycleCause::SquashRecovery`] when
+    ///   it is a post-squash refetch, otherwise
+    ///   [`CycleCause::DispatchBlock`] if it already left decode (a
+    ///   structural resource is full) or [`CycleCause::FetchStarve`];
+    /// * empty window → the front end is the bottleneck: squash refill
+    ///   ([`CycleCause::SquashRecovery`]) or plain fetch starvation.
+    fn stall_cause(&self) -> CycleCause {
+        match self.w.head_info() {
+            Some(h) => match h.stage {
+                Stage::Completed => CycleCause::CommitBlock,
+                Stage::Waiting | Stage::Issued => match h.fu {
+                    FuClass::Load | FuClass::Store => CycleCause::MemWait,
+                    _ => CycleCause::IssueWait,
+                },
+                Stage::FrontEnd => {
+                    if self.in_recovery(h.seq) {
+                        CycleCause::SquashRecovery
+                    } else if h.fe_exit <= self.now {
+                        CycleCause::DispatchBlock
+                    } else {
+                        CycleCause::FetchStarve
+                    }
+                }
+            },
+            None => match self.refetch.front() {
+                Some(di) if self.in_recovery(di.seq) => CycleCause::SquashRecovery,
+                _ => CycleCause::FetchStarve,
+            },
+        }
+    }
+
+    /// `true` when `seq` is at or below the squash high-water mark, i.e.
+    /// the µop is being re-fetched because a squash discarded it.
+    fn in_recovery(&self, seq: u64) -> bool {
+        self.squash_hwm.is_some_and(|hwm| seq <= hwm)
     }
 
     // ----- idle fast-forward -----
@@ -604,13 +772,21 @@ impl<'a, S: InstSource> Machine<'a, S> {
         if let Some(c) = fetch_counter {
             *c(&mut self.counters.stalls) += skipped;
         }
+        if T::ENABLED {
+            // One batched attribution record for the whole span: no state
+            // changes across skipped cycles, so the cause and occupancy a
+            // cycle-by-cycle run would record are constant.
+            let cause = self.stall_cause();
+            let occ = self.occupancy();
+            self.emit(0, PipeEventKind::Cycle { cause, span: skipped, occ });
+        }
         self.now = wake;
     }
 
     // ----- commit stage -----
 
     fn commit(&mut self) {
-        for _ in 0..self.cfg.retire_width {
+        for slot in 0..self.cfg.retire_width {
             if self.counters.committed >= self.stop_at {
                 break;
             }
@@ -690,6 +866,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 }
             }
             self.counters.committed += 1;
+            self.emit(seq, PipeEventKind::Commit { slot: slot as u16 });
             // Value-misprediction squash at commit.
             let squash = self.w.flag(idx, flag::VP_SQUASH_AT_COMMIT);
             let hist = self.w.hist_after[i];
@@ -697,7 +874,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.w.release(idx);
             if squash {
                 self.counters.vp_squashes += 1;
-                self.squash_after(seq, hist, cp);
+                self.squash_after(seq, hist, cp, SquashCause::ValueMisprediction);
                 break;
             }
         }
@@ -757,6 +934,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.w.state[i] = Stage::Completed;
             let seq = self.w.di[i].seq;
             let op = self.w.di[i].inst.op;
+            self.emit(seq, PipeEventKind::Writeback);
 
             // Branch resolution unblocks fetch.
             if self.w.flag(idx, flag::BR_MISPRED) && self.fetch_blocked_on == Some(seq) {
@@ -785,7 +963,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                     for &ev in due.iter().skip(k + 1) {
                         self.wheel.defer(ev);
                     }
-                    self.squash_after(boundary, hist, cp);
+                    self.squash_after(boundary, hist, cp, SquashCause::MemoryOrder);
                     self.wheel.recycle(due);
                     return;
                 }
@@ -806,6 +984,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
                 }
             }
             if let (Some(pred), Some(actual)) = (self.w.predicted[i], self.w.di[i].result) {
+                self.emit(seq, PipeEventKind::VpValidate { correct: pred == actual });
                 if pred != actual {
                     self.w.set_flag(idx, flag::PRED_WRONG);
                     if self.w.flag(idx, flag::PRED_CONSUMER_ISSUED) {
@@ -856,6 +1035,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.w.poison_clear(c);
             self.w.ready_set(self.w.di[ci].seq);
             self.counters.reissued += 1;
+            self.emit(self.w.di[ci].seq, PipeEventKind::Reissue);
         }
         list.clear();
         debug_assert!(self.w.poisoned[p as usize].is_empty());
@@ -981,6 +1161,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
         for k in 0..self.picks.len() {
             let Pick { idx, complete_at, spec_start, spec_len } = self.picks[k];
             let i = idx as usize;
+            self.emit(self.w.di[i].seq, PipeEventKind::Issue { slot: k as u16 });
             // Mark speculative consumption on the producers and poison
             // this µop with each distinct speculative source.
             for s in spec_start..spec_start + spec_len {
@@ -1193,6 +1374,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.iq_used += 1;
             self.fe_count -= 1;
             dispatched += 1;
+            self.emit(seq, PipeEventKind::Dispatch { slot: (dispatched - 1) as u16 });
             self.w.state[i] = Stage::Waiting;
             self.w.dispatched_at[i] = self.now;
             self.w.deps[i] = deps;
@@ -1316,6 +1498,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             }
             self.fe_count += 1;
             fetched += 1;
+            self.emit(seq, PipeEventKind::Fetch { pc, slot: (fetched - 1) as u16 });
             if di.taken {
                 taken_branches += 1;
             }
@@ -1333,13 +1516,30 @@ impl<'a, S: InstSource> Machine<'a, S> {
 
     /// Remove every µop younger than `boundary` from the window, queue them
     /// for refetch, and restore front-end state. Fetch resumes next cycle.
-    fn squash_after(&mut self, boundary: u64, hist: HistoryState, ras_cp: RasCheckpoint) {
+    fn squash_after(
+        &mut self,
+        boundary: u64,
+        hist: HistoryState,
+        ras_cp: RasCheckpoint,
+        cause: SquashCause,
+    ) {
+        let mut squashed = 0u32;
         while let Some(back) = self.w.back() {
             if self.w.di[back as usize].seq <= boundary {
                 break;
             }
             let idx = self.w.pop_back();
             let i = idx as usize;
+            if T::ENABLED {
+                // pop_back walks youngest-first: the first popped µop is
+                // the squash high-water mark.
+                if squashed == 0 {
+                    let youngest = self.w.di[i].seq;
+                    self.squash_hwm =
+                        Some(self.squash_hwm.map_or(youngest, |hwm| hwm.max(youngest)));
+                }
+                squashed += 1;
+            }
             match self.w.state[i] {
                 Stage::FrontEnd => self.fe_count -= 1,
                 _ => {
@@ -1385,6 +1585,7 @@ impl<'a, S: InstSource> Machine<'a, S> {
             self.fetch_blocked_on = None;
         }
         self.fetch_resume_at = self.fetch_resume_at.max(self.now + 1);
+        self.emit(boundary, PipeEventKind::Squash { cause, squashed });
     }
 }
 
@@ -1708,7 +1909,8 @@ mod tests {
         // then render the report the DEADLOCK_LIMIT panic would print.
         let p = counted_loop(100, 2);
         let cfg = CoreConfig::default();
-        let mut m = Machine::new(&cfg, vpsim_isa::Executor::new(&p));
+        let mut sink = NullSink;
+        let mut m = Machine::new(&cfg, vpsim_isa::Executor::new(&p), &mut sink);
         for _ in 0..300 {
             m.fetch();
             m.now += 1;
@@ -1723,6 +1925,33 @@ mod tests {
         // reports its free-list occupancy.
         assert!(report.contains("FrontEnd"), "{report}");
         assert!(report.contains("(free "), "{report}");
+    }
+
+    #[test]
+    fn deadlock_panic_dumps_the_cycle_log_tail() {
+        // Wedge fetch forever: the machine spins commit-idle cycles until
+        // the DEADLOCK_LIMIT panic fires, and the panic message must carry
+        // the attached cycle log's tail alongside the occupancy snapshot.
+        let p = counted_loop(100, 2);
+        let cfg = CoreConfig::default();
+        let mut log = crate::tap::CycleLog::with_capacity(256);
+        let panic = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut m = Machine::new(&cfg, vpsim_isa::Executor::new(&p), &mut log);
+            m.fetch_blocked_on = Some(u64::MAX);
+            m.simulate(0, 100)
+        }))
+        .expect_err("a wedged machine must hit the deadlock panic");
+        let message = panic
+            .downcast_ref::<String>()
+            .expect("deadlock panics with a formatted report")
+            .clone();
+        assert!(message.contains("pipeline deadlock"), "{message}");
+        assert!(
+            message.contains(&format!("last {} of", crate::tap::DEADLOCK_TAIL)),
+            "missing cycle-log tail in: {message}"
+        );
+        assert!(message.contains("fetch-starve"), "tail must show the stall cause: {message}");
+        assert!(log.total_events() >= DEADLOCK_LIMIT, "one record per wedged cycle");
     }
 
     #[test]

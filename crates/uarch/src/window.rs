@@ -51,7 +51,7 @@ use std::collections::VecDeque;
 use vpsim_branch::RasCheckpoint;
 use vpsim_core::HistoryState;
 use vpsim_event::{Timed, TimingWheel};
-use vpsim_isa::{DynInst, Opcode, RegClass};
+use vpsim_isa::{DynInst, FuClass, Opcode, RegClass};
 
 /// Sentinel for "not yet scheduled" cycles.
 pub(crate) const UNSCHEDULED: u64 = u64::MAX;
@@ -107,6 +107,20 @@ pub(crate) struct Event {
     pub idx: u32,
     /// Generation stamp of the slot when the event was scheduled.
     pub gen: u32,
+}
+
+/// Snapshot of the window head used by the event tap's stall attribution
+/// ([`Window::head_info`]).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct HeadInfo {
+    /// Pipeline stage of the oldest in-flight µop.
+    pub stage: Stage,
+    /// Functional-unit class of the head µop.
+    pub fu: FuClass,
+    /// Global dynamic sequence number of the head µop.
+    pub seq: u64,
+    /// Cycle the head µop leaves (or left) the in-order front-end.
+    pub fe_exit: u64,
 }
 
 /// A consumer registered for wakeup, validated by its generation stamp.
@@ -287,6 +301,20 @@ impl Window {
     /// Seq of the oldest in-flight µop.
     fn front_seq(&self) -> Option<u64> {
         self.front().map(|i| self.di[i as usize].seq)
+    }
+
+    /// Commit-time view of the oldest in-flight µop, for the event tap's
+    /// per-cycle stall attribution ([`crate::tap`]): the head µop bounds
+    /// everything behind it, so its stage + FU class name the machine's
+    /// current bottleneck.
+    pub fn head_info(&self) -> Option<HeadInfo> {
+        let i = self.front()? as usize;
+        Some(HeadInfo {
+            stage: self.state[i],
+            fu: self.di[i].inst.fu_class(),
+            seq: self.di[i].seq,
+            fe_exit: self.fe_exit[i],
+        })
     }
 
     /// O(1) `seq → slab index`; `None` when `seq` already committed or is

@@ -14,12 +14,20 @@
 //! Scope: the no-VP core is strictly zero-alloc. With a value predictor
 //! attached, predictor-internal tables may still rehash, so the VP case
 //! asserts a near-zero bound per committed instruction rather than zero.
+//!
+//! The pipeline event tap is held to the same standard: with the default
+//! `NullSink` the instrumented entry points must stay strictly zero-alloc
+//! (the tap compiles out), and with a live `(StallTally, CycleLog)` sink
+//! the steady state must *still* be zero-alloc — the tally is a flat
+//! struct and the cycle log a preallocated ring, so no event ever touches
+//! the heap.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard};
 use vpsim_core::PredictorKind;
 use vpsim_isa::{Executor, ProgramBuilder, Reg, Trace};
+use vpsim_uarch::tap::{CycleLog, NullSink, StallTally};
 use vpsim_uarch::{CoreConfig, RecoveryPolicy, Simulator, VpConfig};
 
 struct CountingAlloc;
@@ -123,6 +131,58 @@ fn trace_replay_steady_state_is_allocation_free() {
     COUNTING.store(false, Ordering::SeqCst);
     let allocs = ALLOCATIONS.load(Ordering::SeqCst);
     assert_eq!(allocs, 0, "replay steady state must not allocate ({allocs} allocations)");
+}
+
+#[test]
+fn disabled_tap_steady_state_is_allocation_free() {
+    let _serial = serialize_test();
+    // The explicit-NullSink spelling must be exactly as clean as the
+    // sink-free entry points: `T::ENABLED = false` compiles every emission
+    // site out, so this is the same machine instruction-for-instruction.
+    let program = mixed_kernel();
+    let sim = Simulator::new(CoreConfig::default());
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    let mut sink = NullSink;
+    sim.run_source_marked_with_sink(
+        Executor::new(&program),
+        0,
+        120_000,
+        60_000,
+        &mut || {
+            COUNTING.store(true, Ordering::SeqCst);
+        },
+        &mut sink,
+    );
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(allocs, 0, "disabled tap must not allocate ({allocs} allocations)");
+}
+
+#[test]
+fn enabled_tap_steady_state_is_allocation_free() {
+    let _serial = serialize_test();
+    // The enabled tap is also allocation-free per event: `StallTally` is a
+    // flat accumulator and `CycleLog` overwrites its preallocated ring, so
+    // a fully-instrumented no-VP run must stay at exactly zero steady-state
+    // allocations — the tap's cost is arithmetic, never the heap.
+    let program = mixed_kernel();
+    let sim = Simulator::new(CoreConfig::default());
+    let mut sink = (StallTally::default(), CycleLog::with_capacity(256));
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    sim.run_source_marked_with_sink(
+        Executor::new(&program),
+        0,
+        120_000,
+        60_000,
+        &mut || {
+            COUNTING.store(true, Ordering::SeqCst);
+        },
+        &mut sink,
+    );
+    COUNTING.store(false, Ordering::SeqCst);
+    let allocs = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(allocs, 0, "enabled tap must not allocate per event ({allocs} allocations)");
+    assert!(sink.1.total_events() > 120_000, "the tap actually observed the run");
 }
 
 #[test]
