@@ -45,8 +45,18 @@
 //!                      instead of capture-once/replay-many (byte-identical
 //!                      output; sugar for --set trace_cache=off)
 //!   --timing-json F    Write capture/replay/total wall-clock, job/µop
-//!                      counts and ns-per-µop to F as JSON (see
-//!                      BENCH_sweep.json)
+//!                      counts, store hit/miss counters and ns-per-µop
+//!                      to F as JSON (see BENCH_sweep.json)
+//!   --store DIR        Persistent stores under DIR: captured traces
+//!                      (DIR/traces) and finished per-cell results
+//!                      (DIR/results) survive the process and are shared
+//!                      with other runs — a finished cell is never
+//!                      simulated twice. Output is byte-identical with or
+//!                      without the stores.
+//!   --remote ADDR      Submit the resolved scenario to a vpsim-serve job
+//!                      server at ADDR (host:port) instead of running
+//!                      locally. Streams per-cell progress to stderr; the
+//!                      table on stdout is byte-identical to a local run.
 //! ```
 //!
 //! Example: compare VTAGE and the hybrid under both recovery schemes on
@@ -58,7 +68,10 @@
 //! ```
 
 use std::process::ExitCode;
+use vpsim_bench::protocol::{Format, View};
+use vpsim_bench::remote;
 use vpsim_bench::scenario::{presets, resolve_cli_base, Scenario};
+use vpsim_bench::store::Stores;
 
 struct Options {
     scenario: Scenario,
@@ -69,6 +82,8 @@ struct Options {
     dump: bool,
     list_presets: bool,
     timing_json: Option<String>,
+    store: Option<String>,
+    remote: Option<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -84,6 +99,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut dump = false;
     let mut list_presets = false;
     let mut timing_json = None;
+    let mut store = None;
+    let mut remote = None;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut val = || -> Result<&String, String> {
@@ -99,6 +116,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--list-presets" => list_presets = true,
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
             "--timing-json" => timing_json = Some(val()?.clone()),
+            "--store" => store = Some(val()?.clone()),
+            "--remote" => remote = Some(val()?.clone()),
             // Dedicated flags are sugar for --set with the same key.
             flag @ ("--threads" | "--predictors" | "--confidence" | "--recovery"
             | "--benchmarks" | "--warmup" | "--measure" | "--scale" | "--seed") => {
@@ -116,8 +135,30 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if csv && json {
         return Err("--csv and --json are mutually exclusive".into());
     }
+    if remote.is_some() {
+        if stall_report {
+            return Err("--stall-report runs locally; it cannot be combined with --remote".into());
+        }
+        if timing_json.is_some() {
+            return Err("--timing-json measures a local run; use the server's STATS line".into());
+        }
+        if store.is_some() {
+            return Err("--store configures local stores; the server manages its own".into());
+        }
+    }
     scenario.validate()?;
-    Ok(Options { scenario, matrix, stall_report, csv, json, dump, list_presets, timing_json })
+    Ok(Options {
+        scenario,
+        matrix,
+        stall_report,
+        csv,
+        json,
+        dump,
+        list_presets,
+        timing_json,
+        store,
+        remote,
+    })
 }
 
 fn render(table: &vpsim_stats::table::Table, o: &Options) -> String {
@@ -150,7 +191,42 @@ fn main() -> ExitCode {
         print!("{}", options.scenario);
         return ExitCode::SUCCESS;
     }
-    let spec = options.scenario.to_spec();
+    if let Some(addr) = &options.remote {
+        let view = if options.matrix { View::Matrix } else { View::Long };
+        let format = if options.csv {
+            Format::Csv
+        } else if options.json {
+            Format::Json
+        } else {
+            Format::Ascii
+        };
+        let outcome = remote::submit(addr, &options.scenario, view, format, |cell| {
+            eprintln!("{cell}");
+        });
+        return match outcome {
+            Ok(outcome) => {
+                print!("{}", outcome.table);
+                if !outcome.stats.is_empty() {
+                    eprintln!("{}", outcome.stats);
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let mut spec = options.scenario.to_spec();
+    if let Some(dir) = &options.store {
+        spec.stores = match Stores::open(dir) {
+            Ok(stores) => stores,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+    }
     if options.stall_report {
         let results = spec.run_stall_report();
         print!("{}", render(&results.table(), &options));

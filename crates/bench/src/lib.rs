@@ -14,6 +14,10 @@
 //!   instead of re-running the functional executor inline per job.
 //!   `RunSettings::trace_cache = false` (`--no-trace-cache`) restores
 //!   inline execution, byte-identically.
+//! * [`store`] / [`protocol`] / [`remote`] — the service layer: the
+//!   persistent on-disk trace store and per-cell result cache, the
+//!   newline-delimited wire protocol shared with the `vpsim-serve` job
+//!   server, and the `sweep --remote` client.
 //! * [`experiments`] — one function per table/figure of the paper, each
 //!   returning a [`vpsim_stats::table::Table`] whose rows mirror what the
 //!   paper reports. See `ARCHITECTURE.md` at the repository root for the
@@ -35,12 +39,17 @@
 //! ```
 
 pub mod experiments;
+pub mod protocol;
+pub mod remote;
 pub mod runner;
 pub mod scenario;
+pub mod store;
 pub mod sweep;
 pub mod trace_cache;
 
+pub use protocol::{Format, View};
 pub use runner::{RunSettings, SuiteResults};
 pub use scenario::{Scenario, ScenarioBuilder};
+pub use store::{ResultCache, Stores, TraceStore};
 pub use sweep::{SweepResults, SweepSpec, SweepTiming};
 pub use trace_cache::TraceCache;

@@ -1,0 +1,242 @@
+//! Wire protocol shared by the `vpsim-serve` job server and the `sweep
+//! --remote` client.
+//!
+//! Newline-delimited text over TCP, deliberately simple enough to drive
+//! with `nc`. One request per connection lifetime-phase; the connection
+//! stays open across requests and across errors.
+//!
+//! Client → server:
+//!
+//! ```text
+//! SUBMIT <view> <format>     view: long|matrix   format: ascii|csv|json
+//! <scenario text, key = value lines>
+//! END
+//! ```
+//!
+//! plus `PING` (liveness) and `SHUTDOWN` (graceful stop). Server →
+//! client, for a submission:
+//!
+//! ```text
+//! OK <ncells>
+//! CELL <index> <benchmark> <point-label> <ipc>      (strict index order)
+//! …
+//! TABLE <nbytes>
+//! <nbytes of rendered table, byte-identical to a local run's stdout>
+//! STATS result_cache_hits=… cells_simulated=… trace_store_hits=… trace_store_misses=…
+//! DONE
+//! ```
+//!
+//! Any failure — a malformed scenario above all — is a single `ERR <msg>`
+//! line and the connection stays open for the next request. Responses to
+//! `PING`/`SHUTDOWN` are `PONG`/`BYE`.
+//!
+//! Determinism: the sweep engine streams cells in job-index order and is
+//! bit-identical across thread counts, so resubmitting a scenario yields
+//! byte-identical `CELL` and `TABLE` payloads — whether the cells were
+//! simulated or served from the persistent result cache. Only the `STATS`
+//! diagnostics line reflects cache state.
+
+use crate::sweep::{SweepJob, SweepResults, SweepTiming};
+use vpsim_uarch::RunResult;
+
+/// Table orientation of a submission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum View {
+    /// Long-form table: one row per (grid point, benchmark).
+    Long,
+    /// Speedup matrix: benchmark rows × grid-point columns.
+    Matrix,
+}
+
+impl std::fmt::Display for View {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            View::Long => "long",
+            View::Matrix => "matrix",
+        })
+    }
+}
+
+impl std::str::FromStr for View {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "long" => Ok(View::Long),
+            "matrix" => Ok(View::Matrix),
+            other => Err(format!("unknown view {other} (long|matrix)")),
+        }
+    }
+}
+
+/// Rendering format of a submission's final table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Format {
+    /// Aligned text, exactly what a local `sweep` prints to stdout.
+    Ascii,
+    /// Comma-separated values.
+    Csv,
+    /// JSON array of row objects.
+    Json,
+}
+
+impl std::fmt::Display for Format {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Format::Ascii => "ascii",
+            Format::Csv => "csv",
+            Format::Json => "json",
+        })
+    }
+}
+
+impl std::str::FromStr for Format {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "ascii" => Ok(Format::Ascii),
+            "csv" => Ok(Format::Csv),
+            "json" => Ok(Format::Json),
+            other => Err(format!("unknown format {other} (ascii|csv|json)")),
+        }
+    }
+}
+
+/// Terminator of a `SUBMIT` scenario block.
+pub const END_MARKER: &str = "END";
+/// Liveness probe; answered with [`PONG`].
+pub const PING: &str = "PING";
+/// Liveness answer.
+pub const PONG: &str = "PONG";
+/// Graceful server stop; answered with [`BYE`].
+pub const SHUTDOWN: &str = "SHUTDOWN";
+/// Acknowledgement of [`SHUTDOWN`].
+pub const BYE: &str = "BYE";
+/// Last line of a successful submission response.
+pub const DONE: &str = "DONE";
+
+/// The `SUBMIT <view> <format>` request line.
+pub fn submit_line(view: View, format: Format) -> String {
+    format!("SUBMIT {view} {format}")
+}
+
+/// Parse a `SUBMIT <view> <format>` line (`None` if it is not a SUBMIT
+/// at all, `Some(Err)` if it is one with bad arguments).
+pub fn parse_submit(line: &str) -> Option<Result<(View, Format), String>> {
+    let rest = line.strip_prefix("SUBMIT")?;
+    let mut words = rest.split_whitespace();
+    let parsed = match (words.next(), words.next(), words.next()) {
+        (Some(view), Some(format), None) => {
+            view.parse::<View>().and_then(|v| format.parse::<Format>().map(|f| (v, f)))
+        }
+        _ => Err("SUBMIT takes exactly: SUBMIT <long|matrix> <ascii|csv|json>".into()),
+    };
+    Some(parsed)
+}
+
+/// The `OK <ncells>` acknowledgement of an accepted submission.
+pub fn ok_line(ncells: usize) -> String {
+    format!("OK {ncells}")
+}
+
+/// One streamed per-cell result line, in strict job-index order:
+/// `CELL <index> <benchmark> <point-label> <ipc>`.
+pub fn cell_line(job: &SweepJob, result: &RunResult) -> String {
+    let label = match &job.point {
+        Some(p) => p.label(),
+        None => "baseline".to_string(),
+    };
+    format!("CELL {} {} {} {:.3}", job.index, job.bench.name, label, result.metrics.ipc())
+}
+
+/// The `TABLE <nbytes>` header announcing the rendered table payload.
+pub fn table_header(nbytes: usize) -> String {
+    format!("TABLE {nbytes}")
+}
+
+/// The `STATS …` diagnostics line of a finished submission.
+pub fn stats_line(timing: &SweepTiming) -> String {
+    format!(
+        "STATS result_cache_hits={} cells_simulated={} trace_store_hits={} trace_store_misses={}",
+        timing.result_cache_hits,
+        timing.jobs as u64 - timing.result_cache_hits,
+        timing.trace_store_hits,
+        timing.trace_store_misses,
+    )
+}
+
+/// An `ERR <msg>` reply: the message is collapsed to one line so it can
+/// never break the framing.
+pub fn err_line(msg: &str) -> String {
+    let one_line: String =
+        msg.chars().map(|c| if c == '\n' || c == '\r' { ' ' } else { c }).collect();
+    format!("ERR {}", one_line.trim())
+}
+
+/// Render a submission's final table exactly as a local `sweep` run
+/// prints it to stdout: `to_csv()`/`to_json()` verbatim for those
+/// formats, and the aligned text plus the `println!` newline for ascii —
+/// so `sweep --remote` output is byte-identical to local output.
+pub fn render_output(results: &SweepResults, view: View, format: Format) -> String {
+    let table = match view {
+        View::Long => results.table(),
+        View::Matrix => results.matrix(),
+    };
+    match format {
+        Format::Ascii => format!("{table}\n"),
+        Format::Csv => table.to_csv(),
+        Format::Json => table.to_json(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn view_and_format_round_trip() {
+        for view in [View::Long, View::Matrix] {
+            assert_eq!(view.to_string().parse::<View>().unwrap(), view);
+        }
+        for format in [Format::Ascii, Format::Csv, Format::Json] {
+            assert_eq!(format.to_string().parse::<Format>().unwrap(), format);
+        }
+        assert!("wide".parse::<View>().is_err());
+        assert!("yaml".parse::<Format>().is_err());
+    }
+
+    #[test]
+    fn submit_lines_parse_back() {
+        let line = submit_line(View::Matrix, Format::Csv);
+        assert_eq!(line, "SUBMIT matrix csv");
+        assert_eq!(parse_submit(&line).unwrap().unwrap(), (View::Matrix, Format::Csv));
+        assert!(parse_submit("PING").is_none());
+        assert!(parse_submit("SUBMIT").unwrap().is_err());
+        assert!(parse_submit("SUBMIT long").unwrap().is_err());
+        assert!(parse_submit("SUBMIT long ascii extra").unwrap().is_err());
+        assert!(parse_submit("SUBMIT sideways ascii").unwrap().is_err());
+    }
+
+    #[test]
+    fn err_lines_never_contain_newlines() {
+        let err = err_line("line 1: bad key\nline 2: worse");
+        assert_eq!(err, "ERR line 1: bad key line 2: worse");
+        assert_eq!(err.lines().count(), 1);
+    }
+
+    #[test]
+    fn stats_line_reports_simulated_complement() {
+        let timing = SweepTiming {
+            jobs: 10,
+            result_cache_hits: 7,
+            trace_store_hits: 2,
+            trace_store_misses: 1,
+            ..SweepTiming::default()
+        };
+        assert_eq!(
+            stats_line(&timing),
+            "STATS result_cache_hits=7 cells_simulated=3 trace_store_hits=2 trace_store_misses=1"
+        );
+    }
+}

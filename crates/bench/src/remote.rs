@@ -1,0 +1,115 @@
+//! `sweep --remote` client: submit a scenario to a running `vpsim-serve`
+//! job server and collect the streamed response.
+//!
+//! The client side of [`crate::protocol`]: it renders the scenario to its
+//! canonical text, streams per-cell `CELL` lines to a progress callback
+//! as the server completes them (strict job-index order), and returns the
+//! final rendered table — byte-identical to what a local `sweep` run
+//! would print to stdout — plus the server's `STATS` diagnostics line.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{self, Format, View};
+use crate::scenario::Scenario;
+
+/// Everything a successful remote submission returns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RemoteOutcome {
+    /// The rendered table, byte-identical to a local run's stdout.
+    pub table: String,
+    /// The server's `STATS …` diagnostics line.
+    pub stats: String,
+    /// Grid cells in the submission (the server's `OK` count).
+    pub cells: usize,
+}
+
+fn connect(addr: &str) -> Result<(BufReader<TcpStream>, TcpStream), String> {
+    let stream = TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let reader =
+        BufReader::new(stream.try_clone().map_err(|e| format!("cannot clone connection: {e}"))?);
+    Ok((reader, stream))
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
+    let mut line = String::new();
+    let n = reader.read_line(&mut line).map_err(|e| format!("connection error: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection".into());
+    }
+    Ok(line.trim_end_matches(['\r', '\n']).to_string())
+}
+
+/// Submit `scenario` to the server at `addr` and collect the response.
+/// `progress` is invoked once per streamed `CELL` line, in job-index
+/// order, as the server completes cells. A server-side `ERR` (e.g. a
+/// malformed scenario) comes back as this function's `Err`.
+pub fn submit(
+    addr: &str,
+    scenario: &Scenario,
+    view: View,
+    format: Format,
+    mut progress: impl FnMut(&str),
+) -> Result<RemoteOutcome, String> {
+    let (mut reader, mut stream) = connect(addr)?;
+    let request =
+        format!("{}\n{}{}\n", protocol::submit_line(view, format), scenario, protocol::END_MARKER);
+    stream.write_all(request.as_bytes()).map_err(|e| format!("cannot send request: {e}"))?;
+    stream.flush().map_err(|e| format!("cannot send request: {e}"))?;
+
+    let first = read_line(&mut reader)?;
+    let cells = match first.split_once(' ') {
+        Some(("OK", n)) => n
+            .parse::<usize>()
+            .map_err(|_| format!("malformed acknowledgement from server: {first}"))?,
+        Some(("ERR", msg)) => return Err(format!("server rejected the scenario: {msg}")),
+        _ => return Err(format!("unexpected reply from server: {first}")),
+    };
+    let mut table = None;
+    let mut stats = None;
+    loop {
+        let line = read_line(&mut reader)?;
+        if line == protocol::DONE {
+            break;
+        } else if line.starts_with("CELL ") {
+            progress(&line);
+        } else if let Some(n) = line.strip_prefix("TABLE ") {
+            let nbytes: usize =
+                n.parse().map_err(|_| format!("malformed table header from server: {line}"))?;
+            let mut buf = vec![0u8; nbytes];
+            reader.read_exact(&mut buf).map_err(|e| format!("truncated table payload: {e}"))?;
+            table = Some(String::from_utf8(buf).map_err(|e| format!("non-UTF-8 table: {e}"))?);
+        } else if line.starts_with("STATS ") {
+            stats = Some(line);
+        } else if let Some(msg) = line.strip_prefix("ERR ") {
+            return Err(format!("server error: {msg}"));
+        } else {
+            return Err(format!("unexpected line from server: {line}"));
+        }
+    }
+    Ok(RemoteOutcome {
+        table: table.ok_or("server finished without sending a table")?,
+        stats: stats.unwrap_or_default(),
+        cells,
+    })
+}
+
+/// Liveness probe: `PING` → `PONG`.
+pub fn ping(addr: &str) -> Result<(), String> {
+    let (mut reader, mut stream) = connect(addr)?;
+    stream.write_all(b"PING\n").map_err(|e| format!("cannot send PING: {e}"))?;
+    match read_line(&mut reader)?.as_str() {
+        protocol::PONG => Ok(()),
+        other => Err(format!("unexpected PING reply: {other}")),
+    }
+}
+
+/// Ask the server at `addr` to shut down gracefully (`SHUTDOWN` → `BYE`).
+pub fn shutdown(addr: &str) -> Result<(), String> {
+    let (mut reader, mut stream) = connect(addr)?;
+    stream.write_all(b"SHUTDOWN\n").map_err(|e| format!("cannot send SHUTDOWN: {e}"))?;
+    match read_line(&mut reader)?.as_str() {
+        protocol::BYE => Ok(()),
+        other => Err(format!("unexpected SHUTDOWN reply: {other}")),
+    }
+}

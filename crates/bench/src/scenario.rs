@@ -377,7 +377,26 @@ impl Scenario {
             points: self.points.clone(),
             benches: self.benches.clone(),
             core: self.core.apply(CoreConfig::default()),
+            stores: crate::store::Stores::default(),
         }
+    }
+
+    /// The canonical identity hash of this scenario for the persistent
+    /// service layer: hex SHA-256 over the canonical rendered text with
+    /// the execution-only keys (`threads`, `trace_cache`) removed — they
+    /// change how a sweep runs, never what it produces. Rendering is
+    /// canonical and `parse(render(s)) == s`, so the hash is invariant
+    /// under `.vps` render → parse round trips.
+    pub fn cache_hash(&self) -> String {
+        let mut identity = String::from("vpsim-scenario/v1\n");
+        for line in self.to_string().lines() {
+            if line.starts_with("threads =") || line.starts_with("trace_cache =") {
+                continue;
+            }
+            identity.push_str(line);
+            identity.push('\n');
+        }
+        crate::store::hex(&crate::store::sha256(identity.as_bytes()))
     }
 
     /// Run the scenario on the deterministic parallel sweep engine.
@@ -932,6 +951,35 @@ mod tests {
             .unwrap();
         let text = sc.to_string();
         assert_eq!(text.parse::<Scenario>().unwrap(), sc, "\n{text}");
+    }
+
+    #[test]
+    fn cache_hash_is_invariant_under_round_trip_and_execution_keys() {
+        let sc = preset("smoke").unwrap();
+        let hash = sc.cache_hash();
+        assert_eq!(hash.len(), 64, "hex SHA-256");
+        // The satellite guarantee: a scenario and its render→parse round
+        // trip hash identically.
+        let parsed: Scenario = sc.to_string().parse().unwrap();
+        assert_eq!(parsed.cache_hash(), hash);
+        // Execution-only keys do not change the identity…
+        let mut exec = sc.clone();
+        exec.settings.threads = 13;
+        exec.settings.trace_cache = false;
+        assert_eq!(exec.cache_hash(), hash);
+        // …but every result-affecting key does.
+        for tweak in [
+            "measure=10001",
+            "seed=0x2015",
+            "scale=2",
+            "benchmarks=gzip",
+            "predictors=lvp",
+            "core.fetch_width=4",
+        ] {
+            let mut other = sc.clone();
+            other.set(tweak).unwrap();
+            assert_ne!(other.cache_hash(), hash, "{tweak} must change the hash");
+        }
     }
 
     #[test]

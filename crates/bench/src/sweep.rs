@@ -47,6 +47,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::runner::{RunSettings, SuiteResults};
+use crate::store::{cell_key, Stores, TraceStore};
 use crate::trace_cache::TraceCache;
 use vpsim_core::{ConfidenceScheme, PredictorKind};
 use vpsim_isa::Trace;
@@ -199,6 +200,116 @@ where
     slots.into_iter().map(|slot| slot.into_inner().unwrap().expect("every job ran")).collect()
 }
 
+/// Per-job result slots for [`run_indexed_streamed`], plus the flag the
+/// in-order consumer needs to bail out if a worker dies.
+struct StreamState<T> {
+    slots: Vec<Option<T>>,
+    failed: bool,
+}
+
+/// Marks the stream failed if its worker unwinds, so the in-order
+/// consumer cannot wait forever on a slot that will never fill; the panic
+/// itself resurfaces when the scope joins the worker.
+struct FailOnPanic<'a, T> {
+    state: &'a Mutex<StreamState<T>>,
+    ready: &'a Condvar,
+}
+
+impl<T> Drop for FailOnPanic<'_, T> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            if let Ok(mut st) = self.state.lock() {
+                st.failed = true;
+            }
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Like [`run_indexed`], but additionally invokes `consume(i, &result)`
+/// **on the calling thread, in strict job-index order**, as results
+/// become available — the streaming primitive behind the job server's
+/// per-cell result lines. Returns the full result vector in index order,
+/// exactly as [`run_indexed`] does, so streamed and merged views can
+/// never disagree.
+///
+/// With more than one thread, job indices are fed to the worker pool from
+/// a scoped producer thread while the calling thread waits on the next
+/// unconsumed slot; out-of-order completions simply park in their slots
+/// until their turn.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_bench::sweep::run_indexed_streamed;
+///
+/// let mut seen = Vec::new();
+/// let results = run_indexed_streamed(10, 4, |i| i * i, |i, &r| seen.push((i, r)));
+/// assert_eq!(results, (0..10).map(|i| i * i).collect::<Vec<_>>());
+/// assert_eq!(seen, (0..10).map(|i| (i, i * i)).collect::<Vec<_>>());
+/// ```
+pub fn run_indexed_streamed<T, F, C>(jobs: usize, threads: usize, run: F, mut consume: C) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    C: FnMut(usize, &T),
+{
+    if threads <= 1 || jobs <= 1 {
+        return (0..jobs)
+            .map(|i| {
+                let result = run(i);
+                consume(i, &result);
+                result
+            })
+            .collect();
+    }
+    let workers = threads.min(jobs);
+    let queue = BoundedQueue::new(2 * workers);
+    let state = Mutex::new(StreamState { slots: (0..jobs).map(|_| None).collect(), failed: false });
+    let ready = Condvar::new();
+    let mut out = Vec::with_capacity(jobs);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let _close = CloseOnPanic(&queue);
+                let _fail = FailOnPanic { state: &state, ready: &ready };
+                while let Some(i) = queue.pop() {
+                    let result = run(i);
+                    state.lock().unwrap().slots[i] = Some(result);
+                    ready.notify_all();
+                }
+            });
+        }
+        // The producer feeds the queue from its own scoped thread so the
+        // calling thread is free to consume strictly in order below.
+        scope.spawn(|| {
+            for i in 0..jobs {
+                if !queue.push(i) {
+                    return; // a worker panicked and closed the queue
+                }
+            }
+            queue.close();
+        });
+        'consume: for i in 0..jobs {
+            let mut st = state.lock().unwrap();
+            let result = loop {
+                if let Some(result) = st.slots[i].take() {
+                    break result;
+                }
+                if st.failed {
+                    break 'consume; // the panic resurfaces at scope join
+                }
+                st = ready.wait(st).unwrap();
+            };
+            drop(st);
+            consume(i, &result);
+            out.push(result);
+        }
+    });
+    assert_eq!(out.len(), jobs, "every job ran");
+    out
+}
+
 // ---------------------------------------------------------------------------
 // Configuration grids
 // ---------------------------------------------------------------------------
@@ -206,12 +317,14 @@ where
 /// Capture (or fetch from the process-wide [`TraceCache`]) one shared
 /// trace per benchmark, in parallel on `settings.threads` workers. The
 /// budget covers the largest ROB in `configs`, so every grid cell replays
-/// byte-identically. Returns the traces (benchmark order) and how many
-/// were captured fresh.
+/// byte-identically. With a [`TraceStore`], the in-memory cache falls
+/// through to disk before capturing (and persists fresh captures).
+/// Returns the traces (benchmark order) and how many were captured fresh.
 fn prefetch_traces(
     settings: &RunSettings,
     benches: &[Benchmark],
     configs: &[CoreConfig],
+    store: Option<&TraceStore>,
 ) -> (Vec<Arc<Trace>>, usize) {
     let budget = configs
         .iter()
@@ -219,7 +332,7 @@ fn prefetch_traces(
         .max()
         .unwrap_or_else(|| settings.trace_budget(&settings.core()));
     let captures = run_indexed(benches.len(), settings.threads, |bi| {
-        TraceCache::global().get(settings, &benches[bi], budget)
+        TraceCache::global().get_with_store(settings, &benches[bi], budget, store)
     });
     let fresh = captures.iter().filter(|(_, fresh)| *fresh).count();
     (captures.into_iter().map(|(trace, _)| trace).collect(), fresh)
@@ -245,7 +358,7 @@ pub fn run_grid(
     }
     let jobs = configs.len() * benches.len();
     let results = if settings.trace_cache {
-        let (traces, _) = prefetch_traces(settings, benches, configs);
+        let (traces, _) = prefetch_traces(settings, benches, configs, None);
         run_indexed(jobs, settings.threads, |i| {
             let (ci, bi) = (i / benches.len(), i % benches.len());
             settings.run_trace(&traces[bi], configs[ci].clone())
@@ -437,6 +550,9 @@ pub struct SweepSpec {
     /// Base core configuration every grid cell starts from (structural
     /// overrides; its seed is replaced by `settings.seed` at expansion).
     pub core: CoreConfig,
+    /// Optional persistent stores (on-disk trace store and per-cell
+    /// result cache). `Default` is fully in-memory; see [`Stores`].
+    pub stores: Stores,
 }
 
 /// One expanded job of a [`SweepSpec`]: a single (configuration,
@@ -507,41 +623,118 @@ impl SweepSpec {
     /// and shared across the whole grid via `Arc<Trace>`; with it off,
     /// every job re-executes the functional trace inline.
     pub fn run(&self) -> SweepResults {
+        self.run_streamed(|_, _| {})
+    }
+
+    /// Execute the sweep, invoking `on_cell(job, result)` **in job-index
+    /// order** as each grid cell finishes — the engine behind the job
+    /// server's per-cell result stream. The returned [`SweepResults`] is
+    /// identical to [`SweepSpec::run`]'s (which is just this method with
+    /// an empty callback).
+    ///
+    /// With a persistent result cache configured ([`SweepSpec::stores`]),
+    /// every cell is first looked up by its canonical key
+    /// ([`crate::store::cell_key`]); cached cells are never simulated —
+    /// a fully-cached sweep runs zero simulations and reports
+    /// `timing.uops == 0` — and freshly simulated cells are persisted as
+    /// they complete. With a trace store configured, the in-memory trace
+    /// cache falls through to disk before capturing.
+    pub fn run_streamed(&self, mut on_cell: impl FnMut(&SweepJob, &RunResult)) -> SweepResults {
         let start = Instant::now();
         let jobs = self.expand();
         let mut timing = SweepTiming {
             jobs: jobs.len(),
-            uops: jobs.len() as u64 * (self.settings.warmup + self.settings.measure),
             workloads: self.benches.len(),
             trace_cache: self.settings.trace_cache,
             threads: self.settings.threads,
             ..SweepTiming::default()
         };
-        let results = if self.settings.trace_cache {
-            let configs: Vec<CoreConfig> = jobs.iter().map(|j| j.config.clone()).collect();
-            let capture_start = Instant::now();
-            let (traces, fresh) = prefetch_traces(&self.settings, &self.benches, &configs);
-            timing.capture = capture_start.elapsed();
-            timing.captures = fresh;
-            let replay_start = Instant::now();
-            // Jobs are expanded benchmark-major within each grid point,
-            // so the job's workload — and its shared trace — is index
-            // modulo the benchmark count.
-            let results = run_indexed(jobs.len(), self.settings.threads, |i| {
-                self.settings.run_trace(&traces[i % self.benches.len()], jobs[i].config.clone())
-            });
-            timing.replay = replay_start.elapsed();
-            results
-        } else {
-            let replay_start = Instant::now();
-            let results = run_indexed(jobs.len(), self.settings.threads, |i| {
-                self.settings.run(&jobs[i].bench, jobs[i].config.clone())
-            });
-            timing.replay = replay_start.elapsed();
-            results
-        };
+        // Probe the persistent result cache: cells finished by any earlier
+        // run (or process) are served as-is and never simulated again.
+        let mut cells: Vec<Option<RunResult>> = vec![None; jobs.len()];
+        if let Some(cache) = &self.stores.results {
+            for job in &jobs {
+                cells[job.index] = cache.load(&cell_key(&self.settings, job));
+            }
+        }
+        timing.result_cache_hits = cells.iter().flatten().count() as u64;
+        let sim: Vec<usize> = (0..jobs.len()).filter(|&i| cells[i].is_none()).collect();
+        timing.uops = sim.len() as u64 * (self.settings.warmup + self.settings.measure);
+        let store = self.stores.traces.as_deref();
+        let (store_hits, store_misses) = store.map_or((0, 0), |s| (s.hits(), s.misses()));
+
+        // Stream cells in strict job order: leading cached cells go out
+        // immediately, the rest as soon as every earlier cell is done.
+        let mut emitted = 0;
+        while emitted < cells.len() {
+            match &cells[emitted] {
+                Some(result) => {
+                    on_cell(&jobs[emitted], result);
+                    emitted += 1;
+                }
+                None => break,
+            }
+        }
+        if !sim.is_empty() {
+            let mut consume = |k: usize, result: &RunResult| {
+                let i = sim[k];
+                if let Some(cache) = &self.stores.results {
+                    cache.save(&cell_key(&self.settings, &jobs[i]), result);
+                }
+                cells[i] = Some(*result);
+                while emitted < cells.len() {
+                    match &cells[emitted] {
+                        Some(result) => {
+                            on_cell(&jobs[emitted], result);
+                            emitted += 1;
+                        }
+                        None => break,
+                    }
+                }
+            };
+            if self.settings.trace_cache {
+                let configs: Vec<CoreConfig> =
+                    sim.iter().map(|&i| jobs[i].config.clone()).collect();
+                let capture_start = Instant::now();
+                let (traces, fresh) =
+                    prefetch_traces(&self.settings, &self.benches, &configs, store);
+                timing.capture = capture_start.elapsed();
+                timing.captures = fresh;
+                let replay_start = Instant::now();
+                // Jobs are expanded benchmark-major within each grid
+                // point, so a job's workload — and its shared trace — is
+                // its index modulo the benchmark count.
+                run_indexed_streamed(
+                    sim.len(),
+                    self.settings.threads,
+                    |k| {
+                        let i = sim[k];
+                        self.settings
+                            .run_trace(&traces[i % self.benches.len()], jobs[i].config.clone())
+                    },
+                    &mut consume,
+                );
+                timing.replay = replay_start.elapsed();
+            } else {
+                let replay_start = Instant::now();
+                run_indexed_streamed(
+                    sim.len(),
+                    self.settings.threads,
+                    |k| {
+                        let i = sim[k];
+                        self.settings.run(&jobs[i].bench, jobs[i].config.clone())
+                    },
+                    &mut consume,
+                );
+                timing.replay = replay_start.elapsed();
+            }
+        }
+        if let Some(s) = store {
+            timing.trace_store_hits = s.hits() - store_hits;
+            timing.trace_store_misses = s.misses() - store_misses;
+        }
         timing.total = start.elapsed();
-        let mut it = results.into_iter();
+        let mut it = cells.into_iter().map(|cell| cell.expect("every cell cached or simulated"));
         let mut take_suite = || SuiteResults {
             rows: self
                 .benches
@@ -566,7 +759,12 @@ impl SweepSpec {
         let jobs = self.expand();
         let results: Vec<(RunResult, StallReport)> = if self.settings.trace_cache {
             let configs: Vec<CoreConfig> = jobs.iter().map(|j| j.config.clone()).collect();
-            let (traces, _) = prefetch_traces(&self.settings, &self.benches, &configs);
+            let (traces, _) = prefetch_traces(
+                &self.settings,
+                &self.benches,
+                &configs,
+                self.stores.traces.as_deref(),
+            );
             run_indexed(jobs.len(), self.settings.threads, |i| {
                 let mut tally = StallTally::default();
                 let result = self.settings.run_trace_with_sink(
@@ -674,16 +872,27 @@ pub struct SweepTiming {
     pub replay: Duration,
     /// Wall-clock of the whole sweep, expansion and merging included.
     pub total: Duration,
-    /// Simulation jobs run (baseline rows included).
+    /// Grid cells in the sweep (baseline rows included), whether
+    /// simulated or served from the result cache.
     pub jobs: usize,
-    /// Committed µops simulated across all jobs (nominal: each job runs
-    /// its warm-up plus measurement window; endless workloads always
-    /// commit the full budget).
+    /// Committed µops actually simulated (nominal: each simulated cell
+    /// runs its warm-up plus measurement window; endless workloads always
+    /// commit the full budget). Cells served from the persistent result
+    /// cache contribute nothing — a fully-cached sweep reports zero.
     pub uops: u64,
     /// Distinct workloads in the grid.
     pub workloads: usize,
     /// Traces captured fresh this run (cache misses; hits cost nothing).
     pub captures: usize,
+    /// Grid cells served from the persistent result cache (zero without
+    /// a configured store).
+    pub result_cache_hits: u64,
+    /// Workload traces served from the on-disk trace store (zero without
+    /// a configured store).
+    pub trace_store_hits: u64,
+    /// Trace-store lookups that missed (entry absent, corrupt, or too
+    /// short for the requested budget).
+    pub trace_store_misses: u64,
     /// Whether the capture-once/replay-many path was used.
     pub trace_cache: bool,
     /// Worker threads.
@@ -729,6 +938,8 @@ impl SweepTiming {
         format!(
             "{{\n  \"trace_cache\": {},\n  \"threads\": {},\n  \"jobs\": {},\n  \
              \"uops\": {},\n  \"workloads\": {},\n  \"captures\": {},\n  \
+             \"trace_store_hits\": {},\n  \"trace_store_misses\": {},\n  \
+             \"result_cache_hits\": {},\n  \
              \"capture_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
              \"total_seconds\": {:.6},\n  \"ns_per_uop\": {:.1}\n}}\n",
             self.trace_cache,
@@ -737,6 +948,9 @@ impl SweepTiming {
             self.uops,
             self.workloads,
             self.captures,
+            self.trace_store_hits,
+            self.trace_store_misses,
+            self.result_cache_hits,
             self.capture.as_secs_f64(),
             self.replay.as_secs_f64(),
             self.total.as_secs_f64(),
@@ -1059,12 +1273,120 @@ mod tests {
             "\"trace_cache\": true",
             "\"jobs\": 2",
             "\"uops\": 12000",
+            "\"trace_store_hits\": 0",
+            "\"trace_store_misses\": 0",
+            "\"result_cache_hits\": 0",
             "\"capture_seconds\":",
             "\"total_seconds\":",
             "\"ns_per_uop\":",
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn run_indexed_streamed_consumes_in_order_and_matches_run_indexed() {
+        for threads in [1, 2, 4, 8] {
+            let mut seen = Vec::new();
+            let results = run_indexed_streamed(
+                23,
+                threads,
+                |i| i * 3 + 1,
+                |i, &r| {
+                    seen.push((i, r));
+                },
+            );
+            assert_eq!(results, run_indexed(23, 1, |i| i * 3 + 1), "threads={threads}");
+            assert_eq!(seen, (0..23).map(|i| (i, i * 3 + 1)).collect::<Vec<_>>());
+        }
+        assert!(run_indexed_streamed(0, 4, |i| i, |_, _| {}).is_empty());
+    }
+
+    #[test]
+    fn streamed_cells_match_the_merged_results() {
+        let spec = SweepSpec {
+            settings: tiny(),
+            predictors: vec![PredictorKind::Lvp],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            benches: vec![benchmark("gzip").unwrap(), benchmark("mcf").unwrap()],
+            ..SweepSpec::default()
+        };
+        let mut streamed = Vec::new();
+        let results = spec.run_streamed(|job, r| streamed.push((job.index, job.bench.name, *r)));
+        assert_eq!(streamed.len(), spec.job_count());
+        for (k, (index, _, _)) in streamed.iter().enumerate() {
+            assert_eq!(*index, k, "cells must stream in job-index order");
+        }
+        // Baseline cells first (benchmark-major), then the grid point.
+        assert_eq!(streamed[0].1, "gzip");
+        assert_eq!(streamed[1].1, "mcf");
+        assert_eq!(streamed[0].2, results.baseline.rows[0].1);
+        assert_eq!(streamed[1].2, results.baseline.rows[1].1);
+        assert_eq!(streamed[2].2, results.points[0].1.rows[0].1);
+        assert_eq!(streamed[3].2, results.points[0].1.rows[1].1);
+    }
+
+    #[test]
+    fn result_cache_serves_a_repeat_sweep_without_simulating() {
+        let dir = crate::store::scratch_dir("sweep-result-cache");
+        let spec = SweepSpec {
+            settings: tiny(),
+            predictors: vec![PredictorKind::Lvp],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            benches: vec![benchmark("gzip").unwrap(), benchmark("mcf").unwrap()],
+            stores: Stores::open(&dir).unwrap(),
+            ..SweepSpec::default()
+        };
+        let first = spec.run();
+        assert_eq!(first.timing.result_cache_hits, 0);
+        assert_eq!(first.timing.uops, 4 * 6_000);
+        // A second run (fresh Stores handle — think: a new process) is
+        // served entirely from the result cache: zero cells simulated,
+        // byte-identical output.
+        let second = SweepSpec { stores: Stores::open(&dir).unwrap(), ..spec.clone() }.run();
+        assert_eq!(second.timing.result_cache_hits, spec.job_count() as u64);
+        assert_eq!(second.timing.uops, 0, "no cell may be simulated on a cached sweep");
+        assert_eq!(second.timing.captures, 0);
+        assert_eq!(second.table().to_csv(), first.table().to_csv());
+        assert_eq!(second.matrix().to_csv(), first.matrix().to_csv());
+        // Uncached output is identical too: the cache changes cost, never
+        // results.
+        let uncached = SweepSpec { stores: Stores::default(), ..spec.clone() }.run();
+        assert_eq!(uncached.table().to_csv(), first.table().to_csv());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn trace_store_counters_surface_in_timing() {
+        let dir = crate::store::scratch_dir("sweep-trace-store");
+        // Use a distinct seed so the process-wide in-memory TraceCache
+        // cannot already hold these captures (other tests share it).
+        let settings =
+            RunSettings { warmup: 500, measure: 2_000, seed: 771_177, ..RunSettings::default() };
+        let spec = SweepSpec {
+            settings,
+            predictors: vec![PredictorKind::Lvp],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            benches: vec![benchmark("h264ref").unwrap()],
+            stores: Stores {
+                traces: Some(Arc::new(TraceStore::open(&dir).unwrap())),
+                results: None,
+            },
+            ..SweepSpec::default()
+        };
+        let first = spec.run();
+        assert_eq!(first.timing.trace_store_hits, 0);
+        assert_eq!(first.timing.trace_store_misses, 1);
+        assert_eq!(first.timing.captures, 1);
+        // Same sweep with a cold in-memory cache key path is impossible
+        // to force here (the global cache now holds the trace), so check
+        // persistence directly: the store has the entry on disk.
+        let store = TraceStore::open(&dir).unwrap();
+        assert!(store.load("h264ref", settings.scale, settings.seed).is_some());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

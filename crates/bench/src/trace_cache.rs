@@ -15,6 +15,7 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::runner::RunSettings;
+use crate::store::TraceStore;
 use vpsim_isa::Trace;
 use vpsim_workloads::Benchmark;
 
@@ -77,15 +78,62 @@ impl TraceCache {
         bench: &Benchmark,
         budget: u64,
     ) -> (Arc<Trace>, bool) {
+        self.get_with_store(settings, bench, budget, None)
+    }
+
+    /// Like [`TraceCache::get`], but falling through to an on-disk
+    /// [`TraceStore`] between the in-memory map and a fresh capture:
+    /// in-memory hit, else disk hit (counted on the store), else capture
+    /// — which is then persisted, so a capture made by one process is a
+    /// disk hit for every later one. Corrupt store entries are evicted
+    /// inside [`TraceStore::load`] (with a stderr warning) and simply
+    /// count as misses here — the recapture transparently heals the
+    /// store.
+    pub fn get_with_store(
+        &self,
+        settings: &RunSettings,
+        bench: &Benchmark,
+        budget: u64,
+        store: Option<&TraceStore>,
+    ) -> (Arc<Trace>, bool) {
         let key = TraceKey { name: bench.name, scale: settings.scale, seed: settings.seed };
         if let Some(entry) = self.entries.lock().unwrap().get(&key) {
             if entry.covers(budget) {
                 return (Arc::clone(&entry.trace), false);
             }
         }
+        if let Some(store) = store {
+            match store.load(bench.name, settings.scale, settings.seed) {
+                Some(stored) if stored.covers(budget) => {
+                    store.record_hit();
+                    let mut entries = self.entries.lock().unwrap();
+                    return match entries.get(&key) {
+                        // A racing worker established a covering entry
+                        // while we read the disk; keep it.
+                        Some(entry) if entry.covers(budget) => (Arc::clone(&entry.trace), false),
+                        _ => {
+                            let trace = Arc::clone(&stored.trace);
+                            entries.insert(
+                                key,
+                                Entry {
+                                    budget: stored.budget,
+                                    complete: stored.complete,
+                                    trace: Arc::clone(&trace),
+                                },
+                            );
+                            (trace, false)
+                        }
+                    };
+                }
+                _ => store.record_miss(),
+            }
+        }
         let program = (bench.build)(&settings.params());
         let trace = Arc::new(Trace::capture(&program, budget));
         let complete = (trace.len() as u64) < budget;
+        if let Some(store) = store {
+            store.save(bench.name, settings.scale, settings.seed, budget, complete, &trace);
+        }
         let mut entries = self.entries.lock().unwrap();
         match entries.get(&key) {
             // A racing worker (or a longer earlier capture) already
@@ -186,6 +234,65 @@ mod tests {
         let (hit, fresh) = cache.get(&settings(), &bench, 1_000_000);
         assert!(!fresh);
         assert!(Arc::ptr_eq(&full, &hit));
+    }
+
+    #[test]
+    fn store_fall_through_persists_across_cache_instances() {
+        let dir = crate::store::scratch_dir("fallthrough");
+        let store = TraceStore::open(&dir).unwrap();
+        let bench = workload("gzip").unwrap();
+        let s = settings();
+        let (a, fresh) = TraceCache::new().get_with_store(&s, &bench, 1_000, Some(&store));
+        assert!(fresh, "empty store: the trace must be captured");
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        // A fresh in-memory cache (think: a new process) hits the disk
+        // store instead of recapturing.
+        let (b, fresh) = TraceCache::new().get_with_store(&s, &bench, 1_000, Some(&store));
+        assert!(!fresh, "the persisted capture must serve the second process");
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert_eq!(*a, *b);
+        // A larger budget outgrows the stored entry: recapture + re-save.
+        let (long, fresh) = TraceCache::new().get_with_store(&s, &bench, 2_000, Some(&store));
+        assert!(fresh);
+        assert_eq!(long.len(), 2_000);
+        assert_eq!((store.hits(), store.misses()), (1, 2));
+        let (again, fresh) = TraceCache::new().get_with_store(&s, &bench, 2_000, Some(&store));
+        assert!(!fresh);
+        assert_eq!(*again, *long);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_store_entry_is_evicted_and_recaptured() {
+        let dir = crate::store::scratch_dir("bitflip");
+        let store = TraceStore::open(&dir).unwrap();
+        let bench = workload("mcf").unwrap();
+        let s = settings();
+        let (original, _) = TraceCache::new().get_with_store(&s, &bench, 800, Some(&store));
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        // Flip one bit of the single stored entry.
+        let entry = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .find(|p| p.extension().is_some_and(|x| x == "bin"))
+            .expect("one stored entry");
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let mid = bytes.len() / 3;
+        bytes[mid] ^= 0x40;
+        std::fs::write(&entry, &bytes).unwrap();
+        // A fresh cache must detect the corruption (checksum mismatch),
+        // evict the entry, and transparently recapture the same trace.
+        let (recaptured, fresh) = TraceCache::new().get_with_store(&s, &bench, 800, Some(&store));
+        assert!(fresh, "a corrupt entry must be recaptured, not served");
+        assert!(!entry.exists() || std::fs::read(&entry).unwrap() != bytes, "evicted or rewritten");
+        assert_eq!(*recaptured, *original);
+        assert_eq!((store.hits(), store.misses()), (0, 2));
+        // The recapture healed the store: the next process hits disk.
+        let (healed, fresh) = TraceCache::new().get_with_store(&s, &bench, 800, Some(&store));
+        assert!(!fresh);
+        assert_eq!(*healed, *original);
+        assert_eq!((store.hits(), store.misses()), (1, 2));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

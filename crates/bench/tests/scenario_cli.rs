@@ -155,6 +155,10 @@ fn no_trace_cache_is_byte_identical_and_timing_json_lands() {
         "\"jobs\": 2",
         "\"uops\": 5000",
         "\"workloads\": 1",
+        // No --store configured, so the store counters exist and are zero.
+        "\"trace_store_hits\": 0",
+        "\"trace_store_misses\": 0",
+        "\"result_cache_hits\": 0",
         "capture_seconds",
         "ns_per_uop",
     ] {
@@ -247,4 +251,41 @@ fn dump_output_is_itself_a_loadable_scenario() {
     let redumped =
         stdout(&run(env!("CARGO_BIN_EXE_sweep"), &["--scenario", file.path(), "--dump-scenario"]));
     assert_eq!(dumped, redumped);
+}
+
+#[test]
+fn store_flag_is_byte_identical_and_repeats_hit_the_result_cache() {
+    let file = TempScenario::new(
+        "store.vps",
+        "warmup = 500\nmeasure = 2000\nthreads = 2\npredictors = vtage\nbenchmarks = mcf\n",
+    );
+    let store = std::env::temp_dir().join(format!("vpsim-store-cli-{}", std::process::id()));
+    let json_path =
+        std::env::temp_dir().join(format!("vpsim-store-timing-{}.json", std::process::id()));
+    let baseline = stdout(&run(env!("CARGO_BIN_EXE_sweep"), &["--scenario", file.path(), "--csv"]));
+    let first = stdout(&run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &["--scenario", file.path(), "--csv", "--store", store.to_str().unwrap()],
+    ));
+    assert_eq!(first, baseline, "stores never change the output");
+    // A second process over the same store simulates nothing.
+    let second = stdout(&run(
+        env!("CARGO_BIN_EXE_sweep"),
+        &[
+            "--scenario",
+            file.path(),
+            "--csv",
+            "--store",
+            store.to_str().unwrap(),
+            "--timing-json",
+            json_path.to_str().unwrap(),
+        ],
+    ));
+    assert_eq!(second, baseline, "cached cells render byte-identically");
+    let json = std::fs::read_to_string(&json_path).expect("timing json written");
+    let _ = std::fs::remove_file(&json_path);
+    let _ = std::fs::remove_dir_all(&store);
+    for needle in ["\"result_cache_hits\": 2", "\"uops\": 0", "\"captures\": 0"] {
+        assert!(json.contains(needle), "missing {needle} in {json}");
+    }
 }

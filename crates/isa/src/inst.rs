@@ -115,6 +115,63 @@ pub enum FuClass {
 }
 
 impl Opcode {
+    /// Every opcode, in **stable serialization order**. The position of an
+    /// opcode in this table is its wire code ([`Opcode::code`]); append new
+    /// opcodes at the end so existing serialized traces keep decoding.
+    pub const ALL: [Opcode; 38] = [
+        Opcode::Add,
+        Opcode::Sub,
+        Opcode::And,
+        Opcode::Or,
+        Opcode::Xor,
+        Opcode::Shl,
+        Opcode::Shr,
+        Opcode::SetLt,
+        Opcode::AddI,
+        Opcode::AndI,
+        Opcode::OrI,
+        Opcode::XorI,
+        Opcode::ShlI,
+        Opcode::ShrI,
+        Opcode::SetLtI,
+        Opcode::LoadImm,
+        Opcode::Mov,
+        Opcode::Mul,
+        Opcode::Div,
+        Opcode::Rem,
+        Opcode::FAdd,
+        Opcode::FSub,
+        Opcode::FMul,
+        Opcode::FDiv,
+        Opcode::ICvtF,
+        Opcode::FCvtI,
+        Opcode::Load,
+        Opcode::Store,
+        Opcode::Beq,
+        Opcode::Bne,
+        Opcode::Blt,
+        Opcode::Bge,
+        Opcode::Jump,
+        Opcode::JumpInd,
+        Opcode::Call,
+        Opcode::Ret,
+        Opcode::Nop,
+        Opcode::Halt,
+    ];
+
+    /// Stable wire code: the opcode's position in [`Opcode::ALL`].
+    /// Independent of declaration order, so reordering the enum cannot
+    /// silently change serialized traces.
+    pub fn code(self) -> u8 {
+        Opcode::ALL.iter().position(|&op| op == self).expect("opcode missing from Opcode::ALL")
+            as u8
+    }
+
+    /// Inverse of [`Opcode::code`]; `None` for codes outside the table.
+    pub fn from_code(code: u8) -> Option<Opcode> {
+        Opcode::ALL.get(code as usize).copied()
+    }
+
     /// The functional unit class this opcode executes on.
     pub fn fu_class(self) -> FuClass {
         use Opcode::*;
@@ -276,6 +333,16 @@ impl fmt::Display for Inst {
 mod tests {
     use super::*;
     use crate::reg::Reg;
+
+    #[test]
+    fn opcode_codes_round_trip_and_are_dense() {
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op.code() as usize, i);
+            assert_eq!(Opcode::from_code(op.code()), Some(op));
+        }
+        assert_eq!(Opcode::from_code(Opcode::ALL.len() as u8), None);
+        assert_eq!(Opcode::from_code(u8::MAX), None);
+    }
 
     #[test]
     fn fu_class_mapping() {

@@ -52,8 +52,10 @@
 //! ```
 
 use crate::exec::{DynInst, Executor};
-use crate::inst::Inst;
+use crate::inst::{Inst, Opcode};
 use crate::program::{Program, INST_BYTES};
+use crate::reg::{Reg, NUM_ARCH_REGS};
+use std::fmt;
 
 /// A source of dynamic instructions for the cycle-level core.
 ///
@@ -180,7 +182,218 @@ impl Trace {
     pub fn cursor(&self) -> TraceCursor<'_> {
         TraceCursor { trace: self, pos: 0, payload_pos: 0 }
     }
+
+    /// Serialize into the checksummed binary format described in the
+    /// [`Trace`] docs: a magic/version header, the four SoA sections each
+    /// prefixed with a little-endian `u64` element count, and a trailing
+    /// FNV-1a 64 checksum over everything before it.
+    ///
+    /// [`Trace::from_bytes`] round-trips the result exactly:
+    ///
+    /// ```
+    /// use vpsim_isa::{ProgramBuilder, Reg, Trace};
+    /// let mut b = ProgramBuilder::new();
+    /// b.load_imm(Reg::int(1), 7);
+    /// b.halt();
+    /// let trace = Trace::capture(&b.build()?, 100);
+    /// assert_eq!(Trace::from_bytes(&trace.to_bytes()).unwrap(), trace);
+    /// # Ok::<(), vpsim_isa::ProgramError>(())
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(MAGIC.len() + self.approx_bytes() + 5 * 8);
+        out.extend_from_slice(MAGIC);
+        out.extend_from_slice(&(self.insts.len() as u64).to_le_bytes());
+        for inst in &self.insts {
+            out.push(inst.op.code());
+            out.push(encode_reg(inst.dst));
+            out.push(encode_reg(inst.src1));
+            out.push(encode_reg(inst.src2));
+            out.extend_from_slice(&inst.imm.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.index.len() as u64).to_le_bytes());
+        for &index in &self.index {
+            out.extend_from_slice(&index.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.flags.len() as u64).to_le_bytes());
+        out.extend_from_slice(&self.flags);
+        out.extend_from_slice(&(self.payload.len() as u64).to_le_bytes());
+        for &payload in &self.payload {
+            out.extend_from_slice(&payload.to_le_bytes());
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize a trace produced by [`Trace::to_bytes`].
+    ///
+    /// Every failure mode is an error, never a panic: bad magic, any
+    /// truncation or trailing garbage, checksum mismatch (a single flipped
+    /// bit anywhere is caught), unknown opcode/register codes, and
+    /// cross-section inconsistencies (record counts that disagree, a
+    /// record pointing past the µop table, a payload stream whose length
+    /// does not match the flag bits).
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceDecodeError> {
+        use TraceDecodeError::*;
+        let mut r = Reader { bytes, pos: 0 };
+        if r.take(MAGIC.len())? != MAGIC {
+            return Err(BadMagic);
+        }
+        let n_insts = r.len_prefix(12)?;
+        let mut insts = Vec::with_capacity(n_insts);
+        for _ in 0..n_insts {
+            let rec = r.take(12)?;
+            insts.push(Inst {
+                op: Opcode::from_code(rec[0]).ok_or(BadOpcode(rec[0]))?,
+                dst: decode_reg(rec[1])?,
+                src1: decode_reg(rec[2])?,
+                src2: decode_reg(rec[3])?,
+                imm: i64::from_le_bytes(rec[4..12].try_into().unwrap()),
+            });
+        }
+        let n_index = r.len_prefix(4)?;
+        let mut index = Vec::with_capacity(n_index);
+        for _ in 0..n_index {
+            index.push(u32::from_le_bytes(r.take(4)?.try_into().unwrap()));
+        }
+        let n_flags = r.len_prefix(1)?;
+        let flags = r.take(n_flags)?.to_vec();
+        let n_payload = r.len_prefix(8)?;
+        let mut payload = Vec::with_capacity(n_payload);
+        for _ in 0..n_payload {
+            payload.push(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
+        }
+        let body_end = r.pos;
+        let found = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
+        if r.pos != bytes.len() {
+            return Err(TrailingBytes(bytes.len() - r.pos));
+        }
+        let expected = fnv1a(&bytes[..body_end]);
+        if found != expected {
+            return Err(ChecksumMismatch { expected, found });
+        }
+        // Cross-section consistency: replay must never index out of
+        // bounds, so a structurally broken (but checksum-valid) buffer is
+        // rejected here rather than panicking in the cursor.
+        if index.len() != flags.len() {
+            return Err(Inconsistent("record index and flag sections differ in length"));
+        }
+        if index.iter().any(|&i| i as usize >= insts.len()) {
+            return Err(Inconsistent("record points past the static µop table"));
+        }
+        let want_payload: usize = flags
+            .iter()
+            .map(|f| (f & (HAS_RESULT | HAS_MEM_ADDR | HAS_STORE_VALUE | DIVERGES)).count_ones())
+            .sum::<u32>() as usize;
+        if payload.len() != want_payload {
+            return Err(Inconsistent("payload stream length does not match flag bits"));
+        }
+        Ok(Trace { insts, index, flags, payload })
+    }
 }
+
+/// Magic + format version prefix of the [`Trace`] binary form. Bump the
+/// trailing digit on any incompatible layout change.
+const MAGIC: &[u8; 8] = b"vpstrc1\n";
+
+/// Register slot encoding: `0xFF` is `None`, anything else a flat index.
+const NO_REG: u8 = 0xFF;
+
+fn encode_reg(reg: Option<Reg>) -> u8 {
+    reg.map_or(NO_REG, |r| r.index() as u8)
+}
+
+fn decode_reg(code: u8) -> Result<Option<Reg>, TraceDecodeError> {
+    match code {
+        NO_REG => Ok(None),
+        n if (n as usize) < NUM_ARCH_REGS => Ok(Some(Reg::from_index(n as usize))),
+        n => Err(TraceDecodeError::BadReg(n)),
+    }
+}
+
+/// FNV-1a 64 over a byte slice — the integrity checksum of the serialized
+/// trace form. Not cryptographic; it guards against storage corruption
+/// (bit flips, truncation), not adversaries.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Bounds-checked little-endian reader over the serialized buffer.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], TraceDecodeError> {
+        let end = self.pos.checked_add(n).ok_or(TraceDecodeError::Truncated)?;
+        let slice = self.bytes.get(self.pos..end).ok_or(TraceDecodeError::Truncated)?;
+        self.pos = end;
+        Ok(slice)
+    }
+
+    /// A section's element count, validated against the bytes actually
+    /// remaining (`elem_size` bytes per element) — so a corrupt count can
+    /// never drive a huge allocation before the bounds check.
+    fn len_prefix(&mut self, elem_size: usize) -> Result<usize, TraceDecodeError> {
+        let n = u64::from_le_bytes(self.take(8)?.try_into().unwrap());
+        let n = usize::try_from(n).map_err(|_| TraceDecodeError::Truncated)?;
+        let need = n.checked_mul(elem_size).ok_or(TraceDecodeError::Truncated)?;
+        if need > self.bytes.len() - self.pos {
+            return Err(TraceDecodeError::Truncated);
+        }
+        Ok(n)
+    }
+}
+
+/// Why [`Trace::from_bytes`] rejected a buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The buffer does not start with the trace magic/version prefix.
+    BadMagic,
+    /// The buffer ended before a declared section did.
+    Truncated,
+    /// Bytes remain after the checksum (count attached).
+    TrailingBytes(usize),
+    /// The FNV-1a 64 integrity checksum did not match the body.
+    ChecksumMismatch {
+        /// Checksum recomputed from the body.
+        expected: u64,
+        /// Checksum stored in the buffer.
+        found: u64,
+    },
+    /// An opcode byte outside [`Opcode::ALL`].
+    BadOpcode(u8),
+    /// A register byte that is neither `0xFF` (none) nor a valid index.
+    BadReg(u8),
+    /// Sections are individually well-formed but mutually inconsistent.
+    Inconsistent(&'static str),
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => write!(f, "bad magic (not a serialized trace)"),
+            TraceDecodeError::Truncated => write!(f, "truncated buffer"),
+            TraceDecodeError::TrailingBytes(n) => {
+                write!(f, "{n} trailing byte(s) after checksum")
+            }
+            TraceDecodeError::ChecksumMismatch { expected, found } => {
+                write!(f, "checksum mismatch: computed {expected:#018x}, stored {found:#018x}")
+            }
+            TraceDecodeError::BadOpcode(code) => write!(f, "unknown opcode code {code}"),
+            TraceDecodeError::BadReg(code) => write!(f, "unknown register code {code}"),
+            TraceDecodeError::Inconsistent(why) => write!(f, "inconsistent sections: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
 
 /// Replay iterator over a [`Trace`]: yields the captured [`DynInst`]
 /// stream exactly, in order, at a few loads per µop.
@@ -336,6 +549,60 @@ mod tests {
         // The SoA form must undercut materializing the DynInst stream.
         let materialized = trace.len() * std::mem::size_of::<DynInst>();
         assert!(bytes < materialized, "{bytes} vs {materialized}");
+    }
+
+    #[test]
+    fn serialized_trace_round_trips_exactly() {
+        let p = mixed_program();
+        for limit in [0u64, 1, 7, u64::MAX] {
+            let trace = Trace::capture(&p, limit);
+            let bytes = trace.to_bytes();
+            let back = Trace::from_bytes(&bytes).unwrap();
+            assert_eq!(back, trace, "limit {limit}");
+            let replayed: Vec<_> = back.cursor().collect();
+            let original: Vec<_> = trace.cursor().collect();
+            assert_eq!(replayed, original, "limit {limit}");
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let p = mixed_program();
+        let bytes = Trace::capture(&p, 30).to_bytes();
+        // Flip one bit per byte across the whole buffer: whatever the
+        // position (magic, section, checksum itself), decode must fail.
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            assert!(Trace::from_bytes(&corrupt).is_err(), "flip at byte {pos} went undetected");
+        }
+    }
+
+    #[test]
+    fn truncation_and_garbage_are_errors() {
+        let p = mixed_program();
+        let bytes = Trace::capture(&p, 30).to_bytes();
+        for cut in [0, 1, MAGIC.len(), bytes.len() / 2, bytes.len() - 1] {
+            assert!(Trace::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert_eq!(Trace::from_bytes(&extended), Err(TraceDecodeError::TrailingBytes(1)));
+        assert_eq!(Trace::from_bytes(b"not a trace at all"), Err(TraceDecodeError::BadMagic));
+    }
+
+    #[test]
+    fn checksum_error_reports_both_values() {
+        let p = mixed_program();
+        let mut bytes = Trace::capture(&p, 10).to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        match Trace::from_bytes(&bytes) {
+            Err(TraceDecodeError::ChecksumMismatch { expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
     }
 
     #[test]

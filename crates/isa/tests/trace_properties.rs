@@ -95,4 +95,25 @@ proptest! {
         }
         prop_assert_eq!(cursor.next_inst(), None);
     }
+
+    /// The service layer's persistence guarantee: serialize → deserialize
+    /// is the identity for any captured program, both structurally (`Eq`)
+    /// and behaviourally (the replayed stream is unchanged).
+    #[test]
+    fn serialize_deserialize_round_trips_exactly(
+        ops in prop::collection::vec((0u8..10, 0u8..16, 0u8..16, -64i64..64), 1..24),
+        iters in 1i64..40,
+        limit in 0u64..4_000,
+    ) {
+        let program = random_program(&ops, iters);
+        let trace = Trace::capture(&program, limit);
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).expect("own serialization must decode");
+        prop_assert_eq!(&back, &trace);
+        let original: Vec<_> = trace.cursor().collect();
+        let replayed: Vec<_> = back.cursor().collect();
+        prop_assert_eq!(replayed, original);
+        // Serialization is canonical: re-encoding yields the same bytes.
+        prop_assert_eq!(back.to_bytes(), bytes);
+    }
 }

@@ -1,0 +1,33 @@
+//! Sweep-as-a-service: a long-running job server over the deterministic
+//! sweep engine.
+//!
+//! The `serve` binary (and the [`start`] library entry point behind it)
+//! accepts `.vps` scenarios over a std-only TCP socket using the
+//! newline-delimited protocol in [`vpsim_bench::protocol`], runs them
+//! through [`vpsim_bench::sweep::SweepSpec::run_streamed`], and streams
+//! per-cell results back as they complete — in strict job-index order —
+//! followed by the final merged table, byte-identical to what a local
+//! `sweep` run prints.
+//!
+//! Persistence comes from [`vpsim_bench::store::Stores`]: with a store
+//! directory configured, captured traces survive restarts and finished
+//! grid cells are never simulated twice — a resubmitted scenario is
+//! served entirely from the result cache with zero simulations, still
+//! byte-identical.
+//!
+//! Architecture (all `std`, no dependencies):
+//!
+//! * an accept loop on a non-blocking listener, polling a shutdown flag;
+//! * one handler thread per connection, parsing requests and replying
+//!   `ERR <msg>` to malformed input without dropping the connection;
+//! * a bounded job queue ([`std::sync::mpsc::sync_channel`]) feeding a
+//!   single executor thread, so concurrent submissions are serialized
+//!   and each runs on the server's full worker-thread budget;
+//! * graceful shutdown via the `SHUTDOWN` command, a signal (the binary
+//!   bridges SIGINT/SIGTERM to [`ServerHandle::shutdown`]), or stdin EOF.
+//!
+//! See "Service layer" in `ARCHITECTURE.md` at the repository root.
+
+mod server;
+
+pub use server::{start, ServerConfig, ServerHandle};

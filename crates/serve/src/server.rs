@@ -1,0 +1,316 @@
+//! The TCP job server: accept loop, per-connection handlers, bounded job
+//! queue, single executor. See the [crate docs](crate) for the shape and
+//! [`vpsim_bench::protocol`] for the wire format.
+
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread;
+use std::time::Duration;
+
+use vpsim_bench::protocol::{self, Format, View};
+use vpsim_bench::scenario::Scenario;
+use vpsim_bench::store::Stores;
+
+/// Everything the `serve` binary can configure.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7014` (`:0` picks a free port;
+    /// [`ServerHandle::addr`] reports the actual one).
+    pub addr: String,
+    /// Root of the persistent stores (traces + results). `None` runs
+    /// fully in-memory: still correct, nothing survives the process.
+    pub store_dir: Option<PathBuf>,
+    /// Worker threads per job. Submitted scenarios' own `threads` keys
+    /// are ignored — execution cost is the server's business, and the
+    /// sweep engine is byte-identical across thread counts anyway.
+    pub threads: usize,
+    /// Capacity of the job queue. Submissions beyond it receive a
+    /// graceful `ERR server busy …` reply instead of queueing unboundedly.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            store_dir: None,
+            threads: thread::available_parallelism().map_or(1, |n| n.get()),
+            queue_cap: 16,
+        }
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`ServerHandle::shutdown`] (or send `SHUTDOWN` over the wire),
+/// then [`ServerHandle::join`].
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    accept: Option<thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The address the server actually listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// A clone of the shutdown flag, for signal handlers and watchers:
+    /// storing `true` stops the server exactly like [`ServerHandle::shutdown`].
+    pub fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// Request a graceful stop: the accept loop closes, in-flight jobs
+    /// finish, handler connections are closed.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Block until the server has fully stopped.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+/// One accepted submission, queued for the executor. The executor writes
+/// the entire response (`OK` through `DONE`) to `stream`, then signals
+/// `done` so the owning handler resumes reading commands.
+struct Job {
+    scenario: Scenario,
+    view: View,
+    format: Format,
+    stream: TcpStream,
+    done: mpsc::SyncSender<()>,
+}
+
+/// Bind and start serving in background threads; returns once the socket
+/// is listening. Fails on an unbindable address or an unusable store
+/// directory.
+pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
+    let stores = match &config.store_dir {
+        Some(dir) => Stores::open(dir)?,
+        None => Stores::default(),
+    };
+    let listener =
+        TcpListener::bind(&config.addr).map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+    let addr = listener.local_addr().map_err(|e| format!("cannot resolve bound address: {e}"))?;
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| format!("cannot make the listener non-blocking: {e}"))?;
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let accept = {
+        let shutdown = Arc::clone(&shutdown);
+        thread::spawn(move || accept_loop(listener, stores, &config, &shutdown))
+    };
+    Ok(ServerHandle { addr, shutdown, accept: Some(accept) })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    stores: Stores,
+    config: &ServerConfig,
+    shutdown: &Arc<AtomicBool>,
+) {
+    let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
+    let executor = {
+        let stores = stores.clone();
+        let threads = config.threads.max(1);
+        thread::spawn(move || {
+            while let Ok(job) = jobs_rx.recv() {
+                execute(job, &stores, threads);
+            }
+        })
+    };
+    // Live connections, so shutdown can force-close them and unblock
+    // their handlers' reads; each handler deregisters itself on exit.
+    let live: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::default();
+    let mut handlers = Vec::new();
+    let mut next_id = 0u64;
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let id = next_id;
+                next_id += 1;
+                if let Ok(clone) = stream.try_clone() {
+                    live.lock().unwrap().push((id, clone));
+                }
+                let jobs_tx = jobs_tx.clone();
+                let shutdown = Arc::clone(shutdown);
+                let live = Arc::clone(&live);
+                handlers.push(thread::spawn(move || {
+                    handle_connection(stream, &jobs_tx, &shutdown);
+                    live.lock().unwrap().retain(|(i, _)| *i != id);
+                }));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) => {
+                eprintln!("warning: accept failed: {e}");
+                thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+    // Graceful stop: no new connections, force-close the live ones to
+    // unblock their handlers, let queued jobs drain, then join everyone.
+    drop(jobs_tx);
+    for (_, stream) in live.lock().unwrap().iter() {
+        let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    let _ = executor.join();
+}
+
+fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")
+}
+
+/// Serve one connection: commands in, replies out, until EOF or a fatal
+/// I/O error. Malformed input of every kind gets an `ERR` line and the
+/// loop continues — a bad scenario never costs the client its connection.
+fn handle_connection(stream: TcpStream, jobs: &mpsc::SyncSender<Job>, shutdown: &Arc<AtomicBool>) {
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut stream = stream;
+    loop {
+        let mut line = String::new();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client EOF, reset, or shutdown
+            Ok(_) => {}
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let reply_err = |stream: &mut TcpStream, msg: &str| -> std::io::Result<()> {
+            write_line(stream, &protocol::err_line(msg))
+        };
+        if line == protocol::PING {
+            if write_line(&mut stream, protocol::PONG).is_err() {
+                return;
+            }
+        } else if line == protocol::SHUTDOWN {
+            let _ = write_line(&mut stream, protocol::BYE);
+            shutdown.store(true, Ordering::SeqCst);
+            return;
+        } else if let Some(parsed) = protocol::parse_submit(line) {
+            let (view, format) = match parsed {
+                Ok(pair) => pair,
+                Err(e) => {
+                    // Malformed SUBMIT arguments: the scenario block was
+                    // never announced, so there is nothing to drain.
+                    if reply_err(&mut stream, &e).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let mut text = String::new();
+            loop {
+                let mut block_line = String::new();
+                match reader.read_line(&mut block_line) {
+                    Ok(0) | Err(_) => return, // EOF mid-submission
+                    Ok(_) => {}
+                }
+                if block_line.trim_end_matches(['\r', '\n']) == protocol::END_MARKER {
+                    break;
+                }
+                text.push_str(&block_line);
+            }
+            let scenario = match text.parse::<Scenario>() {
+                Ok(scenario) => scenario,
+                Err(e) => {
+                    if reply_err(&mut stream, &format!("invalid scenario: {e}")).is_err() {
+                        return;
+                    }
+                    continue;
+                }
+            };
+            let Ok(job_stream) = stream.try_clone() else { return };
+            let (done_tx, done_rx) = mpsc::sync_channel(1);
+            let job = Job { scenario, view, format, stream: job_stream, done: done_tx };
+            match jobs.try_send(job) {
+                // The executor writes the whole response; wait for it
+                // before reading the next command so replies never
+                // interleave on this connection.
+                Ok(()) => {
+                    let _ = done_rx.recv();
+                }
+                Err(mpsc::TrySendError::Full(_)) => {
+                    let msg = "server busy: job queue is full, retry later";
+                    if reply_err(&mut stream, msg).is_err() {
+                        return;
+                    }
+                }
+                Err(mpsc::TrySendError::Disconnected(_)) => {
+                    let _ = reply_err(&mut stream, "server is shutting down");
+                    return;
+                }
+            }
+        } else {
+            let head: String = line.chars().take(32).collect();
+            if reply_err(&mut stream, &format!("unknown command {head} (SUBMIT|PING|SHUTDOWN)"))
+                .is_err()
+            {
+                return;
+            }
+        }
+    }
+}
+
+/// Buffered response writer that turns broken-pipe errors into a sticky
+/// no-op: a client that disconnects mid-stream stops receiving, but the
+/// simulation still completes (and still lands in the result cache).
+struct Reply {
+    writer: BufWriter<TcpStream>,
+    broken: bool,
+}
+
+impl Reply {
+    fn line(&mut self, line: &str) {
+        self.raw(line.as_bytes());
+        self.raw(b"\n");
+        if !self.broken && self.writer.flush().is_err() {
+            self.broken = true;
+        }
+    }
+
+    fn raw(&mut self, bytes: &[u8]) {
+        if !self.broken && self.writer.write_all(bytes).is_err() {
+            self.broken = true;
+        }
+    }
+}
+
+/// Run one submission through the sweep engine, streaming per-cell lines
+/// in job-index order, then the rendered table, stats, and `DONE`.
+fn execute(job: Job, stores: &Stores, threads: usize) {
+    let Job { scenario, view, format, stream, done } = job;
+    let mut reply = Reply { writer: BufWriter::new(stream), broken: false };
+    let mut spec = scenario.to_spec();
+    spec.settings.threads = threads;
+    spec.stores = stores.clone();
+    reply.line(&protocol::ok_line(spec.job_count()));
+    let results = spec.run_streamed(|cell_job, result| {
+        reply.line(&protocol::cell_line(cell_job, result));
+    });
+    let table = protocol::render_output(&results, view, format);
+    reply.line(&protocol::table_header(table.len()));
+    reply.raw(table.as_bytes());
+    if !reply.broken {
+        let _ = reply.writer.flush();
+    }
+    reply.line(&protocol::stats_line(&results.timing));
+    reply.line(protocol::DONE);
+    // Hand the connection back to its handler.
+    let _ = done.send(());
+}

@@ -1,0 +1,160 @@
+//! End-to-end service tests: a real server on an ephemeral port, real TCP
+//! clients, and byte-identical comparison against local execution.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vpsim_bench::protocol::{self, Format, View};
+use vpsim_bench::remote;
+use vpsim_bench::scenario::preset;
+use vpsim_serve::{start, ServerConfig};
+
+/// Fresh scratch directory per call (temp dir + pid + counter), so
+/// parallel tests never share a store.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vpsim-serve-{tag}-{}-{n}", std::process::id()))
+}
+
+fn small_scenario() -> vpsim_bench::scenario::Scenario {
+    let mut scenario = preset("smoke").expect("smoke preset exists");
+    scenario.set("warmup=500").unwrap();
+    scenario.set("measure=2000").unwrap();
+    scenario.set("seed=0xBEEF").unwrap();
+    scenario
+}
+
+#[test]
+fn remote_submissions_match_local_and_repeat_from_cache() {
+    let dir = scratch_dir("service");
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(dir.clone()),
+        threads: 2,
+        queue_cap: 4,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+    remote::ping(&addr).expect("server answers PING");
+
+    let scenario = small_scenario();
+    let spec = scenario.to_spec();
+    let job_count = spec.job_count();
+    let local_long = protocol::render_output(&spec.run(), View::Long, Format::Csv);
+    let local_matrix = protocol::render_output(&spec.run(), View::Matrix, Format::Ascii);
+
+    // First submission simulates every cell and fills the stores.
+    let mut cells_first = Vec::new();
+    let first = remote::submit(&addr, &scenario, View::Long, Format::Csv, |cell| {
+        cells_first.push(cell.to_string())
+    })
+    .expect("first submission succeeds");
+    assert_eq!(first.cells, job_count);
+    assert_eq!(cells_first.len(), job_count);
+    assert_eq!(first.table, local_long, "remote table is byte-identical to a local run");
+    assert!(first.stats.contains("result_cache_hits=0"), "first run: {}", first.stats);
+
+    // Second submission is served entirely from the result cache:
+    // byte-identical output, zero cells simulated.
+    let mut cells_second = Vec::new();
+    let second = remote::submit(&addr, &scenario, View::Long, Format::Csv, |cell| {
+        cells_second.push(cell.to_string())
+    })
+    .expect("second submission succeeds");
+    assert_eq!(second.table, first.table, "resubmission is byte-identical");
+    assert_eq!(cells_second, cells_first, "streamed cells are byte-identical");
+    assert!(
+        second.stats.contains(&format!("result_cache_hits={job_count}")),
+        "second run served from cache: {}",
+        second.stats
+    );
+    assert!(second.stats.contains("cells_simulated=0"), "second run: {}", second.stats);
+
+    // A different view/format over the same cached cells still matches
+    // local rendering exactly.
+    let matrix = remote::submit(&addr, &scenario, View::Matrix, Format::Ascii, |_| {})
+        .expect("matrix submission succeeds");
+    assert_eq!(matrix.table, local_matrix);
+    assert!(matrix.stats.contains("cells_simulated=0"), "cells stay cached: {}", matrix.stats);
+
+    // Graceful shutdown over the wire; afterwards the port is closed.
+    remote::shutdown(&addr).expect("server acknowledges SHUTDOWN");
+    handle.join();
+    assert!(remote::ping(&addr).is_err(), "server is gone after shutdown");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn malformed_input_gets_err_replies_without_losing_the_connection() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: None,
+        threads: 1,
+        queue_cap: 1,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let stream = TcpStream::connect(&addr).expect("connect");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+    let mut stream = stream;
+    let mut line = String::new();
+
+    // A scenario that does not parse: ERR, connection survives.
+    stream.write_all(b"SUBMIT long csv\nnot a scenario\nEND\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR "), "bad scenario is rejected gracefully: {line}");
+
+    // Bad SUBMIT arguments: ERR, connection survives.
+    line.clear();
+    stream.write_all(b"SUBMIT sideways yaml\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR "), "bad arguments are rejected gracefully: {line}");
+
+    // Unknown commands: ERR, connection survives.
+    line.clear();
+    stream.write_all(b"FROBNICATE\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert!(line.starts_with("ERR "), "unknown command is rejected gracefully: {line}");
+
+    // The same connection still answers a well-formed request.
+    line.clear();
+    stream.write_all(b"PING\n").unwrap();
+    reader.read_line(&mut line).unwrap();
+    assert_eq!(line.trim_end(), protocol::PONG, "connection survived three errors");
+
+    handle.shutdown();
+    drop(stream);
+    handle.join();
+}
+
+#[test]
+fn in_memory_server_still_answers_and_stops_via_handle() {
+    let handle = start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: None,
+        threads: 1,
+        queue_cap: 2,
+    })
+    .expect("server starts");
+    let addr = handle.addr().to_string();
+
+    let scenario = small_scenario();
+    let spec = scenario.to_spec();
+    let local = protocol::render_output(&spec.run(), View::Long, Format::Json);
+    let outcome = remote::submit(&addr, &scenario, View::Long, Format::Json, |_| {})
+        .expect("submission succeeds without stores");
+    assert_eq!(outcome.table, local);
+    assert!(
+        outcome.stats.contains("trace_store_hits=0 trace_store_misses=0"),
+        "no stores configured: {}",
+        outcome.stats
+    );
+
+    handle.shutdown();
+    handle.join();
+}

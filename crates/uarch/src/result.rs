@@ -87,6 +87,128 @@ pub struct RunResult {
     pub stalls: StallBreakdown,
 }
 
+/// Magic + format version prefix of the [`RunResult`] binary form. Bump
+/// the trailing digit on any incompatible change (including adding or
+/// reordering counter fields).
+const MAGIC: &[u8; 8] = b"vpsres1\n";
+
+/// Number of `u64` counters in the serialized form.
+const N_FIELDS: usize = 39;
+
+impl RunResult {
+    /// Serialize into a fixed-size checksummed binary record: the
+    /// magic/version prefix, every counter as a little-endian `u64` in
+    /// declaration order, and a trailing FNV-1a 64 checksum. Used by the
+    /// service layer's persistent result cache; [`RunResult::from_bytes`]
+    /// is the exact inverse.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let fields = self.field_values();
+        let mut out = Vec::with_capacity(MAGIC.len() + (N_FIELDS + 1) * 8);
+        out.extend_from_slice(MAGIC);
+        for v in fields {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Deserialize a record produced by [`RunResult::to_bytes`]. Rejects
+    /// (with a human-readable message, never a panic) bad magic, any size
+    /// mismatch, and checksum failures — a single flipped bit anywhere in
+    /// the record is caught.
+    pub fn from_bytes(bytes: &[u8]) -> Result<RunResult, String> {
+        let want = MAGIC.len() + (N_FIELDS + 1) * 8;
+        if bytes.len() != want {
+            return Err(format!("result record is {} bytes, expected {want}", bytes.len()));
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err("bad magic (not a serialized run result)".to_string());
+        }
+        let body = &bytes[..want - 8];
+        let found = u64::from_le_bytes(bytes[want - 8..].try_into().unwrap());
+        let expected = fnv1a(body);
+        if found != expected {
+            return Err(format!(
+                "checksum mismatch: computed {expected:#018x}, stored {found:#018x}"
+            ));
+        }
+        let mut fields = [0u64; N_FIELDS];
+        for (i, field) in fields.iter_mut().enumerate() {
+            let at = MAGIC.len() + i * 8;
+            *field = u64::from_le_bytes(bytes[at..at + 8].try_into().unwrap());
+        }
+        let mut result = RunResult::default();
+        for (dst, v) in result.field_slots().into_iter().zip(fields) {
+            *dst = v;
+        }
+        Ok(result)
+    }
+
+    /// Every counter, in the fixed serialization order.
+    fn field_values(&self) -> [u64; N_FIELDS] {
+        let mut me = *self;
+        me.field_slots().map(|slot| *slot)
+    }
+
+    /// Mutable references to every counter, in the same fixed order as
+    /// [`RunResult::field_values`] — the single source of truth for the
+    /// wire layout, so the two can never drift apart.
+    fn field_slots(&mut self) -> [&mut u64; N_FIELDS] {
+        [
+            &mut self.metrics.cycles,
+            &mut self.metrics.instructions,
+            &mut self.vp.eligible,
+            &mut self.vp.hits,
+            &mut self.vp.used,
+            &mut self.vp.correct_used,
+            &mut self.vp.mispredicted,
+            &mut self.vp.correct_unused,
+            &mut self.vp.harmless_mispredictions,
+            &mut self.branch.conditional,
+            &mut self.branch.direction_mispredictions,
+            &mut self.branch.target_mispredictions,
+            &mut self.branch.unconditional,
+            &mut self.l1i.accesses,
+            &mut self.l1i.misses,
+            &mut self.l1i.prefetches,
+            &mut self.l1i.useful_prefetches,
+            &mut self.l1d.accesses,
+            &mut self.l1d.misses,
+            &mut self.l1d.prefetches,
+            &mut self.l1d.useful_prefetches,
+            &mut self.l2.accesses,
+            &mut self.l2.misses,
+            &mut self.l2.prefetches,
+            &mut self.l2.useful_prefetches,
+            &mut self.back_to_back.eligible,
+            &mut self.back_to_back.back_to_back,
+            &mut self.vp_squashes,
+            &mut self.reissued_uops,
+            &mut self.memory_order_violations,
+            &mut self.stalls.fetch_branch_cycles,
+            &mut self.stalls.fetch_redirect_cycles,
+            &mut self.stalls.fetch_queue_full_cycles,
+            &mut self.stalls.dispatch_rob_cycles,
+            &mut self.stalls.dispatch_iq_cycles,
+            &mut self.stalls.dispatch_lq_cycles,
+            &mut self.stalls.dispatch_sq_cycles,
+            &mut self.stalls.dispatch_prf_cycles,
+            &mut self.stalls.commit_idle_cycles,
+        ]
+    }
+}
+
+/// FNV-1a 64 — storage-corruption checksum (not cryptographic).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
 pub(crate) fn diff_cache(after: &CacheStats, before: &CacheStats) -> CacheStats {
     CacheStats {
         accesses: after.accesses - before.accesses,
@@ -116,5 +238,44 @@ mod tests {
         let r = RunResult::default();
         assert_eq!(r.metrics.instructions, 0);
         assert_eq!(r.vp_squashes, 0);
+    }
+
+    /// A result with every counter distinct, so any field swap or drop in
+    /// the serialization order breaks round-tripping.
+    fn distinct_result() -> RunResult {
+        let mut r = RunResult::default();
+        for (i, slot) in r.field_slots().into_iter().enumerate() {
+            *slot = 1_000_003u64.wrapping_mul(i as u64 + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn result_bytes_round_trip() {
+        for r in [RunResult::default(), distinct_result()] {
+            let bytes = r.to_bytes();
+            assert_eq!(bytes.len(), MAGIC.len() + (N_FIELDS + 1) * 8);
+            assert_eq!(RunResult::from_bytes(&bytes), Ok(r));
+        }
+    }
+
+    #[test]
+    fn result_bytes_detect_any_bit_flip() {
+        let bytes = distinct_result().to_bytes();
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            assert!(RunResult::from_bytes(&corrupt).is_err(), "flip at byte {pos}");
+        }
+    }
+
+    #[test]
+    fn result_bytes_reject_size_mismatch() {
+        let bytes = distinct_result().to_bytes();
+        assert!(RunResult::from_bytes(&bytes[..bytes.len() - 1]).is_err());
+        let mut long = bytes.clone();
+        long.push(0);
+        assert!(RunResult::from_bytes(&long).is_err());
+        assert!(RunResult::from_bytes(b"").is_err());
     }
 }

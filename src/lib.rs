@@ -32,7 +32,14 @@
 //!   ([`bench::sweep`]), the process-wide capture-once/replay-many trace
 //!   cache ([`bench::trace_cache`]), and the declarative scenario layer
 //!   ([`bench::scenario`]: `.vps` files, named presets, `--set`
-//!   overrides) behind the `paper`, `simulate` and `sweep` binaries.
+//!   overrides) behind the `paper`, `simulate` and `sweep` binaries,
+//!   plus the persistent trace/result stores ([`bench::store`]) and the
+//!   wire protocol + client ([`bench::protocol`], [`bench::remote`]) of
+//!   the service layer.
+//! * [`serve`] (`vpsim-serve`) — sweep-as-a-service: the long-running TCP
+//!   job server behind the `serve` binary and `sweep --remote`, streaming
+//!   per-cell results and serving repeated scenarios from the persistent
+//!   result cache with zero re-simulation.
 //!
 //! `ARCHITECTURE.md` at the repository root maps the paper's concepts
 //! (VTAGE, FPC, validation at commit, squash recovery) to these crates.
@@ -63,6 +70,7 @@ pub use vpsim_core as core;
 pub use vpsim_event as event;
 pub use vpsim_isa as isa;
 pub use vpsim_mem as mem;
+pub use vpsim_serve as serve;
 pub use vpsim_stats as stats;
 pub use vpsim_uarch as uarch;
 pub use vpsim_workloads as workloads;
