@@ -41,6 +41,12 @@
 //!   --no-trace-cache Re-execute workloads functionally per grid cell
 //!                    instead of capture-once/replay-many (byte-identical
 //!                    output; sugar for --set trace_cache=off)
+//!   --sample         Interval sampling: every simulation-backed grid cell
+//!                    fast-forwards between systematically selected
+//!                    intervals and replays only those in detail — the
+//!                    tables become sampled estimates (sugar for --set
+//!                    sample=on; tune with --set sample.intervals=K,
+//!                    sample.period=N, sample.warmup=W)
 //!   --stall-report   Run the resolved scenario grid with the pipeline
 //!                    event tap attached and print per-cell stall
 //!                    attribution (may be given with no experiment)
@@ -86,6 +92,7 @@ fn parse_args(args: &[String]) -> Result<(Vec<String>, Options), String> {
             "--dump-scenario" => dump = true,
             "--stall-report" => stall_report = true,
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
+            "--sample" => scenario.apply("sample", "on")?,
             flag @ ("--warmup" | "--measure" | "--scale" | "--seed" | "--threads"
             | "--benchmarks") => scenario.apply(&flag[2..], val()?)?,
             other if other.starts_with("--") => return Err(format!("unknown option {other}")),

@@ -28,6 +28,12 @@
 //!                    print them after the result (implies the tap)
 //!   --no-trace-cache Execute functionally inline instead of capturing a
 //!                    trace and replaying it (byte-identical output)
+//!   --sample         Interval sampling: replay only systematically
+//!                    selected intervals in detail and print the sampled
+//!                    IPC estimate with its 95% confidence interval
+//!                    (sugar for --set sample=on; tune with --set
+//!                    sample.intervals=K, sample.period=N, sample.warmup=W;
+//!                    ignored under --stall-report / --cycle-log)
 //! ```
 //!
 //! Everything resolves through a `vpsim_bench::scenario::Scenario` (the
@@ -76,6 +82,7 @@ fn parse_args(args: &[String]) -> Result<(Scenario, Flags), String> {
                 flags.cycle_log = Some(n);
             }
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
+            "--sample" => scenario.apply("sample", "on")?,
             // Single-valued sugar for the grid axes.
             "--predictor" => scenario.apply("predictors", val()?)?,
             "--counters" => scenario.apply("confidence", val()?)?,
@@ -193,6 +200,9 @@ fn main() -> ExitCode {
     // unless the scenario turned the cache off; the result is
     // byte-identical on both paths — with or without the tap attached.
     if flags.stall_report || flags.cycle_log.is_some() {
+        if scenario.settings.sample.is_some() {
+            eprintln!("note: sampling is ignored with the event tap; running the full windows");
+        }
         let keep = flags.cycle_log.unwrap_or(1);
         let mut sink = (StallTally::default(), CycleLog::with_capacity(keep));
         let result = scenario.settings.run_job_with_sink(&bench, config, &mut sink);
@@ -219,6 +229,29 @@ fn main() -> ExitCode {
             println!();
             println!("last {} of {} tap events", sink.1.tail(n).len(), sink.1.total_events());
             print!("{}", sink.1.render_tail(n));
+        }
+    } else if scenario.settings.sample.is_some() {
+        let settings = &scenario.settings;
+        let trace = settings.capture(&bench, settings.trace_budget(&config));
+        let sampled = settings.run_trace_sampled(&trace, config);
+        print_result(&sampled.combined());
+        println!();
+        match vpsim_stats::sample::confidence_interval(&sampled.interval_ipcs()) {
+            Some(est) => {
+                println!(
+                    "sampled IPC       {:.3} ± {:.3} (95% CI over {} interval(s), \
+                     ±{:.2}% relative)",
+                    est.mean,
+                    est.half_width,
+                    sampled.intervals_replayed(),
+                    est.relative_error() * 100.0,
+                );
+                println!(
+                    "sampling cost     {} detailed µops, {} fast-forwarded",
+                    sampled.detailed_uops, sampled.ff_uops
+                );
+            }
+            None => println!("sampled IPC       no intervals replayed (trace too short)"),
         }
     } else {
         let result = scenario.settings.run_job(&bench, config);

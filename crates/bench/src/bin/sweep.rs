@@ -44,6 +44,12 @@
 //!   --no-trace-cache   Re-execute each workload functionally per job
 //!                      instead of capture-once/replay-many (byte-identical
 //!                      output; sugar for --set trace_cache=off)
+//!   --sample           Interval sampling: fast-forward the trace through a
+//!                      functional warmer and replay only systematically
+//!                      selected intervals in detail — an IPC estimate at a
+//!                      fraction of the replay cost (sugar for --set
+//!                      sample=on; tune with --set sample.intervals=K,
+//!                      sample.period=N, sample.warmup=W)
 //!   --timing-json F    Write capture/replay/total wall-clock, job/µop
 //!                      counts, store hit/miss counters and ns-per-µop
 //!                      to F as JSON (see BENCH_sweep.json)
@@ -115,6 +121,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--dump-scenario" => dump = true,
             "--list-presets" => list_presets = true,
             "--no-trace-cache" => scenario.apply("trace_cache", "off")?,
+            "--sample" => scenario.apply("sample", "on")?,
             "--timing-json" => timing_json = Some(val()?.clone()),
             "--store" => store = Some(val()?.clone()),
             "--remote" => remote = Some(val()?.clone()),
@@ -255,6 +262,12 @@ fn main() -> ExitCode {
             if t.trace_cache { "replay" } else { "inline simulation (trace cache off)" },
             t.ns_per_uop(),
         );
+        if t.sampled {
+            eprintln!(
+                "sampling: {} interval(s) replayed in detail ({} µops), {} µops fast-forwarded",
+                t.intervals_replayed, t.uops, t.ff_uops,
+            );
+        }
     }
     if let Some(path) = &options.timing_json {
         if let Err(e) = std::fs::write(path, results.timing.to_json()) {

@@ -5,7 +5,9 @@ use vpsim_isa::Trace;
 use vpsim_stats::mean;
 use vpsim_stats::stall::StallReport;
 use vpsim_uarch::tap::{PipeEventSink, StallTally};
-use vpsim_uarch::{CoreConfig, RecoveryPolicy, RunResult, Simulator, VpConfig};
+use vpsim_uarch::{
+    CoreConfig, RecoveryPolicy, RunResult, SampleConfig, SampledResult, Simulator, VpConfig,
+};
 use vpsim_workloads::{Benchmark, WorkloadParams};
 
 /// Simulation sizing for a sweep.
@@ -47,6 +49,12 @@ pub struct RunSettings {
     /// this only trades memory (a few MB per workload) for wall-clock
     /// time. `false` restores pure inline execution (`--no-trace-cache`).
     pub trace_cache: bool,
+    /// Opt-in sampled replay (`--sample` / scenario key `sample`): when
+    /// set, trace-driven runs measure only the configured number of
+    /// intervals in detail and fast-forward functionally between them
+    /// (see `vpsim_uarch::sampling`). `None` (the default) replays every
+    /// µop — byte-identical to the pre-sampling behaviour.
+    pub sample: Option<SampleConfig>,
 }
 
 impl Default for RunSettings {
@@ -58,6 +66,7 @@ impl Default for RunSettings {
             seed: 0x2014,
             threads: 1,
             trace_cache: true,
+            sample: None,
         }
     }
 }
@@ -89,6 +98,14 @@ impl RunSettings {
         }
         if self.threads == 0 {
             return Err("threads must be >= 1 (1 runs serially on the calling thread)".into());
+        }
+        if let Some(sample) = self.sample {
+            if sample.intervals == 0 {
+                return Err("sample.intervals must be > 0 (intervals replayed in detail)".into());
+            }
+            if sample.period == 0 {
+                return Err("sample.period must be > 0 (interval length in µops)".into());
+            }
         }
         Ok(())
     }
@@ -124,21 +141,44 @@ impl RunSettings {
         Trace::capture(&program, budget)
     }
 
-    /// Replay a captured trace under one configuration — byte-identical to
-    /// [`Self::run`] on the benchmark the trace was captured from, given a
-    /// sufficient capture budget ([`Self::trace_budget`]).
+    /// Replay a captured trace under one configuration. With
+    /// [`Self::sample`] unset this is byte-identical to [`Self::run`] on
+    /// the benchmark the trace was captured from, given a sufficient
+    /// capture budget ([`Self::trace_budget`]). With sampling on, the
+    /// result is the combined counters of the sampled intervals
+    /// ([`SampledResult::combined`]) — an estimate, not the full replay.
     pub fn run_trace(&self, trace: &Trace, config: CoreConfig) -> RunResult {
-        Simulator::new(config).run_trace(trace, self.warmup, self.measure)
+        match self.sample {
+            Some(_) => self.run_trace_sampled(trace, config).combined(),
+            None => Simulator::new(config).run_trace(trace, self.warmup, self.measure),
+        }
+    }
+
+    /// Sampled replay with full per-interval visibility: the
+    /// [`SampledResult`] carries one [`RunResult`] per replayed interval
+    /// plus the fast-forward accounting the sweep's `--timing-json`
+    /// reports. Uses [`Self::sample`], or [`SampleConfig::default`] when
+    /// unset.
+    pub fn run_trace_sampled(&self, trace: &Trace, config: CoreConfig) -> SampledResult {
+        let sample = self.sample.unwrap_or_default();
+        Simulator::new(config).run_sampled(trace, self.warmup, self.measure, sample)
     }
 
     /// Run one benchmark under one configuration, resolving through the
     /// trace layer when [`Self::trace_cache`] is on (capture once into the
     /// process-wide cache, then replay) and through the inline streaming
     /// executor otherwise. Both paths produce byte-identical results.
+    ///
+    /// Sampled mode ([`Self::sample`]) always goes through a trace —
+    /// fast-forward needs a captured stream to seek in — so with the trace
+    /// cache off the trace is captured privately for this job.
     pub fn run_job(&self, bench: &Benchmark, config: CoreConfig) -> RunResult {
         if self.trace_cache {
             let budget = self.trace_budget(&config);
             let (trace, _) = crate::trace_cache::TraceCache::global().get(self, bench, budget);
+            self.run_trace(&trace, config)
+        } else if self.sample.is_some() {
+            let trace = self.capture(bench, self.trace_budget(&config));
             self.run_trace(&trace, config)
         } else {
             self.run(bench, config)
@@ -177,6 +217,9 @@ impl RunSettings {
     /// [`Self::run_job`] with a pipeline event sink attached: resolves
     /// through the trace cache exactly like `run_job`, so a tapped run
     /// observes the same simulation the untapped sweep executed.
+    /// [`Self::sample`] is ignored here — per-cycle attribution of a
+    /// sampled estimate would attribute cycles that were never simulated,
+    /// so tapped runs always replay the full windows.
     pub fn run_job_with_sink<T: PipeEventSink>(
         &self,
         bench: &Benchmark,

@@ -45,12 +45,13 @@ use std::fmt;
 use crate::runner::RunSettings;
 use crate::sweep::{GridPoint, SchemeChoice, SweepResults, SweepSpec};
 use vpsim_core::PredictorKind;
-use vpsim_uarch::{CoreConfig, RecoveryPolicy};
+use vpsim_uarch::{CoreConfig, RecoveryPolicy, SampleConfig};
 use vpsim_workloads::{all_benchmarks, all_microkernels, Benchmark};
 
 /// Every key the text format and `--set` accept, quoted by parse errors.
-const KEYS: &str = "warmup, measure, scale, seed, threads, trace_cache, predictors, confidence, \
-                    recovery, points, benchmarks, core.<field>";
+const KEYS: &str = "warmup, measure, scale, seed, threads, trace_cache, sample, sample.intervals, \
+                    sample.period, sample.warmup, predictors, confidence, recovery, points, \
+                    benchmarks, core.<field>";
 
 /// The `core.*` field names, quoted by parse errors.
 const CORE_KEYS: &str = "fetch_width, taken_branches_per_cycle, frontend_depth, issue_width, \
@@ -278,6 +279,25 @@ impl Scenario {
                     other => return Err(format!("trace_cache: {other} is not on|off")),
                 }
             }
+            "sample" => match value.to_ascii_lowercase().as_str() {
+                "on" | "true" | "1" => {
+                    self.settings.sample.get_or_insert_with(SampleConfig::default);
+                }
+                "off" | "false" | "0" => self.settings.sample = None,
+                other => return Err(format!("sample: {other} is not on|off")),
+            },
+            "sample.intervals" => {
+                self.settings.sample.get_or_insert_with(SampleConfig::default).intervals =
+                    num("sample.intervals")?
+            }
+            "sample.period" => {
+                self.settings.sample.get_or_insert_with(SampleConfig::default).period =
+                    num("sample.period")?
+            }
+            "sample.warmup" => {
+                self.settings.sample.get_or_insert_with(SampleConfig::default).warmup =
+                    num("sample.warmup")?
+            }
             "predictors" => {
                 self.predictors = parse_list(value).map_err(|e| format!("predictors: {e}"))?
             }
@@ -431,6 +451,15 @@ impl fmt::Display for Scenario {
         write_kv(f, "seed", &self.settings.seed.to_string())?;
         write_kv(f, "threads", &self.settings.threads.to_string())?;
         write_kv(f, "trace_cache", if self.settings.trace_cache { "on" } else { "off" })?;
+        // Sampling keys render only when sampling is on, so scenarios that
+        // never mention sampling keep their exact pre-sampling canonical
+        // text (and therefore their cache_hash identity).
+        if let Some(sample) = self.settings.sample {
+            write_kv(f, "sample", "on")?;
+            write_kv(f, "sample.intervals", &sample.intervals.to_string())?;
+            write_kv(f, "sample.period", &sample.period.to_string())?;
+            write_kv(f, "sample.warmup", &sample.warmup.to_string())?;
+        }
         write_kv(f, "predictors", &join(self.predictors.iter().map(|k| lower(k.label()))))?;
         write_kv(f, "confidence", &join(self.schemes.iter().map(|s| s.label())))?;
         write_kv(f, "recovery", &join(self.recoveries.iter().map(|r| r.to_string())))?;
@@ -512,6 +541,12 @@ impl ScenarioBuilder {
     /// byte-identical either way).
     pub fn trace_cache(mut self, on: bool) -> Self {
         self.0.settings.trace_cache = on;
+        self
+    }
+
+    /// Opt into sampled replay with the given knobs (off by default).
+    pub fn sample(mut self, sample: SampleConfig) -> Self {
+        self.0.settings.sample = Some(sample);
         self
     }
 
@@ -980,6 +1015,72 @@ mod tests {
             other.set(tweak).unwrap();
             assert_ne!(other.cache_hash(), hash, "{tweak} must change the hash");
         }
+    }
+
+    #[test]
+    fn sampling_keys_round_trip_and_auto_enable() {
+        let mut sc = Scenario::default();
+        assert!(sc.settings.sample.is_none(), "sampling is off by default");
+        assert!(!sc.to_string().contains("sample"), "off ⇒ no sample lines rendered");
+        // Setting any sub-key enables sampling with the other knobs at
+        // their defaults.
+        sc.set("sample.intervals=30").unwrap();
+        let sample = sc.settings.sample.unwrap();
+        assert_eq!(sample.intervals, 30);
+        assert_eq!(sample.period, SampleConfig::default().period);
+        sc.apply_text("sample.period = 5000\nsample.warmup = 1000").unwrap();
+        let sample = sc.settings.sample.unwrap();
+        assert_eq!((sample.intervals, sample.period, sample.warmup), (30, 5_000, 1_000));
+        assert_eq!(sc.to_string().parse::<Scenario>().unwrap(), sc, "\n{sc}");
+        // `sample = on` keeps existing knobs; `off` clears them.
+        sc.apply("sample", "on").unwrap();
+        assert_eq!(sc.settings.sample.unwrap().intervals, 30);
+        sc.apply("sample", "off").unwrap();
+        assert!(sc.settings.sample.is_none());
+        // Plain `sample = on` from scratch uses the defaults.
+        sc.apply("sample", "on").unwrap();
+        assert_eq!(sc.settings.sample, Some(SampleConfig::default()));
+        let err = sc.apply("sample", "maybe").unwrap_err();
+        assert!(err.contains("on|off"), "{err}");
+    }
+
+    #[test]
+    fn sampling_keys_change_the_hash_and_legacy_hashes_are_stable() {
+        let sc = preset("smoke").unwrap();
+        let hash = sc.cache_hash();
+        // The committed pre-sampling identity of the smoke preset: proves
+        // scenarios that never mention sampling hash exactly as they did
+        // before the sampling keys existed.
+        assert_eq!(hash, "3e765f7ae0584cf6c09cf99be60cd642898f7b04777462d8899807ac4412c845");
+        // Toggling sampling on, or changing any sampling knob, changes the
+        // identity — a sampled result must never be served from a full
+        // run's cache cell (or vice versa).
+        let mut on = sc.clone();
+        on.set("sample=on").unwrap();
+        assert_ne!(on.cache_hash(), hash);
+        let base = on.cache_hash();
+        for tweak in ["sample.intervals=21", "sample.period=9999", "sample.warmup=1"] {
+            let mut other = on.clone();
+            other.set(tweak).unwrap();
+            assert_ne!(other.cache_hash(), base, "{tweak} must change the hash");
+            assert_ne!(other.cache_hash(), hash, "{tweak} must differ from non-sampled");
+        }
+        // Turning sampling back off restores the legacy identity exactly.
+        let mut off = on.clone();
+        off.set("sample=off").unwrap();
+        assert_eq!(off.cache_hash(), hash);
+    }
+
+    #[test]
+    fn sampling_validation_rejects_zero_knobs() {
+        for (line, needle) in
+            [("sample.intervals = 0", "sample.intervals"), ("sample.period = 0", "sample.period")]
+        {
+            let err = format!("{line}\n").parse::<Scenario>().unwrap_err();
+            assert!(err.contains(needle), "{line}: {err}");
+        }
+        // Zero detailed warmup is legal (purely functional warming).
+        "sample.warmup = 0\n".parse::<Scenario>().unwrap();
     }
 
     #[test]

@@ -55,16 +55,20 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
         0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
         0x5be0cd19,
     ];
-    // Pad: 0x80, zeros, 64-bit big-endian bit length.
-    let mut msg = data.to_vec();
+    // Whole blocks stream straight from `data`; only the final partial
+    // block plus the 0x80/length padding (at most two 64-byte blocks) is
+    // staged on the stack — no heap allocation, no message copy.
+    let whole = data.len() - data.len() % 64;
     let bit_len = (data.len() as u64).wrapping_mul(8);
-    msg.push(0x80);
-    while msg.len() % 64 != 56 {
-        msg.push(0);
-    }
-    msg.extend_from_slice(&bit_len.to_be_bytes());
+    let mut tail = [0u8; 128];
+    let rem = data.len() - whole;
+    tail[..rem].copy_from_slice(&data[whole..]);
+    tail[rem] = 0x80;
+    let tail_len = if rem < 56 { 64 } else { 128 };
+    tail[tail_len - 8..tail_len].copy_from_slice(&bit_len.to_be_bytes());
+    let blocks = data[..whole].chunks_exact(64).chain(tail[..tail_len].chunks_exact(64));
     let mut w = [0u32; 64];
-    for block in msg.chunks_exact(64) {
+    for block in blocks {
         for (t, slot) in w.iter_mut().take(16).enumerate() {
             *slot = u32::from_be_bytes(block[4 * t..4 * t + 4].try_into().unwrap());
         }
@@ -102,9 +106,15 @@ pub fn sha256(data: &[u8]) -> [u8; 32] {
     out
 }
 
-/// Lowercase hex of a digest.
+/// Lowercase hex of a digest (one allocation, exact size).
 pub fn hex(bytes: &[u8]) -> String {
-    bytes.iter().map(|b| format!("{b:02x}")).collect()
+    const DIGITS: &[u8; 16] = b"0123456789abcdef";
+    let mut out = String::with_capacity(bytes.len() * 2);
+    for &b in bytes {
+        out.push(DIGITS[(b >> 4) as usize] as char);
+        out.push(DIGITS[(b & 0xF) as usize] as char);
+    }
+    out
 }
 
 /// FNV-1a 64 — the whole-file integrity checksum of store entries.
@@ -143,15 +153,26 @@ fn write_checksummed(dir: &Path, path: &Path, body: &[u8]) -> Result<(), String>
 /// Read `path` and verify its trailing checksum; `Ok(None)` when the
 /// entry does not exist, `Err` when it exists but is corrupt or truncated
 /// (the caller logs and evicts).
+///
+/// The file is read once into an exactly-sized buffer (stat, then
+/// `read_exact`) — unlike `fs::read`'s grow-as-you-go loop this performs
+/// one allocation of the final size and no copies, which matters for
+/// multi-megabyte trace-store entries on the sweep's hot path. Entries
+/// are written by atomic rename, so the open file cannot change under the
+/// stat.
 fn read_checksummed(path: &Path) -> Result<Option<Vec<u8>>, String> {
-    let mut data = match std::fs::read(path) {
-        Ok(data) => data,
+    use std::io::Read;
+    let mut file = match std::fs::File::open(path) {
+        Ok(file) => file,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
         Err(e) => return Err(format!("cannot read: {e}")),
     };
-    if data.len() < 8 {
+    let len = file.metadata().map_err(|e| format!("cannot stat: {e}"))?.len() as usize;
+    if len < 8 {
         return Err("truncated entry (shorter than its checksum)".into());
     }
+    let mut data = vec![0u8; len];
+    file.read_exact(&mut data).map_err(|e| format!("cannot read: {e}"))?;
     let body_len = data.len() - 8;
     let found = u64::from_le_bytes(data[body_len..].try_into().unwrap());
     let expected = fnv1a(&data[..body_len]);
@@ -370,13 +391,17 @@ impl ResultCache {
 /// (via its `Debug` rendering, which spells out every structural field —
 /// so any config change, including future new fields, changes the key).
 /// Execution details that cannot affect results — worker threads, the
-/// trace-cache toggle — are deliberately excluded.
+/// trace-cache toggle — are deliberately excluded. Sampling
+/// ([`RunSettings::sample`]) *does* affect results (a sampled cell is an
+/// estimate, not the full replay), so its knobs are appended — but only
+/// when sampling is on, which keeps every pre-sampling key byte-identical
+/// to what earlier versions produced: existing result stores stay valid.
 pub fn cell_key(settings: &RunSettings, job: &SweepJob) -> String {
     let point = match &job.point {
         Some(p) => p.label(),
         None => "baseline".to_string(),
     };
-    let identity = format!(
+    let mut identity = format!(
         "vpsim-cell/v1\nwarmup = {}\nmeasure = {}\nscale = {}\nseed = {}\n\
          benchmark = {}\npoint = {}\nconfig = {:?}\n",
         settings.warmup,
@@ -387,6 +412,12 @@ pub fn cell_key(settings: &RunSettings, job: &SweepJob) -> String {
         point,
         job.config,
     );
+    if let Some(sample) = settings.sample {
+        identity.push_str(&format!(
+            "sample = {}x{}+{}\n",
+            sample.intervals, sample.period, sample.warmup
+        ));
+    }
     hex(&sha256(identity.as_bytes()))
 }
 
@@ -558,6 +589,41 @@ mod tests {
         assert!(cache.load(&key).is_none());
         assert!(!path.exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn cell_keys_gain_sampling_identity_only_when_sampling_is_on() {
+        let job = SweepJob {
+            index: 0,
+            point: None,
+            bench: vpsim_workloads::workload("gzip").unwrap(),
+            config: vpsim_uarch::CoreConfig::default(),
+        };
+        let legacy = RunSettings::default();
+        assert_eq!(legacy.sample, None, "defaults must stay unsampled");
+        let base_key = cell_key(&legacy, &job);
+
+        let mut sampled = legacy;
+        sampled.sample = Some(vpsim_uarch::SampleConfig::default());
+        let on_key = cell_key(&sampled, &job);
+        assert_ne!(on_key, base_key, "a sampled cell is an estimate, not the full replay");
+
+        // Every sampling knob is part of the identity.
+        let tweaks: [fn(&mut vpsim_uarch::SampleConfig); 3] =
+            [|s| s.intervals += 1, |s| s.period += 1, |s| s.warmup += 1];
+        for tweak in tweaks {
+            let mut t = sampled;
+            tweak(t.sample.as_mut().unwrap());
+            let key = cell_key(&t, &job);
+            assert_ne!(key, on_key);
+            assert_ne!(key, base_key);
+        }
+
+        // Turning sampling off restores the legacy key byte-for-byte, so
+        // result stores written before sampling existed stay addressable.
+        let mut off = sampled;
+        off.sample = None;
+        assert_eq!(cell_key(&off, &job), base_key);
     }
 
     #[test]

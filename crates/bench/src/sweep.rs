@@ -43,6 +43,7 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
@@ -659,7 +660,24 @@ impl SweepSpec {
         }
         timing.result_cache_hits = cells.iter().flatten().count() as u64;
         let sim: Vec<usize> = (0..jobs.len()).filter(|&i| cells[i].is_none()).collect();
-        timing.uops = sim.len() as u64 * (self.settings.warmup + self.settings.measure);
+        let sampled = self.settings.sample.is_some();
+        timing.sampled = sampled;
+        if !sampled {
+            timing.uops = sim.len() as u64 * (self.settings.warmup + self.settings.measure);
+        }
+        // Sampled cells report their actual detailed/fast-forward volume,
+        // accumulated from the workers as cells finish (the per-cell split
+        // depends on how many intervals fit each trace).
+        let detailed_uops = AtomicU64::new(0);
+        let intervals_replayed = AtomicU64::new(0);
+        let ff_uops = AtomicU64::new(0);
+        let run_sampled_cell = |trace: &Trace, config: CoreConfig| {
+            let sampled = self.settings.run_trace_sampled(trace, config);
+            detailed_uops.fetch_add(sampled.detailed_uops, Ordering::Relaxed);
+            intervals_replayed.fetch_add(sampled.intervals_replayed(), Ordering::Relaxed);
+            ff_uops.fetch_add(sampled.ff_uops, Ordering::Relaxed);
+            sampled.combined()
+        };
         let store = self.stores.traces.as_deref();
         let (store_hits, store_misses) = store.map_or((0, 0), |s| (s.hits(), s.misses()));
 
@@ -709,8 +727,11 @@ impl SweepSpec {
                     self.settings.threads,
                     |k| {
                         let i = sim[k];
-                        self.settings
-                            .run_trace(&traces[i % self.benches.len()], jobs[i].config.clone())
+                        let trace = &traces[i % self.benches.len()];
+                        match sampled {
+                            true => run_sampled_cell(trace, jobs[i].config.clone()),
+                            false => self.settings.run_trace(trace, jobs[i].config.clone()),
+                        }
                     },
                     &mut consume,
                 );
@@ -722,12 +743,26 @@ impl SweepSpec {
                     self.settings.threads,
                     |k| {
                         let i = sim[k];
-                        self.settings.run(&jobs[i].bench, jobs[i].config.clone())
+                        if sampled {
+                            // Sampling needs a captured stream to seek in,
+                            // so each job captures its trace privately
+                            // (mirrors [`RunSettings::run_job`]).
+                            let budget = self.settings.trace_budget(&jobs[i].config);
+                            let trace = self.settings.capture(&jobs[i].bench, budget);
+                            run_sampled_cell(&trace, jobs[i].config.clone())
+                        } else {
+                            self.settings.run(&jobs[i].bench, jobs[i].config.clone())
+                        }
                     },
                     &mut consume,
                 );
                 timing.replay = replay_start.elapsed();
             }
+        }
+        if sampled {
+            timing.uops = detailed_uops.load(Ordering::Relaxed);
+            timing.intervals_replayed = intervals_replayed.load(Ordering::Relaxed);
+            timing.ff_uops = ff_uops.load(Ordering::Relaxed);
         }
         if let Some(s) = store {
             timing.trace_store_hits = s.hits() - store_hits;
@@ -755,6 +790,11 @@ impl SweepSpec {
     /// each cell's report is checked against its result with
     /// [`check_conservation`] before this returns — a failed law is a bug
     /// in the simulator's accounting and panics with the cell label.
+    ///
+    /// Stall attribution always replays the full windows;
+    /// [`RunSettings::sample`] is ignored on this path (per-cycle
+    /// attribution of a sampled estimate would attribute cycles that were
+    /// never simulated).
     pub fn run_stall_report(&self) -> StallResults {
         let jobs = self.expand();
         let results: Vec<(RunResult, StallReport)> = if self.settings.trace_cache {
@@ -897,6 +937,16 @@ pub struct SweepTiming {
     pub trace_cache: bool,
     /// Worker threads.
     pub threads: usize,
+    /// Whether interval sampling ([`RunSettings::sample`]) was on. When
+    /// set, `uops` counts the *detailed* µops actually replayed (interval
+    /// warm-ups plus measurement windows), not the nominal full windows.
+    pub sampled: bool,
+    /// Detailed intervals replayed across every sampled cell (zero when
+    /// sampling is off).
+    pub intervals_replayed: u64,
+    /// µops streamed through the functional fast-forward warmer across
+    /// every sampled cell (zero when sampling is off).
+    pub ff_uops: u64,
 }
 
 impl SweepTiming {
@@ -940,6 +990,7 @@ impl SweepTiming {
              \"uops\": {},\n  \"workloads\": {},\n  \"captures\": {},\n  \
              \"trace_store_hits\": {},\n  \"trace_store_misses\": {},\n  \
              \"result_cache_hits\": {},\n  \
+             \"sampled\": {},\n  \"intervals_replayed\": {},\n  \"ff_uops\": {},\n  \
              \"capture_seconds\": {:.6},\n  \"replay_seconds\": {:.6},\n  \
              \"total_seconds\": {:.6},\n  \"ns_per_uop\": {:.1}\n}}\n",
             self.trace_cache,
@@ -951,6 +1002,9 @@ impl SweepTiming {
             self.trace_store_hits,
             self.trace_store_misses,
             self.result_cache_hits,
+            self.sampled,
+            self.intervals_replayed,
+            self.ff_uops,
             self.capture.as_secs_f64(),
             self.replay.as_secs_f64(),
             self.total.as_secs_f64(),
@@ -1282,6 +1336,64 @@ mod tests {
         ] {
             assert!(json.contains(needle), "missing {needle} in {json}");
         }
+    }
+
+    #[test]
+    fn sampled_sweeps_estimate_ipc_with_less_detailed_work() {
+        let settings = RunSettings {
+            warmup: 2_000,
+            measure: 40_000,
+            seed: 11,
+            sample: Some(vpsim_uarch::SampleConfig { intervals: 8, period: 2_000, warmup: 500 }),
+            ..RunSettings::default()
+        };
+        let spec = SweepSpec {
+            settings,
+            predictors: vec![PredictorKind::Lvp],
+            schemes: vec![SchemeChoice::Fpc],
+            recoveries: vec![RecoveryPolicy::SquashAtCommit],
+            benches: vec![benchmark("gzip").unwrap()],
+            ..SweepSpec::default()
+        };
+        let results = spec.run();
+        let t = results.timing;
+        assert!(t.sampled);
+        assert!(t.intervals_replayed > 0);
+        assert!(t.ff_uops > 0, "fast-forward must cover the unsampled gaps");
+        assert!(t.uops > 0);
+        // Sampling replays a fraction of the full detailed volume.
+        assert!(
+            t.uops < t.jobs as u64 * (settings.warmup + settings.measure),
+            "sampled detailed volume {} must undercut the full windows",
+            t.uops
+        );
+        let json = t.to_json();
+        for needle in ["\"sampled\": true", "\"intervals_replayed\": ", "\"ff_uops\": "] {
+            assert!(json.contains(needle), "missing {needle} in {json}");
+        }
+        // The estimate lands near the full replay, for baseline and VP cells.
+        let full =
+            SweepSpec { settings: RunSettings { sample: None, ..settings }, ..spec.clone() }.run();
+        assert!(!full.timing.sampled);
+        let pairs = results
+            .baseline
+            .rows
+            .iter()
+            .zip(&full.baseline.rows)
+            .chain(results.points[0].1.rows.iter().zip(&full.points[0].1.rows));
+        for ((name, est), (_, exact)) in pairs {
+            let err = (est.metrics.ipc() - exact.metrics.ipc()).abs() / exact.metrics.ipc();
+            assert!(err < 0.15, "{name}: sampled IPC off by {:.1}%", err * 100.0);
+        }
+        // Sampled sweeps stay thread-count deterministic.
+        let parallel =
+            SweepSpec { settings: RunSettings { threads: 4, ..settings }, ..spec.clone() }.run();
+        assert_eq!(parallel.table().to_csv(), results.table().to_csv());
+        // And trace-cache off changes cost, not results.
+        let inline =
+            SweepSpec { settings: RunSettings { trace_cache: false, ..settings }, ..spec }.run();
+        assert_eq!(inline.table().to_csv(), results.table().to_csv());
+        assert!(inline.timing.sampled && inline.timing.intervals_replayed > 0);
     }
 
     #[test]

@@ -45,6 +45,10 @@ proptest! {
         seed in any::<u64>(),
         threads in 1usize..17,
         trace_cache in any::<bool>(),
+        sampled in any::<bool>(),
+        sample_intervals in 1u64..100,
+        sample_period in 1u64..100_000,
+        sample_warmup in 0u64..10_000,
         predictors in prop::collection::vec(
             prop::sample::select(PredictorKind::ALL.to_vec()), 0..5),
         schemes in prop::collection::vec(prop::sample::select(scheme_pool()), 0..4),
@@ -76,8 +80,15 @@ proptest! {
                 .map(|((&kind, &scheme), &recovery)| GridPoint { kind, scheme, recovery })
                 .collect::<Vec<_>>()
         });
+        let sample = sampled.then_some(vpsim_uarch::SampleConfig {
+            intervals: sample_intervals,
+            period: sample_period,
+            warmup: sample_warmup,
+        });
         let scenario = Scenario {
-            settings: vpsim_bench::RunSettings { warmup, measure, scale, seed, threads, trace_cache },
+            settings: vpsim_bench::RunSettings {
+                warmup, measure, scale, seed, threads, trace_cache, sample,
+            },
             predictors,
             schemes,
             recoveries,

@@ -1,0 +1,110 @@
+//! Allocation accounting of the trace-store read path.
+//!
+//! The hot path of a store-backed sweep is `TraceStore::load`: stat the
+//! entry, read it once into an exactly-sized buffer, verify the checksum,
+//! and decode the four SoA sections in place with `chunks_exact` — one
+//! allocation per section, plus the read buffer and path bookkeeping.
+//! This test pins that down with a counting global allocator: decoding is
+//! exactly one allocation per section, and the whole load path performs a
+//! small, **trace-size-independent** number of allocations (a regression
+//! here means someone reintroduced a grow-as-you-go read or a per-record
+//! allocation).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use vpsim_bench::store::TraceStore;
+use vpsim_isa::{ProgramBuilder, Reg, Trace};
+
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static COUNTING: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if COUNTING.load(Ordering::Relaxed) {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Count allocations during `f` (single-threaded test binary, one test —
+/// nothing else can be charged to the window).
+fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
+    ALLOCATIONS.store(0, Ordering::Relaxed);
+    COUNTING.store(true, Ordering::Relaxed);
+    let out = f();
+    COUNTING.store(false, Ordering::Relaxed);
+    (out, ALLOCATIONS.load(Ordering::Relaxed))
+}
+
+/// A loop with loads and branches, captured to `budget` µops.
+fn captured_trace(budget: u64) -> Trace {
+    let mut b = ProgramBuilder::new();
+    let (i, n, x) = (Reg::int(1), Reg::int(2), Reg::int(3));
+    b.load_imm(n, i64::MAX / 2);
+    let top = b.bind_label();
+    b.addi(i, i, 1);
+    b.andi(x, i, 0xFF);
+    b.shli(x, x, 3);
+    b.load(x, x, 64);
+    b.blt(i, n, top);
+    b.halt();
+    Trace::capture(&b.build().unwrap(), budget)
+}
+
+#[test]
+fn store_reads_decode_with_a_constant_allocation_count() {
+    let dir = std::env::temp_dir().join(format!("vpsim-store-alloc-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = TraceStore::open(&dir).unwrap();
+
+    let small = captured_trace(2_000);
+    let large = captured_trace(64_000);
+    store.save("small", 1, 1, 2_000, true, &small);
+    store.save("large", 1, 1, 64_000, true, &large);
+
+    // Decoding is exactly one allocation per SoA section (µops, record
+    // index, flags, payload) — `chunks_exact` in-place decode, no
+    // per-record or grow-as-you-go allocations.
+    let bytes = large.to_bytes();
+    let (decoded, allocs) = count_allocations(|| Trace::from_bytes(&bytes).unwrap());
+    assert_eq!(decoded, large);
+    assert_eq!(allocs, 4, "decode must allocate once per section");
+
+    // A corrupt entry still fails cleanly under the counter (the decode
+    // path allocates nothing extra to reject a bit flip).
+    let mut corrupt = bytes.clone();
+    let mid = corrupt.len() / 2;
+    corrupt[mid] ^= 0x04;
+    let (err, _) = count_allocations(|| Trace::from_bytes(&corrupt));
+    assert!(err.is_err(), "a flipped bit must not decode");
+
+    // The full disk path — path construction, open, stat, one
+    // exactly-sized read, checksum, decode, Arc — is a constant
+    // allocation count, independent of how large the trace is.
+    let (small_loaded, small_allocs) = count_allocations(|| store.load("small", 1, 1).unwrap());
+    let (large_loaded, large_allocs) = count_allocations(|| store.load("large", 1, 1).unwrap());
+    assert_eq!(*small_loaded.trace, small);
+    assert_eq!(*large_loaded.trace, large);
+    assert_eq!(small_allocs, large_allocs, "load allocations must not scale with trace size");
+    assert!(large_allocs <= 16, "load path allocated {large_allocs} times");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -6,6 +6,8 @@
 //! is **indirect** target prediction (`JumpInd`); returns go through the
 //! [`crate::Ras`] instead.
 
+use vpsim_core::state::{StateReader, StateWriter};
+
 /// A 2-way set-associative branch target buffer with LRU replacement.
 ///
 /// # Examples
@@ -93,6 +95,33 @@ impl Btb {
         set[1 - victim].lru = true;
     }
 
+    /// Serialize every way (tags, targets, recency) for a sampling
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for set in &self.sets {
+            for way in set {
+                w.bool(way.valid);
+                w.u64(way.tag);
+                w.u64(way.target);
+                w.bool(way.lru);
+            }
+        }
+    }
+
+    /// Restore state captured by [`Btb::save_state`] into a BTB of the same
+    /// geometry.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), String> {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                way.valid = r.bool()?;
+                way.tag = r.u64()?;
+                way.target = r.u64()?;
+                way.lru = r.bool()?;
+            }
+        }
+        Ok(())
+    }
+
     /// Total entries.
     pub fn len(&self) -> usize {
         self.sets.len() * 2
@@ -146,6 +175,31 @@ mod tests {
         assert_eq!(btb.lookup(0), Some(0xA), "MRU entry survives");
         assert_eq!(btb.lookup(stride), None, "LRU entry evicted");
         assert_eq!(btb.lookup(2 * stride), Some(0xC));
+    }
+
+    #[test]
+    fn save_load_state_preserves_targets_and_recency() {
+        let mut btb = Btb::new(8);
+        for i in 0..16u64 {
+            btb.update(i * 4, 0x1000 + i);
+        }
+        btb.lookup(0); // perturb recency
+        let mut w = StateWriter::new();
+        btb.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Btb::new(8);
+        let mut r = StateReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        for pc in (0..64).step_by(4) {
+            assert_eq!(btb.lookup(pc), restored.lookup(pc), "pc {pc:#x}");
+        }
+        // Future fills pick the same victims.
+        btb.update(0x400, 0xAA);
+        restored.update(0x400, 0xAA);
+        for pc in (0..64).step_by(4) {
+            assert_eq!(btb.lookup(pc), restored.lookup(pc), "post-fill pc {pc:#x}");
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! call/return sequence on the wrong path can still corrupt the stack,
 //! which is the standard, accepted imprecision of sp-checkpoint repair.
 
+use vpsim_core::state::{StateReader, StateWriter};
+
 /// A fixed-size circular return address stack with sp checkpointing.
 ///
 /// # Examples
@@ -84,6 +86,32 @@ impl Ras {
     pub fn restore(&mut self, cp: RasCheckpoint) {
         self.sp = cp.sp % self.stack.len();
         self.depth = cp.depth.min(self.stack.len());
+    }
+
+    /// Serialize the stack contents and control state for a sampling
+    /// checkpoint.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for &addr in &self.stack {
+            w.u64(addr);
+        }
+        w.u64(self.sp as u64);
+        w.u64(self.depth as u64);
+    }
+
+    /// Restore state captured by [`Ras::save_state`] into a stack of the
+    /// same capacity.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), String> {
+        for addr in &mut self.stack {
+            *addr = r.u64()?;
+        }
+        let sp = r.u64()? as usize;
+        let depth = r.u64()? as usize;
+        if sp >= self.stack.len() || depth > self.stack.len() {
+            return Err(format!("RAS state out of range: sp {sp}, depth {depth}"));
+        }
+        self.sp = sp;
+        self.depth = depth;
+        Ok(())
     }
 
     /// Current number of live entries.
@@ -165,6 +193,43 @@ mod tests {
         ras.pop();
         assert_eq!(ras.depth(), 1);
         assert_eq!(ras.capacity(), 4);
+    }
+
+    #[test]
+    fn save_load_state_round_trips_the_full_stack() {
+        let mut ras = Ras::new(4);
+        for addr in [0xA, 0xB, 0xC, 0xD, 0xE] {
+            ras.push(addr); // wraps once
+        }
+        ras.pop();
+        let mut w = StateWriter::new();
+        ras.save_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = Ras::new(4);
+        let mut r = StateReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        assert_eq!(restored.depth(), ras.depth());
+        loop {
+            let (a, b) = (ras.pop(), restored.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn load_state_rejects_out_of_range_pointers() {
+        let mut good = Ras::new(4);
+        good.push(1);
+        let mut w = StateWriter::new();
+        good.save_state(&mut w);
+        let mut bytes = w.into_bytes();
+        // Corrupt sp to an out-of-range value.
+        let sp_off = 4 * 8;
+        bytes[sp_off..sp_off + 8].copy_from_slice(&99u64.to_le_bytes());
+        assert!(Ras::new(4).load_state(&mut StateReader::new(&bytes)).is_err());
     }
 
     #[test]

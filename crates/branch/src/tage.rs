@@ -4,6 +4,7 @@
 
 use vpsim_core::history::{fold, HistoryState};
 use vpsim_core::inflight::Inflight;
+use vpsim_core::state::{StateReader, StateWriter};
 use vpsim_core::Lfsr;
 
 /// Maximum tagged components.
@@ -158,6 +159,16 @@ impl Tage {
     /// speculative history `hist`. `seq` is the dynamic sequence number of
     /// the branch µop (in-order, as for value predictors).
     pub fn predict(&mut self, seq: u64, pc: u64, hist: &HistoryState) -> bool {
+        let rec = self.lookup(pc, hist);
+        let pred = rec.pred;
+        self.inflight.push(seq, rec);
+        pred
+    }
+
+    /// The table lookup shared by [`Tage::predict`] and
+    /// [`Tage::train_committed`]: indices, tags, provider selection and
+    /// the prediction, with no state change.
+    fn lookup(&self, pc: u64, hist: &HistoryState) -> Record {
         let n = self.config.history_lengths.len();
         let bim_index = self.bim_index(pc);
         let mut indices = [0u16; MAX_COMPONENTS];
@@ -195,11 +206,7 @@ impl Tage {
                 (e.ctr >= 0, false)
             }
         };
-        self.inflight.push(
-            seq,
-            Record { bim_index, indices, tags, provider, alt_provider, pred, alt_pred, used_alt },
-        );
-        pred
+        Record { bim_index, indices, tags, provider, alt_provider, pred, alt_pred, used_alt }
     }
 
     /// Train with the resolved direction of branch `seq` (commit order).
@@ -209,6 +216,18 @@ impl Tage {
     /// Panics if `seq` is not the oldest in-flight branch.
     pub fn train(&mut self, seq: u64, taken: bool) {
         let rec = self.inflight.pop(seq);
+        self.train_record(&rec, taken);
+    }
+
+    /// Predict-and-train fused for committed-path streaming (the sampling
+    /// warmer): identical state updates to `predict` immediately followed
+    /// by `train`, without touching the in-flight queue.
+    pub fn train_committed(&mut self, pc: u64, taken: bool, hist: &HistoryState) {
+        let rec = self.lookup(pc, hist);
+        self.train_record(&rec, taken);
+    }
+
+    fn train_record(&mut self, rec: &Record, taken: bool) {
         let n = self.config.history_lengths.len();
         let mispredicted = rec.pred != taken;
 
@@ -256,12 +275,16 @@ impl Tage {
         // Allocation on misprediction (never from the longest component).
         if mispredicted && (rec.provider as usize) < n {
             let start = rec.provider as usize + 1;
-            let candidates: Vec<usize> = (start..=n)
-                .filter(|&rank| {
-                    let e = &self.components[rank - 1][rec.indices[rank - 1] as usize];
-                    !e.valid || e.u == 0
-                })
-                .collect();
+            let mut candidates = [0usize; MAX_COMPONENTS];
+            let mut ncand = 0usize;
+            for rank in start..=n {
+                let e = &self.components[rank - 1][rec.indices[rank - 1] as usize];
+                if !e.valid || e.u == 0 {
+                    candidates[ncand] = rank;
+                    ncand += 1;
+                }
+            }
+            let candidates = &candidates[..ncand];
             if candidates.is_empty() {
                 for rank in start..=n {
                     let e = &mut self.components[rank - 1][rec.indices[rank - 1] as usize];
@@ -297,6 +320,52 @@ impl Tage {
     /// Discard in-flight predictions younger than `seq`.
     pub fn squash_after(&mut self, seq: u64) {
         self.inflight.squash_after(seq);
+    }
+
+    /// Serialize the committed training state (bimodal + tagged tables,
+    /// allocation LFSR, aging counter) for a sampling checkpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if predictions are in flight — checkpoints are only taken at
+    /// quiescent points where every `predict` has been matched by a `train`
+    /// (the functional warmer trains immediately after predicting).
+    pub fn save_state(&self, w: &mut StateWriter) {
+        assert!(self.inflight.is_empty(), "cannot checkpoint TAGE with in-flight predictions");
+        for &ctr in &self.bimodal {
+            w.i8(ctr);
+        }
+        for comp in &self.components {
+            for e in comp {
+                w.bool(e.valid);
+                w.u16(e.tag);
+                w.i8(e.ctr);
+                w.u8(e.u);
+            }
+        }
+        w.u64(self.lfsr.state());
+        w.u64(self.trained_branches);
+    }
+
+    /// Restore state captured by [`Tage::save_state`] into a predictor
+    /// constructed with the same geometry. In-flight predictions are
+    /// discarded.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), String> {
+        for ctr in &mut self.bimodal {
+            *ctr = r.i8()?;
+        }
+        for comp in &mut self.components {
+            for e in comp.iter_mut() {
+                e.valid = r.bool()?;
+                e.tag = r.u16()?;
+                e.ctr = r.i8()?;
+                e.u = r.u8()?;
+            }
+        }
+        self.lfsr = Lfsr::from_state(r.u64()?);
+        self.trained_branches = r.u64()?;
+        self.inflight = Inflight::new();
+        Ok(())
     }
 
     /// Storage in bits (for documentation tables).
@@ -430,6 +499,58 @@ mod tests {
         tage.predict(0, 0x40, &hist);
         tage.predict(1, 0x44, &hist);
         tage.train(1, true);
+    }
+
+    #[test]
+    fn save_load_state_resumes_identically() {
+        let mut warmed = Tage::with_defaults(9);
+        let mut hist = HistoryState::default();
+        let mut x = 0xDEADu64;
+        for seq in 0..4_000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = 0x40 + (x % 37) * 4;
+            let taken = (x >> 62) != 0;
+            warmed.predict(seq, pc, &hist);
+            warmed.train(seq, taken);
+            hist.push_branch(pc, taken);
+        }
+        let mut w = StateWriter::new();
+        warmed.save_state(&mut w);
+        let bytes = w.into_bytes();
+        // A fresh predictor with a different seed converges to the warmed
+        // one after load (the LFSR state travels with the checkpoint).
+        let mut restored = Tage::with_defaults(12345);
+        let mut r = StateReader::new(&bytes);
+        restored.load_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // Both must now predict and train identically.
+        for seq in 4_000u64..6_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let pc = 0x40 + (x % 37) * 4;
+            let taken = (x >> 62) != 0;
+            assert_eq!(warmed.predict(seq, pc, &hist), restored.predict(seq, pc, &hist));
+            warmed.train(seq, taken);
+            restored.train(seq, taken);
+            hist.push_branch(pc, taken);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "in-flight")]
+    fn save_state_rejects_inflight_predictions() {
+        let mut tage = Tage::with_defaults(1);
+        tage.predict(0, 0x40, &HistoryState::default());
+        tage.save_state(&mut StateWriter::new());
+    }
+
+    #[test]
+    fn load_state_rejects_truncated_streams() {
+        let mut tage = Tage::with_defaults(1);
+        let mut w = StateWriter::new();
+        tage.save_state(&mut w);
+        let mut bytes = w.into_bytes();
+        bytes.truncate(bytes.len() - 1);
+        assert!(tage.load_state(&mut StateReader::new(&bytes)).is_err());
     }
 
     #[test]

@@ -67,26 +67,31 @@ pub fn fold(hist: u128, len: u32, out_bits: u32) -> u64 {
         return 0;
     }
     let mask = (1u64 << out_bits) - 1;
-    // Chunks past the last set bit XOR in zeros, so both loops may stop at
-    // `rest == 0`; histories up to 64 bits (most components) fold in
-    // native-width arithmetic.
+    // XOR is associative and commutative, so the chunk XOR is computed as
+    // a shift-doubling tree rather than a serial chunk loop: after stages
+    // `h ^= h >> b`, `h ^= h >> 2b`, … the low chunk holds the XOR of the
+    // first 2ᵏ chunks, and the stages stop once 2ᵏ chunks cover the whole
+    // width (the last shift is < width, so coverage = 2 × last shift ≥
+    // width). Bit-identical to folding chunk by chunk, in O(log) dependent
+    // steps instead of O(len / out_bits). Histories up to 64 bits (most
+    // components) fold in native-width arithmetic.
     if len <= 64 {
         let keep = if len == 64 { u64::MAX } else { (1u64 << len) - 1 };
-        let mut rest = (hist as u64) & keep;
-        let mut acc = 0u64;
-        while rest != 0 {
-            acc ^= rest & mask;
-            rest >>= out_bits;
+        let mut h = (hist as u64) & keep;
+        let mut shift = out_bits;
+        while shift < 64 {
+            h ^= h >> shift;
+            shift <<= 1;
         }
-        return acc;
+        return h & mask;
     }
-    let mut rest = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
-    let mut acc = 0u64;
-    while rest != 0 {
-        acc ^= (rest as u64) & mask;
-        rest >>= out_bits;
+    let mut h = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+    let mut shift = out_bits;
+    while shift < 128 {
+        h ^= h >> shift;
+        shift <<= 1;
     }
-    acc
+    h as u64 & mask
 }
 
 /// Fold a 64-bit value onto itself to 16 bits (the paper's o4-FCM history
@@ -157,6 +162,39 @@ mod tests {
         // Must not overflow or panic for len = 128.
         let f = fold(u128::MAX, 128, 13);
         assert!(f < (1 << 13));
+    }
+
+    #[test]
+    fn fold_tree_matches_the_serial_chunk_fold() {
+        // The shift-doubling tree must equal the definitional chunk-by-
+        // chunk XOR for every geometry TAGE/VTAGE uses (and then some).
+        fn serial(hist: u128, len: u32, out_bits: u32) -> u64 {
+            if len == 0 {
+                return 0;
+            }
+            let mask = (1u64 << out_bits) - 1;
+            let mut rest = if len >= 128 { hist } else { hist & ((1u128 << len) - 1) };
+            let mut acc = 0u64;
+            while rest != 0 {
+                acc ^= (rest as u64) & mask;
+                rest >>= out_bits;
+            }
+            acc
+        }
+        let mut x = 0x9E37_79B9_7F4A_7C15u128;
+        for i in 0..256u32 {
+            x = x.wrapping_mul(0x2545_F491_4F6C_DD1D).wrapping_add(0x1234_5678_9ABC_DEF1);
+            let hist = x ^ (x << 64);
+            for len in [1, 3, 4, 8, 16, 24, 63, 64, 65, 100, 127, 128] {
+                for out_bits in [1, 2, 7, 8, 9, 13, 16, 33, 63] {
+                    assert_eq!(
+                        fold(hist, len, out_bits),
+                        serial(hist, len, out_bits),
+                        "case {i}: len {len}, out_bits {out_bits}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -65,6 +65,7 @@ pub mod locality;
 pub mod lvp;
 pub mod oracle;
 pub mod sag;
+pub mod state;
 pub mod storage;
 pub mod stride;
 pub mod vtage;

@@ -88,6 +88,8 @@ const HAS_STORE_VALUE: u8 = 1 << 2;
 const TAKEN: u8 = 1 << 3;
 /// `next_pc != pc + 4`: the architectural successor is stored explicitly.
 const DIVERGES: u8 = 1 << 4;
+/// The flag bits that each carry one slot in the payload stream.
+const PAYLOAD_BITS: u8 = HAS_RESULT | HAS_MEM_ADDR | HAS_STORE_VALUE | DIVERGES;
 
 /// A captured dynamic instruction stream in struct-of-arrays form.
 ///
@@ -183,6 +185,63 @@ impl Trace {
         TraceCursor { trace: self, pos: 0, payload_pos: 0 }
     }
 
+    /// Payload-stream position corresponding to record position `pos`:
+    /// the number of payload slots consumed by all earlier records (each
+    /// contributes one slot per payload-bearing flag bit).
+    fn payload_pos_at(&self, pos: usize) -> usize {
+        self.flags[..pos].iter().map(|f| (f & PAYLOAD_BITS).count_ones() as usize).sum()
+    }
+
+    /// A replay cursor positioned at record `pos` (clamped to the trace
+    /// length), as if a fresh cursor had consumed the first `pos` records.
+    /// Costs one popcount pass over the flag bytes up to `pos`; use
+    /// [`Trace::cursor_resume`] with a checkpointed payload position to
+    /// seek in O(1).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_isa::{ProgramBuilder, Reg, Trace};
+    /// let mut b = ProgramBuilder::new();
+    /// b.load_imm(Reg::int(1), 3);
+    /// b.addi(Reg::int(2), Reg::int(1), 1);
+    /// b.halt();
+    /// let trace = Trace::capture(&b.build()?, 100);
+    /// let mut skipped = trace.cursor();
+    /// skipped.next();
+    /// assert_eq!(trace.cursor_at(1).collect::<Vec<_>>(), skipped.collect::<Vec<_>>());
+    /// # Ok::<(), vpsim_isa::ProgramError>(())
+    /// ```
+    pub fn cursor_at(&self, pos: usize) -> TraceCursor<'_> {
+        let pos = pos.min(self.len());
+        TraceCursor { trace: self, pos, payload_pos: self.payload_pos_at(pos) }
+    }
+
+    /// Rebuild a cursor from checkpointed `(pos, payload_pos)` coordinates
+    /// in O(1) — the seek half of the sampling layer's serialized
+    /// checkpoints. The coordinates are bounds-checked (and, in debug
+    /// builds, verified against the flag stream); mismatched coordinates
+    /// from a stale or foreign checkpoint are an error, never an
+    /// out-of-bounds replay.
+    pub fn cursor_resume(
+        &self,
+        pos: usize,
+        payload_pos: usize,
+    ) -> Result<TraceCursor<'_>, &'static str> {
+        if pos > self.len() {
+            return Err("checkpoint position past the end of the trace");
+        }
+        if payload_pos > self.payload.len() {
+            return Err("checkpoint payload position past the payload stream");
+        }
+        debug_assert_eq!(
+            payload_pos,
+            self.payload_pos_at(pos),
+            "checkpoint coordinates must be mutually consistent"
+        );
+        Ok(TraceCursor { trace: self, pos, payload_pos })
+    }
+
     /// Serialize into the checksummed binary format described in the
     /// [`Trace`] docs: a magic/version header, the four SoA sections each
     /// prefixed with a little-endian `u64` element count, and a trailing
@@ -239,10 +298,13 @@ impl Trace {
         if r.take(MAGIC.len())? != MAGIC {
             return Err(BadMagic);
         }
+        // Each section is taken as one bounds-checked slice and decoded in
+        // place with `chunks_exact` — exactly one allocation per section,
+        // no per-element cursor arithmetic.
         let n_insts = r.len_prefix(12)?;
+        let inst_bytes = r.take(n_insts * 12)?;
         let mut insts = Vec::with_capacity(n_insts);
-        for _ in 0..n_insts {
-            let rec = r.take(12)?;
+        for rec in inst_bytes.chunks_exact(12) {
             insts.push(Inst {
                 op: Opcode::from_code(rec[0]).ok_or(BadOpcode(rec[0]))?,
                 dst: decode_reg(rec[1])?,
@@ -252,17 +314,18 @@ impl Trace {
             });
         }
         let n_index = r.len_prefix(4)?;
+        let index_bytes = r.take(n_index * 4)?;
         let mut index = Vec::with_capacity(n_index);
-        for _ in 0..n_index {
-            index.push(u32::from_le_bytes(r.take(4)?.try_into().unwrap()));
-        }
+        index
+            .extend(index_bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
         let n_flags = r.len_prefix(1)?;
         let flags = r.take(n_flags)?.to_vec();
         let n_payload = r.len_prefix(8)?;
+        let payload_bytes = r.take(n_payload * 8)?;
         let mut payload = Vec::with_capacity(n_payload);
-        for _ in 0..n_payload {
-            payload.push(u64::from_le_bytes(r.take(8)?.try_into().unwrap()));
-        }
+        payload.extend(
+            payload_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
         let body_end = r.pos;
         let found = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
         if r.pos != bytes.len() {
@@ -281,10 +344,8 @@ impl Trace {
         if index.iter().any(|&i| i as usize >= insts.len()) {
             return Err(Inconsistent("record points past the static µop table"));
         }
-        let want_payload: usize = flags
-            .iter()
-            .map(|f| (f & (HAS_RESULT | HAS_MEM_ADDR | HAS_STORE_VALUE | DIVERGES)).count_ones())
-            .sum::<u32>() as usize;
+        let want_payload: usize =
+            flags.iter().map(|f| (f & PAYLOAD_BITS).count_ones()).sum::<u32>() as usize;
         if payload.len() != want_payload {
             return Err(Inconsistent("payload stream length does not match flag bits"));
         }
@@ -407,6 +468,38 @@ pub struct TraceCursor<'a> {
     pos: usize,
     /// Next unconsumed slot of the interleaved payload stream.
     payload_pos: usize,
+}
+
+impl<'a> TraceCursor<'a> {
+    /// Record position — the `seq` the next [`InstSource::next_inst`] call
+    /// will yield.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+
+    /// Position in the interleaved payload stream. Serialize it next to
+    /// [`TraceCursor::pos`] in a checkpoint and hand both back to
+    /// [`Trace::cursor_resume`] to seek in O(1).
+    pub fn payload_pos(&self) -> usize {
+        self.payload_pos
+    }
+
+    /// The trace this cursor replays.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
+    }
+
+    /// Seek to the start of interval `index` of a `period`-sized
+    /// partitioning that begins at record `base` — the addressing scheme
+    /// of the sampling layer (`base` is the end of the global warm-up,
+    /// interval `i` covers records `[base + i·period, base + (i+1)·period)`).
+    /// Positions past the end of the trace clamp to the end. Costs one
+    /// popcount pass over the flag bytes up to the target.
+    pub fn seek_interval(&mut self, base: u64, period: u64, index: u64) {
+        let target = base.saturating_add(index.saturating_mul(period));
+        let target = usize::try_from(target).unwrap_or(usize::MAX);
+        *self = self.trace.cursor_at(target);
+    }
 }
 
 impl Iterator for TraceCursor<'_> {
@@ -603,6 +696,57 @@ mod tests {
             }
             other => panic!("expected checksum mismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn cursor_at_matches_a_skipped_fresh_cursor() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        for pos in [0, 1, 7, trace.len() / 2, trace.len() - 1, trace.len(), trace.len() + 10] {
+            let mut skipped = trace.cursor();
+            for _ in 0..pos.min(trace.len()) {
+                skipped.next();
+            }
+            let seeked = trace.cursor_at(pos);
+            assert_eq!(seeked.pos(), pos.min(trace.len()));
+            assert_eq!(seeked.collect::<Vec<_>>(), skipped.collect::<Vec<_>>(), "pos {pos}");
+        }
+    }
+
+    #[test]
+    fn seek_interval_addresses_fixed_size_intervals() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let (base, period) = (5u64, 16u64);
+        let mut cursor = trace.cursor();
+        for i in 0..4 {
+            cursor.seek_interval(base, period, i);
+            let want = ((base + i * period) as usize).min(trace.len());
+            assert_eq!(cursor.pos(), want, "interval {i}");
+            assert_eq!(
+                cursor.clone().collect::<Vec<_>>(),
+                trace.cursor_at(want).collect::<Vec<_>>()
+            );
+        }
+        // Seeking far past the end clamps to an exhausted cursor.
+        cursor.seek_interval(base, period, u64::MAX);
+        assert_eq!(cursor.next(), None);
+    }
+
+    #[test]
+    fn cursor_resume_restores_checkpointed_coordinates() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let mut cursor = trace.cursor();
+        for _ in 0..trace.len() / 2 {
+            cursor.next();
+        }
+        let (pos, payload_pos) = (cursor.pos(), cursor.payload_pos());
+        let resumed = trace.cursor_resume(pos, payload_pos).unwrap();
+        assert_eq!(resumed.collect::<Vec<_>>(), cursor.collect::<Vec<_>>());
+        // Out-of-bounds coordinates are rejected, never replayed.
+        assert!(trace.cursor_resume(trace.len() + 1, 0).is_err());
+        assert!(trace.cursor_resume(0, usize::MAX).is_err());
     }
 
     #[test]

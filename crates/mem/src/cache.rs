@@ -1,5 +1,7 @@
 //! A set-associative, write-allocate cache with LRU replacement.
 
+use vpsim_core::state::{StateReader, StateWriter};
+
 /// Cache geometry and latency.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
@@ -186,6 +188,33 @@ impl Cache {
     /// Line-aligned address of `addr`.
     pub fn line_addr(&self, addr: u64) -> u64 {
         addr & !(self.config.line_bytes as u64 - 1)
+    }
+
+    /// Serialize every line (tags, dirty bits, LRU stamps, prefetch marks)
+    /// plus the LRU tick for a sampling checkpoint.
+    pub fn save_state(&self, w: &mut StateWriter) {
+        for line in &self.lines {
+            w.bool(line.valid);
+            w.u64(line.tag);
+            w.bool(line.dirty);
+            w.u64(line.stamp);
+            w.bool(line.prefetched);
+        }
+        w.u64(self.tick);
+    }
+
+    /// Restore state captured by [`Cache::save_state`] into a cache of the
+    /// same geometry.
+    pub fn load_state(&mut self, r: &mut StateReader) -> Result<(), String> {
+        for line in &mut self.lines {
+            line.valid = r.bool()?;
+            line.tag = r.u64()?;
+            line.dirty = r.bool()?;
+            line.stamp = r.u64()?;
+            line.prefetched = r.bool()?;
+        }
+        self.tick = r.u64()?;
+        Ok(())
     }
 }
 

@@ -14,6 +14,7 @@ use crate::dram::{Dram, DramConfig};
 use crate::mshr::MshrFile;
 use crate::prefetch::StridePrefetcher;
 use std::collections::HashSet;
+use vpsim_core::state::{StateReader, StateWriter};
 use vpsim_stats::CacheStats;
 
 /// Full hierarchy configuration.
@@ -215,6 +216,74 @@ impl MemoryHierarchy {
         ready
     }
 
+    /// Functional-only instruction-fetch warming: touch L1I (and fill
+    /// through L2 on a miss) without timing, MSHRs, DRAM, the prefetcher,
+    /// or statistics. Used by the sampling fast-forward path to keep cache
+    /// contents (tags, LRU, dirty bits) tracking the µop stream at a
+    /// fraction of the detailed-model cost.
+    pub fn warm_fetch(&mut self, pc: u64) {
+        // Same-line fast path, shared with `fetch_inst`: L1I state only
+        // changes in these two functions and both leave the memoized line
+        // resident and most-recently-used, so skipping the lookup cannot
+        // alter any future eviction decision on either path.
+        if self.last_inst_line == Some(self.l1i.line_addr(pc)) {
+            return;
+        }
+        if !self.l1i.access(pc, false).hit {
+            let line = self.l2.line_addr(pc);
+            if !self.l2.access(line, false).hit {
+                self.l2.fill(line, false);
+            }
+            self.l1i.fill(line, false);
+        }
+        self.last_inst_line = Some(self.l1i.line_addr(pc));
+    }
+
+    /// Functional-only load warming (see [`MemoryHierarchy::warm_fetch`]).
+    pub fn warm_load(&mut self, addr: u64) {
+        self.warm_data(addr, false);
+    }
+
+    /// Functional-only store warming: write-allocates and marks the line
+    /// dirty (see [`MemoryHierarchy::warm_fetch`]).
+    pub fn warm_store(&mut self, addr: u64) {
+        self.warm_data(addr, true);
+    }
+
+    fn warm_data(&mut self, addr: u64, is_write: bool) {
+        if !self.l1d.access(addr, is_write).hit {
+            let line = self.l2.line_addr(addr);
+            if !self.l2.access(line, false).hit {
+                self.l2.fill(line, false);
+            }
+            self.l1d.fill(line, false);
+            if is_write {
+                self.l1d.access(addr, true);
+            }
+        }
+    }
+
+    /// Serialize the warmable state — the three caches' lines and LRU
+    /// clocks — for a sampling checkpoint. Transient timing state (MSHRs,
+    /// DRAM bank/row state, prefetcher strides, fetch fast-path memo) is
+    /// deliberately excluded: it drains within tens of cycles and is
+    /// re-established by the detailed warmup inside each interval.
+    pub fn save_warm_state(&self, w: &mut StateWriter) {
+        self.l1i.save_state(w);
+        self.l1d.save_state(w);
+        self.l2.save_state(w);
+    }
+
+    /// Restore state captured by [`MemoryHierarchy::save_warm_state`] into
+    /// a hierarchy of the same geometry.
+    pub fn load_warm_state(&mut self, r: &mut StateReader) -> Result<(), String> {
+        self.l1i.load_state(r)?;
+        self.l1d.load_state(r)?;
+        self.l2.load_state(r)?;
+        self.last_inst_line = None;
+        Ok(())
+    }
+
     fn issue_prefetch(&mut self, addr: u64, now: u64) {
         let line = self.l2.line_addr(addr);
         if self.l2.probe(line) || self.l2_mshr.lookup(line).is_some() {
@@ -355,6 +424,59 @@ mod tests {
         // (row-hit service minus burst overlap): the tail must reflect 31
         // queued services, not complete as if the MSHRs were unbounded.
         assert!(last_ready >= 31 * 65, "got {last_ready}");
+    }
+
+    #[test]
+    fn warm_paths_fill_caches_without_stats_or_timing_state() {
+        let mut m = hierarchy();
+        m.warm_fetch(0x1000);
+        m.warm_load(0x100000);
+        m.warm_store(0x200000);
+        assert_eq!(m.l1i_stats.accesses, 0);
+        assert_eq!(m.l1d_stats.accesses, 0);
+        assert_eq!(m.l2_stats.accesses, 0);
+        assert_eq!(m.l2_stats.prefetches, 0);
+        // The warmed lines now hit at L1 latency in the detailed model.
+        let i = m.fetch_inst(0x1000, 100);
+        assert_eq!(i - 100, 2, "warmed L1I line hits");
+        let d = m.load(0x40, 0x100000, 100);
+        assert_eq!(d - 100, 2, "warmed L1D line hits");
+        let s = m.load(0x44, 0x200000, 100);
+        assert_eq!(s - 100, 2, "warm-stored line hits");
+    }
+
+    #[test]
+    fn warm_state_round_trips_into_a_fresh_hierarchy() {
+        let mut m = hierarchy();
+        let mut x = 1u64;
+        for _ in 0..5_000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            m.warm_fetch(0x1000 + (x % 4096) * 4);
+            if x & 1 == 0 {
+                m.warm_load(0x100000 + (x % 100_000));
+            } else {
+                m.warm_store(0x300000 + (x % 100_000));
+            }
+        }
+        let mut w = StateWriter::new();
+        m.save_warm_state(&mut w);
+        let bytes = w.into_bytes();
+        let mut restored = hierarchy();
+        let mut r = StateReader::new(&bytes);
+        restored.load_warm_state(&mut r).unwrap();
+        r.finish().unwrap();
+        // Both must produce identical timing on the same access stream.
+        let mut now = 0;
+        for k in 0..200u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let addr = 0x100000 + (x % 120_000);
+            let a = m.load(0x40 + k * 4, addr, now);
+            let b = restored.load(0x40 + k * 4, addr, now);
+            assert_eq!(a, b, "access {k} at {addr:#x}");
+            now = a + 1;
+        }
+        assert_eq!(m.l1d_stats, restored.l1d_stats);
+        assert_eq!(m.l2_stats, restored.l2_stats);
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! * [`BranchStats`], [`CacheStats`] — substrate statistics.
 //! * [`mean`] — arithmetic/geometric/harmonic means used for the "a-mean"
 //!   and "g-mean" rows of the figures.
+//! * [`sample`] — point estimate + Student's-t confidence interval from
+//!   per-interval IPC observations (the sampled-replay estimator).
 //! * [`stall`] — per-cycle stall attribution ([`stall::CycleCause`],
 //!   [`stall::StallReport`]) aggregated from the pipeline event tap.
 //! * [`table::Table`] — ASCII, CSV and JSON rendering of result tables.
@@ -28,6 +30,7 @@
 //! ```
 
 pub mod mean;
+pub mod sample;
 pub mod stall;
 pub mod table;
 

@@ -62,6 +62,7 @@ pub mod penalty;
 mod pipeline;
 pub mod regfile;
 mod result;
+pub mod sampling;
 mod storesets;
 pub mod tap;
 mod window;
@@ -69,4 +70,5 @@ mod window;
 pub use config::{CoreConfig, FuConfig, RecoveryPolicy, VpConfig};
 pub use pipeline::Simulator;
 pub use result::RunResult;
+pub use sampling::{Checkpoint, SampleConfig, SampledResult};
 pub use storesets::StoreSets;

@@ -42,6 +42,7 @@
 
 use crate::config::{CoreConfig, RecoveryPolicy};
 use crate::result::{diff_cache, RunResult, StallBreakdown};
+use crate::sampling::{Checkpoint, SampleConfig, SamplePlan, SampledResult, Warmer};
 use crate::storesets::StoreSets;
 use crate::tap::{
     CycleCause, NullSink, Occupancy, PipeEvent, PipeEventKind, PipeEventSink, SquashCause,
@@ -362,6 +363,145 @@ impl Simulator {
     ) -> RunResult {
         let mut machine = Machine::new(&self.config, source, sink);
         machine.simulate_marked(warmup, measure, mark_at, mark)
+    }
+
+    /// Sampled replay (see [`crate::sampling`]): run the detailed timing
+    /// model only inside [`SampleConfig`]-selected intervals of the
+    /// measured region, fast-forwarding between them with the functional
+    /// warmer. Returns one [`RunResult`] per replayed interval; combine
+    /// with [`SampledResult::combined`] or feed
+    /// [`SampledResult::interval_ipcs`] to the `vpsim-stats` estimator.
+    ///
+    /// Every interval goes through a serialized [`Checkpoint`] and
+    /// [`Trace::cursor_resume`] — the exact path a persisted checkpoint
+    /// replays through later — so there is no untested fast path.
+    ///
+    /// The trace may end before late intervals of a short workload; those
+    /// intervals are skipped (reflected in
+    /// [`SampledResult::intervals_replayed`]).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use vpsim_uarch::{CoreConfig, SampleConfig, Simulator};
+    /// use vpsim_isa::{ProgramBuilder, Reg, Trace};
+    ///
+    /// let mut b = ProgramBuilder::new();
+    /// let (i, n) = (Reg::int(1), Reg::int(2));
+    /// b.load_imm(n, 60_000);
+    /// let top = b.bind_label();
+    /// b.addi(i, i, 1);
+    /// b.blt(i, n, top);
+    /// b.halt();
+    /// let program = b.build()?;
+    ///
+    /// let sim = Simulator::new(CoreConfig::default());
+    /// let trace = Trace::capture(&program, sim.config().trace_budget(0, 100_000));
+    /// let sample = SampleConfig { intervals: 4, period: 5_000, warmup: 1_000 };
+    /// let sampled = sim.run_sampled(&trace, 0, 100_000, sample);
+    /// assert_eq!(sampled.intervals_replayed(), 4);
+    /// let full = sim.run_trace(&trace, 0, 100_000);
+    /// let est = sampled.combined().metrics.ipc();
+    /// assert!((est - full.metrics.ipc()).abs() / full.metrics.ipc() < 0.05);
+    /// # Ok::<(), vpsim_isa::ProgramError>(())
+    /// ```
+    pub fn run_sampled(
+        &self,
+        trace: &Trace,
+        warmup: u64,
+        measure: u64,
+        sample: SampleConfig,
+    ) -> SampledResult {
+        let plan = SamplePlan::new(warmup, measure, sample, self.config.seed);
+        let mut warmer = Warmer::new(&self.config);
+        let mut cursor = trace.cursor();
+        let mut per_interval = Vec::new();
+        let mut detailed_uops = 0;
+        for (start, dwarm) in plan.detailed_starts() {
+            while (cursor.pos() as u64) < start {
+                match cursor.next() {
+                    Some(di) => warmer.warm_uop(&di),
+                    None => break,
+                }
+            }
+            if (cursor.pos() as u64) < start {
+                break; // Trace exhausted before this interval: skip the rest.
+            }
+            let cp = Checkpoint::capture(
+                &warmer,
+                cursor.pos() as u64,
+                cursor.payload_pos() as u64,
+                dwarm,
+            );
+            let res = self
+                .run_interval_from(trace, &cp, plan.measure_per_interval)
+                .expect("an in-memory checkpoint matches its own trace and config");
+            per_interval.push(res);
+            detailed_uops += dwarm + plan.measure_per_interval;
+        }
+        SampledResult { per_interval, ff_uops: warmer.ff_uops, detailed_uops }
+    }
+
+    /// Produce the serialized-state [`Checkpoint`]s [`Simulator::run_sampled`]
+    /// would replay from, without running any detailed interval — one
+    /// fast-forward pass over the trace. Persist them (via
+    /// [`Checkpoint::to_bytes`]) and any selected interval replays later in
+    /// O(1) seek time with [`Simulator::run_interval_from`].
+    pub fn sample_checkpoints(
+        &self,
+        trace: &Trace,
+        warmup: u64,
+        measure: u64,
+        sample: SampleConfig,
+    ) -> Vec<Checkpoint> {
+        let plan = SamplePlan::new(warmup, measure, sample, self.config.seed);
+        let mut warmer = Warmer::new(&self.config);
+        let mut cursor = trace.cursor();
+        let mut checkpoints = Vec::new();
+        for (start, dwarm) in plan.detailed_starts() {
+            while (cursor.pos() as u64) < start {
+                match cursor.next() {
+                    Some(di) => warmer.warm_uop(&di),
+                    None => break,
+                }
+            }
+            if (cursor.pos() as u64) < start {
+                break;
+            }
+            checkpoints.push(Checkpoint::capture(
+                &warmer,
+                cursor.pos() as u64,
+                cursor.payload_pos() as u64,
+                dwarm,
+            ));
+        }
+        checkpoints
+    }
+
+    /// Replay one detailed interval of `measure` committed µops from a
+    /// [`Checkpoint`]: seek the trace to the checkpointed coordinates in
+    /// O(1), restore the warm front-end structures, simulate the
+    /// checkpoint's detailed warmup with statistics discarded, then
+    /// measure. Fails (never panics) when the checkpoint does not match
+    /// `trace` or this simulator's configuration geometry.
+    pub fn run_interval_from(
+        &self,
+        trace: &Trace,
+        checkpoint: &Checkpoint,
+        measure: u64,
+    ) -> Result<RunResult, String> {
+        let cursor = trace
+            .cursor_resume(checkpoint.pos() as usize, checkpoint.payload_pos() as usize)
+            .map_err(|e| e.to_string())?;
+        let warm = checkpoint.restore(&self.config)?;
+        let mut sink = NullSink;
+        let mut machine = Machine::new(&self.config, cursor, &mut sink);
+        machine.tage = warm.tage;
+        machine.btb = warm.btb;
+        machine.ras = warm.ras;
+        machine.mem = warm.mem;
+        machine.fetch_hist = warm.hist;
+        Ok(machine.simulate(checkpoint.detailed_warmup(), measure))
     }
 }
 

@@ -151,6 +151,18 @@ impl RunResult {
         me.field_slots().map(|slot| *slot)
     }
 
+    /// Add every counter of `other` into `self` — the combination step of
+    /// sampled replay, where per-interval results sum into one estimate.
+    /// Ratio statistics (IPC, accuracies, miss rates) of the sum are the
+    /// µop-weighted combination of the parts.
+    pub(crate) fn accumulate(&mut self, other: &RunResult) {
+        let mut rhs = *other;
+        let values = rhs.field_slots().map(|slot| *slot);
+        for (dst, v) in self.field_slots().into_iter().zip(values) {
+            *dst += v;
+        }
+    }
+
     /// Mutable references to every counter, in the same fixed order as
     /// [`RunResult::field_values`] — the single source of truth for the
     /// wire layout, so the two can never drift apart.

@@ -1,0 +1,112 @@
+//! Checkpoint serialization property: replaying a detailed interval from
+//! a checkpoint that went through `to_bytes` → `from_bytes` is
+//! byte-identical to replaying from the original in-memory checkpoint —
+//! for every predictor kind and recovery policy the simulator supports.
+//!
+//! This is the guarantee the sweep-as-a-service layer leans on when it
+//! persists `vpstate1` checkpoints and replays intervals in a different
+//! process: serialization must never perturb a result.
+
+use proptest::prelude::*;
+use vpsim_core::PredictorKind;
+use vpsim_isa::{ProgramBuilder, Reg, Trace};
+use vpsim_uarch::{Checkpoint, CoreConfig, RecoveryPolicy, SampleConfig, Simulator, VpConfig};
+
+/// An endless loop exercising every structure the warmer checkpoints:
+/// strided loads and stores (caches), a data-dependent conditional branch
+/// (TAGE + history), and a call/return pair every `modulus` iterations
+/// (RAS, BTB-adjacent control flow).
+fn program(modulus: i64, stride: i64) -> vpsim_isa::Program {
+    let mut b = ProgramBuilder::new();
+    let (i, n, addr, x, t, link, acc, zero) = (
+        Reg::int(1),
+        Reg::int(2),
+        Reg::int(3),
+        Reg::int(4),
+        Reg::int(5),
+        Reg::int(6),
+        Reg::int(7),
+        Reg::int(8),
+    );
+    b.load_imm(n, i64::MAX / 2);
+    let top = b.bind_label();
+    b.addi(i, i, 1);
+    b.andi(t, i, modulus);
+    b.shli(addr, t, 3);
+    b.load(x, addr, 64);
+    b.add(acc, acc, x);
+    b.store(addr, acc, 64 + stride);
+    let skip = b.label();
+    let func = b.label();
+    b.bne(t, zero, skip);
+    b.call(link, func);
+    b.bind(skip);
+    b.blt(i, n, top);
+    b.halt();
+    b.bind(func);
+    b.addi(acc, acc, 3);
+    b.ret(link);
+    b.build().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn serialized_checkpoints_replay_byte_identically_for_every_predictor(
+        modulus_bits in 1u32..4,
+        stride in prop::sample::select(vec![0i64, 8, 24]),
+        warmup in 0u64..2_000,
+        measure in 5_000u64..9_000,
+        intervals in 2u64..4,
+        period in 600u64..1_500,
+        sample_warmup in 0u64..500,
+        seed in 0u64..1u64 << 48,
+    ) {
+        let program = program((1 << modulus_bits) - 1, stride);
+        let sample = SampleConfig { intervals, period, warmup: sample_warmup };
+        // One trace serves every configuration: capture with the default
+        // core's budget (trace_budget depends only on warmup/measure and
+        // the fetch-ahead bound, identical across VP configurations).
+        let trace = Trace::capture(
+            &program,
+            CoreConfig::default().with_seed(seed).trace_budget(warmup, measure),
+        );
+        let mut configs = vec![CoreConfig::default().with_seed(seed)];
+        for kind in PredictorKind::ALL {
+            for recovery in [RecoveryPolicy::SquashAtCommit, RecoveryPolicy::SelectiveReissue] {
+                configs.push(
+                    CoreConfig::default()
+                        .with_seed(seed)
+                        .with_vp(VpConfig::enabled(kind, recovery)),
+                );
+            }
+        }
+        for config in configs {
+            let sim = Simulator::new(config);
+            let checkpoints = sim.sample_checkpoints(&trace, warmup, measure, sample);
+            prop_assert!(!checkpoints.is_empty(), "region admits at least one interval");
+            // `measure >> period` here, so each interval replays exactly
+            // `period` µops (the plan's per-interval measurement window).
+            let mut direct = Vec::new();
+            for cp in &checkpoints {
+                let bytes = cp.to_bytes();
+                let revived = Checkpoint::from_bytes(&bytes)
+                    .expect("a freshly serialized checkpoint deserializes");
+                prop_assert_eq!(
+                    revived.to_bytes(),
+                    bytes,
+                    "serialization is a fixed point"
+                );
+                let from_memory = sim.run_interval_from(&trace, cp, period).unwrap();
+                let from_bytes = sim.run_interval_from(&trace, &revived, period).unwrap();
+                prop_assert_eq!(from_memory, from_bytes, "serialization perturbed a replay");
+                direct.push(from_memory);
+            }
+            // The one-shot sampled run takes the identical path: same
+            // checkpoints, same per-interval results.
+            let sampled = sim.run_sampled(&trace, warmup, measure, sample);
+            prop_assert_eq!(sampled.per_interval, direct);
+        }
+    }
+}
