@@ -63,6 +63,17 @@
 //!                      server at ADDR (host:port) instead of running
 //!                      locally. Streams per-cell progress to stderr; the
 //!                      table on stdout is byte-identical to a local run.
+//!                      `ERR server busy` replies are retried with
+//!                      jittered exponential backoff, honouring the
+//!                      server's RETRY-AFTER hint.
+//!   --workers LIST     Comma-separated vpsim-serve addresses. The grid is
+//!                      sharded across them (worker i simulates cells with
+//!                      index % n == i) and the raw per-cell results are
+//!                      merged back in job-index order, so the table on
+//!                      stdout is byte-identical to a local or single
+//!                      --remote run. Point every worker at the same
+//!                      --store directory to share traces and finished
+//!                      cells.
 //! ```
 //!
 //! Example: compare VTAGE and the hybrid under both recovery schemes on
@@ -90,6 +101,7 @@ struct Options {
     timing_json: Option<String>,
     store: Option<String>,
     remote: Option<String>,
+    workers: Vec<String>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -107,6 +119,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut timing_json = None;
     let mut store = None;
     let mut remote = None;
+    let mut workers = Vec::new();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         let mut val = || -> Result<&String, String> {
@@ -125,6 +138,12 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--timing-json" => timing_json = Some(val()?.clone()),
             "--store" => store = Some(val()?.clone()),
             "--remote" => remote = Some(val()?.clone()),
+            "--workers" => {
+                workers = val()?.split(',').map(|a| a.trim().to_string()).collect();
+                if workers.iter().any(String::is_empty) {
+                    return Err("--workers takes a comma-separated list of host:port".into());
+                }
+            }
             // Dedicated flags are sugar for --set with the same key.
             flag @ ("--threads" | "--predictors" | "--confidence" | "--recovery"
             | "--benchmarks" | "--warmup" | "--measure" | "--scale" | "--seed") => {
@@ -142,7 +161,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if csv && json {
         return Err("--csv and --json are mutually exclusive".into());
     }
-    if remote.is_some() {
+    if remote.is_some() && !workers.is_empty() {
+        return Err("--remote and --workers are mutually exclusive; --workers shards".into());
+    }
+    if remote.is_some() || !workers.is_empty() {
         if stall_report {
             return Err("--stall-report runs locally; it cannot be combined with --remote".into());
         }
@@ -165,6 +187,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         timing_json,
         store,
         remote,
+        workers,
     })
 }
 
@@ -198,7 +221,7 @@ fn main() -> ExitCode {
         print!("{}", options.scenario);
         return ExitCode::SUCCESS;
     }
-    if let Some(addr) = &options.remote {
+    if options.remote.is_some() || !options.workers.is_empty() {
         let view = if options.matrix { View::Matrix } else { View::Long };
         let format = if options.csv {
             Format::Csv
@@ -207,9 +230,17 @@ fn main() -> ExitCode {
         } else {
             Format::Ascii
         };
-        let outcome = remote::submit(addr, &options.scenario, view, format, |cell| {
-            eprintln!("{cell}");
-        });
+        let mut progress = |cell: &str| eprintln!("{cell}");
+        let outcome = match &options.remote {
+            Some(addr) => remote::submit(addr, &options.scenario, view, format, &mut progress),
+            None => remote::submit_workers(
+                &options.workers,
+                &options.scenario,
+                view,
+                format,
+                &mut progress,
+            ),
+        };
         return match outcome {
             Ok(outcome) => {
                 print!("{}", outcome.table);

@@ -52,4 +52,5 @@ pub use runner::{RunSettings, SuiteResults};
 pub use scenario::{Scenario, ScenarioBuilder};
 pub use store::{ResultCache, Stores, TraceStore};
 pub use sweep::{SweepResults, SweepSpec, SweepTiming};
-pub use trace_cache::TraceCache;
+pub use trace_cache::{SharedTrace, TraceCache};
+pub use vpsim_uarch::RunResult;

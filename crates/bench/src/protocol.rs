@@ -8,13 +8,14 @@
 //! Client → server:
 //!
 //! ```text
-//! SUBMIT <view> <format>     view: long|matrix   format: ascii|csv|json
+//! SUBMIT <view> <format> [shard <i>/<n>]
+//!     view: long|matrix   format: ascii|csv|json
 //! <scenario text, key = value lines>
 //! END
 //! ```
 //!
 //! plus `PING` (liveness) and `SHUTDOWN` (graceful stop). Server →
-//! client, for a submission:
+//! client, for a full (unsharded) submission:
 //!
 //! ```text
 //! OK <ncells>
@@ -22,12 +23,24 @@
 //! …
 //! TABLE <nbytes>
 //! <nbytes of rendered table, byte-identical to a local run's stdout>
-//! STATS result_cache_hits=… cells_simulated=… trace_store_hits=… trace_store_misses=…
+//! STATS result_cache_hits=… cells_simulated=… trace_store_hits=… trace_store_misses=… queue_wait_ms=… wall_ms=…
 //! DONE
 //! ```
 //!
+//! A *sharded* submission (`shard <i>/<n>`) restricts the server to the
+//! grid cells whose `index % n == i`. The reply carries the raw per-cell
+//! counters instead of a rendered table — `CELL` progress lines for the
+//! shard's cells, then one `RESULT <index> <hex(RunResult)>` frame per
+//! cell — and the client merges the shards by index
+//! ([`crate::sweep::SweepSpec::assemble`]) into the exact table a local
+//! run prints. N servers pointed at one shared `--store` directory cover
+//! the grid disjointly and dedupe finished cells through the shared
+//! result cache.
+//!
 //! Any failure — a malformed scenario above all — is a single `ERR <msg>`
-//! line and the connection stays open for the next request. Responses to
+//! line and the connection stays open for the next request. A loaded
+//! server refuses with `ERR server busy … RETRY-AFTER <ms>`; the client
+//! backs off (bounded, jittered) and retries. Responses to
 //! `PING`/`SHUTDOWN` are `PONG`/`BYE`.
 //!
 //! Determinism: the sweep engine streams cells in job-index order and is
@@ -116,21 +129,52 @@ pub const BYE: &str = "BYE";
 /// Last line of a successful submission response.
 pub const DONE: &str = "DONE";
 
-/// The `SUBMIT <view> <format>` request line.
+/// A parsed `SUBMIT` request line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Submit {
+    /// Table orientation.
+    pub view: View,
+    /// Rendering format.
+    pub format: Format,
+    /// `Some((i, n))` restricts the server to cells with `index % n == i`
+    /// and switches the reply to raw `RESULT` frames.
+    pub shard: Option<(u32, u32)>,
+}
+
+/// The `SUBMIT <view> <format>` request line (unsharded).
 pub fn submit_line(view: View, format: Format) -> String {
     format!("SUBMIT {view} {format}")
 }
 
-/// Parse a `SUBMIT <view> <format>` line (`None` if it is not a SUBMIT
-/// at all, `Some(Err)` if it is one with bad arguments).
-pub fn parse_submit(line: &str) -> Option<Result<(View, Format), String>> {
+/// The `SUBMIT <view> <format> shard <i>/<n>` request line.
+pub fn submit_line_sharded(view: View, format: Format, shard: (u32, u32)) -> String {
+    format!("SUBMIT {view} {format} shard {}/{}", shard.0, shard.1)
+}
+
+fn parse_shard(spec: &str) -> Option<(u32, u32)> {
+    let (i, n) = spec.split_once('/')?;
+    let (i, n) = (i.parse::<u32>().ok()?, n.parse::<u32>().ok()?);
+    (n >= 1 && i < n).then_some((i, n))
+}
+
+/// Parse a `SUBMIT <view> <format> [shard <i>/<n>]` line (`None` if it
+/// is not a SUBMIT at all, `Some(Err)` if it is one with bad arguments).
+pub fn parse_submit(line: &str) -> Option<Result<Submit, String>> {
+    const USAGE: &str =
+        "SUBMIT takes: SUBMIT <long|matrix> <ascii|csv|json> [shard <i>/<n>, i < n]";
     let rest = line.strip_prefix("SUBMIT")?;
-    let mut words = rest.split_whitespace();
-    let parsed = match (words.next(), words.next(), words.next()) {
-        (Some(view), Some(format), None) => {
-            view.parse::<View>().and_then(|v| format.parse::<Format>().map(|f| (v, f)))
-        }
-        _ => Err("SUBMIT takes exactly: SUBMIT <long|matrix> <ascii|csv|json>".into()),
+    let words: Vec<&str> = rest.split_whitespace().collect();
+    let parsed = match words.as_slice() {
+        [view, format] => view.parse::<View>().and_then(|v| {
+            format.parse::<Format>().map(|f| Submit { view: v, format: f, shard: None })
+        }),
+        [view, format, "shard", spec] => match parse_shard(spec) {
+            Some(shard) => view.parse::<View>().and_then(|v| {
+                format.parse::<Format>().map(|f| Submit { view: v, format: f, shard: Some(shard) })
+            }),
+            None => Err(USAGE.into()),
+        },
+        _ => Err(USAGE.into()),
     };
     Some(parsed)
 }
@@ -155,6 +199,38 @@ pub fn table_header(nbytes: usize) -> String {
     format!("TABLE {nbytes}")
 }
 
+/// One raw per-cell counter frame of a sharded reply:
+/// `RESULT <index> <hex(RunResult)>`. The full counters travel so the
+/// client can rebuild the exact table — IPC alone would lose coverage
+/// and accuracy columns.
+pub fn result_line(index: usize, result: &RunResult) -> String {
+    let bytes = result.to_bytes();
+    let mut hex = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        hex.push_str(&format!("{b:02x}"));
+    }
+    format!("RESULT {index} {hex}")
+}
+
+/// Parse a `RESULT <index> <hex>` frame back into its cell index and
+/// counters (`None` if the line is not a RESULT frame at all).
+pub fn parse_result(line: &str) -> Option<Result<(usize, RunResult), String>> {
+    let rest = line.strip_prefix("RESULT ")?;
+    let parsed = (|| {
+        let (index, hex) = rest.split_once(' ').ok_or("RESULT takes an index and a payload")?;
+        let index: usize = index.parse().map_err(|_| format!("bad RESULT index {index}"))?;
+        if hex.len() % 2 != 0 {
+            return Err("odd-length RESULT payload".to_string());
+        }
+        let bytes: Vec<u8> = (0..hex.len() / 2)
+            .map(|i| u8::from_str_radix(&hex[2 * i..2 * i + 2], 16))
+            .collect::<Result<_, _>>()
+            .map_err(|_| "non-hex RESULT payload".to_string())?;
+        Ok((index, RunResult::from_bytes(&bytes)?))
+    })();
+    Some(parsed)
+}
+
 /// The `STATS …` diagnostics line of a finished submission.
 pub fn stats_line(timing: &SweepTiming) -> String {
     format!(
@@ -164,6 +240,38 @@ pub fn stats_line(timing: &SweepTiming) -> String {
         timing.trace_store_hits,
         timing.trace_store_misses,
     )
+}
+
+/// [`stats_line`] plus the server-side concurrency diagnostics: how long
+/// the job sat admitted-but-unscheduled (`queue_wait_ms`) and its total
+/// admission-to-reply wall-clock (`wall_ms`). Appending keeps every
+/// existing `STATS` consumer (substring greps included) working.
+pub fn stats_line_served(
+    timing: &SweepTiming,
+    queue_wait: std::time::Duration,
+    wall: std::time::Duration,
+) -> String {
+    format!(
+        "{} queue_wait_ms={} wall_ms={}",
+        stats_line(timing),
+        queue_wait.as_millis(),
+        wall.as_millis()
+    )
+}
+
+/// The `ERR server busy … RETRY-AFTER <ms>` refusal of a server at its
+/// admission cap, carrying the suggested back-off.
+pub fn busy_line(active_jobs: usize, retry_after_ms: u64) -> String {
+    err_line(&format!(
+        "server busy: {active_jobs} job(s) in flight, queue full — RETRY-AFTER {retry_after_ms}"
+    ))
+}
+
+/// Extract the `RETRY-AFTER <ms>` hint from a busy error message, if the
+/// message is a busy refusal carrying one.
+pub fn parse_retry_after(msg: &str) -> Option<u64> {
+    let (_, after) = msg.split_once("RETRY-AFTER ")?;
+    after.split_whitespace().next()?.parse().ok()
 }
 
 /// An `ERR <msg>` reply: the message is collapsed to one line so it can
@@ -210,12 +318,47 @@ mod tests {
     fn submit_lines_parse_back() {
         let line = submit_line(View::Matrix, Format::Csv);
         assert_eq!(line, "SUBMIT matrix csv");
-        assert_eq!(parse_submit(&line).unwrap().unwrap(), (View::Matrix, Format::Csv));
+        assert_eq!(
+            parse_submit(&line).unwrap().unwrap(),
+            Submit { view: View::Matrix, format: Format::Csv, shard: None }
+        );
         assert!(parse_submit("PING").is_none());
         assert!(parse_submit("SUBMIT").unwrap().is_err());
         assert!(parse_submit("SUBMIT long").unwrap().is_err());
         assert!(parse_submit("SUBMIT long ascii extra").unwrap().is_err());
         assert!(parse_submit("SUBMIT sideways ascii").unwrap().is_err());
+    }
+
+    #[test]
+    fn sharded_submit_lines_parse_back_and_reject_bad_shards() {
+        let line = submit_line_sharded(View::Long, Format::Ascii, (1, 3));
+        assert_eq!(line, "SUBMIT long ascii shard 1/3");
+        assert_eq!(
+            parse_submit(&line).unwrap().unwrap(),
+            Submit { view: View::Long, format: Format::Ascii, shard: Some((1, 3)) }
+        );
+        // Shard index must stay below the count; zero shards is nonsense.
+        assert!(parse_submit("SUBMIT long ascii shard 3/3").unwrap().is_err());
+        assert!(parse_submit("SUBMIT long ascii shard 0/0").unwrap().is_err());
+        assert!(parse_submit("SUBMIT long ascii shard x/2").unwrap().is_err());
+        assert!(parse_submit("SUBMIT long ascii frag 0/2").unwrap().is_err());
+    }
+
+    #[test]
+    fn result_lines_round_trip_the_full_counters() {
+        let spec = crate::scenario::preset("smoke").unwrap().to_spec();
+        let settings =
+            crate::RunSettings { warmup: 200, measure: 1_000, ..crate::RunSettings::default() };
+        let result = settings.run(&spec.benches[0], settings.core());
+        let line = result_line(7, &result);
+        assert!(line.starts_with("RESULT 7 "), "{line}");
+        let (index, back) = parse_result(&line).unwrap().unwrap();
+        assert_eq!(index, 7);
+        assert_eq!(back, result, "hex round-trip must preserve every counter");
+        assert!(parse_result("CELL 0 gzip baseline 1.0").is_none());
+        assert!(parse_result("RESULT x ff").unwrap().is_err());
+        assert!(parse_result("RESULT 1 f").unwrap().is_err());
+        assert!(parse_result("RESULT 1 zz").unwrap().is_err());
     }
 
     #[test]
@@ -238,5 +381,22 @@ mod tests {
             stats_line(&timing),
             "STATS result_cache_hits=7 cells_simulated=3 trace_store_hits=2 trace_store_misses=1"
         );
+        // The served variant appends — never reorders — so substring
+        // consumers of the base line keep working.
+        let served = stats_line_served(
+            &timing,
+            std::time::Duration::from_millis(12),
+            std::time::Duration::from_millis(345),
+        );
+        assert!(served.starts_with(&stats_line(&timing)), "{served}");
+        assert!(served.ends_with("queue_wait_ms=12 wall_ms=345"), "{served}");
+    }
+
+    #[test]
+    fn busy_lines_carry_a_parseable_retry_hint() {
+        let line = busy_line(3, 250);
+        assert!(line.starts_with("ERR server busy"), "{line}");
+        assert_eq!(parse_retry_after(line.strip_prefix("ERR ").unwrap()), Some(250));
+        assert_eq!(parse_retry_after("some other error"), None);
     }
 }

@@ -6,12 +6,21 @@
 //! as the server completes them (strict job-index order), and returns the
 //! final rendered table — byte-identical to what a local `sweep` run
 //! would print to stdout — plus the server's `STATS` diagnostics line.
+//!
+//! A busy server (`ERR server busy … RETRY-AFTER <ms>`) is retried with
+//! bounded exponential backoff and jitter; any other error is final. The
+//! multi-worker mode ([`submit_workers`]) splits one scenario into
+//! `shard i/n` submissions across several servers, collects each shard's
+//! raw `RESULT` frames, merges them by cell index and renders the table
+//! locally — byte-identical to a single local run.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
+use std::time::Duration;
 
 use crate::protocol::{self, Format, View};
 use crate::scenario::Scenario;
+use vpsim_uarch::RunResult;
 
 /// Everything a successful remote submission returns.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -40,10 +49,152 @@ fn read_line(reader: &mut BufReader<TcpStream>) -> Result<String, String> {
     Ok(line.trim_end_matches(['\r', '\n']).to_string())
 }
 
+/// One shard's worth of a multi-worker submission: the raw per-cell
+/// counters plus diagnostics, before the client-side merge.
+#[derive(Debug, Clone)]
+pub struct ShardOutcome {
+    /// `(cell index, counters)` pairs, ascending by index.
+    pub results: Vec<(usize, RunResult)>,
+    /// The streamed `CELL` progress lines, in this shard's index order.
+    pub cell_lines: Vec<String>,
+    /// The server's `STATS …` diagnostics line.
+    pub stats: String,
+    /// Cells in this shard (the server's `OK` count).
+    pub cells: usize,
+}
+
+/// Why one submission attempt failed: busy servers are retryable, every
+/// other failure is final.
+enum SubmitError {
+    Busy { retry_after: Option<u64>, msg: String },
+    Fatal(String),
+}
+
+fn classify_rejection(msg: &str) -> SubmitError {
+    if msg.contains("server busy") {
+        SubmitError::Busy { retry_after: protocol::parse_retry_after(msg), msg: msg.to_string() }
+    } else {
+        SubmitError::Fatal(format!("server rejected the scenario: {msg}"))
+    }
+}
+
+/// Attempts per submission before a persistently busy server becomes an
+/// error. With the 100 ms base and ×2 growth, the worst case sleeps
+/// roughly 100+200+400+800+1600 ms ≈ 3 s (before jitter).
+const BUSY_ATTEMPTS: u32 = 6;
+const BUSY_BASE_MS: u64 = 100;
+const BUSY_CAP_MS: u64 = 5_000;
+
+/// 50 %–150 % of the nominal delay via xorshift64 — enough jitter that
+/// clients refused together do not re-collide on the retry.
+fn jittered(nominal_ms: u64, rng: &mut u64) -> u64 {
+    *rng ^= *rng << 13;
+    *rng ^= *rng >> 7;
+    *rng ^= *rng << 17;
+    nominal_ms / 2 + *rng % nominal_ms.max(1)
+}
+
+fn backoff_seed() -> u64 {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.subsec_nanos() as u64);
+    ((std::process::id() as u64) << 32 | nanos) | 1
+}
+
+/// Run `attempt` under the bounded-backoff policy: busy refusals sleep
+/// (honouring the server's `RETRY-AFTER` hint when present, capped and
+/// jittered) and retry up to [`BUSY_ATTEMPTS`] times; anything else is
+/// returned as-is.
+fn with_busy_retry<T>(mut attempt: impl FnMut() -> Result<T, SubmitError>) -> Result<T, String> {
+    let mut rng = backoff_seed();
+    let mut delay = BUSY_BASE_MS;
+    for tries in 1..=BUSY_ATTEMPTS {
+        match attempt() {
+            Ok(out) => return Ok(out),
+            Err(SubmitError::Fatal(msg)) => return Err(msg),
+            Err(SubmitError::Busy { retry_after, msg }) => {
+                if tries == BUSY_ATTEMPTS {
+                    return Err(format!("{msg} (gave up after {BUSY_ATTEMPTS} attempts)"));
+                }
+                let nominal = retry_after.unwrap_or(delay).clamp(1, BUSY_CAP_MS);
+                std::thread::sleep(Duration::from_millis(jittered(nominal, &mut rng)));
+                delay = (delay * 2).min(BUSY_CAP_MS);
+            }
+        }
+    }
+    unreachable!("the final attempt either succeeds or returns its error")
+}
+
+/// Everything one wire exchange can carry; full and sharded submissions
+/// read the same frames and pick what they need.
+struct Response {
+    cells: usize,
+    table: Option<String>,
+    stats: String,
+    results: Vec<(usize, RunResult)>,
+}
+
+fn transact(
+    addr: &str,
+    request_line: &str,
+    scenario: &Scenario,
+    progress: &mut dyn FnMut(&str),
+) -> Result<Response, SubmitError> {
+    let fatal = SubmitError::Fatal;
+    let (mut reader, mut stream) = connect(addr).map_err(fatal)?;
+    let request = format!("{request_line}\n{scenario}{}\n", protocol::END_MARKER);
+    stream
+        .write_all(request.as_bytes())
+        .and_then(|()| stream.flush())
+        .map_err(|e| SubmitError::Fatal(format!("cannot send request: {e}")))?;
+
+    let first = read_line(&mut reader).map_err(fatal)?;
+    let cells = match first.split_once(' ') {
+        Some(("OK", n)) => n
+            .parse::<usize>()
+            .map_err(|_| SubmitError::Fatal(format!("malformed acknowledgement: {first}")))?,
+        Some(("ERR", msg)) => return Err(classify_rejection(msg)),
+        _ => return Err(SubmitError::Fatal(format!("unexpected reply from server: {first}"))),
+    };
+    let mut response = Response { cells, table: None, stats: String::new(), results: Vec::new() };
+    loop {
+        let line = read_line(&mut reader).map_err(fatal)?;
+        if line == protocol::DONE {
+            break;
+        } else if line.starts_with("CELL ") {
+            progress(&line);
+        } else if let Some(parsed) = protocol::parse_result(&line) {
+            let (index, result) =
+                parsed.map_err(|e| SubmitError::Fatal(format!("bad RESULT frame: {e}")))?;
+            response.results.push((index, result));
+        } else if let Some(n) = line.strip_prefix("TABLE ") {
+            let nbytes: usize = n
+                .parse()
+                .map_err(|_| SubmitError::Fatal(format!("malformed table header: {line}")))?;
+            let mut buf = vec![0u8; nbytes];
+            reader
+                .read_exact(&mut buf)
+                .map_err(|e| SubmitError::Fatal(format!("truncated table payload: {e}")))?;
+            response.table = Some(
+                String::from_utf8(buf)
+                    .map_err(|e| SubmitError::Fatal(format!("non-UTF-8 table: {e}")))?,
+            );
+        } else if line.starts_with("STATS ") {
+            response.stats = line;
+        } else if let Some(msg) = line.strip_prefix("ERR ") {
+            return Err(SubmitError::Fatal(format!("server error: {msg}")));
+        } else {
+            return Err(SubmitError::Fatal(format!("unexpected line from server: {line}")));
+        }
+    }
+    Ok(response)
+}
+
 /// Submit `scenario` to the server at `addr` and collect the response.
 /// `progress` is invoked once per streamed `CELL` line, in job-index
-/// order, as the server completes cells. A server-side `ERR` (e.g. a
-/// malformed scenario) comes back as this function's `Err`.
+/// order, as the server completes cells. A busy server is retried with
+/// bounded, jittered exponential backoff; any other server-side `ERR`
+/// (a malformed scenario above all) comes back as this function's `Err`.
 pub fn submit(
     addr: &str,
     scenario: &Scenario,
@@ -51,46 +202,99 @@ pub fn submit(
     format: Format,
     mut progress: impl FnMut(&str),
 ) -> Result<RemoteOutcome, String> {
-    let (mut reader, mut stream) = connect(addr)?;
-    let request =
-        format!("{}\n{}{}\n", protocol::submit_line(view, format), scenario, protocol::END_MARKER);
-    stream.write_all(request.as_bytes()).map_err(|e| format!("cannot send request: {e}"))?;
-    stream.flush().map_err(|e| format!("cannot send request: {e}"))?;
+    with_busy_retry(|| {
+        let response =
+            transact(addr, &protocol::submit_line(view, format), scenario, &mut progress)?;
+        let table = response
+            .table
+            .ok_or_else(|| SubmitError::Fatal("server finished without sending a table".into()))?;
+        Ok(RemoteOutcome { table, stats: response.stats, cells: response.cells })
+    })
+}
 
-    let first = read_line(&mut reader)?;
-    let cells = match first.split_once(' ') {
-        Some(("OK", n)) => n
-            .parse::<usize>()
-            .map_err(|_| format!("malformed acknowledgement from server: {first}"))?,
-        Some(("ERR", msg)) => return Err(format!("server rejected the scenario: {msg}")),
-        _ => return Err(format!("unexpected reply from server: {first}")),
-    };
-    let mut table = None;
-    let mut stats = None;
-    loop {
-        let line = read_line(&mut reader)?;
-        if line == protocol::DONE {
-            break;
-        } else if line.starts_with("CELL ") {
-            progress(&line);
-        } else if let Some(n) = line.strip_prefix("TABLE ") {
-            let nbytes: usize =
-                n.parse().map_err(|_| format!("malformed table header from server: {line}"))?;
-            let mut buf = vec![0u8; nbytes];
-            reader.read_exact(&mut buf).map_err(|e| format!("truncated table payload: {e}"))?;
-            table = Some(String::from_utf8(buf).map_err(|e| format!("non-UTF-8 table: {e}"))?);
-        } else if line.starts_with("STATS ") {
-            stats = Some(line);
-        } else if let Some(msg) = line.strip_prefix("ERR ") {
-            return Err(format!("server error: {msg}"));
-        } else {
-            return Err(format!("unexpected line from server: {line}"));
+/// Submit shard `(i, n)` of `scenario` to the server at `addr`: the
+/// server simulates only the cells with `index % n == i` and replies
+/// with raw `RESULT` frames instead of a rendered table. Busy servers
+/// are retried exactly as in [`submit`].
+pub fn submit_shard(
+    addr: &str,
+    scenario: &Scenario,
+    shard: (u32, u32),
+) -> Result<ShardOutcome, String> {
+    with_busy_retry(|| {
+        let mut cell_lines = Vec::new();
+        let line = protocol::submit_line_sharded(View::Long, Format::Ascii, shard);
+        let response = transact(addr, &line, scenario, &mut |l| cell_lines.push(l.to_string()))?;
+        Ok(ShardOutcome {
+            results: response.results,
+            cell_lines,
+            stats: response.stats,
+            cells: response.cells,
+        })
+    })
+}
+
+/// Split `scenario` across several workers — shard `i` of `n` per
+/// address — merge the returned cells by index, and render the table
+/// locally: byte-identical to a single local (or single-server) run.
+/// `progress` receives every shard's `CELL` lines, replayed in global
+/// job-index order once all shards are in. The returned `stats` carries
+/// one `addr: STATS …` line per worker.
+pub fn submit_workers(
+    addrs: &[String],
+    scenario: &Scenario,
+    view: View,
+    format: Format,
+    mut progress: impl FnMut(&str),
+) -> Result<RemoteOutcome, String> {
+    match addrs {
+        [] => return Err("no worker addresses given".into()),
+        [only] => return submit(only, scenario, view, format, progress),
+        _ => {}
+    }
+    let n = addrs.len() as u32;
+    let spec = scenario.to_spec();
+    let expected = spec.job_count();
+    let outcomes: Vec<Result<ShardOutcome, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..addrs.len())
+            .map(|i| scope.spawn(move || submit_shard(&addrs[i], scenario, (i as u32, n))))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("shard client thread panicked")).collect()
+    });
+    let mut cells: Vec<Option<RunResult>> = vec![None; expected];
+    let mut cell_lines = Vec::new();
+    let mut stats = Vec::new();
+    for (addr, outcome) in addrs.iter().zip(outcomes) {
+        let shard = outcome.map_err(|e| format!("worker {addr}: {e}"))?;
+        for (index, result) in shard.results {
+            if index >= expected {
+                return Err(format!("worker {addr} returned out-of-range cell {index}"));
+            }
+            cells[index] = Some(result);
+        }
+        cell_lines.extend(shard.cell_lines);
+        if !shard.stats.is_empty() {
+            stats.push(format!("{addr}: {}", shard.stats));
         }
     }
+    let merged: Vec<RunResult> = cells
+        .into_iter()
+        .enumerate()
+        .map(|(i, cell)| cell.ok_or_else(|| format!("no worker returned cell {i}")))
+        .collect::<Result<_, _>>()?;
+    // Replay the cell progress in global job-index order, exactly as a
+    // single server would have streamed it.
+    cell_lines.sort_by_key(|line| {
+        line.split_whitespace().nth(1).and_then(|i| i.parse::<usize>().ok()).unwrap_or(usize::MAX)
+    });
+    for line in &cell_lines {
+        progress(line);
+    }
+    let results = spec.assemble(merged, Default::default());
     Ok(RemoteOutcome {
-        table: table.ok_or("server finished without sending a table")?,
-        stats: stats.unwrap_or_default(),
-        cells,
+        table: protocol::render_output(&results, view, format),
+        stats: stats.join("\n"),
+        cells: expected,
     })
 }
 

@@ -154,6 +154,47 @@ impl RunSettings {
         }
     }
 
+    /// [`Self::run_trace`] over a [`crate::trace_cache::SharedTrace`]:
+    /// owned traces replay through the decoded cursor, mapped store
+    /// entries replay straight from the borrowed view — byte-identical
+    /// either way (the cursors yield the same stream). Sampled mode needs
+    /// an owned `&Trace` to seek in, so a mapped trace is materialized
+    /// first in that case.
+    pub fn run_shared(
+        &self,
+        trace: &crate::trace_cache::SharedTrace,
+        config: CoreConfig,
+    ) -> RunResult {
+        use crate::trace_cache::SharedTrace;
+        match (trace, self.sample) {
+            (SharedTrace::Owned(trace), _) => self.run_trace(trace, config),
+            (SharedTrace::Mapped(mapped), None) => {
+                Simulator::new(config).run_source(mapped.view().cursor(), self.warmup, self.measure)
+            }
+            (SharedTrace::Mapped(_), Some(_)) => self.run_trace(&trace.to_owned_trace(), config),
+        }
+    }
+
+    /// [`Self::run_shared`] with a pipeline event sink attached (the
+    /// unsampled analogue of [`Self::run_trace_with_sink`]).
+    pub fn run_shared_with_sink<T: PipeEventSink>(
+        &self,
+        trace: &crate::trace_cache::SharedTrace,
+        config: CoreConfig,
+        sink: &mut T,
+    ) -> RunResult {
+        use crate::trace_cache::SharedTrace;
+        match trace {
+            SharedTrace::Owned(trace) => self.run_trace_with_sink(trace, config, sink),
+            SharedTrace::Mapped(mapped) => Simulator::new(config).run_source_with_sink(
+                mapped.view().cursor(),
+                self.warmup,
+                self.measure,
+                sink,
+            ),
+        }
+    }
+
     /// Sampled replay with full per-interval visibility: the
     /// [`SampledResult`] carries one [`RunResult`] per replayed interval
     /// plus the fast-forward accounting the sweep's `--timing-json`

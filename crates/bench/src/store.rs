@@ -29,7 +29,7 @@ use std::sync::Arc;
 
 use crate::runner::RunSettings;
 use crate::sweep::SweepJob;
-use vpsim_isa::Trace;
+use vpsim_isa::{Trace, TraceBlob, TraceView};
 use vpsim_uarch::RunResult;
 
 // ---------------------------------------------------------------------------
@@ -191,6 +191,196 @@ fn evict_corrupt(what: &str, path: &Path, why: &str) {
 }
 
 // ---------------------------------------------------------------------------
+// Memory-mapped entry bytes (zero-copy load path)
+// ---------------------------------------------------------------------------
+
+/// Raw `mmap(2)`/`munmap(2)` — the same std-only `extern "C"` pattern the
+/// `serve` binary uses for `signal(2)`; the build environment is
+/// dependency-free by design.
+#[cfg(unix)]
+mod mmap_sys {
+    extern "C" {
+        pub fn mmap(
+            addr: *mut u8,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut u8;
+        pub fn munmap(addr: *mut u8, len: usize) -> i32;
+    }
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_PRIVATE: i32 = 2;
+}
+
+/// A read-only, whole-file memory mapping.
+///
+/// Store entries are written by atomic temp-file rename, so a mapped file
+/// can never change in place under the mapping; eviction or replacement
+/// unlinks/renames the *name*, and on unix the unlinked inode stays alive
+/// until the last mapping drops — a live [`Mmap`] never observes store
+/// churn and cannot fault on it.
+pub struct Mmap {
+    ptr: *const u8,
+    len: usize,
+}
+
+// Safety: the mapping is PROT_READ + MAP_PRIVATE for its entire lifetime
+// — an immutable byte buffer, freed exactly once in Drop.
+unsafe impl Send for Mmap {}
+unsafe impl Sync for Mmap {}
+
+impl Mmap {
+    /// Map `len` bytes of `file` read-only. `None` when mapping is
+    /// unavailable (empty file, non-unix target, or `mmap` failure) —
+    /// callers fall back to a full read.
+    #[cfg(unix)]
+    fn of_file(file: &std::fs::File, len: usize) -> Option<Mmap> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 {
+            return None;
+        }
+        let ptr = unsafe {
+            mmap_sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                mmap_sys::PROT_READ,
+                mmap_sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        // MAP_FAILED is (void *)-1.
+        if ptr.is_null() || ptr as usize == usize::MAX {
+            return None;
+        }
+        Some(Mmap { ptr, len })
+    }
+
+    #[cfg(not(unix))]
+    fn of_file(_file: &std::fs::File, _len: usize) -> Option<Mmap> {
+        None
+    }
+}
+
+impl std::ops::Deref for Mmap {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        // Safety: ptr/len describe a live PROT_READ mapping until Drop.
+        unsafe { std::slice::from_raw_parts(self.ptr, self.len) }
+    }
+}
+
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        unsafe {
+            mmap_sys::munmap(self.ptr as *mut u8, self.len);
+        }
+    }
+}
+
+impl fmt::Debug for Mmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Mmap({} bytes)", self.len)
+    }
+}
+
+/// The backing bytes of one trace-store entry plus the sub-range holding
+/// the serialized [`Trace`] (between the entry header and the outer
+/// checksum trailer). `AsRef<[u8]>` yields exactly that body — the form
+/// [`TraceBlob`] parses.
+#[derive(Debug)]
+pub struct EntryBytes {
+    storage: EntryStorage,
+    body: std::ops::Range<usize>,
+}
+
+#[derive(Debug)]
+enum EntryStorage {
+    /// Page-cache-backed mapping: a store hit costs page faults on the
+    /// bytes actually replayed, not an allocation plus a full copy.
+    Mapped(Mmap),
+    /// Full-read fallback when mapping is unavailable.
+    Heap(Vec<u8>),
+}
+
+impl EntryStorage {
+    fn bytes(&self) -> &[u8] {
+        match self {
+            EntryStorage::Mapped(m) => m,
+            EntryStorage::Heap(v) => v,
+        }
+    }
+}
+
+impl AsRef<[u8]> for EntryBytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.storage.bytes()[self.body.clone()]
+    }
+}
+
+/// A trace-store entry opened for zero-copy replay: a validated
+/// [`TraceBlob`] over the (usually memory-mapped) entry file, plus the
+/// capture metadata the coverage check needs. Obtained from
+/// [`TraceStore::map`]; replay it with [`MappedTrace::view`], or
+/// materialize an owned [`Trace`] with [`MappedTrace::to_trace`] when a
+/// consumer needs one (e.g. interval sampling).
+#[derive(Debug)]
+pub struct MappedTrace {
+    blob: TraceBlob<EntryBytes>,
+    budget: u64,
+    complete: bool,
+}
+
+impl MappedTrace {
+    /// `true` if this entry satisfies a request for `budget` µops.
+    pub fn covers(&self, budget: u64) -> bool {
+        self.complete || self.budget >= budget
+    }
+
+    /// Capture limit the trace was taken with.
+    pub fn budget(&self) -> u64 {
+        self.budget
+    }
+
+    /// The program ended before the budget: the trace is the complete
+    /// execution and satisfies any request.
+    pub fn complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Number of dynamic records in the entry.
+    pub fn len(&self) -> usize {
+        self.blob.len()
+    }
+
+    /// `true` if the entry holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.blob.is_empty()
+    }
+
+    /// `true` when the entry is backed by a memory mapping (false on the
+    /// full-read fallback path) — exposed for metrics and tests.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self.blob.bytes().storage, EntryStorage::Mapped(_))
+    }
+
+    /// Borrowed struct-of-arrays view for zero-copy replay.
+    pub fn view(&self) -> TraceView<'_> {
+        self.blob.view()
+    }
+
+    /// Materialize an owned [`Trace`] (one exact allocation per section —
+    /// the price of ownership, paid only by consumers that need it).
+    pub fn to_trace(&self) -> Trace {
+        self.blob.to_trace()
+    }
+}
+
+// ---------------------------------------------------------------------------
 // TraceStore
 // ---------------------------------------------------------------------------
 
@@ -242,38 +432,99 @@ impl TraceStore {
         self.dir.join(format!("trace-{}.bin", hex(&sha256(key.as_bytes()))))
     }
 
-    /// Load the stored capture for a workload identity, if present and
-    /// intact. Corrupt entries (bad outer checksum, bad header, or a
-    /// trace body that fails [`Trace::from_bytes`]) are logged to stderr,
-    /// evicted, and reported as absent — the caller recaptures and the
-    /// next [`TraceStore::save`] heals the store. Does not touch the
-    /// hit/miss counters; coverage is the caller's call.
-    pub fn load(&self, name: &str, scale: usize, seed: u64) -> Option<StoredTrace> {
+    /// Open the stored capture for a workload identity for zero-copy
+    /// replay, if present and intact. The entry file is memory-mapped
+    /// (full-read fallback when mapping is unavailable), its outer
+    /// checksum and header are verified, and the trace body is validated
+    /// in place by [`TraceBlob::parse`] — no section is copied. Corrupt
+    /// entries (bad outer checksum, bad header, or a trace body that
+    /// fails validation) are logged to stderr, evicted, and reported as
+    /// absent — the caller recaptures and the next [`TraceStore::save`]
+    /// heals the store. Does not touch the hit/miss counters; coverage is
+    /// the caller's call.
+    ///
+    /// Safety of the mapping against concurrent store writers: see
+    /// [`Mmap`] — atomic-rename writes plus unix unlink semantics mean a
+    /// mapped entry is immutable for the mapping's lifetime.
+    pub fn map(&self, name: &str, scale: usize, seed: u64) -> Option<MappedTrace> {
         let path = self.path(name, scale, seed);
-        let body = match read_checksummed(&path) {
-            Ok(Some(body)) => body,
-            Ok(None) => return None,
-            Err(why) => {
-                evict_corrupt("trace-store entry", &path, &why);
+        let file = match std::fs::File::open(&path) {
+            Ok(file) => file,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
+            Err(e) => {
+                evict_corrupt("trace-store entry", &path, &format!("cannot read: {e}"));
+                return None;
+            }
+        };
+        let len = match file.metadata() {
+            Ok(meta) => meta.len() as usize,
+            Err(e) => {
+                evict_corrupt("trace-store entry", &path, &format!("cannot stat: {e}"));
                 return None;
             }
         };
         let header_len = TRACE_ENTRY_MAGIC.len() + 8 + 1;
-        if body.len() < header_len || &body[..TRACE_ENTRY_MAGIC.len()] != TRACE_ENTRY_MAGIC {
-            evict_corrupt("trace-store entry", &path, "bad entry header");
+        if len < header_len + 8 {
+            evict_corrupt("trace-store entry", &path, "truncated entry");
             return None;
         }
-        let budget = u64::from_le_bytes(
-            body[TRACE_ENTRY_MAGIC.len()..TRACE_ENTRY_MAGIC.len() + 8].try_into().unwrap(),
-        );
-        let complete = body[TRACE_ENTRY_MAGIC.len() + 8] != 0;
-        match Trace::from_bytes(&body[header_len..]) {
-            Ok(trace) => Some(StoredTrace { trace: Arc::new(trace), budget, complete }),
+        let storage = match Mmap::of_file(&file, len) {
+            Some(map) => EntryStorage::Mapped(map),
+            None => {
+                use std::io::Read;
+                let mut data = vec![0u8; len];
+                let mut file = file;
+                if let Err(e) = file.read_exact(&mut data) {
+                    evict_corrupt("trace-store entry", &path, &format!("cannot read: {e}"));
+                    return None;
+                }
+                EntryStorage::Heap(data)
+            }
+        };
+        let (budget, complete) = {
+            let all = storage.bytes();
+            let body_len = len - 8;
+            let found = u64::from_le_bytes(all[body_len..].try_into().unwrap());
+            let expected = fnv1a(&all[..body_len]);
+            if found != expected {
+                evict_corrupt(
+                    "trace-store entry",
+                    &path,
+                    &format!("checksum mismatch (computed {expected:#018x}, stored {found:#018x})"),
+                );
+                return None;
+            }
+            if &all[..TRACE_ENTRY_MAGIC.len()] != TRACE_ENTRY_MAGIC {
+                evict_corrupt("trace-store entry", &path, "bad entry header");
+                return None;
+            }
+            let budget = u64::from_le_bytes(
+                all[TRACE_ENTRY_MAGIC.len()..TRACE_ENTRY_MAGIC.len() + 8].try_into().unwrap(),
+            );
+            (budget, all[TRACE_ENTRY_MAGIC.len() + 8] != 0)
+        };
+        let entry = EntryBytes { storage, body: header_len..len - 8 };
+        match TraceBlob::parse(entry) {
+            Ok(blob) => Some(MappedTrace { blob, budget, complete }),
             Err(e) => {
                 evict_corrupt("trace-store entry", &path, &e.to_string());
                 None
             }
         }
+    }
+
+    /// Load the stored capture for a workload identity as an owned
+    /// [`Trace`], if present and intact — [`TraceStore::map`] plus one
+    /// materialization; same eviction behavior. Kept for consumers that
+    /// need ownership (e.g. interval sampling); the sweep hot path uses
+    /// [`TraceStore::map`] directly.
+    pub fn load(&self, name: &str, scale: usize, seed: u64) -> Option<StoredTrace> {
+        let mapped = self.map(name, scale, seed)?;
+        Some(StoredTrace {
+            trace: Arc::new(mapped.to_trace()),
+            budget: mapped.budget,
+            complete: mapped.complete,
+        })
     }
 
     /// Persist a capture for a workload identity (atomically; overwrites
@@ -531,6 +782,59 @@ mod tests {
         assert!(store.load("w", 2, 7).is_none());
         assert!(store.load("w", 1, 8).is_none());
         assert!(store.load("x", 1, 7).is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn mapped_entry_replays_identically_to_owned_load() {
+        let dir = scratch_dir("trace-map");
+        let store = TraceStore::open(&dir).unwrap();
+        let mut b = vpsim_isa::ProgramBuilder::new();
+        let (i, n) = (vpsim_isa::Reg::int(1), vpsim_isa::Reg::int(2));
+        b.load_imm(n, 50);
+        let top = b.bind_label();
+        b.addi(i, i, 1);
+        b.blt(i, n, top);
+        b.halt();
+        let trace = Trace::capture(&b.build().unwrap(), 100);
+        assert!(store.map("w", 1, 7).is_none());
+        store.save("w", 1, 7, 100, false, &trace);
+        let mapped = store.map("w", 1, 7).expect("saved entry maps");
+        assert_eq!(mapped.budget(), 100);
+        assert!(!mapped.complete());
+        assert!(mapped.covers(100) && !mapped.covers(101));
+        assert_eq!(mapped.len(), trace.len());
+        assert!(mapped.is_mapped(), "unix entries are mmap-backed");
+        // The borrowed view replays the exact owned stream, and the
+        // materialized form is the exact owned trace.
+        assert_eq!(mapped.view().cursor().collect::<Vec<_>>(), trace.cursor().collect::<Vec<_>>());
+        assert_eq!(mapped.to_trace(), trace);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_entry_is_evicted_on_map() {
+        let dir = scratch_dir("trace-map-corrupt");
+        let store = TraceStore::open(&dir).unwrap();
+        let mut b = vpsim_isa::ProgramBuilder::new();
+        b.load_imm(vpsim_isa::Reg::int(1), 3);
+        b.halt();
+        let trace = Trace::capture(&b.build().unwrap(), 10);
+        store.save("w", 1, 7, 10, true, &trace);
+        let path = store.path("w", 1, 7);
+        let bytes = std::fs::read(&path).unwrap();
+        // A flipped bit and a truncation must both refuse to map and
+        // evict the entry.
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(store.map("w", 1, 7).is_none());
+        assert!(!path.exists(), "corrupt entry must be evicted");
+        store.save("w", 1, 7, 10, true, &trace);
+        std::fs::write(&path, &bytes[..bytes.len() / 3]).unwrap();
+        assert!(store.map("w", 1, 7).is_none());
+        assert!(!path.exists(), "truncated entry must be evicted");
         let _ = std::fs::remove_dir_all(&dir);
     }
 

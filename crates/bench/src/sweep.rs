@@ -49,7 +49,7 @@ use std::time::{Duration, Instant};
 
 use crate::runner::{RunSettings, SuiteResults};
 use crate::store::{cell_key, Stores, TraceStore};
-use crate::trace_cache::TraceCache;
+use crate::trace_cache::{SharedTrace, TraceCache};
 use vpsim_core::{ConfidenceScheme, PredictorKind};
 use vpsim_isa::Trace;
 use vpsim_stats::mean;
@@ -326,17 +326,25 @@ fn prefetch_traces(
     benches: &[Benchmark],
     configs: &[CoreConfig],
     store: Option<&TraceStore>,
-) -> (Vec<Arc<Trace>>, usize) {
+) -> (Vec<Arc<SharedTrace>>, usize) {
     let budget = configs
         .iter()
         .map(|c| settings.trace_budget(c))
         .max()
         .unwrap_or_else(|| settings.trace_budget(&settings.core()));
     let captures = run_indexed(benches.len(), settings.threads, |bi| {
-        TraceCache::global().get_with_store(settings, &benches[bi], budget, store)
+        // Sampled replay seeks within an owned trace, so it decodes store
+        // hits up front instead of taking the mapped zero-copy path.
+        if settings.sample.is_some() {
+            let (trace, fresh) =
+                TraceCache::global().get_with_store(settings, &benches[bi], budget, store);
+            (SharedTrace::Owned(trace), fresh)
+        } else {
+            TraceCache::global().get_shared_with_store(settings, &benches[bi], budget, store)
+        }
     });
     let fresh = captures.iter().filter(|(_, fresh)| *fresh).count();
-    (captures.into_iter().map(|(trace, _)| trace).collect(), fresh)
+    (captures.into_iter().map(|(trace, _)| Arc::new(trace)).collect(), fresh)
 }
 
 /// Run every benchmark under every configuration and return one
@@ -362,7 +370,7 @@ pub fn run_grid(
         let (traces, _) = prefetch_traces(settings, benches, configs, None);
         run_indexed(jobs, settings.threads, |i| {
             let (ci, bi) = (i / benches.len(), i % benches.len());
-            settings.run_trace(&traces[bi], configs[ci].clone())
+            settings.run_shared(&traces[bi], configs[ci].clone())
         })
     } else {
         run_indexed(jobs, settings.threads, |i| {
@@ -641,135 +649,126 @@ impl SweepSpec {
     /// they complete. With a trace store configured, the in-memory trace
     /// cache falls through to disk before capturing.
     pub fn run_streamed(&self, mut on_cell: impl FnMut(&SweepJob, &RunResult)) -> SweepResults {
-        let start = Instant::now();
-        let jobs = self.expand();
-        let mut timing = SweepTiming {
-            jobs: jobs.len(),
-            workloads: self.benches.len(),
-            trace_cache: self.settings.trace_cache,
-            threads: self.settings.threads,
-            ..SweepTiming::default()
-        };
-        // Probe the persistent result cache: cells finished by any earlier
-        // run (or process) are served as-is and never simulated again.
-        let mut cells: Vec<Option<RunResult>> = vec![None; jobs.len()];
-        if let Some(cache) = &self.stores.results {
-            for job in &jobs {
-                cells[job.index] = cache.load(&cell_key(&self.settings, job));
-            }
-        }
-        timing.result_cache_hits = cells.iter().flatten().count() as u64;
-        let sim: Vec<usize> = (0..jobs.len()).filter(|&i| cells[i].is_none()).collect();
-        let sampled = self.settings.sample.is_some();
-        timing.sampled = sampled;
-        if !sampled {
-            timing.uops = sim.len() as u64 * (self.settings.warmup + self.settings.measure);
-        }
-        // Sampled cells report their actual detailed/fast-forward volume,
-        // accumulated from the workers as cells finish (the per-cell split
-        // depends on how many intervals fit each trace).
-        let detailed_uops = AtomicU64::new(0);
-        let intervals_replayed = AtomicU64::new(0);
-        let ff_uops = AtomicU64::new(0);
-        let run_sampled_cell = |trace: &Trace, config: CoreConfig| {
-            let sampled = self.settings.run_trace_sampled(trace, config);
-            detailed_uops.fetch_add(sampled.detailed_uops, Ordering::Relaxed);
-            intervals_replayed.fetch_add(sampled.intervals_replayed(), Ordering::Relaxed);
-            ff_uops.fetch_add(sampled.ff_uops, Ordering::Relaxed);
-            sampled.combined()
-        };
-        let store = self.stores.traces.as_deref();
-        let (store_hits, store_misses) = store.map_or((0, 0), |s| (s.hits(), s.misses()));
-
+        let prepared = self.prepare();
         // Stream cells in strict job order: leading cached cells go out
         // immediately, the rest as soon as every earlier cell is done.
         let mut emitted = 0;
-        while emitted < cells.len() {
-            match &cells[emitted] {
+        while emitted < prepared.jobs.len() {
+            match prepared.result(emitted) {
                 Some(result) => {
-                    on_cell(&jobs[emitted], result);
+                    on_cell(&prepared.jobs[emitted], &result);
                     emitted += 1;
                 }
                 None => break,
             }
         }
-        if !sim.is_empty() {
-            let mut consume = |k: usize, result: &RunResult| {
-                let i = sim[k];
-                if let Some(cache) = &self.stores.results {
-                    cache.save(&cell_key(&self.settings, &jobs[i]), result);
-                }
-                cells[i] = Some(*result);
-                while emitted < cells.len() {
-                    match &cells[emitted] {
-                        Some(result) => {
-                            on_cell(&jobs[emitted], result);
-                            emitted += 1;
+        if !prepared.sim.is_empty() {
+            let replay_start = Instant::now();
+            run_indexed_streamed(
+                prepared.sim.len(),
+                self.settings.threads,
+                |k| prepared.run_cell(prepared.sim[k]),
+                |_, _| {
+                    // `run_cell` already parked the result in its slot;
+                    // drain every cell that is now next in line.
+                    while emitted < prepared.jobs.len() {
+                        match prepared.result(emitted) {
+                            Some(result) => {
+                                on_cell(&prepared.jobs[emitted], &result);
+                                emitted += 1;
+                            }
+                            None => break,
                         }
-                        None => break,
                     }
-                }
-            };
-            if self.settings.trace_cache {
-                let configs: Vec<CoreConfig> =
-                    sim.iter().map(|&i| jobs[i].config.clone()).collect();
-                let capture_start = Instant::now();
-                let (traces, fresh) =
-                    prefetch_traces(&self.settings, &self.benches, &configs, store);
-                timing.capture = capture_start.elapsed();
-                timing.captures = fresh;
-                let replay_start = Instant::now();
-                // Jobs are expanded benchmark-major within each grid
-                // point, so a job's workload — and its shared trace — is
-                // its index modulo the benchmark count.
-                run_indexed_streamed(
-                    sim.len(),
-                    self.settings.threads,
-                    |k| {
-                        let i = sim[k];
-                        let trace = &traces[i % self.benches.len()];
-                        match sampled {
-                            true => run_sampled_cell(trace, jobs[i].config.clone()),
-                            false => self.settings.run_trace(trace, jobs[i].config.clone()),
-                        }
-                    },
-                    &mut consume,
-                );
-                timing.replay = replay_start.elapsed();
-            } else {
-                let replay_start = Instant::now();
-                run_indexed_streamed(
-                    sim.len(),
-                    self.settings.threads,
-                    |k| {
-                        let i = sim[k];
-                        if sampled {
-                            // Sampling needs a captured stream to seek in,
-                            // so each job captures its trace privately
-                            // (mirrors [`RunSettings::run_job`]).
-                            let budget = self.settings.trace_budget(&jobs[i].config);
-                            let trace = self.settings.capture(&jobs[i].bench, budget);
-                            run_sampled_cell(&trace, jobs[i].config.clone())
-                        } else {
-                            self.settings.run(&jobs[i].bench, jobs[i].config.clone())
-                        }
-                    },
-                    &mut consume,
-                );
-                timing.replay = replay_start.elapsed();
+                },
+            );
+            prepared.note_replay(replay_start.elapsed());
+        }
+        prepared.finish()
+    }
+
+    /// Expand, probe the result cache and prefetch traces — everything up
+    /// to (but excluding) simulation — and return the [`PreparedSweep`]
+    /// whose cells can then be run in any order from any thread. This is
+    /// the unit the `vpsim-serve` scheduler interleaves across jobs.
+    pub fn prepare(&self) -> PreparedSweep {
+        self.prepare_shard(None)
+    }
+
+    /// [`SweepSpec::prepare`] restricted to one shard: with
+    /// `Some((i, n))`, only the cells whose `index % n == i` are probed,
+    /// simulated and emitted, so `n` processes sharing one persistent
+    /// store cover the grid disjointly. The shard results are merged back
+    /// into a full table by [`SweepSpec::assemble`] on the client.
+    pub fn prepare_shard(&self, shard: Option<(u32, u32)>) -> PreparedSweep {
+        let start = Instant::now();
+        let jobs = self.expand();
+        let emit: Vec<usize> = match shard {
+            Some((i, n)) => (0..jobs.len()).filter(|&x| x as u32 % n.max(1) == i).collect(),
+            None => (0..jobs.len()).collect(),
+        };
+        // Probe the persistent result cache: cells finished by any earlier
+        // run (or process) are served as-is and never simulated again.
+        let cells: Vec<Mutex<Option<RunResult>>> =
+            (0..jobs.len()).map(|_| Mutex::new(None)).collect();
+        if let Some(cache) = &self.stores.results {
+            for &i in &emit {
+                *cells[i].lock().unwrap() = cache.load(&cell_key(&self.settings, &jobs[i]));
             }
         }
-        if sampled {
-            timing.uops = detailed_uops.load(Ordering::Relaxed);
-            timing.intervals_replayed = intervals_replayed.load(Ordering::Relaxed);
-            timing.ff_uops = ff_uops.load(Ordering::Relaxed);
+        let hits = emit.iter().filter(|&&i| cells[i].lock().unwrap().is_some()).count() as u64;
+        let sim: Vec<usize> =
+            emit.iter().copied().filter(|&i| cells[i].lock().unwrap().is_none()).collect();
+        let sampled = self.settings.sample.is_some();
+        let mut timing = SweepTiming {
+            jobs: emit.len(),
+            workloads: self.benches.len(),
+            trace_cache: self.settings.trace_cache,
+            threads: self.settings.threads,
+            result_cache_hits: hits,
+            sampled,
+            ..SweepTiming::default()
+        };
+        if !sampled {
+            timing.uops = sim.len() as u64 * (self.settings.warmup + self.settings.measure);
         }
-        if let Some(s) = store {
-            timing.trace_store_hits = s.hits() - store_hits;
-            timing.trace_store_misses = s.misses() - store_misses;
+        let store = self.stores.traces.as_deref();
+        let store_base = store.map_or((0, 0), |s| (s.hits(), s.misses()));
+        let mut traces = Vec::new();
+        if self.settings.trace_cache && !sim.is_empty() {
+            let configs: Vec<CoreConfig> = sim.iter().map(|&i| jobs[i].config.clone()).collect();
+            let capture_start = Instant::now();
+            let (prefetched, fresh) =
+                prefetch_traces(&self.settings, &self.benches, &configs, store);
+            timing.capture = capture_start.elapsed();
+            timing.captures = fresh;
+            traces = prefetched;
         }
-        timing.total = start.elapsed();
-        let mut it = cells.into_iter().map(|cell| cell.expect("every cell cached or simulated"));
+        PreparedSweep {
+            spec: self.clone(),
+            jobs,
+            traces,
+            cells,
+            emit,
+            sim,
+            sampled,
+            detailed_uops: AtomicU64::new(0),
+            intervals_replayed: AtomicU64::new(0),
+            ff_uops: AtomicU64::new(0),
+            store_base,
+            replay: Mutex::new(Duration::ZERO),
+            timing: Mutex::new(timing),
+            start,
+        }
+    }
+
+    /// Fold index-ordered per-cell results and a timing record into
+    /// [`SweepResults`] — the merge half of a sharded run: each worker
+    /// returns its cells, the client interleaves them by index and calls
+    /// this to rebuild the exact table a local run would print.
+    pub fn assemble(&self, cells: Vec<RunResult>, timing: SweepTiming) -> SweepResults {
+        assert_eq!(cells.len(), self.job_count(), "one result per expanded cell");
+        let mut it = cells.into_iter();
         let mut take_suite = || SuiteResults {
             rows: self
                 .benches
@@ -807,7 +806,7 @@ impl SweepSpec {
             );
             run_indexed(jobs.len(), self.settings.threads, |i| {
                 let mut tally = StallTally::default();
-                let result = self.settings.run_trace_with_sink(
+                let result = self.settings.run_shared_with_sink(
                     &traces[i % self.benches.len()],
                     jobs[i].config.clone(),
                     &mut tally,
@@ -834,6 +833,148 @@ impl SweepSpec {
             })
             .collect();
         StallResults { cells }
+    }
+}
+
+/// A sweep expanded, cache-probed and trace-prefetched, but not yet
+/// simulated: the schedulable unit behind both the local engine and the
+/// `vpsim-serve` job server. Workers call [`PreparedSweep::run_cell`] for
+/// each index in [`PreparedSweep::sim_indices`] — in any order, from any
+/// thread — and results land in index-addressed slots that
+/// [`PreparedSweep::result`] reads and [`PreparedSweep::finish`] merges.
+///
+/// A *sharded* preparation ([`SweepSpec::prepare_shard`]) restricts the
+/// probe/simulate/emit set to the cells whose `index % n == i`; the full
+/// grid is reassembled on the client via [`SweepSpec::assemble`].
+pub struct PreparedSweep {
+    spec: SweepSpec,
+    jobs: Vec<SweepJob>,
+    /// One shared trace per benchmark (empty with the trace cache off, or
+    /// when every cell came from the result cache).
+    traces: Vec<Arc<SharedTrace>>,
+    cells: Vec<Mutex<Option<RunResult>>>,
+    emit: Vec<usize>,
+    sim: Vec<usize>,
+    sampled: bool,
+    // Sampled cells report their actual detailed/fast-forward volume,
+    // accumulated from the workers as cells finish (the per-cell split
+    // depends on how many intervals fit each trace).
+    detailed_uops: AtomicU64,
+    intervals_replayed: AtomicU64,
+    ff_uops: AtomicU64,
+    /// Trace-store (hits, misses) at preparation time; [`Self::timing`]
+    /// reports the delta. Concurrent jobs sharing one store make the
+    /// delta approximate — the counters are store-global — which is
+    /// acceptable for a diagnostics line.
+    store_base: (u64, u64),
+    replay: Mutex<Duration>,
+    timing: Mutex<SweepTiming>,
+    start: Instant,
+}
+
+impl PreparedSweep {
+    /// Every expanded job, in index order (the full grid, even sharded —
+    /// sharding narrows what runs, not what the grid is).
+    pub fn jobs(&self) -> &[SweepJob] {
+        &self.jobs
+    }
+
+    /// Cell indices this preparation emits (the full grid, or this
+    /// shard's subset), ascending.
+    pub fn emit_indices(&self) -> &[usize] {
+        &self.emit
+    }
+
+    /// Cell indices that still need simulating (the emit set minus
+    /// result-cache hits), ascending.
+    pub fn sim_indices(&self) -> &[usize] {
+        &self.sim
+    }
+
+    /// The finished result of cell `index`: present for result-cache hits
+    /// from the start, and for simulated cells once [`Self::run_cell`]
+    /// completes them.
+    pub fn result(&self, index: usize) -> Option<RunResult> {
+        *self.cells[index].lock().unwrap()
+    }
+
+    fn run_sampled_cell(&self, trace: &Trace, config: CoreConfig) -> RunResult {
+        let sampled = self.spec.settings.run_trace_sampled(trace, config);
+        self.detailed_uops.fetch_add(sampled.detailed_uops, Ordering::Relaxed);
+        self.intervals_replayed.fetch_add(sampled.intervals_replayed(), Ordering::Relaxed);
+        self.ff_uops.fetch_add(sampled.ff_uops, Ordering::Relaxed);
+        sampled.combined()
+    }
+
+    /// Simulate cell `index` (callable from any thread, each index at
+    /// most once), persist it to the result cache, and park it in its
+    /// slot for [`Self::result`] readers.
+    pub fn run_cell(&self, index: usize) -> RunResult {
+        let job = &self.jobs[index];
+        let settings = &self.spec.settings;
+        let result = if settings.trace_cache {
+            // Jobs are expanded benchmark-major within each grid point,
+            // so a job's workload — and its shared trace — is its index
+            // modulo the benchmark count.
+            let trace = &self.traces[index % self.spec.benches.len()];
+            if self.sampled {
+                self.run_sampled_cell(&trace.to_owned_trace(), job.config.clone())
+            } else {
+                settings.run_shared(trace, job.config.clone())
+            }
+        } else if self.sampled {
+            // Sampling needs a captured stream to seek in, so each job
+            // captures its trace privately (mirrors
+            // [`RunSettings::run_job`]).
+            let budget = settings.trace_budget(&job.config);
+            let trace = settings.capture(&job.bench, budget);
+            self.run_sampled_cell(&trace, job.config.clone())
+        } else {
+            settings.run(&job.bench, job.config.clone())
+        };
+        if let Some(cache) = &self.spec.stores.results {
+            cache.save(&cell_key(settings, job), &result);
+        }
+        *self.cells[index].lock().unwrap() = Some(result);
+        result
+    }
+
+    /// Add simulation wall-clock to the timing record (the local engine
+    /// times its streamed phase; the job server sums per-job execution).
+    pub fn note_replay(&self, elapsed: Duration) {
+        *self.replay.lock().unwrap() += elapsed;
+    }
+
+    /// The finalized timing record: capture/replay wall-clock, sampled
+    /// volumes, and store counter deltas since preparation.
+    pub fn timing(&self) -> SweepTiming {
+        let mut timing = *self.timing.lock().unwrap();
+        timing.replay = *self.replay.lock().unwrap();
+        if self.sampled {
+            timing.uops = self.detailed_uops.load(Ordering::Relaxed);
+            timing.intervals_replayed = self.intervals_replayed.load(Ordering::Relaxed);
+            timing.ff_uops = self.ff_uops.load(Ordering::Relaxed);
+        }
+        if let Some(s) = self.spec.stores.traces.as_deref() {
+            timing.trace_store_hits = s.hits().saturating_sub(self.store_base.0);
+            timing.trace_store_misses = s.misses().saturating_sub(self.store_base.1);
+        }
+        timing.total = self.start.elapsed();
+        timing
+    }
+
+    /// Merge every finished cell into [`SweepResults`]. Panics if a cell
+    /// is missing — only an unsharded preparation whose whole grid has
+    /// run (or came from the cache) can finish; sharded cells travel back
+    /// to the client as `RESULT` frames instead and are merged by
+    /// [`SweepSpec::assemble`].
+    pub fn finish(&self) -> SweepResults {
+        let cells: Vec<RunResult> = self
+            .cells
+            .iter()
+            .map(|cell| cell.lock().unwrap().expect("every cell cached or simulated"))
+            .collect();
+        self.spec.assemble(cells, self.timing())
     }
 }
 

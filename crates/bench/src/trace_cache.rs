@@ -15,9 +15,63 @@ use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use crate::runner::RunSettings;
-use crate::store::TraceStore;
-use vpsim_isa::Trace;
+use crate::store::{MappedTrace, TraceStore};
+use vpsim_isa::{Trace, TraceView};
 use vpsim_workloads::Benchmark;
+
+/// A replayable trace that is either owned on the heap or mapped straight
+/// from a [`TraceStore`] entry file.
+///
+/// The sweep engine replays from a [`TraceView`] either way, so a store
+/// hit can stay zero-copy (page-cache backed, no decode of the big SoA
+/// sections) while a fresh capture or in-memory cache hit keeps sharing
+/// the owned `Arc<Trace>`.
+#[derive(Debug)]
+pub enum SharedTrace {
+    /// Heap-owned trace from a capture or the in-memory cache.
+    Owned(Arc<Trace>),
+    /// Validated store entry replayed in place (mmap or read fallback).
+    Mapped(MappedTrace),
+}
+
+impl SharedTrace {
+    /// Number of µop records.
+    pub fn len(&self) -> usize {
+        match self {
+            SharedTrace::Owned(trace) => trace.len(),
+            SharedTrace::Mapped(mapped) => mapped.len(),
+        }
+    }
+
+    /// `true` if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The borrowed view of a mapped entry, if this trace is one. Owned
+    /// traces replay through [`Trace::cursor`] instead (their sections
+    /// are already decoded; there is no raw-byte view to borrow).
+    pub fn mapped_view(&self) -> Option<TraceView<'_>> {
+        match self {
+            SharedTrace::Owned(_) => None,
+            SharedTrace::Mapped(mapped) => Some(mapped.view()),
+        }
+    }
+
+    /// An owned `Arc<Trace>`, decoding the mapped sections if necessary —
+    /// for consumers that need `&Trace` (interval sampling).
+    pub fn to_owned_trace(&self) -> Arc<Trace> {
+        match self {
+            SharedTrace::Owned(trace) => Arc::clone(trace),
+            SharedTrace::Mapped(mapped) => Arc::new(mapped.to_trace()),
+        }
+    }
+
+    /// `true` if this trace replays from a store entry in place.
+    pub fn is_mapped(&self) -> bool {
+        matches!(self, SharedTrace::Mapped(_))
+    }
+}
 
 /// What makes two captures interchangeable: the workload identity and the
 /// generation parameters that shape its program and data.
@@ -128,6 +182,51 @@ impl TraceCache {
                 _ => store.record_miss(),
             }
         }
+        self.capture(settings, bench, budget, store, key)
+    }
+
+    /// Like [`TraceCache::get_with_store`], but a covering store entry is
+    /// returned as a [`SharedTrace::Mapped`] replayed straight from the
+    /// entry file (page-cache backed — no decode, no big allocations)
+    /// instead of being decoded into the in-memory map. In-memory hits
+    /// and fresh captures come back as [`SharedTrace::Owned`].
+    pub fn get_shared_with_store(
+        &self,
+        settings: &RunSettings,
+        bench: &Benchmark,
+        budget: u64,
+        store: Option<&TraceStore>,
+    ) -> (SharedTrace, bool) {
+        let key = TraceKey { name: bench.name, scale: settings.scale, seed: settings.seed };
+        if let Some(entry) = self.entries.lock().unwrap().get(&key) {
+            if entry.covers(budget) {
+                return (SharedTrace::Owned(Arc::clone(&entry.trace)), false);
+            }
+        }
+        if let Some(store) = store {
+            match store.map(bench.name, settings.scale, settings.seed) {
+                Some(mapped) if mapped.covers(budget) => {
+                    store.record_hit();
+                    return (SharedTrace::Mapped(mapped), false);
+                }
+                _ => store.record_miss(),
+            }
+        }
+        let (trace, fresh) = self.capture(settings, bench, budget, store, key);
+        (SharedTrace::Owned(trace), fresh)
+    }
+
+    /// Capture tail shared by the owned and mapped lookup paths: build
+    /// the program, capture, persist to the store, and publish to the
+    /// in-memory map unless a racing worker beat us to a covering entry.
+    fn capture(
+        &self,
+        settings: &RunSettings,
+        bench: &Benchmark,
+        budget: u64,
+        store: Option<&TraceStore>,
+        key: TraceKey,
+    ) -> (Arc<Trace>, bool) {
         let program = (bench.build)(&settings.params());
         let trace = Arc::new(Trace::capture(&program, budget));
         let complete = (trace.len() as u64) < budget;
@@ -292,6 +391,38 @@ mod tests {
         assert!(!fresh);
         assert_eq!(*healed, *original);
         assert_eq!((store.hits(), store.misses()), (1, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_lookup_maps_store_hits_and_owns_everything_else() {
+        let dir = crate::store::scratch_dir("shared");
+        let store = TraceStore::open(&dir).unwrap();
+        let bench = workload("gzip").unwrap();
+        let s = settings();
+        // Empty store: capture, owned, counted as a miss.
+        let cache = TraceCache::new();
+        let (a, fresh) = cache.get_shared_with_store(&s, &bench, 1_000, Some(&store));
+        assert!(fresh && !a.is_mapped());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        // Same cache again: in-memory hit, still owned.
+        let (b, fresh) = cache.get_shared_with_store(&s, &bench, 1_000, Some(&store));
+        assert!(!fresh && !b.is_mapped());
+        assert_eq!((store.hits(), store.misses()), (0, 1));
+        // A fresh cache (new process): the persisted entry is mapped in
+        // place, not decoded into the map, and counted as a store hit.
+        let fresh_cache = TraceCache::new();
+        let (c, fresh) = fresh_cache.get_shared_with_store(&s, &bench, 1_000, Some(&store));
+        assert!(!fresh && c.is_mapped());
+        assert_eq!((store.hits(), store.misses()), (1, 1));
+        assert!(fresh_cache.is_empty(), "mapped hits must not fill the in-memory map");
+        // The mapped entry replays the exact owned stream.
+        let owned = a.to_owned_trace();
+        let view = c.mapped_view().expect("mapped trace has a view");
+        assert!(view.cursor().eq(owned.cursor()), "mapped replay matches owned");
+        assert_eq!(*c.to_owned_trace(), *owned);
+        assert_eq!(c.len(), owned.len());
+        assert!(!c.is_empty());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

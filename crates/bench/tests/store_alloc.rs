@@ -9,6 +9,14 @@
 //! small, **trace-size-independent** number of allocations (a regression
 //! here means someone reintroduced a grow-as-you-go read or a per-record
 //! allocation).
+//!
+//! The mapped path (`TraceStore::map`) is held to a stricter bar: serving
+//! a store hit through the borrowed [`vpsim_isa::TraceView`] must not copy
+//! the trace body at all. The allocator also tracks the **largest single
+//! allocation** inside a counting window — mapping the entry and walking
+//! the full replay cursor must stay far below the body size, while the
+//! owned `load` necessarily allocates section-sized buffers (the contrast
+//! proves the measurement would catch a copy).
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -18,13 +26,20 @@ use vpsim_isa::{ProgramBuilder, Reg, Trace};
 struct CountingAlloc;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static PEAK_BYTES: AtomicU64 = AtomicU64::new(0);
 static COUNTING: AtomicBool = AtomicBool::new(false);
+
+/// Record one allocation of `size` bytes if a counting window is open.
+fn charge(size: usize) {
+    if COUNTING.load(Ordering::Relaxed) {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        PEAK_BYTES.fetch_max(size as u64, Ordering::Relaxed);
+    }
+}
 
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        charge(layout.size());
         unsafe { System.alloc(layout) }
     }
 
@@ -33,9 +48,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        if COUNTING.load(Ordering::Relaxed) {
-            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
-        }
+        charge(new_size);
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -47,10 +60,16 @@ static ALLOC: CountingAlloc = CountingAlloc;
 /// nothing else can be charged to the window).
 fn count_allocations<T>(f: impl FnOnce() -> T) -> (T, u64) {
     ALLOCATIONS.store(0, Ordering::Relaxed);
+    PEAK_BYTES.store(0, Ordering::Relaxed);
     COUNTING.store(true, Ordering::Relaxed);
     let out = f();
     COUNTING.store(false, Ordering::Relaxed);
     (out, ALLOCATIONS.load(Ordering::Relaxed))
+}
+
+/// Largest single allocation charged during the last counting window.
+fn peak_allocation_bytes() -> u64 {
+    PEAK_BYTES.load(Ordering::Relaxed)
 }
 
 /// A loop with loads and branches, captured to `budget` µops.
@@ -105,6 +124,33 @@ fn store_reads_decode_with_a_constant_allocation_count() {
     assert_eq!(*large_loaded.trace, large);
     assert_eq!(small_allocs, large_allocs, "load allocations must not scale with trace size");
     assert!(large_allocs <= 16, "load path allocated {large_allocs} times");
+
+    // The mapped path is zero-copy: a store hit maps the entry file and
+    // replays straight out of it. Opening the mapping AND walking the
+    // full replay cursor must never allocate anything close to the trace
+    // body — only path strings and small fixed-size bookkeeping.
+    let body_len = bytes.len() as u64;
+    let ((), map_allocs) = count_allocations(|| {
+        let mapped = store.map("large", 1, 1).expect("mapped store hit");
+        assert!(mapped.is_mapped(), "store hit is served by mmap");
+        assert_eq!(mapped.view().cursor().count(), large.len(), "cursor walks every record");
+    });
+    let map_peak = peak_allocation_bytes();
+    assert!(
+        map_peak < body_len / 8,
+        "mapped load+replay must not copy the trace body: \
+         largest allocation {map_peak} B vs {body_len} B body"
+    );
+    assert!(map_allocs <= 16, "mapped path allocated {map_allocs} times");
+
+    // By contrast, materializing the owned trace necessarily allocates
+    // section-sized buffers — the counter proves the measurement above
+    // would have caught a copy.
+    let (_owned, _) = count_allocations(|| store.load("large", 1, 1).unwrap());
+    assert!(
+        peak_allocation_bytes() >= body_len / 8,
+        "owned materialization allocates section-sized buffers"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

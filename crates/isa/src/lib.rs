@@ -59,4 +59,6 @@ pub use inst::{FuClass, Inst, Opcode};
 pub use memory::SparseMemory;
 pub use program::{Program, ProgramError};
 pub use reg::{Reg, RegClass, NUM_ARCH_REGS};
-pub use trace::{InstSource, Trace, TraceCursor, TraceDecodeError};
+pub use trace::{
+    InstSource, Trace, TraceBlob, TraceCursor, TraceDecodeError, TraceView, ViewCursor,
+};

@@ -81,6 +81,12 @@ impl InstSource for TraceCursor<'_> {
     }
 }
 
+impl InstSource for ViewCursor<'_> {
+    fn next_inst(&mut self) -> Option<DynInst> {
+        self.next()
+    }
+}
+
 // Per-record flag bits.
 const HAS_RESULT: u8 = 1 << 0;
 const HAS_MEM_ADDR: u8 = 1 << 1;
@@ -293,14 +299,68 @@ impl Trace {
     /// record pointing past the µop table, a payload stream whose length
     /// does not match the flag bits).
     pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceDecodeError> {
+        TraceBlob::parse(bytes).map(TraceBlob::into_trace)
+    }
+}
+
+/// A validated serialized trace over any byte container, replayable
+/// without materializing the owned [`Trace`] form.
+///
+/// [`TraceBlob::parse`] performs **all** of [`Trace::from_bytes`]'
+/// validation once — magic, checksum, per-section decode checks, and
+/// cross-section consistency — but keeps the three big dynamic sections
+/// (record index, flags, payload) as byte ranges into the original
+/// buffer instead of copying them into vectors. Only the small static
+/// µop table is decoded eagerly (its opcode/register bytes need
+/// validation anyway).
+///
+/// [`TraceBlob::view`] then hands out a cheap borrowed [`TraceView`]
+/// whose [`ViewCursor`] replays the exact [`DynInst`] stream straight
+/// from the serialized bytes — the zero-copy half of the trace store's
+/// mmap-backed load path. `B` is any byte container (`&[u8]`, `Vec<u8>`,
+/// a memory mapping…), so the blob can own the backing storage and be
+/// shared across threads.
+///
+/// # Examples
+///
+/// ```
+/// use vpsim_isa::{ProgramBuilder, Reg, Trace, TraceBlob};
+/// let mut b = ProgramBuilder::new();
+/// b.load_imm(Reg::int(1), 7);
+/// b.halt();
+/// let trace = Trace::capture(&b.build()?, 100);
+/// let blob = TraceBlob::parse(trace.to_bytes()).unwrap();
+/// let replayed: Vec<_> = blob.view().cursor().collect();
+/// assert_eq!(replayed, trace.cursor().collect::<Vec<_>>());
+/// # Ok::<(), vpsim_isa::ProgramError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TraceBlob<B> {
+    bytes: B,
+    /// Decoded static µop table (small; validated eagerly).
+    insts: Vec<Inst>,
+    /// Byte range of the record-index section (4 bytes per record, LE).
+    index: std::ops::Range<usize>,
+    /// Byte range of the flag section (1 byte per record).
+    flags: std::ops::Range<usize>,
+    /// Byte range of the payload section (8 bytes per slot, LE).
+    payload: std::ops::Range<usize>,
+}
+
+impl<B: AsRef<[u8]>> TraceBlob<B> {
+    /// Validate a serialized trace (produced by [`Trace::to_bytes`]) and
+    /// index its sections without copying them. Rejects exactly what
+    /// [`Trace::from_bytes`] rejects; the two share this implementation.
+    pub fn parse(bytes: B) -> Result<TraceBlob<B>, TraceDecodeError> {
         use TraceDecodeError::*;
-        let mut r = Reader { bytes, pos: 0 };
+        let buf = bytes.as_ref();
+        let mut r = Reader { bytes: buf, pos: 0 };
         if r.take(MAGIC.len())? != MAGIC {
             return Err(BadMagic);
         }
-        // Each section is taken as one bounds-checked slice and decoded in
-        // place with `chunks_exact` — exactly one allocation per section,
-        // no per-element cursor arithmetic.
+        // The static table is decoded in place with `chunks_exact` —
+        // exactly one allocation; the dynamic sections are only
+        // bounds-checked and recorded as ranges.
         let n_insts = r.len_prefix(12)?;
         let inst_bytes = r.take(n_insts * 12)?;
         let mut insts = Vec::with_capacity(n_insts);
@@ -314,42 +374,158 @@ impl Trace {
             });
         }
         let n_index = r.len_prefix(4)?;
+        let index_start = r.pos;
         let index_bytes = r.take(n_index * 4)?;
-        let mut index = Vec::with_capacity(n_index);
-        index
-            .extend(index_bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
+        let index = index_start..r.pos;
         let n_flags = r.len_prefix(1)?;
-        let flags = r.take(n_flags)?.to_vec();
+        let flags_start = r.pos;
+        let flag_bytes = r.take(n_flags)?;
+        let flags = flags_start..r.pos;
         let n_payload = r.len_prefix(8)?;
-        let payload_bytes = r.take(n_payload * 8)?;
-        let mut payload = Vec::with_capacity(n_payload);
-        payload.extend(
-            payload_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())),
-        );
+        let payload_start = r.pos;
+        r.take(n_payload * 8)?;
+        let payload = payload_start..r.pos;
         let body_end = r.pos;
         let found = u64::from_le_bytes(r.take(8)?.try_into().unwrap());
-        if r.pos != bytes.len() {
-            return Err(TrailingBytes(bytes.len() - r.pos));
+        if r.pos != buf.len() {
+            return Err(TrailingBytes(buf.len() - r.pos));
         }
-        let expected = fnv1a(&bytes[..body_end]);
+        let expected = fnv1a(&buf[..body_end]);
         if found != expected {
             return Err(ChecksumMismatch { expected, found });
         }
         // Cross-section consistency: replay must never index out of
         // bounds, so a structurally broken (but checksum-valid) buffer is
         // rejected here rather than panicking in the cursor.
-        if index.len() != flags.len() {
+        if n_index != n_flags {
             return Err(Inconsistent("record index and flag sections differ in length"));
         }
-        if index.iter().any(|&i| i as usize >= insts.len()) {
+        if index_bytes
+            .chunks_exact(4)
+            .any(|c| u32::from_le_bytes(c.try_into().unwrap()) as usize >= insts.len())
+        {
             return Err(Inconsistent("record points past the static µop table"));
         }
         let want_payload: usize =
-            flags.iter().map(|f| (f & PAYLOAD_BITS).count_ones()).sum::<u32>() as usize;
-        if payload.len() != want_payload {
+            flag_bytes.iter().map(|f| (f & PAYLOAD_BITS).count_ones()).sum::<u32>() as usize;
+        if n_payload != want_payload {
             return Err(Inconsistent("payload stream length does not match flag bits"));
         }
-        Ok(Trace { insts, index, flags, payload })
+        Ok(TraceBlob { bytes, insts, index, flags, payload })
+    }
+
+    /// Number of dynamic records in the serialized trace.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// `true` if the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// The backing byte container the blob was parsed from.
+    pub fn bytes(&self) -> &B {
+        &self.bytes
+    }
+
+    /// A borrowed struct-of-arrays view over the validated sections.
+    /// Cheap (slice arithmetic only); any number of views and cursors can
+    /// replay the same blob concurrently.
+    pub fn view(&self) -> TraceView<'_> {
+        let buf = self.bytes.as_ref();
+        TraceView {
+            insts: &self.insts,
+            index: &buf[self.index.clone()],
+            flags: &buf[self.flags.clone()],
+            payload: &buf[self.payload.clone()],
+        }
+    }
+
+    /// Materialize the owned [`Trace`], consuming the blob (the static
+    /// table moves; only the dynamic sections are decoded — one exact
+    /// allocation each, same as the historical decode path).
+    pub fn into_trace(self) -> Trace {
+        let buf = self.bytes.as_ref();
+        let index_bytes = &buf[self.index.clone()];
+        let mut index = Vec::with_capacity(index_bytes.len() / 4);
+        index
+            .extend(index_bytes.chunks_exact(4).map(|c| u32::from_le_bytes(c.try_into().unwrap())));
+        let flags = buf[self.flags.clone()].to_vec();
+        let payload_bytes = &buf[self.payload.clone()];
+        let mut payload = Vec::with_capacity(payload_bytes.len() / 8);
+        payload.extend(
+            payload_bytes.chunks_exact(8).map(|c| u64::from_le_bytes(c.try_into().unwrap())),
+        );
+        Trace { insts: self.insts, index, flags, payload }
+    }
+
+    /// Materialize the owned [`Trace`] without consuming the blob (clones
+    /// the static table in addition to decoding the dynamic sections).
+    pub fn to_trace(&self) -> Trace {
+        let mut trace = TraceBlob {
+            bytes: self.bytes.as_ref(),
+            insts: Vec::new(),
+            index: self.index.clone(),
+            flags: self.flags.clone(),
+            payload: self.payload.clone(),
+        }
+        .into_trace();
+        trace.insts = self.insts.clone();
+        trace
+    }
+}
+
+/// A borrowed struct-of-arrays view over a serialized trace, obtained
+/// from [`TraceBlob::view`]. The three dynamic sections stay in their
+/// little-endian wire form and are decoded per access (`from_le_bytes`
+/// on byte chunks — alignment-free, so the backing buffer can sit at any
+/// offset of a mapped file).
+#[derive(Debug, Clone, Copy)]
+pub struct TraceView<'a> {
+    insts: &'a [Inst],
+    index: &'a [u8],
+    flags: &'a [u8],
+    payload: &'a [u8],
+}
+
+impl<'a> TraceView<'a> {
+    /// Number of dynamic records.
+    pub fn len(&self) -> usize {
+        self.flags.len()
+    }
+
+    /// `true` if the view holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.flags.is_empty()
+    }
+
+    /// A replay iterator over the serialized stream, starting at `seq` 0.
+    /// Yields exactly what [`Trace::cursor`] yields for the trace these
+    /// bytes serialize.
+    pub fn cursor(&self) -> ViewCursor<'a> {
+        ViewCursor {
+            insts: self.insts,
+            index: self.index,
+            flags: self.flags,
+            payload: self.payload,
+            pos: 0,
+            payload_pos: 0,
+        }
+    }
+
+    /// A replay cursor positioned at record `pos` (clamped to the view
+    /// length), as if a fresh cursor had consumed the first `pos`
+    /// records. Costs one popcount pass over the flag bytes up to `pos` —
+    /// the mirror of [`Trace::cursor_at`].
+    pub fn cursor_at(&self, pos: usize) -> ViewCursor<'a> {
+        let pos = pos.min(self.len());
+        let payload_pos: usize =
+            self.flags[..pos].iter().map(|f| (f & PAYLOAD_BITS).count_ones() as usize).sum();
+        let mut cursor = self.cursor();
+        cursor.pos = pos;
+        cursor.payload_pos = payload_pos;
+        cursor
     }
 }
 
@@ -554,6 +730,78 @@ impl Iterator for TraceCursor<'_> {
 
 impl ExactSizeIterator for TraceCursor<'_> {}
 
+/// Replay iterator over a borrowed [`TraceView`]: yields the identical
+/// [`DynInst`] stream a [`TraceCursor`] would for the owned decode of
+/// the same bytes, but reads the record index and payload sections
+/// straight out of their little-endian wire form (`from_le_bytes` on
+/// byte chunks — no alignment requirement on the backing buffer).
+///
+/// Obtain one with [`TraceView::cursor`]; any number of cursors may
+/// replay the same view concurrently.
+#[derive(Debug, Clone)]
+pub struct ViewCursor<'a> {
+    insts: &'a [Inst],
+    index: &'a [u8],
+    flags: &'a [u8],
+    payload: &'a [u8],
+    /// Next record position (== the `seq` it will yield).
+    pos: usize,
+    /// Next unconsumed slot of the interleaved payload stream.
+    payload_pos: usize,
+}
+
+impl Iterator for ViewCursor<'_> {
+    type Item = DynInst;
+
+    #[inline]
+    fn next(&mut self) -> Option<DynInst> {
+        let flags = *self.flags.get(self.pos)?;
+        let index = u32::from_le_bytes(self.index[self.pos * 4..][..4].try_into().unwrap());
+        let pc = index as u64 * INST_BYTES;
+        // Payloads were pushed in flag-bit order; consume them the same
+        // way from the single sequential stream.
+        let mut p = self.payload_pos;
+        let payload = self.payload;
+        let mut pull = |bit: u8| {
+            if flags & bit != 0 {
+                let v = u64::from_le_bytes(payload[p * 8..][..8].try_into().unwrap());
+                p += 1;
+                Some(v)
+            } else {
+                None
+            }
+        };
+        let result = pull(HAS_RESULT);
+        let mem_addr = pull(HAS_MEM_ADDR);
+        let store_value = pull(HAS_STORE_VALUE);
+        let next_pc = match pull(DIVERGES) {
+            Some(target) => target,
+            None => pc + INST_BYTES,
+        };
+        self.payload_pos = p;
+        let seq = self.pos as u64;
+        self.pos += 1;
+        Some(DynInst {
+            seq,
+            pc,
+            index,
+            inst: self.insts[index as usize],
+            result,
+            mem_addr,
+            store_value,
+            taken: flags & TAKEN != 0,
+            next_pc,
+        })
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.flags.len() - self.pos;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ViewCursor<'_> {}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -757,5 +1005,85 @@ mod tests {
         let trace = Trace::capture(&p, 0);
         assert!(trace.is_empty());
         assert_eq!(trace.cursor().next(), None);
+    }
+
+    #[test]
+    fn view_cursor_replays_the_owned_stream_exactly() {
+        let p = mixed_program();
+        for limit in [0u64, 1, 7, u64::MAX] {
+            let trace = Trace::capture(&p, limit);
+            let blob = TraceBlob::parse(trace.to_bytes()).unwrap();
+            assert_eq!(blob.len(), trace.len(), "limit {limit}");
+            let view = blob.view();
+            assert_eq!(view.len(), trace.len());
+            let mut cursor = view.cursor();
+            assert_eq!(cursor.len(), trace.len());
+            let replayed: Vec<_> = view.cursor().collect();
+            let owned: Vec<_> = trace.cursor().collect();
+            assert_eq!(replayed, owned, "limit {limit}");
+            // The InstSource path agrees with the Iterator path.
+            let mut trace_cursor = trace.cursor();
+            loop {
+                let (a, b) = (cursor.next_inst(), trace_cursor.next_inst());
+                assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn view_cursor_at_matches_owned_cursor_at() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let blob = TraceBlob::parse(trace.to_bytes()).unwrap();
+        let view = blob.view();
+        for pos in [0, 1, 7, trace.len() / 2, trace.len(), trace.len() + 10] {
+            assert_eq!(
+                view.cursor_at(pos).collect::<Vec<_>>(),
+                trace.cursor_at(pos).collect::<Vec<_>>(),
+                "pos {pos}"
+            );
+        }
+    }
+
+    #[test]
+    fn blob_rejects_exactly_what_from_bytes_rejects() {
+        let p = mixed_program();
+        let bytes = Trace::capture(&p, 30).to_bytes();
+        // Every single-bit flip, truncation, and extension is rejected by
+        // both decode paths with the same error (they share the parser).
+        for pos in 0..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << (pos % 8);
+            let owned = Trace::from_bytes(&corrupt);
+            let blob = TraceBlob::parse(corrupt.as_slice());
+            assert_eq!(owned.as_ref().err(), blob.as_ref().err(), "flip at byte {pos}");
+            assert!(blob.is_err(), "flip at byte {pos} went undetected");
+        }
+        for cut in [0, 1, MAGIC.len(), bytes.len() / 2, bytes.len() - 1] {
+            assert!(TraceBlob::parse(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn blob_into_trace_and_to_trace_match_the_owned_decode() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let bytes = trace.to_bytes();
+        let blob = TraceBlob::parse(bytes.as_slice()).unwrap();
+        assert_eq!(blob.to_trace(), trace);
+        assert_eq!(blob.into_trace(), trace);
+    }
+
+    #[test]
+    fn blob_owns_its_buffer_and_views_are_shareable() {
+        let p = mixed_program();
+        let trace = Trace::capture(&p, u64::MAX);
+        let blob = TraceBlob::parse(trace.to_bytes()).unwrap();
+        // Two simultaneous cursors over one blob replay independently.
+        let (a, b) = (blob.view().cursor(), blob.view().cursor());
+        assert_eq!(a.collect::<Vec<_>>(), b.collect::<Vec<_>>());
     }
 }

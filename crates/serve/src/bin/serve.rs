@@ -10,9 +10,11 @@
 //!   --store DIR       Persist captured traces (DIR/traces) and finished
 //!                     per-cell results (DIR/results) under DIR; without
 //!                     it the server runs fully in-memory
-//!   --threads N       Worker threads per job [default: all hardware threads]
-//!   --queue N         Job queue capacity; further submissions get a
-//!                     graceful "ERR server busy" reply   [default: 16]
+//!   --threads N       Simulation worker threads, shared by all in-flight
+//!                     jobs                 [default: all hardware threads]
+//!   --queue N         Max concurrent jobs; further submissions get a
+//!                     graceful "ERR server busy" reply with a
+//!                     RETRY-AFTER hint                       [default: 16]
 //!   --no-stdin-exit   Do not shut down on stdin EOF (for running the
 //!                     server in the background with stdin closed)
 //! ```

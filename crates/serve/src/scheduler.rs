@@ -1,0 +1,287 @@
+//! Fair multi-job cell scheduler: the worker pool's shared state.
+//!
+//! Each admitted submission becomes a [`JobEntry`] whose unsimulated
+//! cells queue here. A pool of workers picks cells **round-robin per
+//! job** — one cell from job A, one from job B, … — so a small grid
+//! submitted behind a large one starts streaming immediately instead of
+//! waiting for the whole predecessor. Results are parked in the job's
+//! [`PreparedSweep`] slots (an index-ordered reorder buffer), so each
+//! connection handler can stream its cells in strict job-index order no
+//! matter how the pool interleaved them.
+//!
+//! Abandoned jobs (client gone mid-stream) have their pending cells
+//! reclaimed — dropped from the queue and counted in
+//! [`ServeMetrics::cells_reclaimed`] — rather than simulated for a dead
+//! socket. Cells already running when the job is abandoned complete
+//! normally; their results still land in the shared result cache, so the
+//! work is never wasted.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use vpsim_bench::sweep::PreparedSweep;
+use vpsim_bench::RunResult;
+
+/// Counters the server exposes for observability and tests. All relaxed:
+/// they are diagnostics, not synchronization.
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Submissions that streamed through `DONE`.
+    pub jobs_completed: AtomicU64,
+    /// Submissions whose client disconnected mid-stream.
+    pub jobs_abandoned: AtomicU64,
+    /// Pending cells reclaimed from abandoned jobs (never simulated).
+    pub cells_reclaimed: AtomicU64,
+    /// High-water mark of concurrently admitted jobs.
+    pub peak_concurrent_jobs: AtomicU64,
+}
+
+impl ServeMetrics {
+    fn bump_peak(&self, active: u64) {
+        self.peak_concurrent_jobs.fetch_max(active, Ordering::Relaxed);
+    }
+}
+
+/// One admitted job: the prepared sweep plus the progress state its
+/// connection handler waits on.
+pub struct JobEntry {
+    id: u64,
+    prepared: Arc<PreparedSweep>,
+    admitted: Instant,
+    progress: Mutex<JobProgress>,
+    ready: Condvar,
+}
+
+#[derive(Default)]
+struct JobProgress {
+    /// When the pool first picked one of this job's cells; `None` until
+    /// then (and forever, for fully-cached jobs).
+    first_dispatch: Option<Instant>,
+    abandoned: bool,
+    /// A worker panicked inside one of this job's cells.
+    failed: bool,
+}
+
+impl JobEntry {
+    /// Wrap a prepared sweep for scheduling under `id`.
+    pub fn new(id: u64, prepared: Arc<PreparedSweep>) -> Arc<Self> {
+        Arc::new(JobEntry {
+            id,
+            prepared,
+            admitted: Instant::now(),
+            progress: Mutex::new(JobProgress::default()),
+            ready: Condvar::new(),
+        })
+    }
+
+    /// The job id (for logs and abandonment).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// How long the job sat admitted before the pool started it: zero
+    /// for fully-cached jobs, queueing delay under load otherwise.
+    pub fn queue_wait(&self) -> Duration {
+        self.progress
+            .lock()
+            .unwrap()
+            .first_dispatch
+            .map_or(Duration::ZERO, |t| t.duration_since(self.admitted))
+    }
+
+    /// Admission-to-now wall clock.
+    pub fn wall(&self) -> Duration {
+        self.admitted.elapsed()
+    }
+
+    fn note_dispatch(&self) {
+        let mut p = self.progress.lock().unwrap();
+        if p.first_dispatch.is_none() {
+            p.first_dispatch = Some(Instant::now());
+        }
+    }
+
+    /// Block until cell `index` has a result (cached or simulated).
+    /// `Err` if a worker died simulating one of this job's cells.
+    pub fn wait_cell(&self, index: usize) -> Result<RunResult, String> {
+        let mut p = self.progress.lock().unwrap();
+        loop {
+            if let Some(result) = self.prepared.result(index) {
+                return Ok(result);
+            }
+            if p.failed {
+                return Err(format!("internal error while simulating cell {index}"));
+            }
+            p = self.ready.wait(p).unwrap();
+        }
+    }
+}
+
+struct RunQueue {
+    entry: Arc<JobEntry>,
+    pending: VecDeque<usize>,
+    running: usize,
+}
+
+struct SchedState {
+    queue: Vec<RunQueue>,
+    /// Round-robin pointer into `queue`.
+    next: usize,
+    /// Currently admitted jobs (tickets held by handlers), which bounds
+    /// admission — not the same as `queue.len()`: fully-cached jobs
+    /// never enqueue, and a drained queue leaves before its handler
+    /// finishes streaming.
+    active: usize,
+    closed: bool,
+}
+
+/// The shared scheduler: admission control, the per-job cell queues, and
+/// the worker pool's pick loop.
+pub struct Scheduler {
+    state: Mutex<SchedState>,
+    work: Condvar,
+    cap: usize,
+    /// Observability counters (see [`ServeMetrics`]).
+    pub metrics: Arc<ServeMetrics>,
+}
+
+impl Scheduler {
+    /// A scheduler admitting at most `cap` concurrent jobs.
+    pub fn new(cap: usize) -> Arc<Self> {
+        Arc::new(Scheduler {
+            state: Mutex::new(SchedState { queue: Vec::new(), next: 0, active: 0, closed: false }),
+            work: Condvar::new(),
+            cap: cap.max(1),
+            metrics: Arc::default(),
+        })
+    }
+
+    /// Take an admission ticket. `Err(active)` with the current in-flight
+    /// count when the cap is reached — the caller turns that into an
+    /// `ERR server busy … RETRY-AFTER` reply.
+    pub fn admit(&self) -> Result<(), usize> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed || st.active >= self.cap {
+            return Err(st.active);
+        }
+        st.active += 1;
+        self.metrics.bump_peak(st.active as u64);
+        Ok(())
+    }
+
+    /// Return an admission ticket (every successful [`Scheduler::admit`]
+    /// must be paired with exactly one release).
+    pub fn release(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.active = st.active.saturating_sub(1);
+    }
+
+    /// Queue a job's unsimulated cells for the pool. `Err` once the
+    /// scheduler has closed (server shutting down).
+    pub fn enqueue(&self, entry: Arc<JobEntry>) -> Result<(), String> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err("server is shutting down".into());
+        }
+        let pending: VecDeque<usize> = entry.prepared.sim_indices().iter().copied().collect();
+        if !pending.is_empty() {
+            st.queue.push(RunQueue { entry, pending, running: 0 });
+            self.work.notify_all();
+        }
+        Ok(())
+    }
+
+    /// Mark a job abandoned (its client is gone): reclaim every pending
+    /// cell and wake anything waiting on it. Cells already running
+    /// complete normally and still feed the shared result cache.
+    pub fn abandon(&self, entry: &JobEntry) {
+        {
+            let mut p = entry.progress.lock().unwrap();
+            if p.abandoned {
+                return;
+            }
+            p.abandoned = true;
+        }
+        self.metrics.jobs_abandoned.fetch_add(1, Ordering::Relaxed);
+        let mut st = self.state.lock().unwrap();
+        if let Some(qi) = st.queue.iter().position(|q| q.entry.id == entry.id) {
+            let reclaimed = st.queue[qi].pending.len() as u64;
+            self.metrics.cells_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+            st.queue[qi].pending.clear();
+            if st.queue[qi].running == 0 {
+                st.queue.remove(qi);
+                if st.next > qi {
+                    st.next -= 1;
+                }
+            }
+        }
+        entry.ready.notify_all();
+    }
+
+    /// Stop the pool: workers finish draining every non-abandoned pending
+    /// cell (so handlers blocked on a result always wake), then exit.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.work.notify_all();
+    }
+
+    fn pick(st: &mut SchedState) -> Option<(Arc<JobEntry>, usize)> {
+        let n = st.queue.len();
+        for k in 0..n {
+            let qi = (st.next + k) % n;
+            if let Some(cell) = st.queue[qi].pending.pop_front() {
+                st.queue[qi].running += 1;
+                st.queue[qi].entry.note_dispatch();
+                st.next = (qi + 1) % n;
+                return Some((Arc::clone(&st.queue[qi].entry), cell));
+            }
+        }
+        None
+    }
+
+    /// The worker body: pick the next cell fairly across jobs, simulate
+    /// it, park the result, notify the job's handler; repeat until the
+    /// scheduler is closed **and** drained.
+    pub fn worker_loop(&self) {
+        loop {
+            let task = {
+                let mut st = self.state.lock().unwrap();
+                loop {
+                    if let Some(task) = Self::pick(&mut st) {
+                        break Some(task);
+                    }
+                    if st.closed {
+                        break None;
+                    }
+                    st = self.work.wait(st).unwrap();
+                }
+            };
+            let Some((entry, cell)) = task else { return };
+            // A panic inside a cell (a simulator bug) must not kill the
+            // pool: mark the job failed so its handler errors out, and
+            // keep serving everyone else.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                entry.prepared.run_cell(cell)
+            }));
+            {
+                let mut st = self.state.lock().unwrap();
+                if let Some(qi) = st.queue.iter().position(|q| q.entry.id == entry.id) {
+                    st.queue[qi].running -= 1;
+                    if st.queue[qi].pending.is_empty() && st.queue[qi].running == 0 {
+                        st.queue.remove(qi);
+                        if st.next > qi {
+                            st.next -= 1;
+                        }
+                    }
+                }
+            }
+            if outcome.is_err() {
+                entry.progress.lock().unwrap().failed = true;
+            }
+            entry.ready.notify_all();
+        }
+    }
+}

@@ -1,18 +1,21 @@
-//! The TCP job server: accept loop, per-connection handlers, bounded job
-//! queue, single executor. See the [crate docs](crate) for the shape and
-//! [`vpsim_bench::protocol`] for the wire format.
+//! The TCP job server: accept loop, per-connection handlers, and the
+//! fair-scheduled worker pool shared by every in-flight job. See the
+//! [crate docs](crate) for the shape and [`vpsim_bench::protocol`] for
+//! the wire format.
 
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{mpsc, Arc, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::Duration;
 
-use vpsim_bench::protocol::{self, Format, View};
+use vpsim_bench::protocol::{self, Submit};
 use vpsim_bench::scenario::Scenario;
 use vpsim_bench::store::Stores;
+
+use crate::scheduler::{JobEntry, Scheduler, ServeMetrics};
 
 /// Everything the `serve` binary can configure.
 #[derive(Debug, Clone)]
@@ -23,12 +26,15 @@ pub struct ServerConfig {
     /// Root of the persistent stores (traces + results). `None` runs
     /// fully in-memory: still correct, nothing survives the process.
     pub store_dir: Option<PathBuf>,
-    /// Worker threads per job. Submitted scenarios' own `threads` keys
-    /// are ignored — execution cost is the server's business, and the
-    /// sweep engine is byte-identical across thread counts anyway.
+    /// Size of the shared worker pool. Workers interleave cells from
+    /// every in-flight job round-robin, so one submission on an idle
+    /// server still uses the whole pool. Submitted scenarios' own
+    /// `threads` keys are ignored for execution — the sweep engine is
+    /// byte-identical across thread counts anyway.
     pub threads: usize,
-    /// Capacity of the job queue. Submissions beyond it receive a
-    /// graceful `ERR server busy …` reply instead of queueing unboundedly.
+    /// Maximum concurrently admitted jobs. Submissions beyond it receive
+    /// a graceful `ERR server busy … RETRY-AFTER <ms>` reply instead of
+    /// queueing unboundedly; `sweep --remote` retries on that hint.
     pub queue_cap: usize,
 }
 
@@ -49,6 +55,7 @@ impl Default for ServerConfig {
 pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServeMetrics>,
     accept: Option<thread::JoinHandle<()>>,
 }
 
@@ -64,6 +71,12 @@ impl ServerHandle {
         Arc::clone(&self.shutdown)
     }
 
+    /// Live observability counters: completed/abandoned jobs, reclaimed
+    /// cells, peak concurrency.
+    pub fn metrics(&self) -> Arc<ServeMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
     /// Request a graceful stop: the accept loop closes, in-flight jobs
     /// finish, handler connections are closed.
     pub fn shutdown(&self) {
@@ -76,17 +89,6 @@ impl ServerHandle {
             let _ = accept.join();
         }
     }
-}
-
-/// One accepted submission, queued for the executor. The executor writes
-/// the entire response (`OK` through `DONE`) to `stream`, then signals
-/// `done` so the owning handler resumes reading commands.
-struct Job {
-    scenario: Scenario,
-    view: View,
-    format: Format,
-    stream: TcpStream,
-    done: mpsc::SyncSender<()>,
 }
 
 /// Bind and start serving in background threads; returns once the socket
@@ -104,29 +106,43 @@ pub fn start(config: ServerConfig) -> Result<ServerHandle, String> {
         .set_nonblocking(true)
         .map_err(|e| format!("cannot make the listener non-blocking: {e}"))?;
     let shutdown = Arc::new(AtomicBool::new(false));
+    let scheduler = Scheduler::new(config.queue_cap);
+    let metrics = Arc::clone(&scheduler.metrics);
     let accept = {
         let shutdown = Arc::clone(&shutdown);
-        thread::spawn(move || accept_loop(listener, stores, &config, &shutdown))
+        thread::spawn(move || accept_loop(listener, stores, &config, scheduler, &shutdown))
     };
-    Ok(ServerHandle { addr, shutdown, accept: Some(accept) })
+    Ok(ServerHandle { addr, shutdown, metrics, accept: Some(accept) })
+}
+
+/// Everything a connection handler needs, shared across all of them.
+struct Shared {
+    scheduler: Arc<Scheduler>,
+    stores: Stores,
+    shutdown: Arc<AtomicBool>,
+    /// Monotonically increasing job ids, for disconnect logs.
+    next_job: AtomicU64,
 }
 
 fn accept_loop(
     listener: TcpListener,
     stores: Stores,
     config: &ServerConfig,
+    scheduler: Arc<Scheduler>,
     shutdown: &Arc<AtomicBool>,
 ) {
-    let (jobs_tx, jobs_rx) = mpsc::sync_channel::<Job>(config.queue_cap.max(1));
-    let executor = {
-        let stores = stores.clone();
-        let threads = config.threads.max(1);
-        thread::spawn(move || {
-            while let Ok(job) = jobs_rx.recv() {
-                execute(job, &stores, threads);
-            }
+    let workers: Vec<_> = (0..config.threads.max(1))
+        .map(|_| {
+            let scheduler = Arc::clone(&scheduler);
+            thread::spawn(move || scheduler.worker_loop())
         })
-    };
+        .collect();
+    let shared = Arc::new(Shared {
+        scheduler,
+        stores,
+        shutdown: Arc::clone(shutdown),
+        next_job: AtomicU64::new(0),
+    });
     // Live connections, so shutdown can force-close them and unblock
     // their handlers' reads; each handler deregisters itself on exit.
     let live: Arc<Mutex<Vec<(u64, TcpStream)>>> = Arc::default();
@@ -134,17 +150,16 @@ fn accept_loop(
     let mut next_id = 0u64;
     while !shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((stream, peer)) => {
                 let id = next_id;
                 next_id += 1;
                 if let Ok(clone) = stream.try_clone() {
                     live.lock().unwrap().push((id, clone));
                 }
-                let jobs_tx = jobs_tx.clone();
-                let shutdown = Arc::clone(shutdown);
+                let shared = Arc::clone(&shared);
                 let live = Arc::clone(&live);
                 handlers.push(thread::spawn(move || {
-                    handle_connection(stream, &jobs_tx, &shutdown);
+                    handle_connection(stream, peer, &shared);
                     live.lock().unwrap().retain(|(i, _)| *i != id);
                 }));
             }
@@ -157,16 +172,20 @@ fn accept_loop(
             }
         }
     }
-    // Graceful stop: no new connections, force-close the live ones to
-    // unblock their handlers, let queued jobs drain, then join everyone.
-    drop(jobs_tx);
+    // Graceful stop: no new connections; force-close the live sockets to
+    // unblock handler reads; close the scheduler — workers drain every
+    // pending cell first, so a handler blocked on a result always wakes
+    // (its subsequent writes fail and it bails) — then join everyone.
     for (_, stream) in live.lock().unwrap().iter() {
         let _ = stream.shutdown(std::net::Shutdown::Both);
+    }
+    shared.scheduler.close();
+    for worker in workers {
+        let _ = worker.join();
     }
     for handler in handlers {
         let _ = handler.join();
     }
-    let _ = executor.join();
 }
 
 fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
@@ -174,10 +193,19 @@ fn write_line(stream: &mut TcpStream, line: &str) -> std::io::Result<()> {
     stream.write_all(b"\n")
 }
 
+/// Releases the admission ticket on every exit path.
+struct Ticket<'a>(&'a Scheduler);
+
+impl Drop for Ticket<'_> {
+    fn drop(&mut self) {
+        self.0.release();
+    }
+}
+
 /// Serve one connection: commands in, replies out, until EOF or a fatal
 /// I/O error. Malformed input of every kind gets an `ERR` line and the
 /// loop continues — a bad scenario never costs the client its connection.
-fn handle_connection(stream: TcpStream, jobs: &mpsc::SyncSender<Job>, shutdown: &Arc<AtomicBool>) {
+fn handle_connection(stream: TcpStream, peer: SocketAddr, shared: &Shared) {
     let Ok(read_half) = stream.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut stream = stream;
@@ -200,11 +228,11 @@ fn handle_connection(stream: TcpStream, jobs: &mpsc::SyncSender<Job>, shutdown: 
             }
         } else if line == protocol::SHUTDOWN {
             let _ = write_line(&mut stream, protocol::BYE);
-            shutdown.store(true, Ordering::SeqCst);
+            shared.shutdown.store(true, Ordering::SeqCst);
             return;
         } else if let Some(parsed) = protocol::parse_submit(line) {
-            let (view, format) = match parsed {
-                Ok(pair) => pair,
+            let submit = match parsed {
+                Ok(submit) => submit,
                 Err(e) => {
                     // Malformed SUBMIT arguments: the scenario block was
                     // never announced, so there is nothing to drain.
@@ -235,26 +263,9 @@ fn handle_connection(stream: TcpStream, jobs: &mpsc::SyncSender<Job>, shutdown: 
                     continue;
                 }
             };
-            let Ok(job_stream) = stream.try_clone() else { return };
-            let (done_tx, done_rx) = mpsc::sync_channel(1);
-            let job = Job { scenario, view, format, stream: job_stream, done: done_tx };
-            match jobs.try_send(job) {
-                // The executor writes the whole response; wait for it
-                // before reading the next command so replies never
-                // interleave on this connection.
-                Ok(()) => {
-                    let _ = done_rx.recv();
-                }
-                Err(mpsc::TrySendError::Full(_)) => {
-                    let msg = "server busy: job queue is full, retry later";
-                    if reply_err(&mut stream, msg).is_err() {
-                        return;
-                    }
-                }
-                Err(mpsc::TrySendError::Disconnected(_)) => {
-                    let _ = reply_err(&mut stream, "server is shutting down");
-                    return;
-                }
+            match serve_submission(&mut stream, peer, shared, submit, scenario) {
+                Served::Next => {}
+                Served::Hangup => return,
             }
         } else {
             let head: String = line.chars().take(32).collect();
@@ -267,9 +278,105 @@ fn handle_connection(stream: TcpStream, jobs: &mpsc::SyncSender<Job>, shutdown: 
     }
 }
 
+enum Served {
+    /// Keep reading commands on this connection.
+    Next,
+    /// The connection is dead (or the server is stopping): hang up.
+    Hangup,
+}
+
+/// Admit, prepare, and stream one submission. The handler thread owns the
+/// response wire format; the worker pool owns the simulation.
+fn serve_submission(
+    stream: &mut TcpStream,
+    peer: SocketAddr,
+    shared: &Shared,
+    submit: Submit,
+    scenario: Scenario,
+) -> Served {
+    if let Err(active) = shared.scheduler.admit() {
+        // Crude load-proportional hint: the busier the pool, the longer
+        // the suggested wait.
+        let retry_after_ms = 100 * active.max(1) as u64;
+        let busy = protocol::busy_line(active, retry_after_ms);
+        return if write_line(stream, &busy).is_err() { Served::Hangup } else { Served::Next };
+    }
+    let ticket = Ticket(&shared.scheduler);
+    let id = shared.next_job.fetch_add(1, Ordering::Relaxed);
+    let mut spec = scenario.to_spec();
+    spec.settings.threads = 1;
+    spec.stores = shared.stores.clone();
+    let prepared = Arc::new(spec.prepare_shard(submit.shard));
+    let entry = JobEntry::new(id, Arc::clone(&prepared));
+    if shared.scheduler.enqueue(Arc::clone(&entry)).is_err() {
+        let _ = write_line(stream, &protocol::err_line("server is shutting down"));
+        return Served::Hangup;
+    }
+    let Ok(write_half) = stream.try_clone() else {
+        shared.scheduler.abandon(&entry);
+        return Served::Hangup;
+    };
+    let mut reply = Reply { writer: BufWriter::new(write_half), broken: false };
+    reply.line(&protocol::ok_line(prepared.emit_indices().len()));
+    for &index in prepared.emit_indices() {
+        let result = match prepared.result(index) {
+            Some(result) => result,
+            None => match entry.wait_cell(index) {
+                Ok(result) => result,
+                Err(e) => {
+                    // A worker died in one of our cells: reclaim the rest
+                    // and report, but keep the connection usable.
+                    shared.scheduler.abandon(&entry);
+                    reply.line(&protocol::err_line(&e));
+                    return if reply.broken { Served::Hangup } else { Served::Next };
+                }
+            },
+        };
+        reply.line(&protocol::cell_line(&prepared.jobs()[index], &result));
+        if reply.broken {
+            break;
+        }
+    }
+    if reply.broken {
+        eprintln!("client {peer} disconnected mid-job {id}; reclaiming its unfinished cells");
+        shared.scheduler.abandon(&entry);
+        return Served::Hangup;
+    }
+    drop(ticket);
+    match submit.shard {
+        None => {
+            // Full submission: every cell is present, render the table.
+            let results = prepared.finish();
+            let table = protocol::render_output(&results, submit.view, submit.format);
+            reply.line(&protocol::table_header(table.len()));
+            reply.raw(table.as_bytes());
+            if !reply.broken {
+                let _ = reply.writer.flush();
+            }
+        }
+        Some(_) => {
+            // Shard: the client merges raw results across workers, so
+            // send full-precision counters instead of a rendered table.
+            for &index in prepared.emit_indices() {
+                let result = prepared.result(index).expect("emitted cell has a result");
+                reply.line(&protocol::result_line(index, &result));
+            }
+        }
+    }
+    reply.line(&protocol::stats_line_served(&prepared.timing(), entry.queue_wait(), entry.wall()));
+    reply.line(protocol::DONE);
+    if reply.broken {
+        eprintln!("client {peer} disconnected mid-job {id}");
+        shared.scheduler.abandon(&entry);
+        return Served::Hangup;
+    }
+    shared.scheduler.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+    Served::Next
+}
+
 /// Buffered response writer that turns broken-pipe errors into a sticky
-/// no-op: a client that disconnects mid-stream stops receiving, but the
-/// simulation still completes (and still lands in the result cache).
+/// no-op: a client that disconnects mid-stream stops receiving, and the
+/// handler abandons the job so its pending cells are reclaimed.
 struct Reply {
     writer: BufWriter<TcpStream>,
     broken: bool,
@@ -289,28 +396,4 @@ impl Reply {
             self.broken = true;
         }
     }
-}
-
-/// Run one submission through the sweep engine, streaming per-cell lines
-/// in job-index order, then the rendered table, stats, and `DONE`.
-fn execute(job: Job, stores: &Stores, threads: usize) {
-    let Job { scenario, view, format, stream, done } = job;
-    let mut reply = Reply { writer: BufWriter::new(stream), broken: false };
-    let mut spec = scenario.to_spec();
-    spec.settings.threads = threads;
-    spec.stores = stores.clone();
-    reply.line(&protocol::ok_line(spec.job_count()));
-    let results = spec.run_streamed(|cell_job, result| {
-        reply.line(&protocol::cell_line(cell_job, result));
-    });
-    let table = protocol::render_output(&results, view, format);
-    reply.line(&protocol::table_header(table.len()));
-    reply.raw(table.as_bytes());
-    if !reply.broken {
-        let _ = reply.writer.flush();
-    }
-    reply.line(&protocol::stats_line(&results.timing));
-    reply.line(protocol::DONE);
-    // Hand the connection back to its handler.
-    let _ = done.send(());
 }

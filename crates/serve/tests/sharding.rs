@@ -1,0 +1,93 @@
+//! Cell sharding across server processes: two servers sharing one store
+//! directory each simulate a disjoint subset of the grid, and the
+//! shard-merging client reassembles a table byte-identical to a local run.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use vpsim_bench::protocol::{self, Format, View};
+use vpsim_bench::remote;
+use vpsim_bench::scenario::preset;
+use vpsim_serve::{start, ServerConfig, ServerHandle};
+
+/// Fresh scratch directory per call (temp dir + pid + counter), so
+/// parallel tests never share a store.
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("vpsim-serve-{tag}-{}-{n}", std::process::id()))
+}
+
+fn small_scenario() -> vpsim_bench::scenario::Scenario {
+    let mut scenario = preset("smoke").expect("smoke preset exists");
+    scenario.set("warmup=500").unwrap();
+    scenario.set("measure=2000").unwrap();
+    scenario.set("seed=0xBEEF").unwrap();
+    scenario
+}
+
+fn worker(store: &Path) -> ServerHandle {
+    start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        store_dir: Some(store.to_path_buf()),
+        threads: 1,
+        queue_cap: 4,
+    })
+    .expect("server starts")
+}
+
+#[test]
+fn two_workers_sharing_a_store_merge_byte_identically() {
+    let dir = scratch_dir("shard");
+    let a = worker(&dir);
+    let b = worker(&dir);
+    let addrs = vec![a.addr().to_string(), b.addr().to_string()];
+
+    let scenario = small_scenario();
+    let spec = scenario.to_spec();
+    let job_count = spec.job_count();
+    let local = protocol::render_output(&spec.run(), View::Long, Format::Csv);
+
+    // First pass: each worker simulates only its shard, and the merged
+    // table is byte-identical to a local run.
+    let mut cells = Vec::new();
+    let first = remote::submit_workers(&addrs, &scenario, View::Long, Format::Csv, |cell| {
+        cells.push(cell.to_string())
+    })
+    .expect("sharded submission succeeds");
+    assert_eq!(first.cells, job_count);
+    assert_eq!(cells.len(), job_count, "every cell streams exactly once across shards");
+    assert_eq!(first.table, local, "shard-merged table is byte-identical to a local run");
+    for line in first.stats.lines() {
+        assert!(line.contains("result_cache_hits=0"), "first pass simulates: {line}");
+        assert!(!line.contains("cells_simulated=0"), "each shard simulates cells: {line}");
+    }
+    // The shards partition the grid: per-worker emitted-cell counts sum
+    // to the whole job count without overlap.
+    let shard_cells: Vec<usize> =
+        cells.iter().map(|l| l.split_whitespace().nth(1).unwrap().parse().unwrap()).collect();
+    assert_eq!(shard_cells, (0..job_count).collect::<Vec<_>>(), "merged stream is index-ordered");
+
+    // Second pass with the shard assignment swapped: every cell was
+    // simulated by the *other* worker, so both serve entirely from the
+    // shared result cache — byte-identical, zero simulations.
+    let swapped = vec![addrs[1].clone(), addrs[0].clone()];
+    let second = remote::submit_workers(&swapped, &scenario, View::Long, Format::Csv, |_| {})
+        .expect("swapped resubmission succeeds");
+    assert_eq!(second.table, local, "resubmission is byte-identical");
+    for line in second.stats.lines() {
+        assert!(
+            line.contains("cells_simulated=0"),
+            "swapped shards hit the shared result cache: {line}"
+        );
+    }
+
+    // The merged client path also reports the served-timing fields.
+    assert!(first.stats.contains("queue_wait_ms="), "stats carry queue wait: {}", first.stats);
+
+    a.shutdown();
+    b.shutdown();
+    a.join();
+    b.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -7,7 +7,7 @@
 //! intervals of [`SampleConfig::period`] µops, deterministically selects
 //! [`SampleConfig::intervals`] of them (systematic sampling seeded by the
 //! scenario seed), and runs the detailed timing model only inside the
-//! selected intervals. Between intervals the [`Warmer`] streams the trace
+//! selected intervals. Between intervals the crate-private `Warmer` streams the trace
 //! functionally — branch predictors, BTB, RAS, global history and cache
 //! tags are updated with no cycle accounting — so long-lived
 //! microarchitectural state is warm when each interval begins. Short-lived
