@@ -196,8 +196,13 @@ fn evict_corrupt(what: &str, path: &Path, why: &str) {
 
 /// Raw `mmap(2)`/`munmap(2)` — the same std-only `extern "C"` pattern the
 /// `serve` binary uses for `signal(2)`; the build environment is
-/// dependency-free by design.
-#[cfg(unix)]
+/// dependency-free by design. Gated to 64-bit unix targets: the `i64`
+/// offset below matches the ABI only where `off_t` is 64-bit; on 32-bit
+/// targets (where libc may route through `mmap2`/`mmap64`) the
+/// declaration would mismatch the real symbol — undefined behavior at
+/// the call boundary even though we only ever pass offset 0 — so those
+/// builds take the full-read fallback instead.
+#[cfg(all(unix, target_pointer_width = "64"))]
 mod mmap_sys {
     extern "C" {
         pub fn mmap(
@@ -233,9 +238,9 @@ unsafe impl Sync for Mmap {}
 
 impl Mmap {
     /// Map `len` bytes of `file` read-only. `None` when mapping is
-    /// unavailable (empty file, non-unix target, or `mmap` failure) —
-    /// callers fall back to a full read.
-    #[cfg(unix)]
+    /// unavailable (empty file, a target other than 64-bit unix, or
+    /// `mmap` failure) — callers fall back to a full read.
+    #[cfg(all(unix, target_pointer_width = "64"))]
     fn of_file(file: &std::fs::File, len: usize) -> Option<Mmap> {
         use std::os::unix::io::AsRawFd;
         if len == 0 {
@@ -258,7 +263,7 @@ impl Mmap {
         Some(Mmap { ptr, len })
     }
 
-    #[cfg(not(unix))]
+    #[cfg(not(all(unix, target_pointer_width = "64")))]
     fn of_file(_file: &std::fs::File, _len: usize) -> Option<Mmap> {
         None
     }
@@ -275,7 +280,7 @@ impl std::ops::Deref for Mmap {
 
 impl Drop for Mmap {
     fn drop(&mut self) {
-        #[cfg(unix)]
+        #[cfg(all(unix, target_pointer_width = "64"))]
         unsafe {
             mmap_sys::munmap(self.ptr as *mut u8, self.len);
         }
@@ -804,7 +809,8 @@ mod tests {
         assert!(!mapped.complete());
         assert!(mapped.covers(100) && !mapped.covers(101));
         assert_eq!(mapped.len(), trace.len());
-        assert!(mapped.is_mapped(), "unix entries are mmap-backed");
+        #[cfg(all(unix, target_pointer_width = "64"))]
+        assert!(mapped.is_mapped(), "64-bit unix entries are mmap-backed");
         // The borrowed view replays the exact owned stream, and the
         // materialized form is the exact owned trace.
         assert_eq!(mapped.view().cursor().collect::<Vec<_>>(), trace.cursor().collect::<Vec<_>>());

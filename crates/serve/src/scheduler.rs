@@ -32,6 +32,10 @@ pub struct ServeMetrics {
     pub jobs_completed: AtomicU64,
     /// Submissions whose client disconnected mid-stream.
     pub jobs_abandoned: AtomicU64,
+    /// Submissions aborted by a worker failure (a panic inside a cell);
+    /// the client stayed connected and received an `ERR`. Disjoint from
+    /// [`ServeMetrics::jobs_abandoned`], which counts only disconnects.
+    pub jobs_failed: AtomicU64,
     /// Pending cells reclaimed from abandoned jobs (never simulated).
     pub cells_reclaimed: AtomicU64,
     /// High-water mark of concurrently admitted jobs.
@@ -197,27 +201,51 @@ impl Scheduler {
     /// cell and wake anything waiting on it. Cells already running
     /// complete normally and still feed the shared result cache.
     pub fn abandon(&self, entry: &JobEntry) {
-        {
-            let mut p = entry.progress.lock().unwrap();
-            if p.abandoned {
-                return;
-            }
-            p.abandoned = true;
+        if !self.mark_done(entry) {
+            return;
         }
         self.metrics.jobs_abandoned.fetch_add(1, Ordering::Relaxed);
+        let reclaimed = self.drop_pending(entry);
+        self.metrics.cells_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
+        entry.ready.notify_all();
+    }
+
+    /// Abort a job after a worker failure (a panic inside one of its
+    /// cells). Same reclaim as [`Scheduler::abandon`] — the handler has
+    /// already errored the client out, so its remaining cells are dead
+    /// work — but counted in [`ServeMetrics::jobs_failed`], not
+    /// `jobs_abandoned`/`cells_reclaimed`: the client is still connected,
+    /// and those counters measure disconnects.
+    pub fn fail(&self, entry: &JobEntry) {
+        if !self.mark_done(entry) {
+            return;
+        }
+        self.metrics.jobs_failed.fetch_add(1, Ordering::Relaxed);
+        self.drop_pending(entry);
+        entry.ready.notify_all();
+    }
+
+    /// Flip the job's abandoned bit; `false` if it was already set (the
+    /// job was torn down once — don't double-count).
+    fn mark_done(&self, entry: &JobEntry) -> bool {
+        let mut p = entry.progress.lock().unwrap();
+        !std::mem::replace(&mut p.abandoned, true)
+    }
+
+    /// Drop the job's pending cells from the run queue; returns how many
+    /// were reclaimed. Cells already running finish normally.
+    fn drop_pending(&self, entry: &JobEntry) -> u64 {
         let mut st = self.state.lock().unwrap();
-        if let Some(qi) = st.queue.iter().position(|q| q.entry.id == entry.id) {
-            let reclaimed = st.queue[qi].pending.len() as u64;
-            self.metrics.cells_reclaimed.fetch_add(reclaimed, Ordering::Relaxed);
-            st.queue[qi].pending.clear();
-            if st.queue[qi].running == 0 {
-                st.queue.remove(qi);
-                if st.next > qi {
-                    st.next -= 1;
-                }
+        let Some(qi) = st.queue.iter().position(|q| q.entry.id == entry.id) else { return 0 };
+        let reclaimed = st.queue[qi].pending.len() as u64;
+        st.queue[qi].pending.clear();
+        if st.queue[qi].running == 0 {
+            st.queue.remove(qi);
+            if st.next > qi {
+                st.next -= 1;
             }
         }
-        entry.ready.notify_all();
+        reclaimed
     }
 
     /// Stop the pool: workers finish draining every non-abandoned pending
@@ -278,8 +306,17 @@ impl Scheduler {
                     }
                 }
             }
-            if outcome.is_err() {
-                entry.progress.lock().unwrap().failed = true;
+            // Publish under the progress mutex even on success, when
+            // there is nothing to write: `wait_cell` checks the parked
+            // result while holding it, so taking the lock here means the
+            // waiter has either already seen the result or is parked in
+            // `wait` by the time we notify — the wakeup cannot fall into
+            // the gap between its check and its wait and be lost.
+            {
+                let mut p = entry.progress.lock().unwrap();
+                if outcome.is_err() {
+                    p.failed = true;
+                }
             }
             entry.ready.notify_all();
         }

@@ -325,8 +325,10 @@ fn serve_submission(
                 Ok(result) => result,
                 Err(e) => {
                     // A worker died in one of our cells: reclaim the rest
-                    // and report, but keep the connection usable.
-                    shared.scheduler.abandon(&entry);
+                    // and report, but keep the connection usable. This is
+                    // an internal failure, not a disconnect — `fail`, not
+                    // `abandon`, so the abandonment metrics stay honest.
+                    shared.scheduler.fail(&entry);
                     reply.line(&protocol::err_line(&e));
                     return if reply.broken { Served::Hangup } else { Served::Next };
                 }
